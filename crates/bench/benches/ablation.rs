@@ -1,0 +1,204 @@
+//! Ablations of the design choices DESIGN.md calls out. Each group
+//! prints its quality numbers once (so the trade-off is visible in the
+//! bench log) and then times the alternatives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcr_bench::{fig5_problem, single_fbs_problem};
+use fcr_core::dual::{DualConfig, DualSolver, StepSchedule};
+use fcr_core::exhaustive::ExhaustiveAllocator;
+use fcr_core::greedy::GreedyAllocator;
+use fcr_core::interfering::round_robin_assignment;
+use fcr_core::waterfill::WaterfillingSolver;
+use fcr_sim::config::SimConfig;
+use fcr_sim::engine::run_once;
+use fcr_sim::scenario::Scenario;
+use fcr_sim::scheme::Scheme;
+use fcr_stats::rng::SeedSequence;
+use std::hint::black_box;
+
+/// Ablation 1 — inner solver: the paper's distributed subgradient loop
+/// (constant and diminishing steps) vs. the centralized water-filling
+/// equivalent. Same optimum, very different cost — which is why the
+/// greedy's `O(N²M²)` inner evaluations use water-filling.
+fn ablation_solver(c: &mut Criterion) {
+    let problem = single_fbs_problem();
+    let wf = WaterfillingSolver::new();
+    let dual_dim = DualSolver::new(DualConfig::default());
+    let dual_const = DualSolver::new(DualConfig {
+        step: StepSchedule::Constant(5e-4),
+        max_iterations: 20_000,
+        ..DualConfig::default()
+    });
+
+    let v_wf = problem.objective(&wf.solve(&problem));
+    let v_dim = dual_dim.solve(&problem).objective();
+    let v_const = dual_const.solve(&problem).objective();
+    println!("[ablation:solver] objective waterfill={v_wf:.6} dual(diminishing)={v_dim:.6} dual(constant)={v_const:.6}");
+
+    let mut group = c.benchmark_group("ablation_solver");
+    group.bench_function("waterfill", |b| b.iter(|| black_box(wf.solve(&problem))));
+    group.bench_function("dual_diminishing", |b| {
+        b.iter(|| black_box(dual_dim.solve(&problem)))
+    });
+    group.bench_function("dual_constant", |b| {
+        b.iter(|| black_box(dual_const.solve(&problem)))
+    });
+    group.finish();
+}
+
+/// Ablation 2 — posterior for `G_t`: fully fused (our reading) vs. the
+/// first observation only (the formula as literally printed in
+/// Section III-C). Prints the end-to-end quality difference.
+fn ablation_posterior(c: &mut Criterion) {
+    let fused_cfg = SimConfig {
+        gops: 4,
+        ..SimConfig::default()
+    };
+    let first_cfg = SimConfig {
+        first_observation_only: true,
+        ..fused_cfg
+    };
+    let scenario = Scenario::single_fbs(&fused_cfg);
+    let seeds = SeedSequence::new(9);
+
+    let fused = run_once(&scenario, &fused_cfg, Scheme::Proposed, &seeds, 0);
+    let first = run_once(&scenario, &first_cfg, Scheme::Proposed, &seeds, 0);
+    println!(
+        "[ablation:posterior] mean PSNR fused={:.3} first-obs={:.3}",
+        fused.mean_psnr(),
+        first.mean_psnr()
+    );
+
+    let mut group = c.benchmark_group("ablation_posterior");
+    group.sample_size(10);
+    group.bench_function("fused_gt", |b| {
+        b.iter(|| black_box(run_once(&scenario, &fused_cfg, Scheme::Proposed, &seeds, 0)))
+    });
+    group.bench_function("first_observation_gt", |b| {
+        b.iter(|| black_box(run_once(&scenario, &first_cfg, Scheme::Proposed, &seeds, 0)))
+    });
+    group.finish();
+}
+
+/// Ablation 3 — channel-allocation layer: Table III's greedy vs. the
+/// quality-blind round-robin split vs. the exhaustive optimum, on the
+/// Fig. 5 instance. Prints the Q values so the near-optimality of the
+/// greedy is visible next to its speed advantage.
+fn ablation_channel_allocation(c: &mut Criterion) {
+    let problem = fig5_problem();
+    let solver = WaterfillingSolver::new();
+
+    let greedy = GreedyAllocator::new().allocate(&problem);
+    let optimal = ExhaustiveAllocator::new().allocate(&problem);
+    let rr = round_robin_assignment(problem.graph(), problem.num_channels());
+    let q_rr = problem.q_value(&rr, &solver);
+    println!(
+        "[ablation:channels] Q greedy={:.6} exhaustive={:.6} round-robin={:.6} eq23-bound={:.6}",
+        greedy.q_value(),
+        optimal.q_value(),
+        q_rr,
+        greedy.upper_bound()
+    );
+
+    let mut group = c.benchmark_group("ablation_channel_allocation");
+    group.sample_size(20);
+    group.bench_function("greedy", |b| {
+        let a = GreedyAllocator::new();
+        b.iter(|| black_box(a.allocate(&problem)))
+    });
+    group.bench_function("round_robin", |b| {
+        b.iter(|| {
+            let assignment = round_robin_assignment(problem.graph(), problem.num_channels());
+            black_box(problem.q_value(&assignment, &solver))
+        })
+    });
+    group.bench_function("exhaustive", |b| {
+        let a = ExhaustiveAllocator::new();
+        b.iter(|| black_box(a.allocate(&problem)))
+    });
+    group.finish();
+}
+
+/// Ablation 4 — sensing prior: the paper's stationary-η reset vs. the
+/// belief-tracking extension (yesterday's posterior propagated through
+/// the Markov kernel). Prints quality and spectrum usage.
+fn ablation_prior(c: &mut Criterion) {
+    let stationary = SimConfig {
+        gops: 4,
+        ..SimConfig::default()
+    };
+    let tracked = SimConfig {
+        prior_mode: fcr_sim::config::PriorMode::BeliefTracking,
+        ..stationary
+    };
+    let scenario = Scenario::single_fbs(&stationary);
+    let seeds = SeedSequence::new(13);
+    let a = run_once(&scenario, &stationary, Scheme::Proposed, &seeds, 0);
+    let b = run_once(&scenario, &tracked, Scheme::Proposed, &seeds, 0);
+    println!(
+        "[ablation:prior] stationary: psnr={:.3} G={:.3} coll={:.4} | tracking: psnr={:.3} G={:.3} coll={:.4}",
+        a.mean_psnr(),
+        a.mean_expected_available,
+        a.collision_rate,
+        b.mean_psnr(),
+        b.mean_expected_available,
+        b.collision_rate
+    );
+
+    let mut group = c.benchmark_group("ablation_prior");
+    group.sample_size(10);
+    group.bench_function("stationary_eta", |b| {
+        b.iter(|| black_box(run_once(&scenario, &stationary, Scheme::Proposed, &seeds, 0)))
+    });
+    group.bench_function("belief_tracking", |b2| {
+        b2.iter(|| black_box(run_once(&scenario, &tracked, Scheme::Proposed, &seeds, 0)))
+    });
+    group.finish();
+}
+
+/// Ablation 5 — access rule: the paper's probabilistic eq. (7) vs. the
+/// deterministic threshold. Prints the spectrum-usage trade-off at the
+/// same γ.
+fn ablation_access(c: &mut Criterion) {
+    let probabilistic = SimConfig {
+        gops: 4,
+        ..SimConfig::default()
+    };
+    let threshold = SimConfig {
+        access_mode: fcr_sim::config::AccessMode::Threshold,
+        ..probabilistic
+    };
+    let scenario = Scenario::single_fbs(&probabilistic);
+    let seeds = SeedSequence::new(14);
+    let a = run_once(&scenario, &probabilistic, Scheme::Proposed, &seeds, 0);
+    let b = run_once(&scenario, &threshold, Scheme::Proposed, &seeds, 0);
+    println!(
+        "[ablation:access] eq.(7): psnr={:.3} G={:.3} coll={:.4} | threshold: psnr={:.3} G={:.3} coll={:.4}",
+        a.mean_psnr(),
+        a.mean_expected_available,
+        a.collision_rate,
+        b.mean_psnr(),
+        b.mean_expected_available,
+        b.collision_rate
+    );
+
+    let mut group = c.benchmark_group("ablation_access");
+    group.sample_size(10);
+    group.bench_function("probabilistic_eq7", |b2| {
+        b2.iter(|| black_box(run_once(&scenario, &probabilistic, Scheme::Proposed, &seeds, 0)))
+    });
+    group.bench_function("hard_threshold", |b2| {
+        b2.iter(|| black_box(run_once(&scenario, &threshold, Scheme::Proposed, &seeds, 0)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_solver,
+    ablation_posterior,
+    ablation_channel_allocation,
+    ablation_prior,
+    ablation_access
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! One benchmark per paper figure: times the exact pipeline that
+//! regenerates it, at a reduced scale (1 run, 2 GOPs per iteration).
+//! Run the `experiments` binary for the full-scale tables; these
+//! benches guard the figure pipelines against performance regressions
+//! and double as smoke tests that every figure still produces output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcr_experiments::{fig3, fig4a, fig4b, fig4c, fig6a, fig6b, fig6c, ExperimentOpts};
+use std::hint::black_box;
+
+fn tiny() -> ExperimentOpts {
+    ExperimentOpts {
+        runs: 1,
+        gops: 2,
+        seed: 1,
+        csv: false,
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig3_single_fbs", |b| b.iter(|| black_box(fig3(&tiny()))));
+    group.bench_function("fig4a_dual_convergence", |b| {
+        b.iter(|| black_box(fig4a(&tiny())))
+    });
+    group.bench_function("fig4b_channels_sweep", |b| {
+        b.iter(|| black_box(fig4b(&tiny())))
+    });
+    group.bench_function("fig4c_utilization_sweep", |b| {
+        b.iter(|| black_box(fig4c(&tiny())))
+    });
+    group.bench_function("fig6a_interfering_utilization", |b| {
+        b.iter(|| black_box(fig6a(&tiny())))
+    });
+    group.bench_function("fig6b_sensing_errors", |b| {
+        b.iter(|| black_box(fig6b(&tiny())))
+    });
+    group.bench_function("fig6c_common_bandwidth", |b| {
+        b.iter(|| black_box(fig6c(&tiny())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

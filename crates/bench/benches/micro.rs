@@ -1,0 +1,126 @@
+//! Micro-benchmarks of the hot inner kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcr_bench::{fig5_problem, single_fbs_problem};
+use fcr_core::dual::{DualConfig, DualSolver};
+use fcr_core::exhaustive::ExhaustiveAllocator;
+use fcr_core::greedy::GreedyAllocator;
+use fcr_core::heuristics;
+use fcr_core::waterfill::WaterfillingSolver;
+use fcr_spectrum::access::AccessPolicy;
+use fcr_spectrum::fusion::AvailabilityPosterior;
+use fcr_spectrum::markov::TwoStateMarkov;
+use fcr_spectrum::sensing::{Observation, SensorProfile};
+use fcr_stats::rng::SeedSequence;
+use std::hint::black_box;
+
+fn bench_spectrum_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectrum");
+    let chain = TwoStateMarkov::new(0.4, 0.3).expect("valid");
+    let sensor = SensorProfile::new(0.3, 0.3).expect("valid");
+    let policy = AccessPolicy::new(0.2).expect("valid");
+    let mut rng = SeedSequence::new(1).stream("bench", 0);
+
+    group.bench_function("markov_step", |b| {
+        let mut state = chain.sample_stationary(&mut rng);
+        b.iter(|| {
+            state = chain.step(state, &mut rng);
+            black_box(state)
+        })
+    });
+
+    group.bench_function("fusion_update_x8", |b| {
+        b.iter(|| {
+            let mut p = AvailabilityPosterior::new(0.571).expect("valid");
+            for i in 0..8 {
+                let obs = if i % 3 == 0 {
+                    Observation::Busy
+                } else {
+                    Observation::Idle
+                };
+                p.update(&sensor, obs);
+            }
+            black_box(p.probability())
+        })
+    });
+
+    group.bench_function("access_probability", |b| {
+        b.iter(|| black_box(policy.access_probability(black_box(0.63))))
+    });
+    group.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+    let single = single_fbs_problem();
+
+    group.bench_function("waterfill_solve_3users", |b| {
+        let solver = WaterfillingSolver::new();
+        b.iter(|| black_box(solver.solve(&single)))
+    });
+
+    group.bench_function("dual_solve_3users", |b| {
+        let solver = DualSolver::new(DualConfig::default());
+        b.iter(|| black_box(solver.solve(&single)))
+    });
+
+    group.bench_function("heuristic1_3users", |b| {
+        b.iter(|| black_box(heuristics::equal_allocation(&single)))
+    });
+
+    group.bench_function("heuristic2_3users", |b| {
+        b.iter(|| black_box(heuristics::multiuser_diversity(&single)))
+    });
+    group.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    use fcr_sim::config::SimConfig;
+    use fcr_sim::engine::run_once;
+    use fcr_sim::packet_engine::run_packet_level;
+    use fcr_sim::scenario::Scenario;
+    use fcr_sim::scheme::Scheme;
+
+    let cfg = SimConfig {
+        gops: 2,
+        ..SimConfig::default()
+    };
+    let scenario = Scenario::single_fbs(&cfg);
+    let seeds = SeedSequence::new(2);
+
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    group.bench_function("fluid_2gops", |b| {
+        b.iter(|| black_box(run_once(&scenario, &cfg, Scheme::Proposed, &seeds, 0)))
+    });
+    group.bench_function("packet_2gops", |b| {
+        b.iter(|| black_box(run_packet_level(&scenario, &cfg, Scheme::Proposed, &seeds, 0)))
+    });
+    group.finish();
+}
+
+fn bench_channel_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_allocation");
+    group.sample_size(20);
+    let problem = fig5_problem();
+
+    group.bench_function("greedy_table3_9users_4ch", |b| {
+        let allocator = GreedyAllocator::new();
+        b.iter(|| black_box(allocator.allocate(&problem)))
+    });
+
+    group.bench_function("exhaustive_9users_4ch", |b| {
+        let allocator = ExhaustiveAllocator::new();
+        b.iter(|| black_box(allocator.allocate(&problem)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spectrum_kernels,
+    bench_solvers,
+    bench_engines,
+    bench_channel_allocation
+);
+criterion_main!(benches);

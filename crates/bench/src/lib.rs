@@ -1,0 +1,66 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `figures` — times the full pipeline behind each paper figure at a
+//!   reduced scale (the full-scale tables are printed by the
+//!   `experiments` binary);
+//! * `micro` — hot inner kernels: Markov stepping, Bayesian fusion,
+//!   access decisions, water-filling, the dual loop, greedy/exhaustive
+//!   channel allocation;
+//! * `ablation` — the design-choice comparisons DESIGN.md calls out:
+//!   dual vs. water-filling inner solver, fused vs. first-observation
+//!   posterior, greedy vs. round-robin vs. exhaustive channel split.
+
+#![forbid(unsafe_code)]
+
+use fcr_core::interfering::InterferingProblem;
+use fcr_core::problem::{SlotProblem, UserState};
+use fcr_net::interference::InterferenceGraph;
+use fcr_net::node::FbsId;
+
+/// The paper's three-user single-FBS slot problem (Fig. 3 flavour).
+pub fn single_fbs_problem() -> SlotProblem {
+    SlotProblem::single_fbs(
+        vec![
+            UserState::new(30.2, FbsId(0), 0.72, 0.72, 0.9, 0.85).expect("valid"),
+            UserState::new(27.6, FbsId(0), 0.63, 0.63, 0.8, 0.9).expect("valid"),
+            UserState::new(28.8, FbsId(0), 0.675, 0.675, 0.85, 0.8).expect("valid"),
+        ],
+        3.0,
+    )
+    .expect("valid")
+}
+
+/// The Fig. 5 interfering instance: path graph, nine users, four
+/// available channels.
+pub fn fig5_problem() -> InterferingProblem {
+    let graph = InterferenceGraph::new(3, &[(FbsId(0), FbsId(1)), (FbsId(1), FbsId(2))]);
+    let users: Vec<UserState> = (0..9)
+        .map(|j| {
+            UserState::new(
+                27.0 + j as f64 * 0.7,
+                FbsId(j / 3),
+                0.72,
+                0.72,
+                0.5 + 0.04 * (j % 3) as f64,
+                0.95 - 0.05 * (j % 3) as f64,
+            )
+            .expect("valid")
+        })
+        .collect();
+    InterferingProblem::new(users, graph, vec![0.9, 0.8, 0.75, 0.7]).expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(single_fbs_problem().num_users(), 3);
+        let p = fig5_problem();
+        assert_eq!(p.num_fbss(), 3);
+        assert_eq!(p.num_channels(), 4);
+    }
+}

@@ -1,0 +1,270 @@
+//! Allocation types: the decision variables of problems (12), (17),
+//! and (21).
+
+use fcr_net::node::FbsId;
+use std::fmt;
+
+/// Which base station serves a user for the whole slot.
+///
+/// Theorem 1 proves the optimal `(p_j, q_j)` is always binary — a user
+/// never splits a slot between the MBS and an FBS — so the mode is an
+/// enum, not a probability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Served by the MBS on the common channel (`p_j = 1`).
+    Mbs,
+    /// Served by the associated FBS on licensed channels (`q_j = 1`).
+    Fbs,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Mbs => write!(f, "MBS"),
+            Mode::Fbs => write!(f, "FBS"),
+        }
+    }
+}
+
+/// One user's slot allocation: the mode and the time share on each side.
+///
+/// Exactly one of `rho_mbs` / `rho_fbs` is meaningful given the mode;
+/// the other is zero by construction (Table I steps 5 and 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserAllocation {
+    /// The chosen base station.
+    pub mode: Mode,
+    /// Time share `ρ_{0,j}` on the common channel.
+    pub rho_mbs: f64,
+    /// Time share `ρ_{i,j}` at the associated FBS.
+    pub rho_fbs: f64,
+}
+
+impl UserAllocation {
+    /// A user that receives nothing this slot (still nominally in MBS
+    /// mode).
+    pub fn idle() -> Self {
+        Self {
+            mode: Mode::Mbs,
+            rho_mbs: 0.0,
+            rho_fbs: 0.0,
+        }
+    }
+
+    /// MBS-mode allocation with share `rho`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is outside `[0, 1]`.
+    pub fn mbs(rho: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "time share must be in [0,1], got {rho}");
+        Self {
+            mode: Mode::Mbs,
+            rho_mbs: rho,
+            rho_fbs: 0.0,
+        }
+    }
+
+    /// FBS-mode allocation with share `rho`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is outside `[0, 1]`.
+    pub fn fbs(rho: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "time share must be in [0,1], got {rho}");
+        Self {
+            mode: Mode::Fbs,
+            rho_mbs: 0.0,
+            rho_fbs: rho,
+        }
+    }
+
+    /// The active time share (on whichever side the mode selects).
+    pub fn rho(&self) -> f64 {
+        match self.mode {
+            Mode::Mbs => self.rho_mbs,
+            Mode::Fbs => self.rho_fbs,
+        }
+    }
+}
+
+/// A complete slot allocation for all `K` users.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    users: Vec<UserAllocation>,
+}
+
+impl Allocation {
+    /// Wraps per-user allocations.
+    pub fn new(users: Vec<UserAllocation>) -> Self {
+        Self { users }
+    }
+
+    /// An all-idle allocation for `k` users.
+    pub fn idle(k: usize) -> Self {
+        Self {
+            users: vec![UserAllocation::idle(); k],
+        }
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Returns `true` when the allocation covers no users.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Per-user allocations in user-id order.
+    pub fn users(&self) -> &[UserAllocation] {
+        &self.users
+    }
+
+    /// One user's allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn user(&self, j: usize) -> UserAllocation {
+        self.users[j]
+    }
+
+    /// Total time share claimed on the common channel,
+    /// `Σ_j ρ_{0,j}` — must be ≤ 1 for feasibility.
+    pub fn mbs_load(&self) -> f64 {
+        self.users
+            .iter()
+            .filter(|u| u.mode == Mode::Mbs)
+            .map(|u| u.rho_mbs)
+            .sum()
+    }
+
+    /// Total time share claimed at FBS `i` given the user→FBS map,
+    /// `Σ_{j∈U_i} ρ_{i,j}` — must be ≤ 1 for feasibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fbs_of.len()` differs from the number of users.
+    pub fn fbs_load(&self, fbs: FbsId, fbs_of: &[FbsId]) -> f64 {
+        assert_eq!(fbs_of.len(), self.users.len(), "fbs map length mismatch");
+        self.users
+            .iter()
+            .zip(fbs_of)
+            .filter(|(u, f)| u.mode == Mode::Fbs && **f == fbs)
+            .map(|(u, _)| u.rho_fbs)
+            .sum()
+    }
+
+    /// Scales every share down uniformly so each budget holds (a safety
+    /// net for iterative solvers that stop a hair above feasibility).
+    ///
+    /// Returns the largest scaling applied (1.0 = already feasible).
+    pub fn project_feasible(&mut self, num_fbss: usize, fbs_of: &[FbsId]) -> f64 {
+        let mut worst: f64 = 1.0;
+        let mbs_load = self.mbs_load();
+        if mbs_load > 1.0 {
+            let scale = 1.0 / mbs_load;
+            worst = worst.min(scale);
+            for u in &mut self.users {
+                if u.mode == Mode::Mbs {
+                    u.rho_mbs *= scale;
+                }
+            }
+        }
+        for i in 0..num_fbss {
+            let load = self.fbs_load(FbsId(i), fbs_of);
+            if load > 1.0 {
+                let scale = 1.0 / load;
+                worst = worst.min(scale);
+                for (u, f) in self.users.iter_mut().zip(fbs_of) {
+                    if u.mode == Mode::Fbs && *f == FbsId(i) {
+                        u.rho_fbs *= scale;
+                    }
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let idle = UserAllocation::idle();
+        assert_eq!(idle.rho(), 0.0);
+        let m = UserAllocation::mbs(0.4);
+        assert_eq!(m.mode, Mode::Mbs);
+        assert_eq!(m.rho(), 0.4);
+        assert_eq!(m.rho_fbs, 0.0);
+        let f = UserAllocation::fbs(0.7);
+        assert_eq!(f.mode, Mode::Fbs);
+        assert_eq!(f.rho(), 0.7);
+        assert_eq!(f.rho_mbs, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time share")]
+    fn mbs_share_validated() {
+        let _ = UserAllocation::mbs(1.2);
+    }
+
+    #[test]
+    fn loads_sum_by_mode_and_fbs() {
+        let alloc = Allocation::new(vec![
+            UserAllocation::mbs(0.3),
+            UserAllocation::fbs(0.6),
+            UserAllocation::fbs(0.5),
+            UserAllocation::mbs(0.2),
+        ]);
+        let fbs_of = [FbsId(0), FbsId(0), FbsId(1), FbsId(1)];
+        assert!((alloc.mbs_load() - 0.5).abs() < 1e-12);
+        assert!((alloc.fbs_load(FbsId(0), &fbs_of) - 0.6).abs() < 1e-12);
+        assert!((alloc.fbs_load(FbsId(1), &fbs_of) - 0.5).abs() < 1e-12);
+        assert_eq!(alloc.len(), 4);
+        assert!(!alloc.is_empty());
+        assert_eq!(alloc.user(0).mode, Mode::Mbs);
+    }
+
+    #[test]
+    fn projection_scales_overfull_budgets() {
+        let mut alloc = Allocation::new(vec![
+            UserAllocation::mbs(0.8),
+            UserAllocation::mbs(0.8),
+            UserAllocation::fbs(0.5),
+        ]);
+        let fbs_of = [FbsId(0), FbsId(0), FbsId(0)];
+        let scale = alloc.project_feasible(1, &fbs_of);
+        assert!((scale - 1.0 / 1.6).abs() < 1e-12);
+        assert!(alloc.mbs_load() <= 1.0 + 1e-12);
+        // The FBS budget was already feasible and is untouched.
+        assert!((alloc.fbs_load(FbsId(0), &fbs_of) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_is_identity_when_feasible() {
+        let mut alloc = Allocation::new(vec![UserAllocation::mbs(0.4), UserAllocation::fbs(0.9)]);
+        let fbs_of = [FbsId(0), FbsId(0)];
+        let before = alloc.clone();
+        assert_eq!(alloc.project_feasible(1, &fbs_of), 1.0);
+        assert_eq!(alloc, before);
+    }
+
+    #[test]
+    fn idle_allocation() {
+        let a = Allocation::idle(3);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.mbs_load(), 0.0);
+        assert!(Allocation::idle(0).is_empty());
+    }
+
+    #[test]
+    fn mode_displays() {
+        assert_eq!(format!("{}", Mode::Mbs), "MBS");
+        assert_eq!(format!("{}", Mode::Fbs), "FBS");
+    }
+}

@@ -1,0 +1,121 @@
+//! Performance bounds for the greedy channel allocation
+//! (Theorem 2 and eq. (23)).
+//!
+//! Both bounds are stated on the *gain* `Q(c) − Q(∅)`; the paper writes
+//! them with the normalization `Q(∅) = 0`, and since shifting the
+//! objective by the constant `Q(∅)` preserves every inequality in the
+//! proofs of Lemmas 5–8, the shifted statements used here are
+//! equivalent (DESIGN.md §7, deviation 5).
+
+/// Theorem 2's worst-case guarantee: the greedy gain is at least
+/// `1/(1 + D_max)` of the optimal gain, where `D_max` is the maximum
+/// vertex degree of the interference graph.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_core::bounds::worst_case_fraction;
+///
+/// assert_eq!(worst_case_fraction(0), 1.0); // non-interfering ⇒ optimal
+/// assert_eq!(worst_case_fraction(1), 0.5); // the Fig. 1/2 network
+/// ```
+pub fn worst_case_fraction(d_max: usize) -> f64 {
+    1.0 / (1.0 + d_max as f64)
+}
+
+/// The per-run upper bound of eq. (23) on the optimal gain:
+///
+/// ```text
+/// gain(Ω) ≤ Σ_l Δ_l + Σ_l D(l)·Δ_l = Σ_l (1 + D(l))·Δ_l
+/// ```
+///
+/// where `(Δ_l, D(l))` are each greedy step's objective increment and
+/// the chosen FBS's interference degree. This is tighter than
+/// Theorem 2 whenever low-degree FBSs contribute much of the gain (the
+/// paper plots exactly this bound in Fig. 6).
+///
+/// # Panics
+///
+/// Panics if any `Δ_l` is negative — the greedy's increments are
+/// provably nonnegative, so a negative value indicates a solver bug.
+pub fn per_run_upper_bound(steps: &[(f64, usize)]) -> f64 {
+    steps
+        .iter()
+        .map(|(delta, degree)| {
+            assert!(
+                *delta >= 0.0,
+                "greedy increments must be nonnegative, got {delta}"
+            );
+            (1.0 + *degree as f64) * delta
+        })
+        .sum()
+}
+
+/// Checks Theorem 2 on a solved instance: returns `true` iff
+/// `greedy_gain ≥ optimal_gain / (1 + d_max) − tol`.
+pub fn satisfies_theorem2(
+    greedy_gain: f64,
+    optimal_gain: f64,
+    d_max: usize,
+    tol: f64,
+) -> bool {
+    greedy_gain >= optimal_gain * worst_case_fraction(d_max) - tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn worst_case_values() {
+        assert_eq!(worst_case_fraction(0), 1.0);
+        assert_eq!(worst_case_fraction(1), 0.5);
+        assert!((worst_case_fraction(2) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((worst_case_fraction(9) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_bound_weights_by_degree() {
+        // Two steps: Δ=2 at degree 0 (counts once), Δ=1 at degree 2
+        // (counts 3×): bound = 2 + 3 = 5.
+        let bound = per_run_upper_bound(&[(2.0, 0), (1.0, 2)]);
+        assert!((bound - 5.0).abs() < 1e-12);
+        assert_eq!(per_run_upper_bound(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_delta_panics() {
+        let _ = per_run_upper_bound(&[(-0.1, 1)]);
+    }
+
+    #[test]
+    fn theorem2_check() {
+        assert!(satisfies_theorem2(0.5, 1.0, 1, 1e-12)); // exactly at bound
+        assert!(satisfies_theorem2(0.9, 1.0, 1, 1e-12));
+        assert!(!satisfies_theorem2(0.4, 1.0, 1, 1e-12));
+        assert!(satisfies_theorem2(1.0, 1.0, 0, 1e-12));
+    }
+
+    proptest! {
+        #[test]
+        fn eq23_is_never_looser_than_theorem2(
+            steps in proptest::collection::vec((0.0..10.0f64, 0usize..5), 1..20),
+        ) {
+            // Σ(1+D(l))Δ_l ≤ (1+D_max)·ΣΔ_l.
+            let gain: f64 = steps.iter().map(|(d, _)| d).sum();
+            let d_max = steps.iter().map(|(_, deg)| *deg).max().unwrap_or(0);
+            let eq23 = per_run_upper_bound(&steps);
+            prop_assert!(eq23 <= (1.0 + d_max as f64) * gain + 1e-9);
+            // And never tighter than the gain itself.
+            prop_assert!(eq23 >= gain - 1e-9);
+        }
+
+        #[test]
+        fn worst_case_fraction_is_in_unit_interval(d in 0usize..100) {
+            let f = worst_case_fraction(d);
+            prop_assert!(f > 0.0 && f <= 1.0);
+        }
+    }
+}

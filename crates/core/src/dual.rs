@@ -1,0 +1,381 @@
+//! The paper's distributed dual-decomposition algorithm
+//! (Tables I and II).
+//!
+//! The MBS maintains one dual price per budget: `λ_0` for the common
+//! channel and `λ_i` for each FBS. Each iteration τ:
+//!
+//! 1. every CR user best-responds to the prices with the closed-form
+//!    shares and mode choice of [`crate::lagrangian`] (steps 3–8),
+//!    using only local information;
+//! 2. the MBS collects the shares and takes a projected subgradient
+//!    step on each price (eq. (16)/(18)/(19)):
+//!    `λ_i(τ+1) = [λ_i(τ) − s·(1 − Σ_j ρ*_{i,j}(τ))]⁺`;
+//! 3. the loop stops when `Σ_i (λ_i(τ+1) − λ_i(τ))² ≤ φ` (step 11) or
+//!    the iteration cap is hit.
+//!
+//! Strong duality holds (the problem is convex, Lemma 1), so the prices
+//! converge to the optimum and the primal iterates converge with them.
+//! After convergence the final shares are polished with one exact
+//! water-filling pass at the converged modes, which removes the residual
+//! `O(s)` primal infeasibility a truncated subgradient loop leaves
+//! behind (documented deviation from the bare listing; the λ-trace of
+//! Fig. 4(a) is produced by the loop itself).
+
+use crate::allocation::{Allocation, Mode};
+use crate::lagrangian;
+use crate::problem::SlotProblem;
+use crate::waterfill::WaterfillingSolver;
+
+/// Step-size schedule for the subgradient updates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepSchedule {
+    /// Fixed step `s` (the paper's "sufficiently small positive step
+    /// size").
+    Constant(f64),
+    /// `s_τ = initial / (1 + τ/decay)` — diminishing, which removes the
+    /// limit-cycle oscillation a constant step leaves.
+    Diminishing {
+        /// Step at τ = 0.
+        initial: f64,
+        /// Iterations over which the step halves.
+        decay: f64,
+    },
+}
+
+impl StepSchedule {
+    /// The step size at iteration τ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule was built with a non-positive step.
+    pub fn at(&self, tau: usize) -> f64 {
+        let s = match self {
+            StepSchedule::Constant(s) => *s,
+            StepSchedule::Diminishing { initial, decay } => {
+                initial / (1.0 + tau as f64 / decay)
+            }
+        };
+        assert!(s > 0.0, "step size must be positive, got {s}");
+        s
+    }
+}
+
+/// Configuration of the dual solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DualConfig {
+    /// Subgradient step schedule.
+    pub step: StepSchedule,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Convergence threshold φ on `Σ_i (Δλ_i)²` (step 11).
+    pub tolerance: f64,
+    /// Initial price `λ_i(0)` for every budget.
+    pub initial_lambda: f64,
+    /// Record the per-iteration λ vector (Fig. 4(a)); costs memory.
+    pub record_trace: bool,
+}
+
+impl Default for DualConfig {
+    fn default() -> Self {
+        Self {
+            step: StepSchedule::Diminishing {
+                initial: 2e-3,
+                decay: 200.0,
+            },
+            max_iterations: 5_000,
+            tolerance: 1e-14,
+            initial_lambda: 0.1,
+            record_trace: false,
+        }
+    }
+}
+
+/// Outcome of a dual-decomposition run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DualSolution {
+    allocation: Allocation,
+    lambda: Vec<f64>,
+    iterations: usize,
+    converged: bool,
+    objective: f64,
+    trace: Vec<Vec<f64>>,
+}
+
+impl DualSolution {
+    /// The primal allocation (feasible; polished at converged modes).
+    pub fn allocation(&self) -> &Allocation {
+        &self.allocation
+    }
+
+    /// Final prices `[λ_0, λ_1, …, λ_N]`.
+    pub fn lambda(&self) -> &[f64] {
+        &self.lambda
+    }
+
+    /// Iterations executed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// `true` if the step-11 criterion fired before the cap.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Objective (12)/(17) value of [`Self::allocation`].
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Per-iteration λ vectors (empty unless
+    /// [`DualConfig::record_trace`] was set).
+    pub fn trace(&self) -> &[Vec<f64>] {
+        &self.trace
+    }
+}
+
+/// The distributed algorithm of Tables I and II.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_core::dual::{DualConfig, DualSolver};
+/// use fcr_core::problem::{SlotProblem, UserState};
+/// use fcr_net::node::FbsId;
+///
+/// let p = SlotProblem::single_fbs(vec![
+///     UserState::new(30.2, FbsId(0), 0.72, 0.72, 0.9, 0.85)?,
+///     UserState::new(27.6, FbsId(0), 0.63, 0.63, 0.8, 0.9)?,
+///     UserState::new(28.8, FbsId(0), 0.675, 0.675, 0.85, 0.8)?,
+/// ], 3.0)?;
+/// let solution = DualSolver::new(DualConfig::default()).solve(&p);
+/// assert!(p.is_feasible(solution.allocation(), 1e-9));
+/// # Ok::<(), fcr_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DualSolver {
+    config: DualConfig,
+}
+
+impl DualSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: DualConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DualConfig {
+        &self.config
+    }
+
+    /// Runs Tables I/II on `problem`.
+    ///
+    /// Table I is the special case `N = 1`; Table II is the general
+    /// non-interfering case with one price per FBS. (For interfering
+    /// FBSs, run [`crate::greedy`] first to fix the channel allocation,
+    /// then this solver — Section IV-C.)
+    pub fn solve(&self, problem: &SlotProblem) -> DualSolution {
+        let n_prices = problem.num_fbss() + 1;
+        let mut lambda = vec![self.config.initial_lambda; n_prices];
+        let mut trace = Vec::new();
+        if self.config.record_trace {
+            trace.push(lambda.clone());
+        }
+
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut modes = vec![Mode::Mbs; problem.num_users()];
+
+        for tau in 0..self.config.max_iterations {
+            iterations = tau + 1;
+            // Steps 3–8: every user best-responds locally.
+            let mut loads = vec![0.0; n_prices];
+            for (j, u) in problem.users().iter().enumerate() {
+                let sol = lagrangian::solve_user(
+                    u,
+                    problem.g(u.fbs()),
+                    lambda[0],
+                    lambda[1 + u.fbs().0],
+                );
+                modes[j] = sol.allocation.mode;
+                match sol.allocation.mode {
+                    Mode::Mbs => loads[0] += sol.allocation.rho_mbs,
+                    Mode::Fbs => loads[1 + u.fbs().0] += sol.allocation.rho_fbs,
+                }
+            }
+            // Step 9: projected subgradient update at the MBS.
+            let s = self.config.step.at(tau);
+            let mut delta_sq = 0.0;
+            for (li, load) in lambda.iter_mut().zip(&loads) {
+                let updated = (*li - s * (1.0 - load)).max(0.0);
+                delta_sq += (updated - *li).powi(2);
+                *li = updated;
+            }
+            if self.config.record_trace {
+                trace.push(lambda.clone());
+            }
+            // Step 11.
+            if delta_sq <= self.config.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        // Final primal recovery: exact fill at the converged modes, then
+        // mode-local-search polish (removes the near-tie mode errors a
+        // tolerance-truncated subgradient loop can leave).
+        let wf = WaterfillingSolver::new();
+        let filled = wf.fill_given_modes(problem, &modes);
+        let allocation = wf.polish(problem, filled);
+        let objective = problem.objective(&allocation);
+        DualSolution {
+            allocation,
+            lambda,
+            iterations,
+            converged,
+            objective,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::UserState;
+    use fcr_net::node::FbsId;
+
+    fn paper_problem() -> SlotProblem {
+        SlotProblem::single_fbs(
+            vec![
+                UserState::new(30.2, FbsId(0), 0.72, 0.72, 0.9, 0.85).unwrap(),
+                UserState::new(27.6, FbsId(0), 0.63, 0.63, 0.8, 0.9).unwrap(),
+                UserState::new(28.8, FbsId(0), 0.675, 0.675, 0.85, 0.8).unwrap(),
+            ],
+            3.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn converges_and_is_feasible() {
+        let p = paper_problem();
+        let sol = DualSolver::new(DualConfig::default()).solve(&p);
+        assert!(sol.converged(), "did not converge in {} iters", sol.iterations());
+        assert!(p.is_feasible(sol.allocation(), 1e-9));
+        assert!(sol.objective().is_finite());
+        assert_eq!(sol.lambda().len(), 2);
+    }
+
+    #[test]
+    fn agrees_with_waterfilling_solver() {
+        let p = paper_problem();
+        let dual = DualSolver::new(DualConfig::default()).solve(&p);
+        let wf = WaterfillingSolver::new().solve(&p);
+        let gap = (p.objective(&wf) - dual.objective()).abs();
+        assert!(
+            gap < 1e-6,
+            "dual {} vs waterfill {}",
+            dual.objective(),
+            p.objective(&wf)
+        );
+    }
+
+    #[test]
+    fn trace_records_every_iteration() {
+        let p = paper_problem();
+        let cfg = DualConfig {
+            record_trace: true,
+            max_iterations: 100,
+            tolerance: -1.0, // never converge: run exactly 100 iterations
+            ..DualConfig::default()
+        };
+        let sol = DualSolver::new(cfg).solve(&p);
+        assert_eq!(sol.iterations(), 100);
+        assert!(!sol.converged());
+        assert_eq!(sol.trace().len(), 101, "initial point + one per iteration");
+        assert!(sol.trace().iter().all(|l| l.len() == 2));
+    }
+
+    #[test]
+    fn trace_is_empty_by_default() {
+        let sol = DualSolver::new(DualConfig::default()).solve(&paper_problem());
+        assert!(sol.trace().is_empty());
+    }
+
+    #[test]
+    fn prices_stay_nonnegative() {
+        let p = paper_problem();
+        let cfg = DualConfig {
+            record_trace: true,
+            step: StepSchedule::Constant(0.05), // aggressive on purpose
+            max_iterations: 500,
+            ..DualConfig::default()
+        };
+        let sol = DualSolver::new(cfg).solve(&p);
+        for l in sol.trace() {
+            assert!(l.iter().all(|x| *x >= 0.0), "negative price in {l:?}");
+        }
+    }
+
+    #[test]
+    fn binding_constraint_load_converges_to_one() {
+        // All users strongly prefer the FBS; at the optimum the FBS
+        // budget binds, so 1 − Σρ → 0 and λ_1 stabilizes above zero.
+        let p = paper_problem();
+        let sol = DualSolver::new(DualConfig::default()).solve(&p);
+        let fbs_load = sol.allocation().fbs_load(FbsId(0), &p.fbs_of());
+        assert!((fbs_load - 1.0).abs() < 1e-6, "fbs load {fbs_load}");
+        assert!(sol.lambda()[1] > 0.0);
+    }
+
+    #[test]
+    fn multi_fbs_case_table2() {
+        // Two non-interfering FBSs, two users each, plus one MBS-only
+        // leaning user: Table II with three prices.
+        let users = vec![
+            UserState::new(30.0, FbsId(0), 0.72, 0.72, 0.3, 0.9).unwrap(),
+            UserState::new(29.0, FbsId(0), 0.72, 0.72, 0.3, 0.9).unwrap(),
+            UserState::new(28.0, FbsId(1), 0.72, 0.72, 0.3, 0.9).unwrap(),
+            UserState::new(31.0, FbsId(1), 0.72, 0.72, 0.95, 0.1).unwrap(),
+        ];
+        let p = SlotProblem::new(users, vec![3.0, 3.0]).unwrap();
+        let sol = DualSolver::new(DualConfig::default()).solve(&p);
+        assert!(p.is_feasible(sol.allocation(), 1e-9));
+        assert_eq!(sol.lambda().len(), 3);
+        // The high-MBS-success user ends on the MBS.
+        assert_eq!(sol.allocation().user(3).mode, Mode::Mbs);
+        // Cross-check with the fast solver.
+        let wf = WaterfillingSolver::new().solve(&p);
+        assert!((p.objective(&wf) - sol.objective()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_step_also_converges_to_the_same_value() {
+        let p = paper_problem();
+        let cfg = DualConfig {
+            step: StepSchedule::Constant(5e-4),
+            max_iterations: 20_000,
+            ..DualConfig::default()
+        };
+        let sol = DualSolver::new(cfg).solve(&p);
+        let wf = WaterfillingSolver::new().solve(&p);
+        assert!((sol.objective() - p.objective(&wf)).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "step size must be positive")]
+    fn zero_step_panics() {
+        let _ = StepSchedule::Constant(0.0).at(0);
+    }
+
+    #[test]
+    fn diminishing_schedule_decreases() {
+        let s = StepSchedule::Diminishing {
+            initial: 1e-2,
+            decay: 10.0,
+        };
+        assert!(s.at(0) > s.at(10));
+        assert!((s.at(10) - 5e-3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,123 @@
+//! Error type for problem construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a per-slot allocation problem is constructed with
+/// invalid data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A probability parameter was outside `[0, 1]`.
+    InvalidProbability {
+        /// Parameter name (paper notation).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A quantity that must be strictly positive was not (e.g. the
+    /// running PSNR `W`, which enters a logarithm).
+    NonPositive {
+        /// Parameter name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A quantity that must be nonnegative and finite was not.
+    Negative {
+        /// Parameter name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A user references an FBS id outside the problem's range.
+    UnknownFbs {
+        /// The out-of-range id.
+        fbs: usize,
+        /// Number of FBSs in the problem.
+        num_fbss: usize,
+    },
+    /// The problem has no users.
+    NoUsers,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidProbability { name, value } => {
+                write!(f, "probability `{name}` must be in [0, 1], got {value}")
+            }
+            CoreError::NonPositive { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+            CoreError::Negative { name, value } => {
+                write!(f, "parameter `{name}` must be nonnegative and finite, got {value}")
+            }
+            CoreError::UnknownFbs { fbs, num_fbss } => {
+                write!(f, "user references fbs{fbs} but the problem has {num_fbss} FBSs")
+            }
+            CoreError::NoUsers => write!(f, "allocation problem has no users"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+pub(crate) fn check_probability(name: &'static str, value: f64) -> Result<f64, CoreError> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(CoreError::InvalidProbability { name, value })
+    }
+}
+
+pub(crate) fn check_positive(name: &'static str, value: f64) -> Result<f64, CoreError> {
+    if value > 0.0 && value.is_finite() {
+        Ok(value)
+    } else {
+        Err(CoreError::NonPositive { name, value })
+    }
+}
+
+pub(crate) fn check_nonnegative(name: &'static str, value: f64) -> Result<f64, CoreError> {
+    if value >= 0.0 && value.is_finite() {
+        Ok(value)
+    } else {
+        Err(CoreError::Negative { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validators() {
+        assert!(check_probability("p", 0.5).is_ok());
+        assert!(check_probability("p", -0.5).is_err());
+        assert!(check_positive("w", 30.0).is_ok());
+        assert!(check_positive("w", 0.0).is_err());
+        assert!(check_nonnegative("g", 0.0).is_ok());
+        assert!(check_nonnegative("g", -1.0).is_err());
+        assert!(check_nonnegative("g", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn display_variants() {
+        for e in [
+            CoreError::InvalidProbability { name: "p", value: 2.0 },
+            CoreError::NonPositive { name: "w", value: 0.0 },
+            CoreError::Negative { name: "g", value: -1.0 },
+            CoreError::UnknownFbs { fbs: 5, num_fbss: 2 },
+            CoreError::NoUsers,
+        ] {
+            assert!(!format!("{e}").is_empty());
+            assert!(!format!("{e:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<CoreError>();
+    }
+}

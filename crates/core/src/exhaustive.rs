@@ -1,0 +1,281 @@
+//! Exhaustive optimal channel allocation — the reference the greedy is
+//! validated against.
+//!
+//! Because `Q(c)` is nondecreasing in every `c_{i,m}` (an extra channel
+//! can always be ignored), some optimal assignment gives each channel to
+//! a **maximal** independent set of the interference graph. Enumerating
+//! `|MIS|^{|A(t)|}` combinations therefore finds the global optimum of
+//! the channel-allocation layer. Exponential — strictly a validation
+//! and small-instance tool.
+
+use crate::allocation::Allocation;
+use crate::interfering::{ChannelAssignment, InterferingProblem};
+use crate::waterfill::WaterfillingSolver;
+
+/// Result of the exhaustive search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExhaustiveOutcome {
+    assignment: ChannelAssignment,
+    q_value: f64,
+    q_empty: f64,
+    allocation: Allocation,
+}
+
+impl ExhaustiveOutcome {
+    /// The optimal channel assignment found.
+    pub fn assignment(&self) -> &ChannelAssignment {
+        &self.assignment
+    }
+
+    /// `Q(Ω)`: the optimal objective.
+    pub fn q_value(&self) -> f64 {
+        self.q_value
+    }
+
+    /// `Q(∅)`, for gain-based comparisons.
+    pub fn q_empty(&self) -> f64 {
+        self.q_empty
+    }
+
+    /// The optimal gain `Q(Ω) − Q(∅)`.
+    pub fn gain(&self) -> f64 {
+        self.q_value - self.q_empty
+    }
+
+    /// The time-share allocation at the optimal assignment.
+    pub fn allocation(&self) -> &Allocation {
+        &self.allocation
+    }
+}
+
+/// Brute-force allocator over maximal independent sets.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExhaustiveAllocator {
+    solver: WaterfillingSolver,
+}
+
+impl ExhaustiveAllocator {
+    /// Creates an allocator with the default inner solver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of assignments the search will evaluate, or `None` on
+    /// overflow — call before [`Self::allocate`] to check tractability.
+    pub fn search_size(problem: &InterferingProblem) -> Option<u64> {
+        let options = problem.graph().maximal_independent_sets().len() as u64;
+        options.checked_pow(problem.num_channels() as u32)
+    }
+
+    /// Finds the optimal channel assignment by exhaustive enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the search space exceeds 1 000 000 assignments; use the
+    /// greedy allocator for instances of that size.
+    pub fn allocate(&self, problem: &InterferingProblem) -> ExhaustiveOutcome {
+        let size = Self::search_size(problem).unwrap_or(u64::MAX);
+        assert!(
+            size <= 1_000_000,
+            "exhaustive search over {size} assignments is intractable"
+        );
+        let mis = problem.graph().maximal_independent_sets();
+        let m = problem.num_channels();
+        let n = problem.num_fbss();
+        let solver = self.solver;
+        let q_empty = problem.q_empty(&solver);
+
+        let mut best_q = f64::NEG_INFINITY;
+        let mut best_assignment = ChannelAssignment::empty(n, m);
+        // Mixed-radix counter: choice[ch] indexes into `mis`.
+        let mut choice = vec![0usize; m];
+        loop {
+            let mut assignment = ChannelAssignment::empty(n, m);
+            for (ch, &set_idx) in choice.iter().enumerate() {
+                for &fbs in &mis[set_idx] {
+                    assignment.assign(fbs, ch);
+                }
+            }
+            let q = problem.q_value(&assignment, &solver);
+            if q > best_q {
+                best_q = q;
+                best_assignment = assignment;
+            }
+            // Increment the counter.
+            let mut ch = 0;
+            loop {
+                if ch == m {
+                    let final_problem = problem.problem_for(&best_assignment);
+                    let allocation = solver.solve(&final_problem);
+                    let q_value = final_problem.objective(&allocation);
+                    return ExhaustiveOutcome {
+                        assignment: best_assignment,
+                        q_value,
+                        q_empty,
+                        allocation,
+                    };
+                }
+                choice[ch] += 1;
+                if choice[ch] < mis.len() {
+                    break;
+                }
+                choice[ch] = 0;
+                ch += 1;
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use crate::greedy::GreedyAllocator;
+    use crate::problem::UserState;
+    use fcr_net::interference::InterferenceGraph;
+    use fcr_net::node::FbsId;
+    use fcr_stats::rng::SeedSequence;
+    use rand::RngExt;
+
+    fn path3() -> InterferenceGraph {
+        InterferenceGraph::new(3, &[(FbsId(0), FbsId(1)), (FbsId(1), FbsId(2))])
+    }
+
+    fn user(w: f64, fbs: usize, s0: f64, s1: f64) -> UserState {
+        UserState::new(w, FbsId(fbs), 0.72, 0.72, s0, s1).unwrap()
+    }
+
+    fn small_problem() -> InterferingProblem {
+        InterferingProblem::new(
+            vec![
+                user(30.2, 0, 0.5, 0.9),
+                user(27.6, 1, 0.5, 0.85),
+                user(28.8, 2, 0.5, 0.8),
+            ],
+            path3(),
+            vec![0.9, 0.8, 0.7],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn search_size_is_mis_count_to_the_channels() {
+        let p = small_problem();
+        // Path graph: 2 maximal ISs; 3 channels ⇒ 8 assignments.
+        assert_eq!(ExhaustiveAllocator::search_size(&p), Some(8));
+    }
+
+    #[test]
+    fn optimum_dominates_greedy_and_every_mis_assignment() {
+        let p = small_problem();
+        let opt = ExhaustiveAllocator::new().allocate(&p);
+        let greedy = GreedyAllocator::new().allocate(&p);
+        assert!(opt.assignment().is_conflict_free(p.graph()));
+        assert!(
+            opt.q_value() >= greedy.q_value() - 1e-6,
+            "optimum {} below greedy {}",
+            opt.q_value(),
+            greedy.q_value()
+        );
+        assert!(opt.gain() >= 0.0);
+    }
+
+    #[test]
+    fn theorem2_holds_on_the_path_graph() {
+        let p = small_problem();
+        let opt = ExhaustiveAllocator::new().allocate(&p);
+        let greedy = GreedyAllocator::new().allocate(&p);
+        assert!(
+            bounds::satisfies_theorem2(
+                greedy.gain(),
+                opt.gain(),
+                p.graph().max_degree(),
+                1e-6
+            ),
+            "greedy gain {} vs optimal gain {} (D_max = {})",
+            greedy.gain(),
+            opt.gain(),
+            p.graph().max_degree()
+        );
+    }
+
+    #[test]
+    fn eq23_upper_bound_dominates_true_optimum() {
+        let p = small_problem();
+        let opt = ExhaustiveAllocator::new().allocate(&p);
+        let greedy = GreedyAllocator::new().allocate(&p);
+        assert!(
+            greedy.upper_bound() >= opt.q_value() - 1e-6,
+            "eq.(23) bound {} below optimum {}",
+            greedy.upper_bound(),
+            opt.q_value()
+        );
+    }
+
+    #[test]
+    fn randomized_instances_satisfy_both_bounds() {
+        let mut rng = SeedSequence::new(41).stream("exhaustive", 0);
+        for trial in 0..10 {
+            // Random graph over 3 FBSs, random users and weights.
+            let mut edges = Vec::new();
+            for i in 0..3usize {
+                for j in (i + 1)..3 {
+                    if rng.random_bool(0.5) {
+                        edges.push((FbsId(i), FbsId(j)));
+                    }
+                }
+            }
+            let graph = InterferenceGraph::new(3, &edges);
+            let users: Vec<UserState> = (0..5)
+                .map(|_| {
+                    user(
+                        rng.random_range(25.0..35.0),
+                        rng.random_range(0..3usize),
+                        rng.random_range(0.2..0.9),
+                        rng.random_range(0.2..0.95),
+                    )
+                })
+                .collect();
+            let weights: Vec<f64> = (0..3).map(|_| rng.random_range(0.4..0.95)).collect();
+            let p = InterferingProblem::new(users, graph, weights).unwrap();
+
+            let opt = ExhaustiveAllocator::new().allocate(&p);
+            let greedy = GreedyAllocator::new().allocate(&p);
+            assert!(
+                opt.q_value() >= greedy.q_value() - 1e-5,
+                "trial {trial}: optimum below greedy"
+            );
+            assert!(
+                bounds::satisfies_theorem2(
+                    greedy.gain(),
+                    opt.gain(),
+                    p.graph().max_degree(),
+                    1e-5
+                ),
+                "trial {trial}: Theorem 2 violated: greedy {} optimal {} dmax {}",
+                greedy.gain(),
+                opt.gain(),
+                p.graph().max_degree()
+            );
+            assert!(
+                greedy.upper_bound() >= opt.q_value() - 1e-5,
+                "trial {trial}: eq.(23) violated"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "intractable")]
+    fn oversized_search_panics() {
+        // Edgeless graph has one MIS, but 7 FBSs with... use a graph
+        // with many MISs: a 7-cycle has 7 MISs of size ≤ 3; with 8
+        // channels that's 7^8 ≈ 5.7M > 1M.
+        let n = 7;
+        let edges: Vec<_> = (0..n).map(|i| (FbsId(i), FbsId((i + 1) % n))).collect();
+        let graph = InterferenceGraph::new(n, &edges);
+        let users = vec![user(30.0, 0, 0.5, 0.9)];
+        let p = InterferingProblem::new(users, graph, vec![0.5; 8]).unwrap();
+        let _ = ExhaustiveAllocator::new().allocate(&p);
+    }
+}

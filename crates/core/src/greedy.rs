@@ -1,0 +1,316 @@
+//! The greedy channel-allocation algorithm of Table III.
+//!
+//! Starting from the empty assignment, each iteration evaluates every
+//! remaining (FBS, channel) pair, picks the one with the largest
+//! objective increase `Q(c + e_{i,m}) − Q(c)`, commits it, and removes
+//! from the candidate set both the chosen pair and every
+//! `(neighbor, same channel)` pair (`R(i′) × m′`, step 6) — so the
+//! produced assignment is conflict-free by construction. The recorded
+//! per-step increments `Δ_l` and degrees `D(l)` feed the eq.-(23)
+//! upper bound on the unknown optimum.
+//!
+//! Worst-case complexity is `O(N²M²)` inner solves, as stated in
+//! Section IV-C.2.
+
+use crate::allocation::Allocation;
+use crate::bounds;
+use crate::interfering::{ChannelAssignment, InterferingProblem};
+use crate::waterfill::WaterfillingSolver;
+use fcr_net::node::FbsId;
+
+/// One committed step of the greedy algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GreedyStep {
+    /// The FBS of the chosen pair `e(l)`.
+    pub fbs: FbsId,
+    /// The channel of the chosen pair.
+    pub channel: usize,
+    /// `Δ_l = Q(π_l) − Q(π_{l−1})`.
+    pub delta: f64,
+    /// `D(l)`: the chosen FBS's degree in the interference graph
+    /// (Lemma 8 — the maximum number of optimal pairs this step can
+    /// block).
+    pub degree: usize,
+}
+
+/// Result of a greedy run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedyOutcome {
+    assignment: ChannelAssignment,
+    steps: Vec<GreedyStep>,
+    q_value: f64,
+    q_empty: f64,
+    allocation: Allocation,
+}
+
+impl GreedyOutcome {
+    /// The committed channel assignment `π_L` (conflict-free).
+    pub fn assignment(&self) -> &ChannelAssignment {
+        &self.assignment
+    }
+
+    /// The steps in commit order.
+    pub fn steps(&self) -> &[GreedyStep] {
+        &self.steps
+    }
+
+    /// `Q(π_L)`: the objective under the greedy assignment.
+    pub fn q_value(&self) -> f64 {
+        self.q_value
+    }
+
+    /// `Q(∅)`: the no-channel baseline the gain is measured from.
+    pub fn q_empty(&self) -> f64 {
+        self.q_empty
+    }
+
+    /// The time-share allocation solved at the final assignment.
+    pub fn allocation(&self) -> &Allocation {
+        &self.allocation
+    }
+
+    /// The greedy gain `Σ_l Δ_l = Q(π_L) − Q(∅)` — the paper's `Q(π_L)`
+    /// in its `Q(∅) = 0` normalization.
+    pub fn gain(&self) -> f64 {
+        self.steps.iter().map(|s| s.delta).sum()
+    }
+
+    /// The eq.-(23) upper bound on the optimal gain:
+    /// `gain(Ω) ≤ Σ_l (1 + D(l))·Δ_l`. Add [`Self::q_empty`] to get an
+    /// absolute objective bound.
+    pub fn upper_bound_gain(&self) -> f64 {
+        bounds::per_run_upper_bound(
+            &self
+                .steps
+                .iter()
+                .map(|s| (s.delta, s.degree))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Absolute upper bound on the optimal objective:
+    /// `Q(Ω) ≤ Q(∅) + Σ_l (1 + D(l))·Δ_l`.
+    pub fn upper_bound(&self) -> f64 {
+        self.q_empty + self.upper_bound_gain()
+    }
+}
+
+/// Runs Table III with a configurable inner solver.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GreedyAllocator {
+    solver: WaterfillingSolver,
+}
+
+impl GreedyAllocator {
+    /// Creates an allocator with the default inner solver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an allocator with a custom inner solver configuration.
+    pub fn with_solver(solver: WaterfillingSolver) -> Self {
+        Self { solver }
+    }
+
+    /// Runs the greedy algorithm on `problem`.
+    pub fn allocate(&self, problem: &InterferingProblem) -> GreedyOutcome {
+        let n = problem.num_fbss();
+        let m = problem.num_channels();
+        let q_empty = problem.q_empty(&self.solver);
+
+        let mut assignment = ChannelAssignment::empty(n, m);
+        let mut q_current = q_empty;
+        let mut steps = Vec::new();
+        // Candidate set C = N × A(t).
+        let mut candidates: Vec<(FbsId, usize)> = (0..n)
+            .flat_map(|i| (0..m).map(move |ch| (FbsId(i), ch)))
+            .collect();
+
+        while !candidates.is_empty() {
+            // Step 3: the pair with the largest Q increase.
+            let mut best: Option<(usize, f64)> = None;
+            for (idx, (fbs, ch)) in candidates.iter().enumerate() {
+                let mut trial = assignment.clone();
+                trial.assign(*fbs, *ch);
+                let q = problem.q_value(&trial, &self.solver);
+                let delta = q - q_current;
+                if best.is_none_or(|(_, d)| delta > d) {
+                    best = Some((idx, delta));
+                }
+            }
+            let (best_idx, delta) = best.expect("candidates nonempty");
+            let (fbs, channel) = candidates[best_idx];
+
+            // Step 4: commit.
+            assignment.assign(fbs, channel);
+            q_current += delta;
+            steps.push(GreedyStep {
+                fbs,
+                channel,
+                // Solver noise can make Δ a hair negative; Δ_l ≥ 0 holds
+                // mathematically (monotone Q), so clamp for the bounds.
+                delta: delta.max(0.0),
+                degree: problem.graph().degree(fbs),
+            });
+
+            // Steps 5–6: remove the pair and R(i′) × m′.
+            let neighbors = problem.graph().neighbors(fbs);
+            candidates.retain(|(f, ch)| {
+                !(*ch == channel && (*f == fbs || neighbors.contains(f)))
+            });
+        }
+
+        debug_assert!(assignment.is_conflict_free(problem.graph()));
+        let final_problem = problem.problem_for(&assignment);
+        let allocation = self.solver.solve(&final_problem);
+        let q_value = final_problem.objective(&allocation);
+        GreedyOutcome {
+            assignment,
+            steps,
+            q_value,
+            q_empty,
+            allocation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::UserState;
+    use fcr_net::interference::InterferenceGraph;
+
+    fn path3() -> InterferenceGraph {
+        InterferenceGraph::new(3, &[(FbsId(0), FbsId(1)), (FbsId(1), FbsId(2))])
+    }
+
+    fn user(w: f64, fbs: usize) -> UserState {
+        UserState::new(w, FbsId(fbs), 0.72, 0.72, 0.5, 0.9).unwrap()
+    }
+
+    fn fig5_problem() -> InterferingProblem {
+        InterferingProblem::new(
+            vec![
+                user(30.2, 0),
+                user(27.6, 0),
+                user(28.8, 1),
+                user(30.2, 1),
+                user(27.6, 2),
+                user(28.8, 2),
+            ],
+            path3(),
+            vec![0.9, 0.8, 0.85, 0.7],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn outcome_is_conflict_free_and_feasible() {
+        let p = fig5_problem();
+        let outcome = GreedyAllocator::new().allocate(&p);
+        assert!(outcome.assignment().is_conflict_free(p.graph()));
+        let problem = p.problem_for(outcome.assignment());
+        assert!(problem.is_feasible(outcome.allocation(), 1e-9));
+    }
+
+    #[test]
+    fn every_channel_ends_up_assigned() {
+        // Table III runs until C is empty, so each channel is held by a
+        // maximal independent set of FBSs.
+        let p = fig5_problem();
+        let outcome = GreedyAllocator::new().allocate(&p);
+        for ch in 0..p.num_channels() {
+            let holders = outcome.assignment().holders(ch);
+            assert!(!holders.is_empty(), "channel {ch} unassigned");
+            // Maximality: no FBS could still take this channel.
+            for i in 0..p.num_fbss() {
+                let f = FbsId(i);
+                if holders.contains(&f) {
+                    continue;
+                }
+                let conflicts = holders.iter().any(|h| p.graph().are_adjacent(*h, f));
+                assert!(conflicts, "channel {ch}: {f} could still be added");
+            }
+        }
+    }
+
+    #[test]
+    fn deltas_are_nonincreasing_is_not_required_but_nonnegative_is() {
+        let p = fig5_problem();
+        let outcome = GreedyAllocator::new().allocate(&p);
+        for s in outcome.steps() {
+            assert!(s.delta >= 0.0, "negative Δ at {s:?}");
+            assert_eq!(s.degree, p.graph().degree(s.fbs));
+        }
+    }
+
+    #[test]
+    fn gain_matches_q_difference() {
+        let p = fig5_problem();
+        let outcome = GreedyAllocator::new().allocate(&p);
+        assert!(
+            (outcome.gain() - (outcome.q_value() - outcome.q_empty())).abs() < 1e-6,
+            "ΣΔ = {} vs Q(π_L) − Q(∅) = {}",
+            outcome.gain(),
+            outcome.q_value() - outcome.q_empty()
+        );
+    }
+
+    #[test]
+    fn upper_bound_dominates_greedy_gain() {
+        let p = fig5_problem();
+        let outcome = GreedyAllocator::new().allocate(&p);
+        assert!(outcome.upper_bound_gain() >= outcome.gain() - 1e-9);
+        assert!(outcome.upper_bound() >= outcome.q_value() - 1e-9);
+        // And is no looser than the Theorem-2 worst case.
+        let dmax = p.graph().max_degree();
+        assert!(
+            outcome.upper_bound_gain() <= (1.0 + dmax as f64) * outcome.gain() + 1e-9,
+            "eq.(23) must be at least as tight as Theorem 2"
+        );
+    }
+
+    #[test]
+    fn edgeless_graph_reduces_to_full_reuse() {
+        // With no interference every FBS gets every channel
+        // (Section IV-B's spatial-reuse case).
+        let p = InterferingProblem::new(
+            vec![user(30.0, 0), user(29.0, 1)],
+            InterferenceGraph::edgeless(2),
+            vec![0.9, 0.8],
+        )
+        .unwrap();
+        let outcome = GreedyAllocator::new().allocate(&p);
+        for i in 0..2 {
+            for ch in 0..2 {
+                assert!(outcome.assignment().is_assigned(FbsId(i), ch));
+            }
+        }
+        // D(l) = 0 everywhere ⇒ bound is tight: UB = gain.
+        assert!((outcome.upper_bound_gain() - outcome.gain()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefers_the_fbs_with_more_users_first() {
+        // FBS 0 serves two users, FBS 1 none; the first committed step
+        // should give a channel to FBS 0 (larger objective increase).
+        let p = InterferingProblem::new(
+            vec![user(30.0, 0), user(29.0, 0)],
+            InterferenceGraph::new(2, &[(FbsId(0), FbsId(1))]),
+            vec![0.9],
+        )
+        .unwrap();
+        let outcome = GreedyAllocator::new().allocate(&p);
+        assert_eq!(outcome.steps()[0].fbs, FbsId(0));
+        // The interfering neighbor is then excluded from the channel.
+        assert!(!outcome.assignment().is_assigned(FbsId(1), 0));
+    }
+
+    #[test]
+    fn step_count_is_bounded_by_pairs() {
+        let p = fig5_problem();
+        let outcome = GreedyAllocator::new().allocate(&p);
+        assert!(outcome.steps().len() <= p.num_fbss() * p.num_channels());
+        assert_eq!(outcome.steps().len(), outcome.assignment().len());
+    }
+}

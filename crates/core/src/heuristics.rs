@@ -1,0 +1,286 @@
+//! The two baseline schemes of Section V.
+//!
+//! * **Heuristic 1 — equal allocation**: "each CR user chooses the
+//!   better channel (i.e., the common channel or a licensed channel)
+//!   based on the channel conditions; time slots are equally allocated
+//!   among active CR users." Each user compares its expected delivered
+//!   rate on the two sides and picks the larger; each base station then
+//!   splits its slot evenly among the users that chose it. Purely local
+//!   decisions.
+//!
+//! * **Heuristic 2 — multiuser diversity**: "the MBS and each FBS
+//!   chooses one active CR user with the best channel condition; the
+//!   entire time slot is allocated to the selected CR user." Each FBS
+//!   picks its best-link user; the MBS picks the best remaining user
+//!   (a user has one transceiver, so a user already scheduled by its
+//!   FBS cannot simultaneously take the common channel — the paper's
+//!   single-transceiver constraint). Centralized but quality-blind:
+//!   it never looks at `W^{t−1}` or the log utility.
+
+use crate::allocation::{Allocation, UserAllocation};
+use crate::problem::SlotProblem;
+use fcr_net::node::FbsId;
+
+/// Heuristic 1: per-user best-channel choice + equal time shares.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_core::heuristics::equal_allocation;
+/// use fcr_core::problem::{SlotProblem, UserState};
+/// use fcr_net::node::FbsId;
+///
+/// let p = SlotProblem::single_fbs(vec![
+///     UserState::new(30.0, FbsId(0), 0.72, 0.72, 0.9, 0.8)?,
+///     UserState::new(28.0, FbsId(0), 0.72, 0.72, 0.9, 0.8)?,
+/// ], 3.0)?;
+/// let alloc = equal_allocation(&p);
+/// assert!(p.is_feasible(&alloc, 1e-9));
+/// # Ok::<(), fcr_core::CoreError>(())
+/// ```
+pub fn equal_allocation(problem: &SlotProblem) -> Allocation {
+    // Expected delivered rate on each side: P̄^F · slope.
+    let choices: Vec<bool> = problem
+        .users()
+        .iter()
+        .enumerate()
+        .map(|(j, u)| {
+            let mbs_rate = u.success_mbs() * u.r_mbs();
+            let fbs_rate = u.success_fbs() * problem.fbs_rate(j);
+            mbs_rate > fbs_rate // true ⇒ MBS
+        })
+        .collect();
+
+    let mbs_count = choices.iter().filter(|c| **c).count();
+    let mut fbs_counts = vec![0usize; problem.num_fbss()];
+    for (j, mbs) in choices.iter().enumerate() {
+        if !mbs {
+            fbs_counts[problem.user(j).fbs().0] += 1;
+        }
+    }
+
+    let users = choices
+        .iter()
+        .enumerate()
+        .map(|(j, mbs)| {
+            if *mbs {
+                UserAllocation::mbs(1.0 / mbs_count as f64)
+            } else {
+                UserAllocation::fbs(1.0 / fbs_counts[problem.user(j).fbs().0] as f64)
+            }
+        })
+        .collect();
+    Allocation::new(users)
+}
+
+/// Heuristic 2: multiuser diversity — every base station gives its
+/// whole slot to its best-channel user.
+///
+/// The picks are **simultaneous and uncoordinated**, as the paper
+/// describes them ("the MBS and each FBS chooses one active CR user
+/// with the best channel condition"): the MBS picks the best common-
+/// channel user among *all* users, each FBS the best licensed-channel
+/// user among *its* users. When the same user is picked twice, the
+/// single-transceiver constraint forces it to take the better side
+/// (larger expected delivered rate), and the other station's slot goes
+/// unused that round — exactly the coordination failure the proposed
+/// scheme's joint optimization avoids.
+pub fn multiuser_diversity(problem: &SlotProblem) -> Allocation {
+    let mut users = vec![UserAllocation::idle(); problem.num_users()];
+
+    // Each FBS picks its best-link user (ties to the lower id).
+    let mut fbs_pick: Vec<Option<usize>> = vec![None; problem.num_fbss()];
+    for (i, pick) in fbs_pick.iter_mut().enumerate() {
+        *pick = problem.users_of(FbsId(i)).into_iter().max_by(|&a, &b| {
+            problem
+                .user(a)
+                .success_fbs()
+                .partial_cmp(&problem.user(b).success_fbs())
+                .expect("probabilities are not NaN")
+                // max_by keeps the *last* max; invert id order so the
+                // lowest id wins ties.
+                .then(b.cmp(&a))
+        });
+    }
+
+    // The MBS simultaneously picks the best common-channel user overall.
+    let mbs_pick = (0..problem.num_users()).max_by(|&a, &b| {
+        problem
+            .user(a)
+            .success_mbs()
+            .partial_cmp(&problem.user(b).success_mbs())
+            .expect("probabilities are not NaN")
+            .then(b.cmp(&a))
+    });
+
+    for j in fbs_pick.into_iter().flatten() {
+        users[j] = UserAllocation::fbs(1.0);
+    }
+    if let Some(j) = mbs_pick {
+        let u = problem.user(j);
+        let already_fbs = users[j].mode == crate::allocation::Mode::Fbs && users[j].rho_fbs > 0.0;
+        if already_fbs {
+            // Double pick: the user keeps the side with the larger
+            // expected delivered rate; the loser's slot is wasted.
+            let mbs_rate = u.success_mbs() * u.r_mbs();
+            let fbs_rate = u.success_fbs() * problem.fbs_rate(j);
+            if mbs_rate > fbs_rate {
+                users[j] = UserAllocation::mbs(1.0);
+            }
+        } else {
+            users[j] = UserAllocation::mbs(1.0);
+        }
+    }
+    Allocation::new(users)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::Mode;
+    use crate::problem::UserState;
+    use crate::waterfill::WaterfillingSolver;
+    use proptest::prelude::*;
+
+    fn user(w: f64, fbs: usize, s0: f64, s1: f64) -> UserState {
+        UserState::new(w, FbsId(fbs), 0.72, 0.72, s0, s1).unwrap()
+    }
+
+    #[test]
+    fn h1_splits_evenly_per_station() {
+        // G = 3 makes the FBS side 3× better for everyone.
+        let p = SlotProblem::single_fbs(
+            vec![
+                user(30.0, 0, 0.9, 0.9),
+                user(28.0, 0, 0.9, 0.9),
+                user(29.0, 0, 0.9, 0.9),
+            ],
+            3.0,
+        )
+        .unwrap();
+        let alloc = equal_allocation(&p);
+        for u in alloc.users() {
+            assert_eq!(u.mode, Mode::Fbs);
+            assert!((u.rho_fbs - 1.0 / 3.0).abs() < 1e-12);
+        }
+        assert!(p.is_feasible(&alloc, 1e-12));
+    }
+
+    #[test]
+    fn h1_respects_per_user_channel_conditions() {
+        // User 0's FBS link is terrible: it chooses the MBS and gets the
+        // whole common channel (it is alone there).
+        let p = SlotProblem::single_fbs(
+            vec![user(30.0, 0, 0.9, 0.05), user(28.0, 0, 0.1, 0.9)],
+            1.0,
+        )
+        .unwrap();
+        let alloc = equal_allocation(&p);
+        assert_eq!(alloc.user(0).mode, Mode::Mbs);
+        assert!((alloc.user(0).rho_mbs - 1.0).abs() < 1e-12);
+        assert_eq!(alloc.user(1).mode, Mode::Fbs);
+        assert!((alloc.user(1).rho_fbs - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h2_selects_best_link_per_station() {
+        let p = SlotProblem::single_fbs(
+            vec![
+                user(30.0, 0, 0.7, 0.6),
+                user(28.0, 0, 0.5, 0.95), // best FBS link
+                user(29.0, 0, 0.9, 0.4),  // best MBS link
+            ],
+            3.0,
+        )
+        .unwrap();
+        let alloc = multiuser_diversity(&p);
+        assert_eq!(alloc.user(1).mode, Mode::Fbs);
+        assert!((alloc.user(1).rho_fbs - 1.0).abs() < 1e-12);
+        assert_eq!(alloc.user(2).mode, Mode::Mbs);
+        assert!((alloc.user(2).rho_mbs - 1.0).abs() < 1e-12);
+        // The third user starves this slot.
+        assert_eq!(alloc.user(0).rho(), 0.0);
+        assert!(p.is_feasible(&alloc, 1e-12));
+    }
+
+    #[test]
+    fn h2_never_double_schedules_a_user() {
+        // Single user: its FBS picks it; the MBS must not also pick it.
+        let p = SlotProblem::single_fbs(vec![user(30.0, 0, 0.99, 0.9)], 2.0).unwrap();
+        let alloc = multiuser_diversity(&p);
+        assert_eq!(alloc.user(0).mode, Mode::Fbs);
+        assert_eq!(alloc.mbs_load(), 0.0, "MBS has no one left to schedule");
+    }
+
+    #[test]
+    fn h2_double_pick_wastes_the_mbs_slot() {
+        // Both stations independently pick user 0 (ties to the lowest
+        // id); it keeps the better FBS side, the MBS slot is wasted, and
+        // user 1 starves — the uncoordinated-pick pathology.
+        let p = SlotProblem::single_fbs(
+            vec![user(30.0, 0, 0.5, 0.9), user(28.0, 0, 0.5, 0.9)],
+            2.0,
+        )
+        .unwrap();
+        let alloc = multiuser_diversity(&p);
+        assert!((alloc.user(0).rho_fbs - 1.0).abs() < 1e-12);
+        assert_eq!(alloc.user(1).rho(), 0.0, "user 1 starves this slot");
+        assert_eq!(alloc.mbs_load(), 0.0, "MBS slot wasted on the double pick");
+    }
+
+    #[test]
+    fn h2_double_pick_takes_mbs_when_it_is_the_better_side() {
+        // User 0 is picked by both stations but its FBS side is useless
+        // (G = 0): it takes the MBS slot instead.
+        let p = SlotProblem::single_fbs(
+            vec![user(30.0, 0, 0.9, 0.9), user(28.0, 0, 0.5, 0.5)],
+            0.0,
+        )
+        .unwrap();
+        let alloc = multiuser_diversity(&p);
+        assert_eq!(alloc.user(0).mode, Mode::Mbs);
+        assert!((alloc.user(0).rho_mbs - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_fbs_h2_schedules_one_user_per_fbs() {
+        let p = SlotProblem::new(
+            vec![
+                user(30.0, 0, 0.5, 0.8),
+                user(29.0, 0, 0.5, 0.9),
+                user(28.0, 1, 0.5, 0.7),
+            ],
+            vec![2.0, 2.0],
+        )
+        .unwrap();
+        let alloc = multiuser_diversity(&p);
+        let fbs_of = p.fbs_of();
+        assert!((alloc.fbs_load(FbsId(0), &fbs_of) - 1.0).abs() < 1e-12);
+        assert!((alloc.fbs_load(FbsId(1), &fbs_of) - 1.0).abs() < 1e-12);
+        assert!((alloc.mbs_load() - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn heuristics_are_feasible_and_dominated_by_the_optimum(
+            ws in proptest::collection::vec(10.0..50.0f64, 2..7),
+            g in 0.5..6.0f64,
+            s0 in 0.1..=1.0f64,
+            s1 in 0.1..=1.0f64,
+        ) {
+            let users: Vec<UserState> = ws.iter().map(|w| user(*w, 0, s0, s1)).collect();
+            let p = SlotProblem::single_fbs(users, g).unwrap();
+            let h1 = equal_allocation(&p);
+            let h2 = multiuser_diversity(&p);
+            prop_assert!(p.is_feasible(&h1, 1e-9));
+            prop_assert!(p.is_feasible(&h2, 1e-9));
+            let opt = WaterfillingSolver::new().solve(&p);
+            let opt_value = p.objective(&opt);
+            prop_assert!(p.objective(&h1) <= opt_value + 1e-7,
+                "H1 beats the optimum");
+            prop_assert!(p.objective(&h2) <= opt_value + 1e-7,
+                "H2 beats the optimum");
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! KKT optimality certification for per-slot allocations.
+//!
+//! Problem (12)/(17) with modes fixed is a concave program with linear
+//! constraints, so the Karush–Kuhn–Tucker conditions are necessary and
+//! sufficient. For prices `λ = [λ_0, λ_1, …, λ_N]` and shares ρ:
+//!
+//! * **primal feasibility** — every budget `Σ_j ρ ≤ 1`, `0 ≤ ρ_j ≤ 1`;
+//! * **dual feasibility** — `λ ≥ 0`;
+//! * **stationarity** — for each served user, the marginal utility
+//!   `s_j·c_j/(W_j + ρ_j·c_j)` equals its budget's price when
+//!   `0 < ρ_j < 1`, is ≤ the price when `ρ_j = 0`, and is ≥ the price
+//!   when `ρ_j = 1` (the cap's multiplier absorbs the excess);
+//! * **complementary slackness** — `λ_i·(1 − Σ_j ρ) = 0`.
+//!
+//! [`verify`] measures the worst violation of each block, giving the
+//! test suite an analytic optimality certificate for the water-filling
+//! and dual solvers that is much stronger than grid comparison.
+
+use crate::allocation::{Allocation, Mode};
+use crate::problem::SlotProblem;
+use fcr_net::node::FbsId;
+
+/// Worst-case residuals of each KKT block (all ≥ 0; 0 = exactly
+/// satisfied).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KktReport {
+    /// Largest budget/box-constraint violation.
+    pub primal_feasibility: f64,
+    /// Largest negative price (as a magnitude).
+    pub dual_feasibility: f64,
+    /// Largest stationarity violation across served users.
+    pub stationarity: f64,
+    /// Largest `λ_i·slack_i` product.
+    pub complementary_slackness: f64,
+}
+
+impl KktReport {
+    /// The single worst residual.
+    pub fn worst(&self) -> f64 {
+        self.primal_feasibility
+            .max(self.dual_feasibility)
+            .max(self.stationarity)
+            .max(self.complementary_slackness)
+    }
+
+    /// Returns `true` when every residual is within `tol`.
+    pub fn is_satisfied(&self, tol: f64) -> bool {
+        self.worst() <= tol
+    }
+}
+
+/// Verifies the KKT conditions of `(allocation, lambdas)` on `problem`
+/// for the allocation's (fixed) modes.
+///
+/// `lambdas` must hold one price per budget: `[λ_0, λ_1, …, λ_N]`.
+///
+/// # Panics
+///
+/// Panics if `allocation` or `lambdas` have the wrong dimensions.
+pub fn verify(problem: &SlotProblem, allocation: &Allocation, lambdas: &[f64]) -> KktReport {
+    assert_eq!(allocation.len(), problem.num_users(), "allocation size mismatch");
+    assert_eq!(
+        lambdas.len(),
+        problem.num_fbss() + 1,
+        "need one price per budget"
+    );
+    let mut report = KktReport::default();
+
+    // Dual feasibility.
+    for l in lambdas {
+        report.dual_feasibility = report.dual_feasibility.max(-l);
+    }
+
+    // Primal feasibility: budgets and boxes.
+    let fbs_of = problem.fbs_of();
+    let mbs_load = allocation.mbs_load();
+    report.primal_feasibility = report.primal_feasibility.max(mbs_load - 1.0);
+    let mut loads = vec![mbs_load];
+    for i in 0..problem.num_fbss() {
+        let load = allocation.fbs_load(FbsId(i), &fbs_of);
+        report.primal_feasibility = report.primal_feasibility.max(load - 1.0);
+        loads.push(load);
+    }
+    for a in allocation.users() {
+        report.primal_feasibility = report
+            .primal_feasibility
+            .max(-a.rho())
+            .max(a.rho() - 1.0);
+    }
+
+    // Stationarity per served user.
+    for (j, a) in allocation.users().iter().enumerate() {
+        let u = problem.user(j);
+        let (s, c, lambda) = match a.mode {
+            Mode::Mbs => (u.success_mbs(), u.r_mbs(), lambdas[0]),
+            Mode::Fbs => (
+                u.success_fbs(),
+                problem.fbs_rate(j),
+                lambdas[1 + u.fbs().0],
+            ),
+        };
+        if s <= 0.0 || c <= 0.0 {
+            // The branch has no gradient in ρ; only ρ = 0 is sensible,
+            // which primal feasibility already covers.
+            continue;
+        }
+        let rho = a.rho();
+        let marginal = s * c / (u.w() + rho * c);
+        let violation = if rho <= 0.0 {
+            // ρ at the lower box: marginal must not exceed the price.
+            (marginal - lambda).max(0.0)
+        } else if rho >= 1.0 {
+            // ρ at the cap: the price must not exceed the marginal.
+            (lambda - marginal).max(0.0)
+        } else {
+            (marginal - lambda).abs()
+        };
+        report.stationarity = report.stationarity.max(violation);
+    }
+
+    // Complementary slackness.
+    for (lambda, load) in lambdas.iter().zip(&loads) {
+        report.complementary_slackness = report
+            .complementary_slackness
+            .max((lambda * (1.0 - load)).abs());
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::UserState;
+    use crate::waterfill::WaterfillingSolver;
+    use fcr_stats::rng::SeedSequence;
+    use rand::RngExt;
+
+    fn problem() -> SlotProblem {
+        SlotProblem::single_fbs(
+            vec![
+                UserState::new(30.2, FbsId(0), 0.72, 0.72, 0.9, 0.85).unwrap(),
+                UserState::new(27.6, FbsId(0), 0.63, 0.63, 0.8, 0.9).unwrap(),
+                UserState::new(28.8, FbsId(0), 0.675, 0.675, 0.85, 0.8).unwrap(),
+            ],
+            3.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn waterfilling_output_is_kkt_certified() {
+        let p = problem();
+        let solver = WaterfillingSolver::new();
+        let alloc = solver.solve(&p);
+        let modes: Vec<Mode> = alloc.users().iter().map(|u| u.mode).collect();
+        let (filled, lambdas) = solver.fill_with_prices(&p, &modes);
+        let report = verify(&p, &filled, &lambdas);
+        assert!(
+            report.is_satisfied(1e-7),
+            "KKT violated: {report:?} (worst {})",
+            report.worst()
+        );
+    }
+
+    #[test]
+    fn random_instances_are_certified() {
+        let mut rng = SeedSequence::new(3).stream("kkt", 0);
+        let solver = WaterfillingSolver::new();
+        for trial in 0..20 {
+            let nu = rng.random_range(1..6);
+            let users: Vec<UserState> = (0..nu)
+                .map(|_| {
+                    UserState::new(
+                        rng.random_range(20.0..45.0),
+                        FbsId(0),
+                        rng.random_range(0.1..1.5),
+                        rng.random_range(0.1..1.5),
+                        rng.random_range(0.1..1.0),
+                        rng.random_range(0.1..1.0),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let p = SlotProblem::single_fbs(users, rng.random_range(0.5..5.0)).unwrap();
+            let alloc = solver.solve(&p);
+            let modes: Vec<Mode> = alloc.users().iter().map(|u| u.mode).collect();
+            let (filled, lambdas) = solver.fill_with_prices(&p, &modes);
+            let report = verify(&p, &filled, &lambdas);
+            assert!(
+                report.is_satisfied(1e-6),
+                "trial {trial}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        use crate::allocation::UserAllocation;
+        let p = problem();
+        let bad = Allocation::new(vec![
+            UserAllocation::fbs(0.8),
+            UserAllocation::fbs(0.8),
+            UserAllocation::fbs(0.8),
+        ]);
+        let report = verify(&p, &bad, &[0.0, 0.05]);
+        assert!(report.primal_feasibility > 1.0, "{report:?}");
+        assert!(!report.is_satisfied(1e-6));
+    }
+
+    #[test]
+    fn detects_wrong_prices() {
+        let p = problem();
+        let solver = WaterfillingSolver::new();
+        let alloc = solver.solve(&p);
+        let modes: Vec<Mode> = alloc.users().iter().map(|u| u.mode).collect();
+        let (filled, mut lambdas) = solver.fill_with_prices(&p, &modes);
+        lambdas[1] *= 10.0; // sabotage the FBS price
+        let report = verify(&p, &filled, &lambdas);
+        assert!(report.worst() > 1e-4, "sabotage undetected: {report:?}");
+    }
+
+    #[test]
+    fn detects_negative_prices() {
+        let p = problem();
+        let report = verify(&p, &Allocation::idle(3), &[-0.1, 0.0]);
+        assert!(report.dual_feasibility >= 0.1);
+    }
+
+    #[test]
+    fn report_worst_takes_the_max() {
+        let r = KktReport {
+            primal_feasibility: 0.1,
+            dual_feasibility: 0.3,
+            stationarity: 0.2,
+            complementary_slackness: 0.05,
+        };
+        assert_eq!(r.worst(), 0.3);
+        assert!(!r.is_satisfied(0.25));
+        assert!(r.is_satisfied(0.3));
+    }
+}

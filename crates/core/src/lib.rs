@@ -1,0 +1,84 @@
+//! Resource allocation for MGS scalable video over femtocell cognitive
+//! radio networks — the core algorithms of Hu & Mao, ICDCS 2011.
+//!
+//! Each time slot, the network must decide, for every CR user `j`:
+//! whether to serve it from the MBS on the common channel (`p_j = 1`) or
+//! from its femtocell on the licensed channels (`q_j = 1`), and what
+//! fraction `ρ` of the slot it receives — maximizing the
+//! proportional-fair objective
+//!
+//! ```text
+//! Σ_j [ p_j·P̄^F_{0,j}·log(W^{t−1}_j + ρ_{0,j}·R_{0,j})
+//!     + q_j·P̄^F_{i,j}·log(W^{t−1}_j + ρ_{i,j}·G^t_i·R_{i,j}) ]   (problem (12)/(21))
+//! ```
+//!
+//! subject to unit time-share budgets at the MBS and at each FBS, and —
+//! with interfering femtocells — the interference-graph constraint that
+//! adjacent FBSs never share a licensed channel.
+//!
+//! Solvers provided:
+//!
+//! * [`dual`] — the paper's distributed dual-decomposition algorithm
+//!   (Tables I and II): closed-form per-user primal updates, subgradient
+//!   dual updates at the MBS, with the λ-trace exposed for Fig. 4(a);
+//! * [`waterfill`] — a fast centralized solver (per-constraint
+//!   bisection water-filling alternated with mode reassignment) used
+//!   inside the greedy channel allocator where thousands of inner solves
+//!   are needed; agrees with [`dual`] to solver tolerance;
+//! * [`greedy`] — the Table III greedy channel allocation over the
+//!   interference graph, recording per-step increments `Δ_l` and
+//!   degrees `D(l)`;
+//! * [`bounds`] — Theorem 2's worst-case factor `1/(1+D_max)` and the
+//!   tighter per-run upper bound of eq. (23);
+//! * [`exhaustive`] — brute-force optimal channel allocation over
+//!   maximal independent sets (small instances; validates the greedy);
+//! * [`heuristics`] — the two baselines of Section V (equal allocation;
+//!   multiuser diversity).
+//!
+//! # Examples
+//!
+//! Solve one slot of the single-FBS case (Table I):
+//!
+//! ```
+//! use fcr_core::problem::{SlotProblem, UserState};
+//! use fcr_core::dual::{DualConfig, DualSolver};
+//! use fcr_net::node::FbsId;
+//!
+//! let problem = SlotProblem::single_fbs(vec![
+//!     UserState::new(30.2, FbsId(0), 0.72, 0.72, 0.9, 0.8)?,
+//!     UserState::new(27.6, FbsId(0), 0.63, 0.63, 0.7, 0.9)?,
+//! ], 3.0)?;
+//! let solution = DualSolver::new(DualConfig::default()).solve(&problem);
+//! let alloc = solution.allocation();
+//! assert!(problem.is_feasible(alloc, 1e-6));
+//! # Ok::<(), fcr_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod allocation;
+pub mod bounds;
+pub mod dual;
+pub mod exhaustive;
+pub mod greedy;
+pub mod heuristics;
+pub mod interfering;
+pub mod kkt;
+pub mod lagrangian;
+pub mod multistage;
+pub mod problem;
+pub mod waterfill;
+
+mod error;
+
+pub use allocation::{Allocation, Mode, UserAllocation};
+pub use bounds::{per_run_upper_bound, worst_case_fraction};
+pub use dual::{DualConfig, DualSolution, DualSolver, StepSchedule};
+pub use error::CoreError;
+pub use exhaustive::ExhaustiveAllocator;
+pub use greedy::{GreedyAllocator, GreedyOutcome, GreedyStep};
+pub use heuristics::{equal_allocation, multiuser_diversity};
+pub use interfering::InterferingProblem;
+pub use problem::{SlotProblem, UserState};
+pub use waterfill::WaterfillingSolver;

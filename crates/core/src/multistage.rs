@@ -1,0 +1,369 @@
+//! Numerical validation of the multistage decomposition (Section IV-A).
+//!
+//! The paper formulates streaming over a GOP as the multistage
+//! stochastic program (10) — maximize `E[Σ_j log W^T_j]` over all
+//! *adaptive* policies — and asserts (citing Hu & Mao, TWC 2010) that
+//! it "can be decomposed into `T` serial sub-problems, each to be
+//! solved in a time slot" (problem (11)): the per-slot myopic policy.
+//!
+//! This module checks that claim by brute force on tiny instances:
+//! [`dp_value`] computes the exact optimum over all adaptive policies
+//! (backward induction over every action and loss realization), and
+//! [`myopic_value`] evaluates the per-slot greedy policy on the same
+//! tree. Their difference is the *decomposition gap*; the tests (and
+//! the randomized integration suite) show it is zero or negligible on
+//! the instances the model produces — the myopic policy re-optimizes
+//! after every realization, which is exactly the conditional-
+//! expectation structure of problem (11).
+//!
+//! Everything here is exponential in users × horizon and gridded in ρ;
+//! it is a validation tool, not a production solver.
+
+use crate::allocation::Mode;
+
+/// One user of a tiny multistage instance. Rates and success
+/// probabilities are held constant across slots (block-fading drawn
+/// once), which keeps the policy tree finite without losing the
+/// decomposition question.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TinyUser {
+    /// Starting quality `W^0 = α` (dB).
+    pub w0: f64,
+    /// Quality per full slot on the common channel (`R_0`).
+    pub r_mbs: f64,
+    /// Quality per full slot on the FBS side (`G·R_1`, already scaled).
+    pub r_fbs: f64,
+    /// MBS-link delivery probability.
+    pub s_mbs: f64,
+    /// FBS-link delivery probability.
+    pub s_fbs: f64,
+}
+
+/// A tiny multistage instance: all users share one FBS and the MBS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultistageInstance {
+    /// The users (keep ≤ 3: the tree is exponential).
+    pub users: Vec<TinyUser>,
+    /// Horizon `T` in slots (keep ≤ 3).
+    pub horizon: u32,
+    /// The ρ grid each user may receive (must contain 0.0).
+    pub rho_grid: Vec<f64>,
+}
+
+/// One user's action in a slot.
+type UserAction = (Mode, f64);
+
+impl MultistageInstance {
+    /// Enumerates all feasible joint actions for one slot: every
+    /// combination of per-user `(mode, ρ)` from the grid whose loads
+    /// respect both unit budgets.
+    fn feasible_actions(&self) -> Vec<Vec<UserAction>> {
+        let per_user: Vec<UserAction> = [Mode::Mbs, Mode::Fbs]
+            .into_iter()
+            .flat_map(|m| self.rho_grid.iter().map(move |rho| (m, *rho)))
+            .collect();
+        let mut joint: Vec<Vec<UserAction>> = vec![vec![]];
+        for _ in 0..self.users.len() {
+            joint = joint
+                .into_iter()
+                .flat_map(|prefix| {
+                    per_user.iter().map(move |a| {
+                        let mut v = prefix.clone();
+                        v.push(*a);
+                        v
+                    })
+                })
+                .collect();
+        }
+        joint.retain(|actions| {
+            let mbs: f64 = actions
+                .iter()
+                .filter(|(m, _)| *m == Mode::Mbs)
+                .map(|(_, r)| r)
+                .sum();
+            let fbs: f64 = actions
+                .iter()
+                .filter(|(m, _)| *m == Mode::Fbs)
+                .map(|(_, r)| r)
+                .sum();
+            mbs <= 1.0 + 1e-12 && fbs <= 1.0 + 1e-12
+        });
+        joint
+    }
+
+    /// The deterministic increment user `j` would receive under
+    /// `action` if its transmission succeeds.
+    fn increment(&self, j: usize, action: UserAction) -> f64 {
+        let u = &self.users[j];
+        match action.0 {
+            Mode::Mbs => action.1 * u.r_mbs,
+            Mode::Fbs => action.1 * u.r_fbs,
+        }
+    }
+
+    /// Delivery probability of user `j` under `action`.
+    fn success(&self, j: usize, action: UserAction) -> f64 {
+        match action.0 {
+            Mode::Mbs => self.users[j].s_mbs,
+            Mode::Fbs => self.users[j].s_fbs,
+        }
+    }
+
+    /// Expected continuation value of taking `actions` at state `w`,
+    /// where `continue_with` maps each realized next state to its
+    /// value. Enumerates every loss realization of the active users.
+    fn expect_over_outcomes(
+        &self,
+        w: &[f64],
+        actions: &[UserAction],
+        continue_with: &mut dyn FnMut(&[f64]) -> f64,
+    ) -> f64 {
+        // Active users: positive increment (a zero increment's ξ is
+        // irrelevant).
+        let active: Vec<usize> = (0..self.users.len())
+            .filter(|j| self.increment(*j, actions[*j]) > 0.0)
+            .collect();
+        let mut total = 0.0;
+        for mask in 0..(1u32 << active.len()) {
+            let mut prob = 1.0;
+            let mut next = w.to_vec();
+            for (bit, &j) in active.iter().enumerate() {
+                let s = self.success(j, actions[j]);
+                if mask & (1 << bit) != 0 {
+                    prob *= s;
+                    next[j] += self.increment(j, actions[j]);
+                } else {
+                    prob *= 1.0 - s;
+                }
+            }
+            if prob > 0.0 {
+                total += prob * continue_with(&next);
+            }
+        }
+        total
+    }
+
+    fn terminal_value(w: &[f64]) -> f64 {
+        w.iter().map(|x| x.ln()).sum()
+    }
+}
+
+/// Exact optimum of the multistage program (10) over all adaptive
+/// policies, by backward induction.
+///
+/// # Panics
+///
+/// Panics if the instance has no users or no feasible action.
+pub fn dp_value(instance: &MultistageInstance) -> f64 {
+    assert!(!instance.users.is_empty(), "instance needs users");
+    let actions = instance.feasible_actions();
+    assert!(!actions.is_empty(), "no feasible action");
+    let w0: Vec<f64> = instance.users.iter().map(|u| u.w0).collect();
+    dp_recurse(instance, &actions, instance.horizon, &w0)
+}
+
+fn dp_recurse(
+    instance: &MultistageInstance,
+    actions: &[Vec<UserAction>],
+    slots_left: u32,
+    w: &[f64],
+) -> f64 {
+    if slots_left == 0 {
+        return MultistageInstance::terminal_value(w);
+    }
+    let mut best = f64::NEG_INFINITY;
+    for a in actions {
+        let value = instance.expect_over_outcomes(w, a, &mut |next| {
+            dp_recurse(instance, actions, slots_left - 1, next)
+        });
+        best = best.max(value);
+    }
+    best
+}
+
+/// Value of the per-slot myopic policy of problem (11): at every state
+/// pick the action maximizing the one-step conditional expectation
+/// `E[Σ_j log W^t_j | realization so far]`, then continue.
+///
+/// # Panics
+///
+/// Panics if the instance has no users or no feasible action.
+pub fn myopic_value(instance: &MultistageInstance) -> f64 {
+    assert!(!instance.users.is_empty(), "instance needs users");
+    let actions = instance.feasible_actions();
+    assert!(!actions.is_empty(), "no feasible action");
+    let w0: Vec<f64> = instance.users.iter().map(|u| u.w0).collect();
+    myopic_recurse(instance, &actions, instance.horizon, &w0)
+}
+
+fn myopic_recurse(
+    instance: &MultistageInstance,
+    actions: &[Vec<UserAction>],
+    slots_left: u32,
+    w: &[f64],
+) -> f64 {
+    if slots_left == 0 {
+        return MultistageInstance::terminal_value(w);
+    }
+    // The per-slot problem: maximize the one-step expected log-sum.
+    let mut best_action = &actions[0];
+    let mut best_one_step = f64::NEG_INFINITY;
+    for a in actions {
+        let one_step = instance
+            .expect_over_outcomes(w, a, &mut MultistageInstance::terminal_value);
+        if one_step > best_one_step {
+            best_one_step = one_step;
+            best_action = a;
+        }
+    }
+    // Then the realization is revealed and the next slot re-optimizes.
+    instance.expect_over_outcomes(w, best_action, &mut |next| {
+        myopic_recurse(instance, actions, slots_left - 1, next)
+    })
+}
+
+/// The decomposition gap `dp − myopic` (always ≥ 0 up to float noise).
+pub fn decomposition_gap(instance: &MultistageInstance) -> f64 {
+    dp_value(instance) - myopic_value(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcr_stats::rng::SeedSequence;
+    use rand::RngExt;
+
+    fn paper_like(horizon: u32) -> MultistageInstance {
+        MultistageInstance {
+            users: vec![
+                TinyUser {
+                    w0: 30.2,
+                    r_mbs: 0.72,
+                    r_fbs: 2.16,
+                    s_mbs: 0.9,
+                    s_fbs: 0.85,
+                },
+                TinyUser {
+                    w0: 27.6,
+                    r_mbs: 0.63,
+                    r_fbs: 1.89,
+                    s_mbs: 0.8,
+                    s_fbs: 0.9,
+                },
+            ],
+            horizon,
+            rho_grid: vec![0.0, 0.5, 1.0],
+        }
+    }
+
+    #[test]
+    fn horizon_one_is_trivially_exact() {
+        let inst = paper_like(1);
+        let gap = decomposition_gap(&inst);
+        assert!(gap.abs() < 1e-12, "gap {gap}");
+    }
+
+    #[test]
+    fn myopic_never_beats_dp() {
+        for horizon in 1..=3 {
+            let inst = paper_like(horizon);
+            let dp = dp_value(&inst);
+            let myopic = myopic_value(&inst);
+            assert!(
+                myopic <= dp + 1e-9,
+                "T={horizon}: myopic {myopic} exceeds optimum {dp}"
+            );
+        }
+    }
+
+    #[test]
+    fn decomposition_gap_is_negligible_on_the_paper_instance() {
+        // The claim of Section IV-A: serial per-slot solving matches the
+        // multistage optimum. On the paper-like instance the adaptive
+        // myopic policy loses (numerically) nothing.
+        let inst = paper_like(2);
+        let dp = dp_value(&inst);
+        let gap = decomposition_gap(&inst);
+        assert!(
+            gap <= 1e-6 * dp.abs().max(1.0),
+            "gap {gap} vs optimum {dp}"
+        );
+    }
+
+    #[test]
+    fn random_instances_have_tiny_relative_gaps() {
+        let mut rng = SeedSequence::new(61).stream("multistage", 0);
+        let mut worst: f64 = 0.0;
+        for _ in 0..12 {
+            let users = (0..2)
+                .map(|_| TinyUser {
+                    w0: rng.random_range(20.0..40.0),
+                    r_mbs: rng.random_range(0.2..1.0),
+                    r_fbs: rng.random_range(0.5..3.0),
+                    s_mbs: rng.random_range(0.3..1.0),
+                    s_fbs: rng.random_range(0.3..1.0),
+                })
+                .collect();
+            let inst = MultistageInstance {
+                users,
+                horizon: 2,
+                rho_grid: vec![0.0, 0.5, 1.0],
+            };
+            let dp = dp_value(&inst);
+            let gap = decomposition_gap(&inst);
+            assert!(gap >= -1e-9, "myopic beat dp: {gap}");
+            worst = worst.max(gap / dp.abs().max(1.0));
+        }
+        assert!(
+            worst < 5e-4,
+            "decomposition gap should be negligible, worst relative gap {worst}"
+        );
+    }
+
+    #[test]
+    fn dp_exploits_adaptivity_at_least_as_well_as_any_fixed_plan() {
+        // Sanity: the DP value dominates the best *non-adaptive* plan
+        // (choose both slots' actions up front).
+        let inst = paper_like(2);
+        let actions = inst.feasible_actions();
+        let w0: Vec<f64> = inst.users.iter().map(|u| u.w0).collect();
+        let mut best_fixed = f64::NEG_INFINITY;
+        for a1 in &actions {
+            for a2 in &actions {
+                let v = inst.expect_over_outcomes(&w0, a1, &mut |w1| {
+                    inst.expect_over_outcomes(w1, a2, &mut MultistageInstance::terminal_value)
+                });
+                best_fixed = best_fixed.max(v);
+            }
+        }
+        assert!(dp_value(&inst) >= best_fixed - 1e-9);
+    }
+
+    #[test]
+    fn feasible_actions_respect_budgets() {
+        let inst = paper_like(1);
+        for actions in inst.feasible_actions() {
+            let mbs: f64 = actions
+                .iter()
+                .filter(|(m, _)| *m == Mode::Mbs)
+                .map(|(_, r)| r)
+                .sum();
+            let fbs: f64 = actions
+                .iter()
+                .filter(|(m, _)| *m == Mode::Fbs)
+                .map(|(_, r)| r)
+                .sum();
+            assert!(mbs <= 1.0 + 1e-12 && fbs <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs users")]
+    fn empty_instance_panics() {
+        let _ = dp_value(&MultistageInstance {
+            users: vec![],
+            horizon: 1,
+            rho_grid: vec![0.0, 1.0],
+        });
+    }
+}

@@ -1,0 +1,568 @@
+//! Experiment drivers: one function per figure of Hu & Mao
+//! (ICDCS 2011), each returning the printed table as a `String` so the
+//! binary, the integration tests, and the benches share one
+//! implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use fcr_core::dual::{DualConfig, DualSolver, StepSchedule};
+use fcr_sim::config::SimConfig;
+use fcr_sim::engine::sample_slot_problem;
+use fcr_sim::metrics::SchemeSummary;
+use fcr_sim::runner::{sweep, Experiment};
+use fcr_sim::scenario::Scenario;
+use fcr_sim::scheme::Scheme;
+use fcr_spectrum::sensing::FIG6B_OPERATING_POINTS;
+use fcr_stats::rng::SeedSequence;
+use fcr_stats::series::{render_csv, render_table, Series};
+use std::fmt::Write as _;
+
+/// Common knobs of all experiment drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentOpts {
+    /// Simulation runs per point (the paper uses 10).
+    pub runs: u64,
+    /// GOPs per run.
+    pub gops: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Render sweep figures as CSV instead of an aligned table.
+    pub csv: bool,
+}
+
+impl Default for ExperimentOpts {
+    fn default() -> Self {
+        Self {
+            runs: 10,
+            gops: 20,
+            seed: 20110620, // ICDCS 2011 started June 20, 2011.
+            csv: false,
+        }
+    }
+}
+
+impl ExperimentOpts {
+    fn base_config(&self) -> SimConfig {
+        SimConfig {
+            gops: self.gops,
+            ..SimConfig::default()
+        }
+    }
+
+    fn render(&self, x_label: &str, series: &[Series]) -> String {
+        if self.csv {
+            render_csv(x_label, series)
+        } else {
+            render_table(x_label, series)
+        }
+    }
+}
+
+/// Fig. 3 — single FBS: per-user Y-PSNR of Bus/Mobile/Harbor under the
+/// three schemes.
+pub fn fig3(opts: &ExperimentOpts) -> String {
+    let cfg = opts.base_config();
+    let scenario = Scenario::single_fbs(&cfg);
+    let experiment = Experiment::new(scenario.clone(), cfg, opts.seed).runs(opts.runs);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 3 — Single FBS: received video quality for the three CR users"
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>24} {:>24} {:>24}",
+        "User", "Proposed scheme", "Heuristic 1", "Heuristic 2"
+    );
+    let summaries: Vec<SchemeSummary> = Scheme::PAPER_TRIO
+        .iter()
+        .map(|s| experiment.summarize(*s))
+        .collect();
+    let names = ["1 (Bus)", "2 (Mobile)", "3 (Harbor)"];
+    for (j, name) in names.iter().enumerate() {
+        let _ = write!(out, "{name:>10}");
+        for s in &summaries {
+            let ci = &s.per_user[j];
+            let _ = write!(out, " {:>15.2} ± {:>5.2}", ci.mean(), ci.half_width());
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:>10}", "mean");
+    for s in &summaries {
+        let _ = write!(
+            out,
+            " {:>15.2} ± {:>5.2}",
+            s.overall.mean(),
+            s.overall.half_width()
+        );
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:>10}", "Jain");
+    for s in &summaries {
+        let _ = write!(out, " {:>23.4}", s.jain);
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Fig. 4(a) — convergence of the dual variables λ0(τ), λ1(τ) on a
+/// representative single-FBS slot problem (Table I with a constant
+/// step, as in the paper).
+pub fn fig4a(opts: &ExperimentOpts) -> String {
+    let cfg = opts.base_config();
+    let scenario = Scenario::single_fbs(&cfg);
+    let problem = sample_slot_problem(&scenario, &cfg, &SeedSequence::new(opts.seed));
+    let solver = DualSolver::new(DualConfig {
+        step: StepSchedule::Constant(2e-4),
+        max_iterations: 800,
+        tolerance: 1e-16,
+        initial_lambda: 0.1,
+        record_trace: true,
+    });
+    let solution = solver.solve(&problem);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 4(a) — Convergence of the two dual variables");
+    let _ = writeln!(out, "{:>10} {:>12} {:>12}", "iter", "lambda0", "lambda1");
+    for (tau, l) in solution.trace().iter().enumerate() {
+        if tau % 50 == 0 || tau + 1 == solution.trace().len() {
+            let _ = writeln!(out, "{tau:>10} {:>12.6} {:>12.6}", l[0], l[1]);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "converged: {} after {} iterations (objective {:.6})",
+        solution.converged(),
+        solution.iterations(),
+        solution.objective()
+    );
+    out
+}
+
+/// Fig. 4(b) — Y-PSNR vs. number of licensed channels `M ∈ {4..12}`,
+/// single FBS.
+pub fn fig4b(opts: &ExperimentOpts) -> String {
+    let base = opts.base_config();
+    let points: Vec<(f64, SimConfig, Scenario)> = [4usize, 6, 8, 10, 12]
+        .iter()
+        .map(|m| {
+            let cfg = SimConfig {
+                num_channels: *m,
+                ..base
+            };
+            (*m as f64, cfg, Scenario::single_fbs(&cfg))
+        })
+        .collect();
+    let series = sweep(&points, &Scheme::PAPER_TRIO, opts.runs, opts.seed);
+    format!(
+        "Fig. 4(b) — Video quality vs. number of channels (single FBS)\n{}",
+        opts.render("M", &series)
+    )
+}
+
+/// Fig. 4(c) — Y-PSNR vs. channel utilization `η ∈ {0.3..0.7}`, single
+/// FBS.
+pub fn fig4c(opts: &ExperimentOpts) -> String {
+    let series = utilization_sweep(opts, false);
+    format!(
+        "Fig. 4(c) — Video quality vs. channel utilization (single FBS)\n{}",
+        opts.render("eta", &series)
+    )
+}
+
+/// Fig. 6(a) — interfering FBSs: Y-PSNR vs. utilization, with the
+/// upper-bound series.
+pub fn fig6a(opts: &ExperimentOpts) -> String {
+    let series = utilization_sweep(opts, true);
+    format!(
+        "Fig. 6(a) — Video quality vs. channel utilization (interfering FBSs)\n{}",
+        opts.render("eta", &series)
+    )
+}
+
+/// Fig. 6(b) — interfering FBSs: Y-PSNR vs. the sensing-error pairs
+/// {(ε, δ)} of Section V-B.
+pub fn fig6b(opts: &ExperimentOpts) -> String {
+    let base = opts.base_config();
+    let points: Vec<(f64, SimConfig, Scenario)> = FIG6B_OPERATING_POINTS
+        .iter()
+        .map(|(eps, delta)| {
+            let cfg = base.with_sensing_errors(*eps, *delta);
+            (*eps, cfg, Scenario::interfering_fig5(&cfg))
+        })
+        .collect();
+    let series = sweep(&points, &Scheme::WITH_BOUND, opts.runs, opts.seed);
+    format!(
+        "Fig. 6(b) — Video quality vs. sensing error (x = false-alarm ε; δ paired as in the paper)\n{}",
+        opts.render("epsilon", &series)
+    )
+}
+
+/// Fig. 6(c) — interfering FBSs: Y-PSNR vs. common-channel bandwidth
+/// `B0 ∈ {0.1..0.5}` Mbps with `B1 = 0.3`.
+pub fn fig6c(opts: &ExperimentOpts) -> String {
+    let base = opts.base_config();
+    let points: Vec<(f64, SimConfig, Scenario)> = [0.1, 0.2, 0.3, 0.4, 0.5]
+        .iter()
+        .map(|b0| {
+            let cfg = SimConfig { b0: *b0, ..base };
+            (*b0, cfg, Scenario::interfering_fig5(&cfg))
+        })
+        .collect();
+    let series = sweep(&points, &Scheme::WITH_BOUND, opts.runs, opts.seed);
+    format!(
+        "Fig. 6(c) — Video quality vs. common channel bandwidth (interfering FBSs)\n{}",
+        opts.render("B0 (Mbps)", &series)
+    )
+}
+
+/// Ablation table (not a paper figure): quantifies the design choices
+/// DESIGN.md calls out — solver, sensing prior, access rule, and
+/// channel-allocation layer — on the baseline scenarios.
+pub fn ablation(opts: &ExperimentOpts) -> String {
+    use fcr_core::exhaustive::ExhaustiveAllocator;
+    use fcr_core::greedy::GreedyAllocator;
+    use fcr_core::interfering::{coloring_assignment, round_robin_assignment, InterferingProblem};
+    use fcr_core::waterfill::WaterfillingSolver;
+    use fcr_sim::config::{AccessMode, PriorMode, SensingStrategy};
+    use fcr_sim::engine::run_once;
+    use fcr_sim::metrics::RunResult;
+
+    let mut out = String::new();
+    let base = opts.base_config();
+    let scenario = Scenario::single_fbs(&base);
+    let seeds = SeedSequence::new(opts.seed);
+
+    let summarize = |cfg: &SimConfig| -> (f64, f64, f64) {
+        let results: Vec<RunResult> = (0..opts.runs)
+            .map(|r| run_once(&scenario, cfg, Scheme::Proposed, &seeds, r))
+            .collect();
+        let mean = results.iter().map(RunResult::mean_psnr).sum::<f64>() / results.len() as f64;
+        let coll =
+            results.iter().map(|r| r.collision_rate).sum::<f64>() / results.len() as f64;
+        let g = results.iter().map(|r| r.mean_expected_available).sum::<f64>()
+            / results.len() as f64;
+        (mean, coll, g)
+    };
+
+    let _ = writeln!(out, "Ablations (proposed scheme, single-FBS baseline)");
+    let _ = writeln!(
+        out,
+        "{:<34} {:>10} {:>12} {:>8}",
+        "variant", "Y-PSNR", "collisions", "mean G"
+    );
+    let rows: [(&str, SimConfig); 5] = [
+        ("stationary prior + eq.(7) access", base),
+        (
+            "belief-tracking prior",
+            SimConfig {
+                prior_mode: PriorMode::BeliefTracking,
+                ..base
+            },
+        ),
+        (
+            "hard-threshold access",
+            SimConfig {
+                access_mode: AccessMode::Threshold,
+                ..base
+            },
+        ),
+        (
+            "first-observation G_t",
+            SimConfig {
+                first_observation_only: true,
+                ..base
+            },
+        ),
+        (
+            "tracking + uncertainty sensing",
+            SimConfig {
+                prior_mode: PriorMode::BeliefTracking,
+                sensing_strategy: SensingStrategy::UncertaintyFirst,
+                ..base
+            },
+        ),
+    ];
+    for (name, cfg) in rows {
+        let (psnr, coll, g) = summarize(&cfg);
+        let _ = writeln!(out, "{name:<34} {psnr:>10.3} {coll:>12.4} {g:>8.3}");
+    }
+
+    // Channel-allocation layer on a representative interfering slot.
+    let interfering = Scenario::interfering_fig5(&base);
+    let slot = {
+        let p = fcr_sim::engine::sample_slot_problem(&interfering, &base, &seeds);
+        // Rebuild as an interfering problem with representative weights.
+        InterferingProblem::new(
+            p.users().to_vec(),
+            interfering.graph.clone(),
+            vec![0.9, 0.8, 0.75, 0.7],
+        )
+        .expect("valid instance")
+    };
+    let solver = WaterfillingSolver::new();
+    let greedy = GreedyAllocator::new().allocate(&slot);
+    let optimal = ExhaustiveAllocator::new().allocate(&slot);
+    let rr = round_robin_assignment(slot.graph(), slot.num_channels());
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Channel allocation on a representative interfering slot:");
+    let _ = writeln!(out, "{:<34} {:>12}", "allocator", "objective Q");
+    let _ = writeln!(out, "{:<34} {:>12.6}", "greedy (Table III)", greedy.q_value());
+    let _ = writeln!(out, "{:<34} {:>12.6}", "exhaustive optimum", optimal.q_value());
+    let _ = writeln!(
+        out,
+        "{:<34} {:>12.6}",
+        "round-robin split",
+        slot.q_value(&rr, &solver)
+    );
+    let coloring = coloring_assignment(slot.graph(), slot.num_channels());
+    let _ = writeln!(
+        out,
+        "{:<34} {:>12.6}",
+        "coloring split",
+        slot.q_value(&coloring, &solver)
+    );
+    let _ = writeln!(out, "{:<34} {:>12.6}", "eq.(23) upper bound", greedy.upper_bound());
+    out
+}
+
+/// Scaling study (not a paper figure): runtime and bound tightness of
+/// the Table III greedy as the network grows, exercising the paper's
+/// `O(N²M²)` complexity claim on random interference graphs.
+pub fn scale(opts: &ExperimentOpts) -> String {
+    use fcr_core::greedy::GreedyAllocator;
+    use fcr_core::interfering::InterferingProblem;
+    use fcr_core::problem::UserState;
+    use fcr_net::interference::InterferenceGraph;
+    use fcr_net::node::FbsId;
+    use rand::RngExt;
+    use std::time::Instant;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Greedy channel allocation scaling (random graphs, edge prob 0.4, 2 users/FBS)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>4} {:>7} {:>8} {:>10} {:>12} {:>12}",
+        "N", "M", "pairs", "steps", "D_max", "gain/eq23", "ms/alloc"
+    );
+    let seeds = SeedSequence::new(opts.seed);
+    for n in [2usize, 4, 6, 8] {
+        let m = 6usize;
+        let mut rng = seeds.stream("scale", n as u64);
+        // Random interference graph.
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.random_bool(0.4) {
+                    edges.push((FbsId(i), FbsId(j)));
+                }
+            }
+        }
+        let graph = InterferenceGraph::new(n, &edges);
+        let users: Vec<UserState> = (0..2 * n)
+            .map(|k| {
+                UserState::new(
+                    rng.random_range(26.0..34.0),
+                    FbsId(k % n),
+                    0.72,
+                    0.72,
+                    rng.random_range(0.3..0.9),
+                    rng.random_range(0.5..0.95),
+                )
+                .expect("valid state")
+            })
+            .collect();
+        let weights: Vec<f64> = (0..m).map(|_| rng.random_range(0.4..0.95)).collect();
+        let problem =
+            InterferingProblem::new(users, graph.clone(), weights).expect("valid instance");
+
+        let started = Instant::now();
+        let outcome = GreedyAllocator::new().allocate(&problem);
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        let ratio = if outcome.upper_bound_gain() > 0.0 {
+            outcome.gain() / outcome.upper_bound_gain()
+        } else {
+            1.0
+        };
+        let _ = writeln!(
+            out,
+            "{:>4} {:>4} {:>7} {:>8} {:>10} {:>12.4} {:>12.2}",
+            n,
+            m,
+            n * m,
+            outcome.steps().len(),
+            graph.max_degree(),
+            ratio,
+            elapsed_ms
+        );
+    }
+    let _ = writeln!(
+        out,
+        "gain/eq23 >= 1/(1+D_max) is Theorem 2's guarantee; ms/alloc grows with\n\
+         the O(N^2 M^2) candidate evaluations of Table III."
+    );
+    out
+}
+
+/// Packet-level validation (not a paper figure): re-runs the Fig. 3
+/// comparison with NAL-unit-granular delivery and prints fluid vs.
+/// packet Y-PSNR per scheme — quantifying what eq. (9)'s fluid
+/// abstraction hides (unit quantization, retransmissions, base-layer
+/// outages) and checking that the scheme ordering survives.
+pub fn packet(opts: &ExperimentOpts) -> String {
+    use fcr_sim::engine::run_once;
+    use fcr_sim::packet_engine::run_packet_level;
+
+    let cfg = opts.base_config();
+    let scenario = Scenario::single_fbs(&cfg);
+    let seeds = SeedSequence::new(opts.seed);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Packet-level validation (single FBS, proposed scenario)");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>14} {:>15} {:>7}",
+        "Scheme", "fluid Y-PSNR", "packet Y-PSNR", "gap"
+    );
+    for scheme in Scheme::PAPER_TRIO {
+        let fluid = (0..opts.runs)
+            .map(|r| run_once(&scenario, &cfg, scheme, &seeds, r).mean_psnr())
+            .sum::<f64>()
+            / opts.runs as f64;
+        let pkt = (0..opts.runs)
+            .map(|r| run_packet_level(&scenario, &cfg, scheme, &seeds, r).mean_psnr())
+            .sum::<f64>()
+            / opts.runs as f64;
+        let _ = writeln!(
+            out,
+            "{:<18} {:>14.2} {:>15.2} {:>7.2}",
+            scheme.name(),
+            fluid,
+            pkt,
+            fluid - pkt
+        );
+    }
+    let detail = run_packet_level(&scenario, &cfg, Scheme::Proposed, &seeds, 0);
+    let _ = writeln!(
+        out,
+        "proposed run 0: {} units delivered, {} expired, {} retransmissions, {} base-layer outages",
+        detail.delivered_units,
+        detail.expired_units,
+        detail.retransmissions,
+        detail.base_layer_losses
+    );
+    out
+}
+
+/// Shared η sweep for Figs. 4(c) and 6(a).
+fn utilization_sweep(opts: &ExperimentOpts, interfering: bool) -> Vec<Series> {
+    let base = opts.base_config();
+    let schemes: &[Scheme] = if interfering {
+        &Scheme::WITH_BOUND
+    } else {
+        &Scheme::PAPER_TRIO
+    };
+    let points: Vec<(f64, SimConfig, Scenario)> = [0.3, 0.4, 0.5, 0.6, 0.7]
+        .iter()
+        .map(|eta| {
+            let cfg = base.with_utilization(*eta);
+            let scenario = if interfering {
+                Scenario::interfering_fig5(&cfg)
+            } else {
+                Scenario::single_fbs(&cfg)
+            };
+            (*eta, cfg, scenario)
+        })
+        .collect();
+    sweep(&points, schemes, opts.runs, opts.seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentOpts {
+        ExperimentOpts {
+            runs: 2,
+            gops: 2,
+            seed: 7,
+            csv: false,
+        }
+    }
+
+    #[test]
+    fn fig3_prints_all_rows() {
+        let out = fig3(&tiny());
+        for needle in ["Bus", "Mobile", "Harbor", "mean", "Jain", "Proposed scheme"] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn fig4a_prints_a_trace() {
+        let out = fig4a(&tiny());
+        assert!(out.contains("lambda0"));
+        assert!(out.contains("converged:"));
+        assert!(out.lines().count() > 5);
+    }
+
+    #[test]
+    fn sweeps_have_five_points() {
+        let out = fig4b(&tiny());
+        // Header + 5 data rows + title.
+        assert_eq!(out.lines().count(), 7, "got:\n{out}");
+    }
+
+    #[test]
+    fn csv_mode_emits_csv_for_sweeps() {
+        let opts = ExperimentOpts { csv: true, ..tiny() };
+        let out = fig4b(&opts);
+        assert!(out.contains("M,Proposed scheme mean,Proposed scheme ci95"), "{out}");
+        assert!(out.contains(','));
+    }
+
+    #[test]
+    fn packet_validation_prints_all_schemes() {
+        let out = packet(&tiny());
+        for needle in ["Proposed scheme", "Heuristic 1", "Heuristic 2", "base-layer"] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn scale_study_prints_all_sizes() {
+        let out = scale(&tiny());
+        for n in ["   2", "   4", "   6", "   8"] {
+            assert!(out.contains(n), "missing N={n} row in:\n{out}");
+        }
+        assert!(out.contains("gain/eq23"));
+    }
+
+    #[test]
+    fn ablation_table_covers_all_variants() {
+        let out = ablation(&tiny());
+        for needle in [
+            "belief-tracking",
+            "hard-threshold",
+            "first-observation",
+            "greedy (Table III)",
+            "exhaustive optimum",
+            "round-robin",
+            "eq.(23)",
+        ] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn fig6_experiments_include_the_bound() {
+        let out = fig6c(&tiny());
+        assert!(out.contains("Upper bound"));
+        assert!(out.contains("Proposed scheme"));
+    }
+}

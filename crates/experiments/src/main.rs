@@ -1,0 +1,86 @@
+//! Regenerates every figure of Hu & Mao (ICDCS 2011).
+//!
+//! Usage: `experiments <fig3|fig4a|fig4b|fig4c|fig6a|fig6b|fig6c|all> [--runs N] [--gops N]`
+//!
+//! Each subcommand prints the same rows/series the paper plots; see
+//! EXPERIMENTS.md for paper-vs-measured commentary.
+
+use fcr_experiments::{ablation, packet, scale, fig3, fig4a, fig4b, fig4c, fig6a, fig6b, fig6c, ExperimentOpts};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = args.first() else {
+        eprintln!("usage: experiments <fig3|fig4a|fig4b|fig4c|fig6a|fig6b|fig6c|ablation|scale|packet|all> [--runs N] [--gops N] [--seed N] [--csv]");
+        return ExitCode::FAILURE;
+    };
+
+    let mut opts = ExperimentOpts::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--runs" => {
+                opts.runs = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--runs needs a positive integer");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--gops" => {
+                opts.gops = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--gops needs a positive integer");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--csv" => {
+                opts.csv = true;
+                i += 1;
+            }
+            "--seed" => {
+                opts.seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match which.as_str() {
+        "fig3" => print!("{}", fig3(&opts)),
+        "fig4a" => print!("{}", fig4a(&opts)),
+        "fig4b" => print!("{}", fig4b(&opts)),
+        "fig4c" => print!("{}", fig4c(&opts)),
+        "fig6a" => print!("{}", fig6a(&opts)),
+        "fig6b" => print!("{}", fig6b(&opts)),
+        "fig6c" => print!("{}", fig6c(&opts)),
+        "ablation" => print!("{}", ablation(&opts)),
+        "scale" => print!("{}", scale(&opts)),
+        "packet" => print!("{}", packet(&opts)),
+        "all" => {
+            for (name, out) in [
+                ("fig3", fig3(&opts)),
+                ("fig4a", fig4a(&opts)),
+                ("fig4b", fig4b(&opts)),
+                ("fig4c", fig4c(&opts)),
+                ("fig6a", fig6a(&opts)),
+                ("fig6b", fig6b(&opts)),
+                ("fig6c", fig6c(&opts)),
+            ] {
+                println!("==================== {name} ====================");
+                print!("{out}");
+                println!();
+            }
+        }
+        other => {
+            eprintln!("unknown experiment {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

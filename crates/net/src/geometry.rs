@@ -1,0 +1,104 @@
+//! Planar geometry for node placement.
+
+use std::fmt;
+
+/// A point in the deployment plane, in metres.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_net::geometry::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// x coordinate in metres.
+    pub x: f64,
+    /// y coordinate in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared distance (avoids the square root for comparisons).
+    pub fn distance_squared(&self, other: Point) -> f64 {
+        (self.x - other.x).powi(2) + (self.y - other.y).powi(2)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pythagorean_distance() {
+        assert_eq!(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0);
+        assert_eq!(Point::ORIGIN.distance(Point::ORIGIN), 0.0);
+    }
+
+    #[test]
+    fn squared_distance_consistent() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert!((a.distance_squared(b) - a.distance(b).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let p: Point = (2.0, 3.0).into();
+        assert_eq!(p, Point::new(2.0, 3.0));
+        assert_eq!(format!("{p}"), "(2.0, 3.0)");
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(
+            x1 in -1e3..1e3f64, y1 in -1e3..1e3f64,
+            x2 in -1e3..1e3f64, y2 in -1e3..1e3f64,
+        ) {
+            let a = Point::new(x1, y1);
+            let b = Point::new(x2, y2);
+            prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn triangle_inequality(
+            x1 in -1e3..1e3f64, y1 in -1e3..1e3f64,
+            x2 in -1e3..1e3f64, y2 in -1e3..1e3f64,
+            x3 in -1e3..1e3f64, y3 in -1e3..1e3f64,
+        ) {
+            let a = Point::new(x1, y1);
+            let b = Point::new(x2, y2);
+            let c = Point::new(x3, y3);
+            prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Canonical deployment scenarios from the paper's figures, plus a
+//! random-topology generator for stress tests.
+
+use crate::geometry::Point;
+use crate::node::{CrUser, Fbs};
+use crate::topology::Topology;
+use rand::{Rng, RngExt};
+
+/// Scenario A (Section V-A): a single FBS serving `num_users` CR users
+/// inside its coverage, with the MBS at the area center.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_net::scenarios::single_fbs;
+///
+/// let topo = single_fbs(3);
+/// assert_eq!(topo.num_fbss(), 1);
+/// assert_eq!(topo.num_users(), 3);
+/// assert_eq!(topo.interference_graph().max_degree(), 0);
+/// ```
+pub fn single_fbs(num_users: usize) -> Topology {
+    let fbs_center = Point::new(80.0, 0.0);
+    let users = ring_of_users(fbs_center, 12.0, num_users);
+    Topology::new(
+        Point::ORIGIN,
+        vec![Fbs::new(fbs_center, 30.0)],
+        users,
+    )
+}
+
+/// Scenario B (Section V-B / Fig. 5): three FBSs in a line where FBS 1–2
+/// and FBS 2–3 coverages overlap but 1–3 do not — the path interference
+/// graph of Fig. 5 — with `users_per_fbs` users around each FBS.
+pub fn paper_fig5_with_users(users_per_fbs: usize) -> Topology {
+    let centers = [
+        Point::new(-45.0, 0.0),
+        Point::new(0.0, 0.0),
+        Point::new(45.0, 0.0),
+    ];
+    let mut users = Vec::new();
+    for c in centers {
+        users.extend(ring_of_users(c, 10.0, users_per_fbs));
+    }
+    Topology::new(
+        Point::new(0.0, 120.0),
+        centers.iter().map(|&c| Fbs::new(c, 28.0)).collect(),
+        users,
+    )
+}
+
+/// Scenario B with the paper's three users per FBS.
+pub fn paper_fig5() -> Topology {
+    paper_fig5_with_users(3)
+}
+
+/// The illustrative Fig. 1 layout: four FBSs, where only FBSs 3 and 4
+/// (0-indexed: 2 and 3) overlap, reproducing the Fig. 2 interference
+/// graph.
+pub fn paper_fig1(users_per_fbs: usize) -> Topology {
+    let centers = [
+        Point::new(-100.0, 60.0),
+        Point::new(100.0, 60.0),
+        Point::new(-20.0, -60.0),
+        Point::new(20.0, -60.0),
+    ];
+    let mut users = Vec::new();
+    for c in centers {
+        users.extend(ring_of_users(c, 10.0, users_per_fbs));
+    }
+    Topology::new(
+        Point::ORIGIN,
+        centers.iter().map(|&c| Fbs::new(c, 28.0)).collect(),
+        users,
+    )
+}
+
+/// Uniformly random deployment inside a square of the given side:
+/// `num_fbss` femtocells of radius `coverage`, each with
+/// `users_per_fbs` users placed uniformly inside its disk.
+pub fn random_topology<R: Rng + ?Sized>(
+    num_fbss: usize,
+    users_per_fbs: usize,
+    side: f64,
+    coverage: f64,
+    rng: &mut R,
+) -> Topology {
+    assert!(side > 0.0 && coverage > 0.0, "side and coverage must be positive");
+    let mut fbss = Vec::with_capacity(num_fbss);
+    let mut users = Vec::new();
+    for _ in 0..num_fbss {
+        let c = Point::new(
+            rng.random_range(-side / 2.0..side / 2.0),
+            rng.random_range(-side / 2.0..side / 2.0),
+        );
+        fbss.push(Fbs::new(c, coverage));
+        for _ in 0..users_per_fbs {
+            // Uniform in the disk via rejection-free polar sampling.
+            let r = coverage * 0.9 * rng.random::<f64>().sqrt();
+            let theta = rng.random_range(0.0..std::f64::consts::TAU);
+            users.push(CrUser::new(Point::new(
+                c.x + r * theta.cos(),
+                c.y + r * theta.sin(),
+            )));
+        }
+    }
+    Topology::new(Point::ORIGIN, fbss, users)
+}
+
+/// Places `n` users evenly on a circle of radius `r` around `center`.
+fn ring_of_users(center: Point, r: f64, n: usize) -> Vec<CrUser> {
+    (0..n)
+        .map(|k| {
+            let theta = std::f64::consts::TAU * k as f64 / n.max(1) as f64;
+            CrUser::new(Point::new(
+                center.x + r * theta.cos(),
+                center.y + r * theta.sin(),
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{FbsId, UserId};
+    use fcr_stats::rng::SeedSequence;
+
+    #[test]
+    fn single_fbs_covers_all_users() {
+        let t = single_fbs(3);
+        for j in 0..3 {
+            assert_eq!(t.association(UserId(j)), Some(FbsId(0)), "user {j}");
+        }
+        assert_eq!(t.interference_graph().max_degree(), 0);
+    }
+
+    #[test]
+    fn fig5_builds_the_path_graph() {
+        let t = paper_fig5();
+        let g = t.interference_graph();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(
+            g.edges(),
+            vec![(FbsId(0), FbsId(1)), (FbsId(1), FbsId(2))],
+            "1–2 and 2–3 overlap, 1–3 does not (Fig. 5)"
+        );
+        assert_eq!(g.max_degree(), 2);
+        // Three users per FBS, all associated with their own FBS.
+        for i in 0..3 {
+            assert_eq!(t.users_of(FbsId(i)).len(), 3, "fbs {i}");
+        }
+    }
+
+    #[test]
+    fn fig1_reproduces_fig2_interference_graph() {
+        let t = paper_fig1(2);
+        let g = t.interference_graph();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.edges(), vec![(FbsId(2), FbsId(3))]);
+        assert_eq!(g.max_degree(), 1);
+        assert_eq!(t.num_users(), 8);
+    }
+
+    #[test]
+    fn random_topology_is_deterministic_and_covered() {
+        let mut rng = SeedSequence::new(1).stream("topo", 0);
+        let t = random_topology(4, 3, 300.0, 30.0, &mut rng);
+        assert_eq!(t.num_fbss(), 4);
+        assert_eq!(t.num_users(), 12);
+        // Every user was placed strictly inside some FBS disk, so all
+        // users are associated.
+        for j in 0..t.num_users() {
+            assert!(t.association(UserId(j)).is_some(), "user {j} uncovered");
+        }
+        let mut rng2 = SeedSequence::new(1).stream("topo", 0);
+        let t2 = random_topology(4, 3, 300.0, 30.0, &mut rng2);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn ring_distributes_users() {
+        let users = ring_of_users(Point::ORIGIN, 10.0, 4);
+        assert_eq!(users.len(), 4);
+        for u in &users {
+            assert!((u.position().distance(Point::ORIGIN) - 10.0).abs() < 1e-9);
+        }
+    }
+}

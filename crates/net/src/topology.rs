@@ -1,0 +1,341 @@
+//! Node placement and the nearest-FBS association rule.
+//!
+//! "Assume each CR user knows the nearest FBS and is associated with
+//! it" (Section IV-B). Users outside every FBS's coverage can only be
+//! served by the MBS on the common channel.
+
+use crate::geometry::Point;
+use crate::interference::InterferenceGraph;
+use crate::node::{CrUser, Fbs, FbsId, UserId};
+
+/// A deployed femtocell CR network: MBS, FBSs, users, and the derived
+/// association and interference structures.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_net::topology::Topology;
+/// use fcr_net::node::{CrUser, Fbs, FbsId};
+/// use fcr_net::geometry::Point;
+///
+/// let topo = Topology::new(
+///     Point::ORIGIN,
+///     vec![Fbs::new(Point::new(-50.0, 0.0), 30.0), Fbs::new(Point::new(50.0, 0.0), 30.0)],
+///     vec![CrUser::new(Point::new(-45.0, 5.0)), CrUser::new(Point::new(48.0, -3.0))],
+/// );
+/// assert_eq!(topo.association(fcr_net::node::UserId(0)), Some(FbsId(0)));
+/// assert_eq!(topo.association(fcr_net::node::UserId(1)), Some(FbsId(1)));
+/// assert!(topo.interference_graph().edges().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    mbs_position: Point,
+    fbss: Vec<Fbs>,
+    users: Vec<CrUser>,
+    association: Vec<Option<FbsId>>,
+}
+
+impl Topology {
+    /// Builds a topology and computes the nearest-covering-FBS
+    /// association for every user.
+    pub fn new(mbs_position: Point, fbss: Vec<Fbs>, users: Vec<CrUser>) -> Self {
+        let association = users
+            .iter()
+            .map(|u| {
+                fbss.iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.covers(u.position()))
+                    .min_by(|(_, a), (_, b)| {
+                        let da = a.position().distance(u.position());
+                        let db = b.position().distance(u.position());
+                        da.partial_cmp(&db).expect("distances are not NaN")
+                    })
+                    .map(|(i, _)| FbsId(i))
+            })
+            .collect();
+        Self {
+            mbs_position,
+            fbss,
+            users,
+            association,
+        }
+    }
+
+    /// MBS position.
+    pub fn mbs_position(&self) -> Point {
+        self.mbs_position
+    }
+
+    /// Number of FBSs (`N`).
+    pub fn num_fbss(&self) -> usize {
+        self.fbss.len()
+    }
+
+    /// Number of CR users (`K`).
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// All FBSs in id order.
+    pub fn fbss(&self) -> &[Fbs] {
+        &self.fbss
+    }
+
+    /// All users in id order.
+    pub fn users(&self) -> &[CrUser] {
+        &self.users
+    }
+
+    /// One FBS record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn fbs(&self, id: FbsId) -> &Fbs {
+        &self.fbss[id.0]
+    }
+
+    /// One user record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn user(&self, id: UserId) -> &CrUser {
+        &self.users[id.0]
+    }
+
+    /// The FBS user `id` is associated with, or `None` when the user is
+    /// outside all femtocell coverage (MBS-only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn association(&self, id: UserId) -> Option<FbsId> {
+        self.association[id.0]
+    }
+
+    /// The user set `U_i` of FBS `i`.
+    pub fn users_of(&self, fbs: FbsId) -> Vec<UserId> {
+        self.association
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == Some(fbs))
+            .map(|(j, _)| UserId(j))
+            .collect()
+    }
+
+    /// Distance from user `id` to the MBS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn distance_to_mbs(&self, id: UserId) -> f64 {
+        self.users[id.0].position().distance(self.mbs_position)
+    }
+
+    /// Distance from user `id` to FBS `fbs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn distance_to_fbs(&self, id: UserId, fbs: FbsId) -> f64 {
+        self.users[id.0].position().distance(self.fbss[fbs.0].position())
+    }
+
+    /// Derives the interference graph from coverage overlaps: FBSs whose
+    /// disks overlap cannot reuse a channel (Definition 1 applied to
+    /// Fig. 1's geometry). This is the *protocol* interference model.
+    pub fn interference_graph(&self) -> InterferenceGraph {
+        let mut edges = Vec::new();
+        for i in 0..self.fbss.len() {
+            for j in (i + 1)..self.fbss.len() {
+                if self.fbss[i].overlaps(&self.fbss[j]) {
+                    edges.push((FbsId(i), FbsId(j)));
+                }
+            }
+        }
+        InterferenceGraph::new(self.fbss.len(), &edges)
+    }
+
+    /// Derives the interference graph from the *physical* model: FBSs
+    /// `i` and `j` interfere when the power FBS `i` would land at the
+    /// cell edge of FBS `j` (its nearest point to `i`) is within
+    /// `margin_db` of the serving power there — i.e. co-channel
+    /// transmission would push a cell-edge user's carrier-to-
+    /// interference ratio below the margin.
+    ///
+    /// `path_loss_db(distance_m)` is the propagation model (e.g.
+    /// `fcr_spectrum::fading::PathLoss::loss_db`), assumed common to
+    /// both links; transmit powers are assumed equal across FBSs, so
+    /// only the geometry matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin_db` is negative.
+    pub fn interference_graph_physical(
+        &self,
+        path_loss_db: impl Fn(f64) -> f64,
+        margin_db: f64,
+    ) -> InterferenceGraph {
+        assert!(margin_db >= 0.0, "C/I margin must be nonnegative");
+        let mut edges = Vec::new();
+        for i in 0..self.fbss.len() {
+            for j in (i + 1)..self.fbss.len() {
+                let d = self.fbss[i].position().distance(self.fbss[j].position());
+                // Worst-case victim: a user at the edge of cell j on the
+                // segment toward i (and symmetrically for cell i).
+                let edge_ij = (d - self.fbss[j].coverage_radius()).max(0.0);
+                let edge_ji = (d - self.fbss[i].coverage_radius()).max(0.0);
+                let ci_at_j =
+                    path_loss_db(edge_ij) - path_loss_db(self.fbss[j].coverage_radius());
+                let ci_at_i =
+                    path_loss_db(edge_ji) - path_loss_db(self.fbss[i].coverage_radius());
+                if ci_at_j < margin_db || ci_at_i < margin_db {
+                    edges.push((FbsId(i), FbsId(j)));
+                }
+            }
+        }
+        InterferenceGraph::new(self.fbss.len(), &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cell_topology() -> Topology {
+        Topology::new(
+            Point::ORIGIN,
+            vec![
+                Fbs::new(Point::new(-50.0, 0.0), 30.0),
+                Fbs::new(Point::new(50.0, 0.0), 30.0),
+            ],
+            vec![
+                CrUser::new(Point::new(-45.0, 5.0)),
+                CrUser::new(Point::new(48.0, -3.0)),
+                CrUser::new(Point::new(0.0, 200.0)), // out of all coverage
+            ],
+        )
+    }
+
+    #[test]
+    fn association_picks_nearest_covering_fbs() {
+        let t = two_cell_topology();
+        assert_eq!(t.association(UserId(0)), Some(FbsId(0)));
+        assert_eq!(t.association(UserId(1)), Some(FbsId(1)));
+        assert_eq!(t.association(UserId(2)), None, "uncovered user is MBS-only");
+    }
+
+    #[test]
+    fn users_of_partitions_covered_users() {
+        let t = two_cell_topology();
+        assert_eq!(t.users_of(FbsId(0)), vec![UserId(0)]);
+        assert_eq!(t.users_of(FbsId(1)), vec![UserId(1)]);
+        let covered: usize = (0..t.num_fbss()).map(|i| t.users_of(FbsId(i)).len()).sum();
+        assert_eq!(covered, 2);
+    }
+
+    #[test]
+    fn overlapping_user_goes_to_nearest() {
+        let t = Topology::new(
+            Point::ORIGIN,
+            vec![
+                Fbs::new(Point::new(-10.0, 0.0), 30.0),
+                Fbs::new(Point::new(10.0, 0.0), 30.0),
+            ],
+            vec![CrUser::new(Point::new(3.0, 0.0))], // covered by both, nearer FBS 1
+        );
+        assert_eq!(t.association(UserId(0)), Some(FbsId(1)));
+    }
+
+    #[test]
+    fn distances() {
+        let t = two_cell_topology();
+        assert!((t.distance_to_mbs(UserId(2)) - 200.0).abs() < 1e-9);
+        assert!((t.distance_to_fbs(UserId(0), FbsId(0)) - 50f64.hypot(0.0) + 50.0).abs() < 10.0);
+        assert!(t.distance_to_fbs(UserId(0), FbsId(0)) < t.distance_to_fbs(UserId(0), FbsId(1)));
+    }
+
+    #[test]
+    fn interference_graph_from_overlaps() {
+        // Far apart: no edges.
+        let t = two_cell_topology();
+        assert!(t.interference_graph().edges().is_empty());
+
+        // Overlapping pair: one edge.
+        let t2 = Topology::new(
+            Point::ORIGIN,
+            vec![
+                Fbs::new(Point::new(0.0, 0.0), 30.0),
+                Fbs::new(Point::new(40.0, 0.0), 30.0),
+            ],
+            vec![],
+        );
+        let g = t2.interference_graph();
+        assert_eq!(g.edges(), vec![(FbsId(0), FbsId(1))]);
+    }
+
+    #[test]
+    fn physical_interference_model_tracks_distance() {
+        // Simple log-distance loss: 37 + 30·log10(d), clamped at 1 m.
+        let pl = |d: f64| 37.0 + 30.0 * d.max(1.0).log10();
+        let build = |gap: f64| {
+            Topology::new(
+                Point::ORIGIN,
+                vec![
+                    Fbs::new(Point::new(0.0, 0.0), 20.0),
+                    Fbs::new(Point::new(gap, 0.0), 20.0),
+                ],
+                vec![],
+            )
+        };
+        // Far apart: the interferer is much weaker than the server at the
+        // cell edge — no edge at a 10 dB margin.
+        let far = build(300.0).interference_graph_physical(pl, 10.0);
+        assert!(far.edges().is_empty());
+        // Close: cell-edge users see strong co-channel power — edge.
+        let near = build(50.0).interference_graph_physical(pl, 10.0);
+        assert_eq!(near.edges(), vec![(FbsId(0), FbsId(1))]);
+        // A zero margin only flags overlapping-or-touching cells.
+        let zero = build(300.0).interference_graph_physical(pl, 0.0);
+        assert!(zero.edges().is_empty());
+    }
+
+    #[test]
+    fn physical_model_is_at_least_as_strict_as_protocol_on_overlap() {
+        // Overlapping disks ⇒ a victim can sit arbitrarily close to the
+        // interferer ⇒ the physical model must also flag the pair for
+        // any positive margin.
+        let pl = |d: f64| 37.0 + 30.0 * d.max(1.0).log10();
+        let t = Topology::new(
+            Point::ORIGIN,
+            vec![
+                Fbs::new(Point::new(0.0, 0.0), 30.0),
+                Fbs::new(Point::new(40.0, 0.0), 30.0),
+            ],
+            vec![],
+        );
+        assert_eq!(t.interference_graph().edges().len(), 1, "protocol model");
+        let physical = t.interference_graph_physical(pl, 6.0);
+        assert_eq!(physical.edges().len(), 1, "physical model agrees");
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn negative_margin_panics() {
+        let t = two_cell_topology();
+        let _ = t.interference_graph_physical(|d| d, -1.0);
+    }
+
+    #[test]
+    fn counts_and_accessors() {
+        let t = two_cell_topology();
+        assert_eq!(t.num_fbss(), 2);
+        assert_eq!(t.num_users(), 3);
+        assert_eq!(t.mbs_position(), Point::ORIGIN);
+        assert_eq!(t.fbss().len(), 2);
+        assert_eq!(t.users().len(), 3);
+        assert_eq!(t.fbs(FbsId(0)).coverage_radius(), 30.0);
+        assert_eq!(t.user(UserId(2)).position(), Point::new(0.0, 200.0));
+    }
+}

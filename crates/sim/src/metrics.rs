@@ -1,0 +1,139 @@
+//! Per-run results and their aggregation.
+
+use fcr_stats::ci::{ConfidenceInterval, Level};
+use fcr_stats::fairness;
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Mean Y-PSNR (dB) per user, averaged over completed GOPs — the
+    /// quantity the paper's figures plot.
+    pub per_user_psnr: Vec<f64>,
+    /// Fraction of channel-slots where CR transmission collided with a
+    /// primary user (must stay ≤ γ).
+    pub collision_rate: f64,
+    /// Mean `G_t` (expected available channels) over slots.
+    pub mean_expected_available: f64,
+    /// Mean of the greedy objective `Q(π_L)` over interfering slots
+    /// (`None` outside the proposed scheme / interfering scenarios).
+    pub mean_greedy_objective: Option<f64>,
+    /// Mean of the eq.-(23) upper bound over interfering slots.
+    pub mean_eq23_bound: Option<f64>,
+}
+
+impl RunResult {
+    /// Mean Y-PSNR over all users.
+    pub fn mean_psnr(&self) -> f64 {
+        if self.per_user_psnr.is_empty() {
+            return 0.0;
+        }
+        self.per_user_psnr.iter().sum::<f64>() / self.per_user_psnr.len() as f64
+    }
+
+    /// Jain fairness index of the per-user PSNRs.
+    pub fn jain_index(&self) -> Option<f64> {
+        fairness::jain_index(&self.per_user_psnr)
+    }
+}
+
+/// Aggregate of several runs of one scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeSummary {
+    /// Per-user mean-PSNR confidence intervals (user-id order).
+    pub per_user: Vec<ConfidenceInterval>,
+    /// Overall mean-PSNR confidence interval.
+    pub overall: ConfidenceInterval,
+    /// Collision-rate confidence interval.
+    pub collision: ConfidenceInterval,
+    /// Mean Jain index across runs.
+    pub jain: f64,
+}
+
+impl SchemeSummary {
+    /// Aggregates run results (the paper's 10-run averages with 95%
+    /// confidence intervals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty or runs disagree on the user count.
+    pub fn from_runs(runs: &[RunResult]) -> Self {
+        assert!(!runs.is_empty(), "need at least one run");
+        let k = runs[0].per_user_psnr.len();
+        assert!(
+            runs.iter().all(|r| r.per_user_psnr.len() == k),
+            "runs disagree on user count"
+        );
+        let per_user = (0..k)
+            .map(|j| {
+                let samples: Vec<f64> = runs.iter().map(|r| r.per_user_psnr[j]).collect();
+                ConfidenceInterval::from_samples(&samples, Level::P95)
+            })
+            .collect();
+        let overall_samples: Vec<f64> = runs.iter().map(RunResult::mean_psnr).collect();
+        let collision_samples: Vec<f64> = runs.iter().map(|r| r.collision_rate).collect();
+        let jains: Vec<f64> = runs.iter().filter_map(RunResult::jain_index).collect();
+        let jain = if jains.is_empty() {
+            0.0
+        } else {
+            jains.iter().sum::<f64>() / jains.len() as f64
+        };
+        Self {
+            per_user,
+            overall: ConfidenceInterval::from_samples(&overall_samples, Level::P95),
+            collision: ConfidenceInterval::from_samples(&collision_samples, Level::P95),
+            jain,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(psnrs: &[f64], collision: f64) -> RunResult {
+        RunResult {
+            per_user_psnr: psnrs.to_vec(),
+            collision_rate: collision,
+            mean_expected_available: 2.0,
+            mean_greedy_objective: None,
+            mean_eq23_bound: None,
+        }
+    }
+
+    #[test]
+    fn mean_and_jain() {
+        let r = run(&[30.0, 34.0, 38.0], 0.1);
+        assert!((r.mean_psnr() - 34.0).abs() < 1e-12);
+        let j = r.jain_index().unwrap();
+        assert!(j > 0.98 && j <= 1.0);
+        assert_eq!(run(&[], 0.0).mean_psnr(), 0.0);
+        assert_eq!(run(&[], 0.0).jain_index(), None);
+    }
+
+    #[test]
+    fn summary_aggregates_across_runs() {
+        let runs = vec![
+            run(&[30.0, 34.0], 0.10),
+            run(&[31.0, 35.0], 0.12),
+            run(&[32.0, 33.0], 0.11),
+        ];
+        let s = SchemeSummary::from_runs(&runs);
+        assert_eq!(s.per_user.len(), 2);
+        assert!((s.per_user[0].mean() - 31.0).abs() < 1e-12);
+        assert!((s.overall.mean() - 32.5).abs() < 1e-12);
+        assert!(s.collision.contains(0.11));
+        assert!(s.jain > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn empty_runs_panic() {
+        let _ = SchemeSummary::from_runs(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn mismatched_user_counts_panic() {
+        let _ = SchemeSummary::from_runs(&[run(&[30.0], 0.1), run(&[30.0, 31.0], 0.1)]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Rendering helpers for experiment results: the Fig. 3-style
+//! per-user/per-scheme tables, shared by the `experiments` binary and
+//! downstream users of the library.
+
+use crate::metrics::SchemeSummary;
+use crate::scheme::Scheme;
+use std::fmt::Write as _;
+
+/// Renders a per-user comparison table (rows = users + mean + Jain,
+/// columns = schemes), the layout of the paper's Fig. 3.
+///
+/// `user_labels` names the rows; every summary must cover the same
+/// number of users.
+///
+/// # Panics
+///
+/// Panics if the inputs disagree on user counts or the scheme/summary
+/// lists differ in length.
+pub fn per_user_table(
+    user_labels: &[String],
+    schemes: &[Scheme],
+    summaries: &[SchemeSummary],
+) -> String {
+    assert_eq!(schemes.len(), summaries.len(), "one summary per scheme");
+    for s in summaries {
+        assert_eq!(
+            s.per_user.len(),
+            user_labels.len(),
+            "summary covers a different user count"
+        );
+    }
+    let mut out = String::new();
+    let _ = write!(out, "{:>12}", "User");
+    for s in schemes {
+        let _ = write!(out, " {:>24}", s.name());
+    }
+    let _ = writeln!(out);
+    for (j, label) in user_labels.iter().enumerate() {
+        let _ = write!(out, "{label:>12}");
+        for s in summaries {
+            let ci = &s.per_user[j];
+            let _ = write!(out, " {:>15.2} ± {:>5.2}", ci.mean(), ci.half_width());
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:>12}", "mean");
+    for s in summaries {
+        let _ = write!(
+            out,
+            " {:>15.2} ± {:>5.2}",
+            s.overall.mean(),
+            s.overall.half_width()
+        );
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:>12}", "Jain");
+    for s in summaries {
+        let _ = write!(out, " {:>23.4}", s.jain);
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Renders a compact scheme-summary list (mean ± CI, collision rate,
+/// Jain) — the quickstart-style report.
+pub fn scheme_list(schemes: &[Scheme], summaries: &[SchemeSummary]) -> String {
+    assert_eq!(schemes.len(), summaries.len(), "one summary per scheme");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>14} {:>12} {:>8}",
+        "Scheme", "mean Y-PSNR", "collisions", "Jain"
+    );
+    for (scheme, s) in schemes.iter().zip(summaries) {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>7.2} ± {:<4.2} {:>12.4} {:>8.4}",
+            scheme.name(),
+            s.overall.mean(),
+            s.overall.half_width(),
+            s.collision.mean(),
+            s.jain
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RunResult;
+
+    fn summary() -> SchemeSummary {
+        let runs = vec![
+            RunResult {
+                per_user_psnr: vec![34.0, 30.0],
+                collision_rate: 0.18,
+                mean_expected_available: 2.0,
+                mean_greedy_objective: None,
+                mean_eq23_bound: None,
+            },
+            RunResult {
+                per_user_psnr: vec![35.0, 31.0],
+                collision_rate: 0.19,
+                mean_expected_available: 2.1,
+                mean_greedy_objective: None,
+                mean_eq23_bound: None,
+            },
+        ];
+        SchemeSummary::from_runs(&runs)
+    }
+
+    #[test]
+    fn per_user_table_has_all_rows_and_columns() {
+        let labels = vec!["1 (Bus)".to_string(), "2 (Mobile)".to_string()];
+        let out = per_user_table(&labels, &[Scheme::Proposed], &[summary()]);
+        assert!(out.contains("Proposed scheme"));
+        assert!(out.contains("1 (Bus)"));
+        assert!(out.contains("2 (Mobile)"));
+        assert!(out.contains("mean"));
+        assert!(out.contains("Jain"));
+        assert_eq!(out.lines().count(), 5);
+        assert!(out.contains("34.50"), "per-user mean rendered:\n{out}");
+    }
+
+    #[test]
+    fn scheme_list_has_one_row_per_scheme() {
+        let out = scheme_list(
+            &[Scheme::Proposed, Scheme::Heuristic1],
+            &[summary(), summary()],
+        );
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.contains("Heuristic 1"));
+        assert!(out.contains("0.185"), "collision mean rendered:\n{out}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one summary per scheme")]
+    fn mismatched_lengths_panic() {
+        let _ = scheme_list(&[Scheme::Proposed], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different user count")]
+    fn mismatched_user_counts_panic() {
+        let labels = vec!["only one".to_string()];
+        let _ = per_user_table(&labels, &[Scheme::Proposed], &[summary()]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Multi-run experiments: the paper's "each point is the average of 10
+//! simulation runs" with 95% confidence intervals, parallel across
+//! runs.
+
+use crate::config::SimConfig;
+use crate::engine::run_once;
+use crate::metrics::{RunResult, SchemeSummary};
+use crate::scenario::Scenario;
+use crate::scheme::Scheme;
+use fcr_stats::rng::SeedSequence;
+use fcr_stats::series::Series;
+
+/// A repeated-runs experiment of several schemes on one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experiment {
+    scenario: Scenario,
+    config: SimConfig,
+    runs: u64,
+    master_seed: u64,
+}
+
+impl Experiment {
+    /// Creates an experiment with the paper's 10 runs.
+    pub fn new(scenario: Scenario, config: SimConfig, master_seed: u64) -> Self {
+        Self {
+            scenario,
+            config,
+            runs: 10,
+            master_seed,
+        }
+    }
+
+    /// Overrides the number of runs (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is zero.
+    pub fn runs(mut self, runs: u64) -> Self {
+        assert!(runs > 0, "need at least one run");
+        self.runs = runs;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The scenario in use.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Executes all runs of one scheme, in parallel across runs.
+    ///
+    /// Seeds are derived per `(scheme, run)`, so the primary-user and
+    /// fading sample paths are **identical across schemes** (common
+    /// random numbers — the comparison noise the paper's figures would
+    /// otherwise carry is removed).
+    pub fn run_scheme(&self, scheme: Scheme) -> Vec<RunResult> {
+        let seeds = SeedSequence::new(self.master_seed);
+        let mut results: Vec<Option<RunResult>> = vec![None; self.runs as usize];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for run in 0..self.runs {
+                let scenario = &self.scenario;
+                let config = &self.config;
+                handles.push((
+                    run,
+                    scope.spawn(move || run_once(scenario, config, scheme, &seeds, run)),
+                ));
+            }
+            for (run, h) in handles {
+                results[run as usize] = Some(h.join().expect("simulation thread panicked"));
+            }
+        });
+        results.into_iter().map(|r| r.expect("all runs filled")).collect()
+    }
+
+    /// Runs a scheme and aggregates (mean ± 95% CI).
+    pub fn summarize(&self, scheme: Scheme) -> SchemeSummary {
+        SchemeSummary::from_runs(&self.run_scheme(scheme))
+    }
+}
+
+/// Sweeps a parameter: for each `(x, config, scenario)` point, runs all
+/// `schemes` and returns one [`Series`] per scheme with the mean
+/// Y-PSNR samples at every x (the exact layout of Figs. 4(b), 4(c),
+/// 6(a), 6(b), 6(c)).
+pub fn sweep(
+    points: &[(f64, SimConfig, Scenario)],
+    schemes: &[Scheme],
+    runs: u64,
+    master_seed: u64,
+) -> Vec<Series> {
+    let mut series: Vec<Series> = schemes.iter().map(|s| Series::new(s.name())).collect();
+    for (x, cfg, scenario) in points {
+        let experiment = Experiment::new(scenario.clone(), *cfg, master_seed).runs(runs);
+        for (scheme, out) in schemes.iter().zip(series.iter_mut()) {
+            let samples: Vec<f64> = experiment
+                .run_scheme(*scheme)
+                .iter()
+                .map(RunResult::mean_psnr)
+                .collect();
+            out.push(*x, samples);
+        }
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Experiment {
+        let cfg = SimConfig {
+            gops: 3,
+            ..SimConfig::default()
+        };
+        Experiment::new(Scenario::single_fbs(&cfg), cfg, 77).runs(3)
+    }
+
+    #[test]
+    fn run_scheme_is_deterministic_and_ordered() {
+        let e = quick();
+        let a = e.run_scheme(Scheme::Proposed);
+        let b = e.run_scheme(Scheme::Proposed);
+        assert_eq!(a, b, "same seed, same results");
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn schemes_share_sample_paths() {
+        // Common random numbers: the collision rate (a function of the
+        // primary/sensing/access randomness only, not the allocation)
+        // must be identical across schemes for the same run index.
+        let e = quick();
+        let p = e.run_scheme(Scheme::Proposed);
+        let h = e.run_scheme(Scheme::Heuristic1);
+        for (a, b) in p.iter().zip(&h) {
+            assert_eq!(a.collision_rate, b.collision_rate);
+            assert_eq!(a.mean_expected_available, b.mean_expected_available);
+        }
+    }
+
+    #[test]
+    fn summarize_produces_cis() {
+        let s = quick().summarize(Scheme::Proposed);
+        assert_eq!(s.per_user.len(), 3);
+        assert!(s.overall.mean() > 25.0);
+        assert!(s.jain > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_panics() {
+        let _ = quick().runs(0);
+    }
+
+    #[test]
+    fn sweep_builds_aligned_series() {
+        let base = SimConfig {
+            gops: 2,
+            ..SimConfig::default()
+        };
+        let points: Vec<(f64, SimConfig, Scenario)> = [4usize, 6]
+            .iter()
+            .map(|m| {
+                let cfg = SimConfig {
+                    num_channels: *m,
+                    ..base
+                };
+                (*m as f64, cfg, Scenario::single_fbs(&cfg))
+            })
+            .collect();
+        let series = sweep(&points, &[Scheme::Proposed, Scheme::Heuristic1], 2, 5);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].name(), "Proposed scheme");
+        assert_eq!(series[0].len(), 2);
+        assert_eq!(series[1].len(), 2);
+    }
+}

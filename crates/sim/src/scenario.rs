@@ -1,0 +1,386 @@
+//! Simulation scenarios: which users stream which sequences from which
+//! femtocell, over which links, under which interference graph.
+
+use crate::config::SimConfig;
+use fcr_net::interference::InterferenceGraph;
+use fcr_net::node::FbsId;
+use fcr_net::topology::Topology;
+use fcr_spectrum::fading::{BlockFadingLink, NakagamiBlockFading, PathLoss, RayleighBlockFading};
+use fcr_video::sequences::Sequence;
+
+/// Radio-link budget used when deriving per-user SINRs from a
+/// geometric [`Topology`] instead of hand-set values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioParams {
+    /// MBS transmit power in dBm.
+    pub mbs_tx_dbm: f64,
+    /// FBS transmit power in dBm (femtocells transmit at low power).
+    pub fbs_tx_dbm: f64,
+    /// Noise-plus-interference floor in dBm.
+    pub noise_dbm: f64,
+    /// Path-loss model for the outdoor MBS → user links.
+    pub mbs_path_loss: PathLoss,
+    /// Path-loss model for the indoor FBS → user links.
+    pub fbs_path_loss: PathLoss,
+}
+
+impl Default for RadioParams {
+    fn default() -> Self {
+        Self {
+            mbs_tx_dbm: 33.0,
+            fbs_tx_dbm: 10.0,
+            noise_dbm: -95.0,
+            // Outdoor macro: exponent 3.5, 38 dB at 1 m.
+            mbs_path_loss: PathLoss::new(3.5, 38.0, 1.0).expect("preset valid"),
+            // Indoor femto: exponent 3.0, 37 dB at 1 m.
+            fbs_path_loss: PathLoss::new(3.0, 37.0, 1.0).expect("preset valid"),
+        }
+    }
+}
+
+/// One streaming CR user.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserSpec {
+    /// The video sequence streamed to this user.
+    pub sequence: Sequence,
+    /// The femtocell the user is associated with.
+    pub fbs: FbsId,
+    /// MBS → user fading link.
+    pub mbs_link: BlockFadingLink,
+    /// FBS → user fading link.
+    pub fbs_link: BlockFadingLink,
+}
+
+/// A complete simulation scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Interference graph over the FBSs.
+    pub graph: InterferenceGraph,
+    /// The streaming users.
+    pub users: Vec<UserSpec>,
+}
+
+impl Scenario {
+    /// Scenario A (Section V-A): one FBS, three users streaming Bus,
+    /// Mobile, and Harbor.
+    pub fn single_fbs(cfg: &SimConfig) -> Self {
+        Self::single_fbs_with_users(cfg, &Sequence::PAPER_TRIO)
+    }
+
+    /// Single FBS with an arbitrary set of streams.
+    pub fn single_fbs_with_users(cfg: &SimConfig, sequences: &[Sequence]) -> Self {
+        let users = sequences
+            .iter()
+            .enumerate()
+            .map(|(j, seq)| UserSpec {
+                sequence: *seq,
+                fbs: FbsId(0),
+                mbs_link: link(cfg.mean_sinr_mbs, cfg, j),
+                fbs_link: link(cfg.mean_sinr_fbs, cfg, j),
+            })
+            .collect();
+        Self {
+            graph: InterferenceGraph::edgeless(1),
+            users,
+        }
+    }
+
+    /// The paper's illustrative Fig. 1 network: four FBSs where only
+    /// FBSs 3 and 4 (ids 2 and 3) overlap — the Fig. 2 interference
+    /// graph with `D_max = 1`, for which Theorem 2 guarantees the
+    /// greedy reaches at least half the optimal gain.
+    pub fn fig1(cfg: &SimConfig) -> Self {
+        let graph = InterferenceGraph::new(4, &[(FbsId(2), FbsId(3))]);
+        let mut users = Vec::new();
+        for i in 0..4 {
+            for (k, seq) in Sequence::PAPER_TRIO.iter().enumerate() {
+                let j = i * 3 + k;
+                users.push(UserSpec {
+                    sequence: *seq,
+                    fbs: FbsId(i),
+                    mbs_link: link(cfg.mean_sinr_mbs, cfg, j),
+                    fbs_link: link(cfg.mean_sinr_fbs, cfg, j),
+                });
+            }
+        }
+        Self { graph, users }
+    }
+
+    /// Scenario B (Section V-B / Fig. 5): three FBSs in a path
+    /// interference graph (1–2 and 2–3 overlap), three users per FBS,
+    /// each FBS streaming the paper's three sequences.
+    pub fn interfering_fig5(cfg: &SimConfig) -> Self {
+        let graph = InterferenceGraph::new(3, &[(FbsId(0), FbsId(1)), (FbsId(1), FbsId(2))]);
+        let mut users = Vec::new();
+        for i in 0..3 {
+            for (k, seq) in Sequence::PAPER_TRIO.iter().enumerate() {
+                let j = i * 3 + k;
+                users.push(UserSpec {
+                    sequence: *seq,
+                    fbs: FbsId(i),
+                    mbs_link: link(cfg.mean_sinr_mbs, cfg, j),
+                    fbs_link: link(cfg.mean_sinr_fbs, cfg, j),
+                });
+            }
+        }
+        Self { graph, users }
+    }
+
+    /// Builds a scenario from a geometric [`Topology`]: per-user mean
+    /// SINRs follow the link budget in `radio` and the node distances;
+    /// the interference graph comes from the coverage overlaps; video
+    /// sequences are cycled over users in `sequences` order.
+    ///
+    /// Users outside every femtocell's coverage are attached to the
+    /// *nearest* FBS anyway — their FBS link is simply weak, so the
+    /// allocator will route them to the MBS, which is the physically
+    /// correct outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no FBSs or no users, or `sequences`
+    /// is empty.
+    pub fn from_topology(
+        topology: &Topology,
+        sequences: &[Sequence],
+        radio: &RadioParams,
+        cfg: &SimConfig,
+    ) -> Self {
+        assert!(topology.num_fbss() > 0, "topology needs at least one FBS");
+        assert!(topology.num_users() > 0, "topology needs at least one user");
+        assert!(!sequences.is_empty(), "need at least one sequence");
+
+        let users = (0..topology.num_users())
+            .map(|j| {
+                let uid = fcr_net::node::UserId(j);
+                let fbs = topology.association(uid).unwrap_or_else(|| {
+                    // Nearest FBS regardless of coverage.
+                    (0..topology.num_fbss())
+                        .map(FbsId)
+                        .min_by(|a, b| {
+                            topology
+                                .distance_to_fbs(uid, *a)
+                                .partial_cmp(&topology.distance_to_fbs(uid, *b))
+                                .expect("distances are not NaN")
+                        })
+                        .expect("at least one FBS")
+                });
+                let mbs_sinr = radio.mbs_path_loss.mean_sinr(
+                    radio.mbs_tx_dbm,
+                    radio.noise_dbm,
+                    topology.distance_to_mbs(uid),
+                );
+                let fbs_sinr = radio.fbs_path_loss.mean_sinr(
+                    radio.fbs_tx_dbm,
+                    radio.noise_dbm,
+                    topology.distance_to_fbs(uid, fbs),
+                );
+                UserSpec {
+                    sequence: sequences[j % sequences.len()],
+                    fbs,
+                    mbs_link: build_link(mbs_sinr, cfg),
+                    fbs_link: build_link(fbs_sinr, cfg),
+                }
+            })
+            .collect();
+        Self {
+            graph: topology.interference_graph(),
+            users,
+        }
+    }
+
+    /// Number of users `K`.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of FBSs `N`.
+    pub fn num_fbss(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Returns `true` when at least two FBSs interfere — the case that
+    /// needs the greedy channel allocation of Table III.
+    pub fn has_interference(&self) -> bool {
+        self.graph.max_degree() > 0
+    }
+}
+
+/// Builds a fading link with a deterministic per-user SINR spread so
+/// users are not identical: some sit near their FBS, some at the cell
+/// edge. The spread is what makes quality-blind multiuser diversity
+/// sticky (the strong user keeps winning the slot).
+fn link(mean_sinr: f64, cfg: &SimConfig, user_index: usize) -> BlockFadingLink {
+    // Spread factors cycle through {1.0, 0.6, 1.4}.
+    let factor = match user_index % 3 {
+        0 => 1.0,
+        1 => 0.6,
+        _ => 1.4,
+    };
+    build_link(mean_sinr * factor, cfg)
+}
+
+/// Builds a fading link at the configured Nakagami shape (`m = 1` is
+/// the paper's Rayleigh model and uses the Rayleigh type directly, so
+/// baseline sample paths are unchanged).
+fn build_link(mean_sinr: f64, cfg: &SimConfig) -> BlockFadingLink {
+    if (cfg.nakagami_m - 1.0).abs() < 1e-12 {
+        RayleighBlockFading::new(mean_sinr, cfg.sinr_threshold, cfg.shadowing_sigma_db)
+            .expect("config SINRs are positive")
+            .into()
+    } else {
+        NakagamiBlockFading::new(
+            cfg.nakagami_m,
+            mean_sinr,
+            cfg.sinr_threshold,
+            cfg.shadowing_sigma_db,
+        )
+        .expect("config SINRs are positive")
+        .into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_fbs_scenario_matches_paper() {
+        let s = Scenario::single_fbs(&SimConfig::default());
+        assert_eq!(s.num_users(), 3);
+        assert_eq!(s.num_fbss(), 1);
+        assert!(!s.has_interference());
+        assert_eq!(
+            s.users.iter().map(|u| u.sequence.name()).collect::<Vec<_>>(),
+            vec!["Bus", "Mobile", "Harbor"]
+        );
+        assert!(s.users.iter().all(|u| u.fbs == FbsId(0)));
+    }
+
+    #[test]
+    fn fig5_scenario_matches_paper() {
+        let s = Scenario::interfering_fig5(&SimConfig::default());
+        assert_eq!(s.num_users(), 9);
+        assert_eq!(s.num_fbss(), 3);
+        assert!(s.has_interference());
+        assert_eq!(s.graph.max_degree(), 2);
+        for i in 0..3 {
+            let count = s.users.iter().filter(|u| u.fbs == FbsId(i)).count();
+            assert_eq!(count, 3, "fbs {i} should serve 3 users");
+        }
+    }
+
+    #[test]
+    fn links_differ_across_users() {
+        let s = Scenario::single_fbs(&SimConfig::default());
+        let sinrs: Vec<f64> = s.users.iter().map(|u| u.fbs_link.mean_sinr()).collect();
+        assert!(sinrs[0] != sinrs[1] && sinrs[1] != sinrs[2]);
+        // MBS links are weaker than FBS links for every user.
+        for u in &s.users {
+            assert!(u.mbs_link.mean_sinr() < u.fbs_link.mean_sinr());
+        }
+    }
+
+    #[test]
+    fn fig1_matches_the_papers_illustration() {
+        let s = Scenario::fig1(&SimConfig::default());
+        assert_eq!(s.num_fbss(), 4);
+        assert_eq!(s.num_users(), 12);
+        assert_eq!(s.graph.edges(), vec![(FbsId(2), FbsId(3))]);
+        assert_eq!(s.graph.max_degree(), 1, "Theorem 2 bound: 1/2");
+        assert!(s.has_interference());
+    }
+
+    #[test]
+    fn from_topology_derives_links_from_geometry() {
+        let cfg = SimConfig::default();
+        let topo = fcr_net::scenarios::paper_fig5();
+        let scenario = Scenario::from_topology(
+            &topo,
+            &Sequence::PAPER_TRIO,
+            &RadioParams::default(),
+            &cfg,
+        );
+        assert_eq!(scenario.num_users(), 9);
+        assert_eq!(scenario.num_fbss(), 3);
+        // The geometric path graph carries over.
+        assert_eq!(scenario.graph.max_degree(), 2);
+        // Every user's FBS link beats its MBS link (femto is near, the
+        // MBS is 120 m away).
+        for u in &scenario.users {
+            assert!(
+                u.fbs_link.mean_sinr() > u.mbs_link.mean_sinr(),
+                "femto link should dominate: {u:?}"
+            );
+        }
+        // Sequences cycle.
+        assert_eq!(scenario.users[0].sequence, Sequence::Bus);
+        assert_eq!(scenario.users[3].sequence, Sequence::Bus);
+        assert_eq!(scenario.users[4].sequence, Sequence::Mobile);
+    }
+
+    #[test]
+    fn from_topology_attaches_uncovered_users_to_the_nearest_fbs() {
+        use fcr_net::geometry::Point;
+        use fcr_net::node::{CrUser, Fbs};
+        let cfg = SimConfig::default();
+        let topo = fcr_net::topology::Topology::new(
+            Point::ORIGIN,
+            vec![
+                Fbs::new(Point::new(-50.0, 0.0), 20.0),
+                Fbs::new(Point::new(50.0, 0.0), 20.0),
+            ],
+            vec![CrUser::new(Point::new(20.0, 0.0))], // outside both disks
+        );
+        let scenario = Scenario::from_topology(
+            &topo,
+            &[Sequence::Bus],
+            &RadioParams::default(),
+            &cfg,
+        );
+        // Nearest is FBS 1 (30 m vs 70 m).
+        assert_eq!(scenario.users[0].fbs, FbsId(1));
+    }
+
+    #[test]
+    fn geometric_scenario_runs_end_to_end() {
+        let cfg = SimConfig {
+            gops: 2,
+            ..SimConfig::default()
+        };
+        let topo = fcr_net::scenarios::single_fbs(3);
+        let scenario = Scenario::from_topology(
+            &topo,
+            &Sequence::PAPER_TRIO,
+            &RadioParams::default(),
+            &cfg,
+        );
+        let r = crate::engine::run_once(
+            &scenario,
+            &cfg,
+            crate::scheme::Scheme::Proposed,
+            &fcr_stats::rng::SeedSequence::new(3),
+            0,
+        );
+        assert_eq!(r.per_user_psnr.len(), 3);
+        assert!(r.mean_psnr() > 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sequence")]
+    fn from_topology_rejects_empty_sequences() {
+        let cfg = SimConfig::default();
+        let topo = fcr_net::scenarios::single_fbs(2);
+        let _ = Scenario::from_topology(&topo, &[], &RadioParams::default(), &cfg);
+    }
+
+    #[test]
+    fn custom_sequences() {
+        let s = Scenario::single_fbs_with_users(
+            &SimConfig::default(),
+            &[Sequence::Foreman, Sequence::News],
+        );
+        assert_eq!(s.num_users(), 2);
+        assert_eq!(s.users[1].sequence, Sequence::News);
+    }
+}

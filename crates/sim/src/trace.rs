@@ -1,0 +1,140 @@
+//! Per-slot simulation traces: the full storyboard of what happened in
+//! every phase of every slot, for debugging, visualization, and the
+//! worked examples.
+
+use fcr_core::allocation::Allocation;
+
+/// Everything that happened in one time slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotRecord {
+    /// Absolute slot index.
+    pub slot: u64,
+    /// Ground truth: which licensed channels were actually idle.
+    pub true_idle: Vec<bool>,
+    /// Fused availability posteriors `P^A_m`.
+    pub posteriors: Vec<f64>,
+    /// Indices of the channels in the available set `A(t)`.
+    pub accessed: Vec<usize>,
+    /// `G_t`: expected available channels.
+    pub expected_available: f64,
+    /// Number of accessed channels that were actually busy (collisions
+    /// with primary users).
+    pub collisions: usize,
+    /// The slot's time-share allocation.
+    pub allocation: Allocation,
+    /// Realized idle-channel count per FBS.
+    pub realized_g: Vec<f64>,
+    /// Quality credited to each user this slot (dB; zero on loss or no
+    /// allocation).
+    pub delivered_db: Vec<f64>,
+    /// Per-user GOP quality recorded at this slot's deadline, if the
+    /// slot closed a GOP.
+    pub completed_gop_db: Vec<Option<f64>>,
+}
+
+/// A whole run's slot records.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimTrace {
+    records: Vec<SlotRecord>,
+}
+
+impl SimTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one slot's record.
+    pub fn push(&mut self, record: SlotRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in slot order.
+    pub fn records(&self) -> &[SlotRecord] {
+        &self.records
+    }
+
+    /// Number of recorded slots.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total collisions across the trace.
+    pub fn total_collisions(&self) -> usize {
+        self.records.iter().map(|r| r.collisions).sum()
+    }
+
+    /// Total quality delivered to one user across the trace (dB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range for any record.
+    pub fn total_delivered(&self, user: usize) -> f64 {
+        self.records.iter().map(|r| r.delivered_db[user]).sum()
+    }
+
+    /// Mean `G_t` across the trace; 0.0 when empty.
+    pub fn mean_expected_available(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.expected_available).sum::<f64>()
+            / self.records.len() as f64
+    }
+
+    /// All completed-GOP qualities of one user, in order.
+    pub fn gop_history(&self, user: usize) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter_map(|r| r.completed_gop_db[user])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(slot: u64, delivered: f64, gop: Option<f64>) -> SlotRecord {
+        SlotRecord {
+            slot,
+            true_idle: vec![true, false],
+            posteriors: vec![0.8, 0.3],
+            accessed: vec![0],
+            expected_available: 0.8,
+            collisions: usize::from(slot.is_multiple_of(2)),
+            allocation: Allocation::idle(1),
+            realized_g: vec![1.0],
+            delivered_db: vec![delivered],
+            completed_gop_db: vec![gop],
+        }
+    }
+
+    #[test]
+    fn accumulates_records_and_statistics() {
+        let mut trace = SimTrace::new();
+        assert!(trace.is_empty());
+        trace.push(record(0, 0.5, None));
+        trace.push(record(1, 0.7, Some(34.0)));
+        trace.push(record(2, 0.0, None));
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.total_collisions(), 2);
+        assert!((trace.total_delivered(0) - 1.2).abs() < 1e-12);
+        assert!((trace.mean_expected_available() - 0.8).abs() < 1e-12);
+        assert_eq!(trace.gop_history(0), vec![34.0]);
+        assert_eq!(trace.records()[1].slot, 1);
+    }
+
+    #[test]
+    fn empty_trace_statistics() {
+        let trace = SimTrace::new();
+        assert_eq!(trace.mean_expected_available(), 0.0);
+        assert_eq!(trace.total_collisions(), 0);
+        assert!(trace.gop_history(0).is_empty());
+    }
+}

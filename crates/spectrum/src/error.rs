@@ -1,0 +1,101 @@
+//! Error type for spectrum-model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a spectrum model is constructed with an invalid
+/// parameter (a probability outside `[0, 1]`, a non-positive bandwidth,
+/// and so on).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpectrumError {
+    /// A probability parameter was outside `[0, 1]`.
+    InvalidProbability {
+        /// Name of the offending parameter (paper notation, e.g. `"epsilon"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A parameter that must be strictly positive was not.
+    NonPositive {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A Markov chain was configured with both transition probabilities
+    /// zero, which has no unique stationary distribution.
+    DegenerateChain,
+}
+
+impl fmt::Display for SpectrumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpectrumError::InvalidProbability { name, value } => {
+                write!(f, "probability `{name}` must be in [0, 1], got {value}")
+            }
+            SpectrumError::NonPositive { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+            SpectrumError::DegenerateChain => {
+                write!(f, "markov chain with p01 = p10 = 0 has no unique stationary distribution")
+            }
+        }
+    }
+}
+
+impl Error for SpectrumError {}
+
+/// Validates that `value` is a probability in `[0, 1]`.
+pub(crate) fn check_probability(name: &'static str, value: f64) -> Result<f64, SpectrumError> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(SpectrumError::InvalidProbability { name, value })
+    }
+}
+
+/// Validates that `value` is strictly positive and finite.
+pub(crate) fn check_positive(name: &'static str, value: f64) -> Result<f64, SpectrumError> {
+    if value > 0.0 && value.is_finite() {
+        Ok(value)
+    } else {
+        Err(SpectrumError::NonPositive { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_bounds() {
+        assert!(check_probability("x", 0.0).is_ok());
+        assert!(check_probability("x", 1.0).is_ok());
+        assert!(check_probability("x", -0.1).is_err());
+        assert!(check_probability("x", 1.1).is_err());
+        assert!(check_probability("x", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn positivity() {
+        assert!(check_positive("x", 1e-9).is_ok());
+        assert!(check_positive("x", 0.0).is_err());
+        assert!(check_positive("x", -2.0).is_err());
+        assert!(check_positive("x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn display_mentions_parameter_name() {
+        let err = check_probability("epsilon", 2.0).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("epsilon"));
+        assert!(msg.contains('2'));
+        assert!(!format!("{:?}", SpectrumError::DegenerateChain).is_empty());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<SpectrumError>();
+    }
+}

@@ -1,0 +1,242 @@
+//! Maximum-likelihood estimation of the primary-user Markov model from
+//! observed occupancy sequences.
+//!
+//! The paper takes `(P01, P10)` as given, citing the measurement
+//! studies of Motamedi & Bahai and Geirhofer et al. for the two-state
+//! Markov structure. This module is the operational counterpart: fit
+//! those parameters from monitored channel states, so deployments can
+//! calibrate the model the allocator relies on.
+
+use crate::error::SpectrumError;
+use crate::markov::{ChannelState, TwoStateMarkov};
+
+/// Transition counts accumulated from an observed state sequence.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_spectrum::estimation::TransitionCounts;
+/// use fcr_spectrum::markov::ChannelState::{Busy, Idle};
+///
+/// let mut counts = TransitionCounts::new();
+/// counts.observe_sequence(&[Idle, Busy, Idle, Idle, Busy]);
+/// assert_eq!(counts.transitions(), 4);
+/// let chain = counts.mle()?;
+/// assert!(chain.p01() > 0.0 && chain.p10() > 0.0);
+/// # Ok::<(), fcr_spectrum::SpectrumError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransitionCounts {
+    idle_to_idle: u64,
+    idle_to_busy: u64,
+    busy_to_idle: u64,
+    busy_to_busy: u64,
+}
+
+impl TransitionCounts {
+    /// Creates empty counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observed transition.
+    pub fn observe(&mut self, from: ChannelState, to: ChannelState) {
+        match (from, to) {
+            (ChannelState::Idle, ChannelState::Idle) => self.idle_to_idle += 1,
+            (ChannelState::Idle, ChannelState::Busy) => self.idle_to_busy += 1,
+            (ChannelState::Busy, ChannelState::Idle) => self.busy_to_idle += 1,
+            (ChannelState::Busy, ChannelState::Busy) => self.busy_to_busy += 1,
+        }
+    }
+
+    /// Records every consecutive pair of a state sequence.
+    pub fn observe_sequence(&mut self, states: &[ChannelState]) {
+        for w in states.windows(2) {
+            self.observe(w[0], w[1]);
+        }
+    }
+
+    /// Total transitions observed.
+    pub fn transitions(&self) -> u64 {
+        self.idle_to_idle + self.idle_to_busy + self.busy_to_idle + self.busy_to_busy
+    }
+
+    /// Transitions that left the idle state.
+    pub fn from_idle(&self) -> u64 {
+        self.idle_to_idle + self.idle_to_busy
+    }
+
+    /// Transitions that left the busy state.
+    pub fn from_busy(&self) -> u64 {
+        self.busy_to_idle + self.busy_to_busy
+    }
+
+    /// Merges another set of counts (e.g. from a second monitoring
+    /// period or another sensor).
+    pub fn merge(&mut self, other: &TransitionCounts) {
+        self.idle_to_idle += other.idle_to_idle;
+        self.idle_to_busy += other.idle_to_busy;
+        self.busy_to_idle += other.busy_to_idle;
+        self.busy_to_busy += other.busy_to_busy;
+    }
+
+    /// Maximum-likelihood estimate: `P̂01 = n(0→1)/n(0→·)`,
+    /// `P̂10 = n(1→0)/n(1→·)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectrumError::DegenerateChain`] when either state was
+    /// never observed as a source (the MLE is undefined there) or both
+    /// estimated probabilities are zero.
+    pub fn mle(&self) -> Result<TwoStateMarkov, SpectrumError> {
+        if self.from_idle() == 0 || self.from_busy() == 0 {
+            return Err(SpectrumError::DegenerateChain);
+        }
+        let p01 = self.idle_to_busy as f64 / self.from_idle() as f64;
+        let p10 = self.busy_to_idle as f64 / self.from_busy() as f64;
+        TwoStateMarkov::new(p01, p10)
+    }
+
+    /// MLE with add-one (Laplace) smoothing: always defined, biased
+    /// toward 1/2 for scarce data. Useful while a monitor is warming up.
+    pub fn smoothed_mle(&self) -> TwoStateMarkov {
+        let p01 = (self.idle_to_busy + 1) as f64 / (self.from_idle() + 2) as f64;
+        let p10 = (self.busy_to_idle + 1) as f64 / (self.from_busy() + 2) as f64;
+        TwoStateMarkov::new(p01, p10).expect("smoothed estimates are in (0, 1)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcr_stats::rng::SeedSequence;
+
+    #[test]
+    fn hand_counted_sequence() {
+        use ChannelState::{Busy, Idle};
+        let mut c = TransitionCounts::new();
+        c.observe_sequence(&[Idle, Busy, Busy, Idle, Idle]);
+        // Transitions: I→B, B→B, B→I, I→I.
+        assert_eq!(c.transitions(), 4);
+        assert_eq!(c.from_idle(), 2);
+        assert_eq!(c.from_busy(), 2);
+        let chain = c.mle().unwrap();
+        assert!((chain.p01() - 0.5).abs() < 1e-12);
+        assert!((chain.p10() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mle_recovers_the_true_chain_from_a_long_trace() {
+        let truth = TwoStateMarkov::new(0.4, 0.3).unwrap();
+        let mut rng = SeedSequence::new(71).stream("estimation", 0);
+        let mut state = truth.sample_stationary(&mut rng);
+        let mut counts = TransitionCounts::new();
+        for _ in 0..200_000 {
+            let next = truth.step(state, &mut rng);
+            counts.observe(state, next);
+            state = next;
+        }
+        let estimate = counts.mle().unwrap();
+        assert!((estimate.p01() - 0.4).abs() < 0.01, "p01 {}", estimate.p01());
+        assert!((estimate.p10() - 0.3).abs() < 0.01, "p10 {}", estimate.p10());
+        assert!((estimate.utilization() - truth.utilization()).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_sources_are_rejected() {
+        use ChannelState::Idle;
+        let mut c = TransitionCounts::new();
+        assert_eq!(c.mle().unwrap_err(), SpectrumError::DegenerateChain);
+        c.observe_sequence(&[Idle, Idle, Idle]);
+        // Never left busy: still degenerate.
+        assert_eq!(c.mle().unwrap_err(), SpectrumError::DegenerateChain);
+        // Smoothed version is always defined.
+        let s = c.smoothed_mle();
+        assert!(s.p01() > 0.0 && s.p10() > 0.0);
+    }
+
+    #[test]
+    fn smoothing_shrinks_toward_half() {
+        use ChannelState::{Busy, Idle};
+        let mut c = TransitionCounts::new();
+        c.observe(Idle, Busy);
+        c.observe(Busy, Busy);
+        // Raw MLE: p01 = 1.0, p10 = 0.0; smoothed pulls both inward.
+        let s = c.smoothed_mle();
+        assert!((s.p01() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.p10() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_joint_counting() {
+        use ChannelState::{Busy, Idle};
+        let seq = [Idle, Busy, Idle, Idle, Busy, Busy, Idle];
+        let mut joint = TransitionCounts::new();
+        joint.observe_sequence(&seq);
+        let mut a = TransitionCounts::new();
+        a.observe_sequence(&seq[..4]);
+        let mut b = TransitionCounts::new();
+        b.observe_sequence(&seq[3..]);
+        a.merge(&b);
+        assert_eq!(a, joint);
+    }
+
+    #[test]
+    fn short_sequences_are_handled() {
+        let mut c = TransitionCounts::new();
+        c.observe_sequence(&[]);
+        c.observe_sequence(&[ChannelState::Idle]);
+        assert_eq!(c.transitions(), 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn to_states(bits: &[bool]) -> Vec<ChannelState> {
+            bits.iter()
+                .map(|b| if *b { ChannelState::Busy } else { ChannelState::Idle })
+                .collect()
+        }
+
+        proptest! {
+            #[test]
+            fn counts_match_sequence_length(bits in proptest::collection::vec(proptest::bool::ANY, 0..200)) {
+                let mut c = TransitionCounts::new();
+                c.observe_sequence(&to_states(&bits));
+                prop_assert_eq!(c.transitions() as usize, bits.len().saturating_sub(1));
+                prop_assert_eq!(c.from_idle() + c.from_busy(), c.transitions());
+            }
+
+            #[test]
+            fn mle_probabilities_are_valid(bits in proptest::collection::vec(proptest::bool::ANY, 2..200)) {
+                let mut c = TransitionCounts::new();
+                c.observe_sequence(&to_states(&bits));
+                if let Ok(chain) = c.mle() {
+                    prop_assert!((0.0..=1.0).contains(&chain.p01()));
+                    prop_assert!((0.0..=1.0).contains(&chain.p10()));
+                }
+                // The smoothed estimate is always strictly interior.
+                let s = c.smoothed_mle();
+                prop_assert!(s.p01() > 0.0 && s.p01() < 1.0);
+                prop_assert!(s.p10() > 0.0 && s.p10() < 1.0);
+            }
+
+            #[test]
+            fn merge_commutes(
+                a_bits in proptest::collection::vec(proptest::bool::ANY, 2..60),
+                b_bits in proptest::collection::vec(proptest::bool::ANY, 2..60),
+            ) {
+                let mut a1 = TransitionCounts::new();
+                a1.observe_sequence(&to_states(&a_bits));
+                let mut b1 = TransitionCounts::new();
+                b1.observe_sequence(&to_states(&b_bits));
+                let mut ab = a1;
+                ab.merge(&b1);
+                let mut ba = b1;
+                ba.merge(&a1);
+                prop_assert_eq!(ab, ba);
+            }
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! Block-fading wireless links with SINR-threshold decoding
+//! (Section III-D, eq. (8)).
+//!
+//! The paper assumes independent block fading: the channel gain is
+//! constant within a time slot and independent across slots, and a packet
+//! from base station `i` to CR user `j` is decoded iff the received SINR
+//! exceeds a threshold `H`, so the per-slot loss probability is the SINR
+//! CDF at `H`:
+//!
+//! ```text
+//! P^F_{i,j} = Pr{X ≤ H} = F^{i,j}_X(H)                            (eq. 8)
+//! ```
+//!
+//! We realize this with a standard two-time-scale model:
+//!
+//! * **slow scale** (per slot): a log-normal shadowing multiplier, drawn
+//!   once per slot and known to the scheduler — this is what makes the
+//!   "channel condition" of Heuristics 1 and 2 vary across users and
+//!   slots (multiuser diversity);
+//! * **fast scale** (within a slot): Rayleigh fading, averaged
+//!   analytically into the conditional loss probability
+//!   `P^F(t) = 1 − exp(−H / (SINR̄ · shadow_t))` — the exponential-power
+//!   CDF evaluated at the threshold.
+//!
+//! Distances map to mean SINR through a log-distance path-loss model.
+
+use crate::error::{check_positive, check_probability, SpectrumError};
+use rand::{Rng, RngExt};
+
+/// Log-distance path-loss model:
+/// `PL(d) = PL(d0) + 10·n·log10(d/d0)` dB.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_spectrum::fading::PathLoss;
+///
+/// // Indoor femtocell-ish: exponent 3, 37 dB at 1 m.
+/// let pl = PathLoss::new(3.0, 37.0, 1.0)?;
+/// let loss_10m = pl.loss_db(10.0);
+/// assert!((loss_10m - 67.0).abs() < 1e-9);
+/// # Ok::<(), fcr_spectrum::SpectrumError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathLoss {
+    exponent: f64,
+    reference_loss_db: f64,
+    reference_distance: f64,
+}
+
+impl PathLoss {
+    /// Creates a model with path-loss `exponent`, loss
+    /// `reference_loss_db` at `reference_distance` (metres).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `exponent` or `reference_distance` is not
+    /// strictly positive.
+    pub fn new(
+        exponent: f64,
+        reference_loss_db: f64,
+        reference_distance: f64,
+    ) -> Result<Self, SpectrumError> {
+        Ok(Self {
+            exponent: check_positive("exponent", exponent)?,
+            reference_loss_db,
+            reference_distance: check_positive("reference_distance", reference_distance)?,
+        })
+    }
+
+    /// Path loss in dB at distance `d` metres (clamped at the reference
+    /// distance so very small `d` does not produce gain).
+    pub fn loss_db(&self, d: f64) -> f64 {
+        let d = d.max(self.reference_distance);
+        self.reference_loss_db + 10.0 * self.exponent * (d / self.reference_distance).log10()
+    }
+
+    /// Mean received SINR (linear) for a transmitter at `tx_power_dbm`
+    /// over distance `d` with noise-plus-interference floor
+    /// `noise_dbm`.
+    pub fn mean_sinr(&self, tx_power_dbm: f64, noise_dbm: f64, d: f64) -> f64 {
+        let sinr_db = tx_power_dbm - self.loss_db(d) - noise_dbm;
+        10f64.powf(sinr_db / 10.0)
+    }
+}
+
+/// A fading link model: mean SINR, decoding threshold `H`, and
+/// shadowing spread.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_spectrum::fading::RayleighBlockFading;
+/// use rand::SeedableRng;
+///
+/// let link = RayleighBlockFading::new(20.0, 3.0, 4.0)?; // SINR̄=20, H=3, σ=4 dB
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let q = link.draw_slot(&mut rng);
+/// assert!(q.loss_probability() > 0.0 && q.loss_probability() < 1.0);
+/// # Ok::<(), fcr_spectrum::SpectrumError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RayleighBlockFading {
+    mean_sinr: f64,
+    threshold: f64,
+    shadowing_sigma_db: f64,
+}
+
+impl RayleighBlockFading {
+    /// Creates a link with mean SINR (linear), decoding threshold `H`
+    /// (linear), and log-normal shadowing standard deviation in dB
+    /// (0 disables the slow scale: every slot sees the same `P^F`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `mean_sinr` or `threshold` is not strictly
+    /// positive, or `shadowing_sigma_db` is negative.
+    pub fn new(
+        mean_sinr: f64,
+        threshold: f64,
+        shadowing_sigma_db: f64,
+    ) -> Result<Self, SpectrumError> {
+        if shadowing_sigma_db < 0.0 || !shadowing_sigma_db.is_finite() {
+            return Err(SpectrumError::NonPositive {
+                name: "shadowing_sigma_db",
+                value: shadowing_sigma_db,
+            });
+        }
+        Ok(Self {
+            mean_sinr: check_positive("mean_sinr", mean_sinr)?,
+            threshold: check_positive("threshold", threshold)?,
+            shadowing_sigma_db,
+        })
+    }
+
+    /// Mean SINR (linear).
+    pub fn mean_sinr(&self) -> f64 {
+        self.mean_sinr
+    }
+
+    /// Decoding threshold `H` (linear).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The marginal (all-fading-averaged) loss probability
+    /// `P^F = 1 − exp(−H / SINR̄)` of eq. (8) under pure Rayleigh fading
+    /// (ignoring shadowing).
+    pub fn marginal_loss_probability(&self) -> f64 {
+        1.0 - (-self.threshold / self.mean_sinr).exp()
+    }
+
+    /// Draws the slot's shadowing state and returns the conditional link
+    /// quality for the slot (constant within the slot, per the paper's
+    /// block-fading assumption).
+    pub fn draw_slot<R: Rng + ?Sized>(&self, rng: &mut R) -> LinkQuality {
+        let shadow = if self.shadowing_sigma_db == 0.0 {
+            1.0
+        } else {
+            let z = standard_normal(rng);
+            10f64.powf(z * self.shadowing_sigma_db / 10.0)
+        };
+        let conditional_mean = self.mean_sinr * shadow;
+        let pf = 1.0 - (-self.threshold / conditional_mean).exp();
+        LinkQuality::new(pf).expect("Rayleigh CDF is a probability")
+    }
+}
+
+/// Nakagami-m block-fading link: the standard generalization of
+/// Rayleigh fading (`m = 1`) toward line-of-sight-like channels
+/// (`m > 1`, shallower fades) or worse-than-Rayleigh scattering
+/// (`0.5 ≤ m < 1`).
+///
+/// The received power of a Nakagami-m channel is Gamma-distributed
+/// with shape `m` and mean SINR̄, so the eq.-(8) loss probability at
+/// threshold `H` is the regularized incomplete gamma function
+/// `P(m, m·H/SINR̄)`.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_spectrum::fading::{NakagamiBlockFading, RayleighBlockFading};
+///
+/// // m = 1 is exactly Rayleigh.
+/// let nak = NakagamiBlockFading::new(1.0, 20.0, 3.0, 0.0)?;
+/// let ray = RayleighBlockFading::new(20.0, 3.0, 0.0)?;
+/// assert!((nak.marginal_loss_probability() - ray.marginal_loss_probability()).abs() < 1e-12);
+/// // A line-of-sight-ish m = 4 link fades less below threshold.
+/// let los = NakagamiBlockFading::new(4.0, 20.0, 3.0, 0.0)?;
+/// assert!(los.marginal_loss_probability() < nak.marginal_loss_probability());
+/// # Ok::<(), fcr_spectrum::SpectrumError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NakagamiBlockFading {
+    m: f64,
+    mean_sinr: f64,
+    threshold: f64,
+    shadowing_sigma_db: f64,
+}
+
+impl NakagamiBlockFading {
+    /// Creates a link with Nakagami shape `m ≥ 0.5`, mean SINR
+    /// (linear), decoding threshold `H` (linear), and log-normal
+    /// shadowing spread in dB.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `m < 0.5` (the Nakagami shape's physical
+    /// lower limit), or the other parameters are invalid as in
+    /// [`RayleighBlockFading::new`].
+    pub fn new(
+        m: f64,
+        mean_sinr: f64,
+        threshold: f64,
+        shadowing_sigma_db: f64,
+    ) -> Result<Self, SpectrumError> {
+        if !(m >= 0.5 && m.is_finite()) {
+            return Err(SpectrumError::NonPositive {
+                name: "nakagami_m",
+                value: m,
+            });
+        }
+        // Reuse the Rayleigh constructor's validation for the rest.
+        let base = RayleighBlockFading::new(mean_sinr, threshold, shadowing_sigma_db)?;
+        Ok(Self {
+            m,
+            mean_sinr: base.mean_sinr,
+            threshold: base.threshold,
+            shadowing_sigma_db: base.shadowing_sigma_db,
+        })
+    }
+
+    /// The Nakagami shape parameter `m`.
+    pub fn m(&self) -> f64 {
+        self.m
+    }
+
+    /// Mean SINR (linear).
+    pub fn mean_sinr(&self) -> f64 {
+        self.mean_sinr
+    }
+
+    /// The marginal loss probability `P(m, m·H/SINR̄)` (eq. (8) with a
+    /// Gamma-distributed received power; `m = 1` reduces to the
+    /// Rayleigh expression).
+    pub fn marginal_loss_probability(&self) -> f64 {
+        fcr_stats::special::gamma_p(self.m, self.m * self.threshold / self.mean_sinr)
+    }
+
+    /// Draws the slot's shadowing state and returns the conditional
+    /// link quality (the Nakagami fast fading is averaged analytically,
+    /// mirroring [`RayleighBlockFading::draw_slot`]).
+    pub fn draw_slot<R: Rng + ?Sized>(&self, rng: &mut R) -> LinkQuality {
+        let shadow = if self.shadowing_sigma_db == 0.0 {
+            1.0
+        } else {
+            let z = standard_normal(rng);
+            10f64.powf(z * self.shadowing_sigma_db / 10.0)
+        };
+        let conditional_mean = self.mean_sinr * shadow;
+        let pf =
+            fcr_stats::special::gamma_p(self.m, self.m * self.threshold / conditional_mean);
+        LinkQuality::new(pf.clamp(0.0, 1.0)).expect("gamma CDF is a probability")
+    }
+}
+
+/// A block-fading link of either flavour, so deployments can mix
+/// Rayleigh (rich scattering) and Nakagami-m (e.g. near-LOS femtocell)
+/// links behind one type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BlockFadingLink {
+    /// Rayleigh fading (the paper's implicit model).
+    Rayleigh(RayleighBlockFading),
+    /// Nakagami-m fading.
+    Nakagami(NakagamiBlockFading),
+}
+
+impl BlockFadingLink {
+    /// Mean SINR (linear).
+    pub fn mean_sinr(&self) -> f64 {
+        match self {
+            BlockFadingLink::Rayleigh(l) => l.mean_sinr(),
+            BlockFadingLink::Nakagami(l) => l.mean_sinr(),
+        }
+    }
+
+    /// Marginal (all-fading-averaged) loss probability.
+    pub fn marginal_loss_probability(&self) -> f64 {
+        match self {
+            BlockFadingLink::Rayleigh(l) => l.marginal_loss_probability(),
+            BlockFadingLink::Nakagami(l) => l.marginal_loss_probability(),
+        }
+    }
+
+    /// Draws the slot's link quality.
+    pub fn draw_slot<R: Rng + ?Sized>(&self, rng: &mut R) -> LinkQuality {
+        match self {
+            BlockFadingLink::Rayleigh(l) => l.draw_slot(rng),
+            BlockFadingLink::Nakagami(l) => l.draw_slot(rng),
+        }
+    }
+}
+
+impl From<RayleighBlockFading> for BlockFadingLink {
+    fn from(l: RayleighBlockFading) -> Self {
+        BlockFadingLink::Rayleigh(l)
+    }
+}
+
+impl From<NakagamiBlockFading> for BlockFadingLink {
+    fn from(l: NakagamiBlockFading) -> Self {
+        BlockFadingLink::Nakagami(l)
+    }
+}
+
+/// A slot's realized link quality: the loss probability `P^F_{i,j}(t)`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct LinkQuality {
+    loss_probability: f64,
+}
+
+impl LinkQuality {
+    /// Creates a link quality from a loss probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectrumError::InvalidProbability`] if `loss_probability`
+    /// is outside `[0, 1]`.
+    pub fn new(loss_probability: f64) -> Result<Self, SpectrumError> {
+        Ok(Self {
+            loss_probability: check_probability("loss_probability", loss_probability)?,
+        })
+    }
+
+    /// A lossless link (`P^F = 0`); handy in tests.
+    pub fn perfect() -> Self {
+        Self {
+            loss_probability: 0.0,
+        }
+    }
+
+    /// The loss probability `P^F`.
+    pub fn loss_probability(&self) -> f64 {
+        self.loss_probability
+    }
+
+    /// The success probability `P̄^F = 1 − P^F` (the coefficient that
+    /// multiplies each log term in problem (12)).
+    pub fn success_probability(&self) -> f64 {
+        1.0 - self.loss_probability
+    }
+
+    /// Realizes the packet-loss indicator `ξ` for one transmission:
+    /// `true` means delivered.
+    pub fn realize<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.random_bool(self.success_probability())
+    }
+}
+
+/// Standard normal sample via Box–Muller (avoids a dependency on
+/// `rand_distr`, which is outside the approved crate list).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            let u2: f64 = rng.random();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcr_stats::descriptive::Summary;
+    use fcr_stats::rng::SeedSequence;
+    use proptest::prelude::*;
+
+    #[test]
+    fn path_loss_log_distance() {
+        let pl = PathLoss::new(3.0, 37.0, 1.0).unwrap();
+        assert!((pl.loss_db(1.0) - 37.0).abs() < 1e-12);
+        assert!((pl.loss_db(100.0) - 97.0).abs() < 1e-9);
+        // Below the reference distance: clamped, no gain.
+        assert!((pl.loss_db(0.01) - 37.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_loss_to_sinr() {
+        let pl = PathLoss::new(3.0, 37.0, 1.0).unwrap();
+        // 10 dBm tx, -80 dBm noise, 10 m → SINR = 10 − 67 + 80 = 23 dB.
+        let sinr = pl.mean_sinr(10.0, -80.0, 10.0);
+        assert!((10.0 * sinr.log10() - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_loss_validation() {
+        assert!(PathLoss::new(0.0, 37.0, 1.0).is_err());
+        assert!(PathLoss::new(3.0, 37.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn marginal_loss_matches_rayleigh_cdf() {
+        let link = RayleighBlockFading::new(10.0, 3.0, 0.0).unwrap();
+        let expected = 1.0 - (-0.3f64).exp();
+        assert!((link.marginal_loss_probability() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_shadowing_gives_constant_slots() {
+        let link = RayleighBlockFading::new(10.0, 3.0, 0.0).unwrap();
+        let mut rng = SeedSequence::new(3).stream("fading", 0);
+        let q1 = link.draw_slot(&mut rng);
+        let q2 = link.draw_slot(&mut rng);
+        assert_eq!(q1, q2);
+        assert!((q1.loss_probability() - link.marginal_loss_probability()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shadowing_varies_slots() {
+        let link = RayleighBlockFading::new(10.0, 3.0, 4.0).unwrap();
+        let mut rng = SeedSequence::new(3).stream("fading", 1);
+        let samples: Vec<f64> = (0..50)
+            .map(|_| link.draw_slot(&mut rng).loss_probability())
+            .collect();
+        let s: Summary = samples.iter().copied().collect();
+        assert!(s.sample_std_dev() > 0.0, "shadowing should vary P^F");
+        assert!(samples.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn better_sinr_means_fewer_losses() {
+        let weak = RayleighBlockFading::new(2.0, 3.0, 0.0).unwrap();
+        let strong = RayleighBlockFading::new(50.0, 3.0, 0.0).unwrap();
+        assert!(strong.marginal_loss_probability() < weak.marginal_loss_probability());
+    }
+
+    #[test]
+    fn link_quality_accessors_and_realize() {
+        let q = LinkQuality::new(0.25).unwrap();
+        assert_eq!(q.loss_probability(), 0.25);
+        assert_eq!(q.success_probability(), 0.75);
+        let mut rng = SeedSequence::new(4).stream("fading", 2);
+        let n = 100_000;
+        let delivered = (0..n).filter(|_| q.realize(&mut rng)).count();
+        let rate = delivered as f64 / n as f64;
+        assert!((rate - 0.75).abs() < 0.01, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn perfect_link_never_loses() {
+        let q = LinkQuality::perfect();
+        let mut rng = SeedSequence::new(4).stream("fading", 3);
+        assert!((0..1000).all(|_| q.realize(&mut rng)));
+    }
+
+    #[test]
+    fn link_quality_validation() {
+        assert!(LinkQuality::new(-0.1).is_err());
+        assert!(LinkQuality::new(1.1).is_err());
+        assert!(RayleighBlockFading::new(0.0, 3.0, 0.0).is_err());
+        assert!(RayleighBlockFading::new(10.0, 0.0, 0.0).is_err());
+        assert!(RayleighBlockFading::new(10.0, 3.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SeedSequence::new(5).stream("fading", 4);
+        let s: Summary = (0..100_000).map(|_| standard_normal(&mut rng)).collect();
+        assert!(s.mean().abs() < 0.02, "mean {}", s.mean());
+        assert!((s.sample_std_dev() - 1.0).abs() < 0.02, "sd {}", s.sample_std_dev());
+    }
+
+    #[test]
+    fn nakagami_m1_matches_rayleigh_slotwise() {
+        // Same σ, same RNG stream ⇒ identical per-slot loss probs.
+        let nak = NakagamiBlockFading::new(1.0, 12.0, 3.0, 3.0).unwrap();
+        let ray = RayleighBlockFading::new(12.0, 3.0, 3.0).unwrap();
+        let mut rng1 = SeedSequence::new(6).stream("nakagami", 0);
+        let mut rng2 = SeedSequence::new(6).stream("nakagami", 0);
+        for _ in 0..50 {
+            let a = nak.draw_slot(&mut rng1).loss_probability();
+            let b = ray.draw_slot(&mut rng2).loss_probability();
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn higher_m_means_shallower_fades_below_threshold() {
+        // With SINR̄ well above H, increasing m reduces outages
+        // (deep fades become rarer as the channel hardens).
+        let mut last = 1.0;
+        for m in [0.5, 1.0, 2.0, 4.0, 8.0] {
+            let link = NakagamiBlockFading::new(m, 20.0, 3.0, 0.0).unwrap();
+            let pf = link.marginal_loss_probability();
+            assert!(pf < last, "m={m}: {pf} should fall below {last}");
+            last = pf;
+        }
+        // Conversely, with SINR̄ below H, hardening hurts.
+        let soft = NakagamiBlockFading::new(1.0, 2.0, 3.0, 0.0).unwrap();
+        let hard = NakagamiBlockFading::new(8.0, 2.0, 3.0, 0.0).unwrap();
+        assert!(hard.marginal_loss_probability() > soft.marginal_loss_probability());
+    }
+
+    #[test]
+    fn nakagami_validation() {
+        assert!(NakagamiBlockFading::new(0.4, 10.0, 3.0, 0.0).is_err());
+        assert!(NakagamiBlockFading::new(1.0, 0.0, 3.0, 0.0).is_err());
+        assert!(NakagamiBlockFading::new(f64::NAN, 10.0, 3.0, 0.0).is_err());
+        let l = NakagamiBlockFading::new(2.0, 10.0, 3.0, 1.0).unwrap();
+        assert_eq!(l.m(), 2.0);
+        assert_eq!(l.mean_sinr(), 10.0);
+    }
+
+    #[test]
+    fn block_fading_link_enum_dispatches() {
+        let ray: BlockFadingLink = RayleighBlockFading::new(15.0, 3.0, 0.0).unwrap().into();
+        let nak: BlockFadingLink =
+            NakagamiBlockFading::new(3.0, 15.0, 3.0, 0.0).unwrap().into();
+        assert_eq!(ray.mean_sinr(), 15.0);
+        assert_eq!(nak.mean_sinr(), 15.0);
+        assert!(nak.marginal_loss_probability() < ray.marginal_loss_probability());
+        let mut rng = SeedSequence::new(7).stream("enum", 0);
+        let q = nak.draw_slot(&mut rng);
+        assert!((0.0..=1.0).contains(&q.loss_probability()));
+    }
+
+    proptest! {
+        #[test]
+        fn nakagami_slot_loss_is_always_a_probability(
+            m in 0.5..10.0f64,
+            sinr in 0.1..1e4f64,
+            h in 0.1..100.0f64,
+            sigma in 0.0..12.0f64,
+            seed in 0u64..200,
+        ) {
+            let link = NakagamiBlockFading::new(m, sinr, h, sigma).unwrap();
+            let mut rng = SeedSequence::new(seed).stream("nakagami-prop", 0);
+            let q = link.draw_slot(&mut rng);
+            prop_assert!((0.0..=1.0).contains(&q.loss_probability()));
+        }
+
+        #[test]
+        fn slot_loss_is_always_a_probability(
+            sinr in 0.1..1e4f64,
+            h in 0.1..100.0f64,
+            sigma in 0.0..12.0f64,
+            seed in 0u64..500,
+        ) {
+            let link = RayleighBlockFading::new(sinr, h, sigma).unwrap();
+            let mut rng = SeedSequence::new(seed).stream("fading-prop", 0);
+            let q = link.draw_slot(&mut rng);
+            prop_assert!((0.0..=1.0).contains(&q.loss_probability()));
+            prop_assert!((q.loss_probability() + q.success_probability() - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn path_loss_is_monotone_in_distance(
+            d1 in 1.0..1e4f64,
+            d2 in 1.0..1e4f64,
+        ) {
+            let pl = PathLoss::new(3.0, 37.0, 1.0).unwrap();
+            let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+            prop_assert!(pl.loss_db(lo) <= pl.loss_db(hi) + 1e-9);
+        }
+    }
+}

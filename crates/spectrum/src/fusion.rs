@@ -1,0 +1,396 @@
+//! Bayesian fusion of sensing results into the channel-availability
+//! posterior `P^A_m(Θ⃗)` (Section III-B, eqs. (2)–(4)).
+//!
+//! Given prior busy probability η (the channel utilization) and `L`
+//! sensing results `Θ^m_1 … Θ^m_L` from sensors with error profiles
+//! (ε_i, δ_i), the probability that channel `m` is available is
+//!
+//! ```text
+//!                        ⎡      η     L   δ_i^{1−Θ_i} (1−δ_i)^{Θ_i} ⎤ −1
+//! P^A_m(Θ⃗) =  ⎢ 1 + ──────  Π  ───────────────────────────── ⎥        (eq. 2)
+//!                        ⎣    1 − η  i=1  ε_i^{Θ_i} (1−ε_i)^{1−Θ_i} ⎦
+//! ```
+//!
+//! The paper decomposes this into the iterative updates (3)–(4) so the
+//! posterior can be refined as results arrive over the common channel;
+//! [`AvailabilityPosterior::update`] implements exactly that recursion.
+//! Internally the state is kept as a **log-likelihood ratio**, which is
+//! algebraically identical but immune to the overflow/underflow that the
+//! literal product form suffers with many observations or extreme ε/δ.
+
+use crate::error::{check_probability, SpectrumError};
+use crate::sensing::{Observation, SensorProfile};
+
+/// Incrementally fused availability posterior for one channel.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_spectrum::fusion::AvailabilityPosterior;
+/// use fcr_spectrum::sensing::{Observation, SensorProfile};
+///
+/// let sensor = SensorProfile::new(0.3, 0.3)?;
+/// let mut p = AvailabilityPosterior::new(0.4)?;
+/// assert!((p.probability() - 0.6).abs() < 1e-12); // prior: 1 − η
+/// p.update(&sensor, Observation::Idle);
+/// assert!(p.probability() > 0.6); // an idle report raises availability
+/// # Ok::<(), fcr_spectrum::SpectrumError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityPosterior {
+    /// log( Pr{busy} / Pr{idle} ): the log-odds of H1 over H0.
+    log_odds_busy: f64,
+    /// Number of fused observations.
+    observations: usize,
+}
+
+impl AvailabilityPosterior {
+    /// Starts from the prior: busy with probability `eta` (the channel
+    /// utilization of eq. (1)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectrumError::InvalidProbability`] if `eta` is outside
+    /// `[0, 1]`.
+    pub fn new(eta: f64) -> Result<Self, SpectrumError> {
+        let eta = check_probability("eta", eta)?;
+        Ok(Self {
+            log_odds_busy: ln_odds(eta),
+            observations: 0,
+        })
+    }
+
+    /// Number of observations fused so far (`L`).
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Folds in one sensing result (the recursion of eqs. (3)–(4)).
+    ///
+    /// Each update multiplies the busy-vs-idle odds by the observation's
+    /// likelihood ratio `Pr{Θ|H1} / Pr{Θ|H0}`; in log domain that is one
+    /// addition.
+    pub fn update(&mut self, sensor: &SensorProfile, obs: Observation) {
+        let num = sensor.likelihood_given_busy(obs);
+        let den = sensor.likelihood_given_idle(obs);
+        self.log_odds_busy += ln_ratio(num, den);
+        self.observations += 1;
+    }
+
+    /// The fused availability probability `P^A_m(Θ⃗) = Pr{H0 | Θ⃗}`.
+    pub fn probability(&self) -> f64 {
+        // P(idle) = 1 / (1 + odds_busy) = sigmoid(−log_odds_busy).
+        sigmoid(-self.log_odds_busy)
+    }
+
+    /// The complementary busy probability `1 − P^A_m`.
+    pub fn busy_probability(&self) -> f64 {
+        sigmoid(self.log_odds_busy)
+    }
+
+    /// One-shot batch evaluation of eq. (2): fuses all `results` at once.
+    ///
+    /// Exposed separately so tests can check that the iterative recursion
+    /// of (3)–(4) reproduces the closed form of (2) exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `eta` is not a probability.
+    pub fn batch(
+        eta: f64,
+        results: &[(SensorProfile, Observation)],
+    ) -> Result<f64, SpectrumError> {
+        let mut p = Self::new(eta)?;
+        for (sensor, obs) in results {
+            p.update(sensor, *obs);
+        }
+        Ok(p.probability())
+    }
+
+    /// Literal product-form evaluation of eq. (2) as printed in the
+    /// paper, **without** log-domain protection.
+    ///
+    /// Kept as a cross-check (and to document why the log-domain form is
+    /// the production path): with hundreds of observations the raw
+    /// product under/overflows while the log form does not.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `eta` is not a probability.
+    pub fn batch_product_form(
+        eta: f64,
+        results: &[(SensorProfile, Observation)],
+    ) -> Result<f64, SpectrumError> {
+        let eta = check_probability("eta", eta)?;
+        if eta == 1.0 {
+            return Ok(0.0);
+        }
+        let mut ratio = eta / (1.0 - eta);
+        for (sensor, obs) in results {
+            let num = sensor.likelihood_given_busy(*obs);
+            let den = sensor.likelihood_given_idle(*obs);
+            if den == 0.0 {
+                // Idle-likelihood zero: the observation rules out H0.
+                return Ok(if num == 0.0 { f64::NAN } else { 0.0 });
+            }
+            ratio *= num / den;
+        }
+        Ok(1.0 / (1.0 + ratio))
+    }
+}
+
+/// Natural log of the odds `p / (1 − p)`, with the conventional ±∞ at
+/// the endpoints.
+fn ln_odds(p: f64) -> f64 {
+    if p <= 0.0 {
+        f64::NEG_INFINITY
+    } else if p >= 1.0 {
+        f64::INFINITY
+    } else {
+        (p / (1.0 - p)).ln()
+    }
+}
+
+/// `ln(num / den)` with correct ±∞ conventions for zero endpoints.
+fn ln_ratio(num: f64, den: f64) -> f64 {
+    match (num == 0.0, den == 0.0) {
+        (true, true) => 0.0, // impossible observation: no information
+        (true, false) => f64::NEG_INFINITY,
+        (false, true) => f64::INFINITY,
+        (false, false) => (num / den).ln(),
+    }
+}
+
+/// Numerically stable logistic function.
+fn sigmoid(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn baseline_sensor() -> SensorProfile {
+        SensorProfile::new(0.3, 0.3).unwrap()
+    }
+
+    #[test]
+    fn prior_with_no_observations() {
+        let p = AvailabilityPosterior::new(0.4).unwrap();
+        assert_eq!(p.observations(), 0);
+        assert!((p.probability() - 0.6).abs() < 1e-12);
+        assert!((p.busy_probability() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_reports_raise_availability_busy_reports_lower_it() {
+        let s = baseline_sensor();
+        let mut p = AvailabilityPosterior::new(0.5).unwrap();
+        let before = p.probability();
+        p.update(&s, Observation::Idle);
+        let after_idle = p.probability();
+        assert!(after_idle > before);
+        p.update(&s, Observation::Busy);
+        // Symmetric sensor: busy exactly cancels idle.
+        assert!((p.probability() - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_hand_computed_single_observation() {
+        // eq. (3) with η=0.4, ε=δ=0.3, Θ=0 (idle):
+        // ratio = 0.4/0.6 · δ/(1−ε) = (2/3)·(0.3/0.7) = 2/7
+        // P^A = 1/(1 + 2/7) = 7/9.
+        let s = baseline_sensor();
+        let mut p = AvailabilityPosterior::new(0.4).unwrap();
+        p.update(&s, Observation::Idle);
+        assert!((p.probability() - 7.0 / 9.0).abs() < 1e-12);
+
+        // Θ=1 (busy): ratio = (2/3)·((1−δ)/ε) = (2/3)·(0.7/0.3) = 14/9
+        // P^A = 9/23.
+        let mut q = AvailabilityPosterior::new(0.4).unwrap();
+        q.update(&s, Observation::Busy);
+        assert!((q.probability() - 9.0 / 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iterative_equals_batch_equals_product_form() {
+        let sensors = [
+            SensorProfile::new(0.3, 0.3).unwrap(),
+            SensorProfile::new(0.2, 0.48).unwrap(),
+            SensorProfile::new(0.48, 0.2).unwrap(),
+        ];
+        let observations = [Observation::Idle, Observation::Busy, Observation::Idle];
+        let results: Vec<_> = sensors.iter().copied().zip(observations).collect();
+
+        let mut iterative = AvailabilityPosterior::new(0.4).unwrap();
+        for (s, o) in &results {
+            iterative.update(s, *o);
+        }
+        let batch = AvailabilityPosterior::batch(0.4, &results).unwrap();
+        let product = AvailabilityPosterior::batch_product_form(0.4, &results).unwrap();
+        assert!((iterative.probability() - batch).abs() < 1e-12);
+        assert!((batch - product).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_domain_survives_many_observations() {
+        // 10 000 consistent idle reports: product form saturates, log form
+        // converges cleanly to 1.
+        let s = baseline_sensor();
+        let mut p = AvailabilityPosterior::new(0.5).unwrap();
+        for _ in 0..10_000 {
+            p.update(&s, Observation::Idle);
+        }
+        assert!((p.probability() - 1.0).abs() < 1e-12);
+        assert_eq!(p.observations(), 10_000);
+    }
+
+    #[test]
+    fn certain_priors_are_absorbing() {
+        let s = baseline_sensor();
+        let mut always_busy = AvailabilityPosterior::new(1.0).unwrap();
+        always_busy.update(&s, Observation::Idle);
+        assert_eq!(always_busy.probability(), 0.0);
+
+        let mut always_idle = AvailabilityPosterior::new(0.0).unwrap();
+        always_idle.update(&s, Observation::Busy);
+        assert_eq!(always_idle.probability(), 1.0);
+    }
+
+    #[test]
+    fn perfect_sensor_is_decisive() {
+        let s = SensorProfile::perfect();
+        let mut p = AvailabilityPosterior::new(0.4).unwrap();
+        p.update(&s, Observation::Idle);
+        assert_eq!(p.probability(), 1.0);
+        let mut q = AvailabilityPosterior::new(0.4).unwrap();
+        q.update(&s, Observation::Busy);
+        assert_eq!(q.probability(), 0.0);
+    }
+
+    #[test]
+    fn uninformative_sensor_leaves_posterior_unchanged() {
+        let s = SensorProfile::new(0.5, 0.5).unwrap();
+        let mut p = AvailabilityPosterior::new(0.4).unwrap();
+        for obs in [Observation::Idle, Observation::Busy, Observation::Busy] {
+            p.update(&s, obs);
+        }
+        assert!((p.probability() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posterior_is_calibrated_against_simulation() {
+        // Bayesian calibration: among trials where the fused posterior
+        // lands in a bucket, the empirical idle frequency must match the
+        // bucket's posterior. This validates eq. (2) end to end against
+        // the actual generative process.
+        use fcr_stats::rng::SeedSequence;
+        use rand::RngExt;
+        let mut rng = SeedSequence::new(31).stream("calibration", 0);
+        let eta = 4.0 / 7.0;
+        let sensor = SensorProfile::new(0.3, 0.3).unwrap();
+        let buckets = 10;
+        let mut idle_counts = vec![0u64; buckets];
+        let mut totals = vec![0u64; buckets];
+        for _ in 0..200_000 {
+            let idle = !rng.random_bool(eta);
+            let mut posterior = AvailabilityPosterior::new(eta).unwrap();
+            for _ in 0..3 {
+                let obs = if idle {
+                    if rng.random_bool(0.3) { Observation::Busy } else { Observation::Idle }
+                } else if rng.random_bool(0.3) {
+                    Observation::Idle
+                } else {
+                    Observation::Busy
+                };
+                posterior.update(&sensor, obs);
+            }
+            let b = ((posterior.probability() * buckets as f64) as usize).min(buckets - 1);
+            idle_counts[b] += u64::from(idle);
+            totals[b] += 1;
+        }
+        for b in 0..buckets {
+            if totals[b] < 2_000 {
+                continue; // not enough mass for a tight check
+            }
+            let empirical = idle_counts[b] as f64 / totals[b] as f64;
+            let bucket_mid = (b as f64 + 0.5) / buckets as f64;
+            assert!(
+                (empirical - bucket_mid).abs() < 0.06,
+                "bucket {b}: empirical idle rate {empirical} vs posterior ≈ {bucket_mid}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_eta_rejected() {
+        assert!(AvailabilityPosterior::new(-0.1).is_err());
+        assert!(AvailabilityPosterior::new(1.1).is_err());
+        assert!(AvailabilityPosterior::batch(2.0, &[]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn posterior_is_always_a_probability(
+            eta in 0.0..=1.0f64,
+            eps in 0.001..0.999f64,
+            delta in 0.001..0.999f64,
+            obs_bits in proptest::collection::vec(proptest::bool::ANY, 0..50),
+        ) {
+            let s = SensorProfile::new(eps, delta).unwrap();
+            let mut p = AvailabilityPosterior::new(eta).unwrap();
+            for b in obs_bits {
+                p.update(&s, if b { Observation::Busy } else { Observation::Idle });
+            }
+            let prob = p.probability();
+            prop_assert!((0.0..=1.0).contains(&prob), "posterior {prob}");
+            prop_assert!((prob + p.busy_probability() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn iterative_matches_product_form_generally(
+            eta in 0.05..0.95f64,
+            eps in 0.05..0.95f64,
+            delta in 0.05..0.95f64,
+            obs_bits in proptest::collection::vec(proptest::bool::ANY, 0..20),
+        ) {
+            let s = SensorProfile::new(eps, delta).unwrap();
+            let results: Vec<_> = obs_bits
+                .iter()
+                .map(|b| (s, if *b { Observation::Busy } else { Observation::Idle }))
+                .collect();
+            let a = AvailabilityPosterior::batch(eta, &results).unwrap();
+            let b = AvailabilityPosterior::batch_product_form(eta, &results).unwrap();
+            prop_assert!((a - b).abs() < 1e-9, "log {a} vs product {b}");
+        }
+
+        #[test]
+        fn good_sensor_idle_observations_only_increase_availability(
+            eta in 0.05..0.95f64,
+            eps in 0.01..0.49f64,
+            delta in 0.01..0.49f64,
+            n in 1usize..30,
+        ) {
+            // For a better-than-chance sensor (ε + δ < 1), each idle report
+            // must raise P^A monotonically.
+            let s = SensorProfile::new(eps, delta).unwrap();
+            let mut p = AvailabilityPosterior::new(eta).unwrap();
+            let mut last = p.probability();
+            for _ in 0..n {
+                p.update(&s, Observation::Idle);
+                let cur = p.probability();
+                prop_assert!(cur >= last - 1e-12);
+                last = cur;
+            }
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Two-state discrete-time Markov model of primary-user channel
+//! occupancy (Section III-A, eq. (1)).
+//!
+//! Each licensed channel is either **idle** (`S_m(t) = 0`) or **busy**
+//! (`S_m(t) = 1`), with transition probabilities `P01` (idle → busy) and
+//! `P10` (busy → idle). The long-run fraction of busy slots — the
+//! *channel utilization* with respect to primary transmissions — is
+//!
+//! ```text
+//! η_m = P01 / (P01 + P10)                                    (eq. 1)
+//! ```
+
+use crate::error::{check_probability, SpectrumError};
+use rand::{Rng, RngExt};
+
+/// Occupancy state of a licensed channel in one time slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChannelState {
+    /// No primary-user transmission (`S_m(t) = 0`).
+    #[default]
+    Idle,
+    /// Primary user transmitting (`S_m(t) = 1`).
+    Busy,
+}
+
+impl ChannelState {
+    /// Returns the paper's 0/1 encoding.
+    pub fn as_bit(self) -> u8 {
+        match self {
+            ChannelState::Idle => 0,
+            ChannelState::Busy => 1,
+        }
+    }
+
+    /// Returns `true` for [`ChannelState::Idle`].
+    pub fn is_idle(self) -> bool {
+        matches!(self, ChannelState::Idle)
+    }
+
+    /// Returns `true` for [`ChannelState::Busy`].
+    pub fn is_busy(self) -> bool {
+        matches!(self, ChannelState::Busy)
+    }
+}
+
+/// A two-state discrete-time Markov chain with transition probabilities
+/// `p01` (idle → busy) and `p10` (busy → idle).
+///
+/// # Examples
+///
+/// ```
+/// use fcr_spectrum::markov::TwoStateMarkov;
+///
+/// // The paper's baseline: P01 = 0.4, P10 = 0.3 ⇒ η = 4/7.
+/// let chain = TwoStateMarkov::new(0.4, 0.3)?;
+/// assert!((chain.utilization() - 4.0 / 7.0).abs() < 1e-12);
+/// # Ok::<(), fcr_spectrum::SpectrumError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoStateMarkov {
+    p01: f64,
+    p10: f64,
+}
+
+impl TwoStateMarkov {
+    /// Creates a chain from its transition probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectrumError::InvalidProbability`] if either argument is
+    /// outside `[0, 1]`, and [`SpectrumError::DegenerateChain`] if both are
+    /// zero (no unique stationary distribution).
+    pub fn new(p01: f64, p10: f64) -> Result<Self, SpectrumError> {
+        let p01 = check_probability("p01", p01)?;
+        let p10 = check_probability("p10", p10)?;
+        if p01 == 0.0 && p10 == 0.0 {
+            return Err(SpectrumError::DegenerateChain);
+        }
+        Ok(Self { p01, p10 })
+    }
+
+    /// Creates a chain with a target utilization η, holding `p10` fixed.
+    ///
+    /// This is how the paper sweeps η in Figs. 4(c) and 6(a): `P10` stays
+    /// at its baseline and `P01` is solved from eq. (1):
+    /// `p01 = η·p10 / (1 − η)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if η is not in `[0, 1)` or the implied `p01`
+    /// exceeds 1 (η too large for the given `p10`).
+    pub fn with_utilization(eta: f64, p10: f64) -> Result<Self, SpectrumError> {
+        let eta = check_probability("eta", eta)?;
+        let p10 = check_probability("p10", p10)?;
+        if eta >= 1.0 {
+            return Err(SpectrumError::InvalidProbability {
+                name: "eta",
+                value: eta,
+            });
+        }
+        let p01 = eta * p10 / (1.0 - eta);
+        Self::new(p01, p10)
+    }
+
+    /// Transition probability idle → busy.
+    pub fn p01(&self) -> f64 {
+        self.p01
+    }
+
+    /// Transition probability busy → idle.
+    pub fn p10(&self) -> f64 {
+        self.p10
+    }
+
+    /// Stationary utilization `η = p01 / (p01 + p10)` (eq. (1)).
+    pub fn utilization(&self) -> f64 {
+        self.p01 / (self.p01 + self.p10)
+    }
+
+    /// Draws the initial state from the stationary distribution.
+    pub fn sample_stationary<R: Rng + ?Sized>(&self, rng: &mut R) -> ChannelState {
+        if rng.random_bool(self.utilization()) {
+            ChannelState::Busy
+        } else {
+            ChannelState::Idle
+        }
+    }
+
+    /// Advances one slot from `state`, drawing the transition from `rng`.
+    pub fn step<R: Rng + ?Sized>(&self, state: ChannelState, rng: &mut R) -> ChannelState {
+        let flip = match state {
+            ChannelState::Idle => rng.random_bool(self.p01),
+            ChannelState::Busy => rng.random_bool(self.p10),
+        };
+        match (state, flip) {
+            (ChannelState::Idle, true) => ChannelState::Busy,
+            (ChannelState::Idle, false) => ChannelState::Idle,
+            (ChannelState::Busy, true) => ChannelState::Idle,
+            (ChannelState::Busy, false) => ChannelState::Busy,
+        }
+    }
+
+    /// One-slot-ahead busy probability given the current state.
+    ///
+    /// Useful for predictive access policies (an extension ablated in the
+    /// benches); the paper itself uses the stationary η as the sensing
+    /// prior.
+    pub fn busy_probability_after(&self, state: ChannelState) -> f64 {
+        match state {
+            ChannelState::Idle => self.p01,
+            ChannelState::Busy => 1.0 - self.p10,
+        }
+    }
+
+    /// Propagates a busy-probability *belief* one slot forward through
+    /// the chain: `b′ = b·(1 − p10) + (1 − b)·p01`.
+    ///
+    /// This is the belief-tracking extension: instead of resetting the
+    /// sensing prior to the stationary η each slot (the paper's choice),
+    /// carry yesterday's fused posterior through the transition kernel.
+    /// The stationary η is the unique fixed point of this map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `busy_belief` is not a probability.
+    pub fn propagate_belief(&self, busy_belief: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&busy_belief),
+            "belief must be a probability, got {busy_belief}"
+        );
+        busy_belief * (1.0 - self.p10) + (1.0 - busy_belief) * self.p01
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcr_stats::rng::SeedSequence;
+    use proptest::prelude::*;
+
+    #[test]
+    fn state_encoding_matches_paper() {
+        assert_eq!(ChannelState::Idle.as_bit(), 0);
+        assert_eq!(ChannelState::Busy.as_bit(), 1);
+        assert!(ChannelState::Idle.is_idle());
+        assert!(ChannelState::Busy.is_busy());
+        assert_eq!(ChannelState::default(), ChannelState::Idle);
+    }
+
+    #[test]
+    fn baseline_utilization_matches_eq1() {
+        let chain = TwoStateMarkov::new(0.4, 0.3).unwrap();
+        assert!((chain.utilization() - 0.4 / 0.7).abs() < 1e-12);
+        assert_eq!(chain.p01(), 0.4);
+        assert_eq!(chain.p10(), 0.3);
+    }
+
+    #[test]
+    fn with_utilization_inverts_eq1() {
+        for eta in [0.3, 0.4, 0.5, 0.6, 0.7] {
+            let chain = TwoStateMarkov::with_utilization(eta, 0.3).unwrap();
+            assert!(
+                (chain.utilization() - eta).abs() < 1e-12,
+                "eta={eta} got {}",
+                chain.utilization()
+            );
+        }
+    }
+
+    #[test]
+    fn with_utilization_rejects_impossible_targets() {
+        // η = 0.9 with p10 = 0.3 would need p01 = 2.7 > 1.
+        assert!(TwoStateMarkov::with_utilization(0.9, 0.3).is_err());
+        assert!(TwoStateMarkov::with_utilization(1.0, 0.3).is_err());
+        assert!(TwoStateMarkov::with_utilization(-0.1, 0.3).is_err());
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(TwoStateMarkov::new(1.5, 0.3).is_err());
+        assert!(TwoStateMarkov::new(0.4, -0.1).is_err());
+        assert_eq!(
+            TwoStateMarkov::new(0.0, 0.0).unwrap_err(),
+            SpectrumError::DegenerateChain
+        );
+    }
+
+    #[test]
+    fn empirical_utilization_converges_to_eta() {
+        let chain = TwoStateMarkov::new(0.4, 0.3).unwrap();
+        let mut rng = SeedSequence::new(5).stream("markov", 0);
+        let mut state = chain.sample_stationary(&mut rng);
+        let slots = 200_000;
+        let mut busy = 0u64;
+        for _ in 0..slots {
+            state = chain.step(state, &mut rng);
+            busy += u64::from(state.is_busy());
+        }
+        let empirical = busy as f64 / slots as f64;
+        assert!(
+            (empirical - chain.utilization()).abs() < 0.01,
+            "empirical {empirical} vs analytical {}",
+            chain.utilization()
+        );
+    }
+
+    #[test]
+    fn absorbing_states_behave() {
+        // p01 = 0: once idle, always idle.
+        let chain = TwoStateMarkov::new(0.0, 1.0).unwrap();
+        let mut rng = SeedSequence::new(1).stream("markov", 1);
+        let mut state = ChannelState::Busy;
+        state = chain.step(state, &mut rng); // must flip to idle
+        assert!(state.is_idle());
+        for _ in 0..100 {
+            state = chain.step(state, &mut rng);
+            assert!(state.is_idle());
+        }
+        assert_eq!(chain.utilization(), 0.0);
+    }
+
+    #[test]
+    fn predictive_busy_probability() {
+        let chain = TwoStateMarkov::new(0.4, 0.3).unwrap();
+        assert!((chain.busy_probability_after(ChannelState::Idle) - 0.4).abs() < 1e-12);
+        assert!((chain.busy_probability_after(ChannelState::Busy) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_eta_is_the_belief_fixed_point() {
+        let chain = TwoStateMarkov::new(0.4, 0.3).unwrap();
+        let eta = chain.utilization();
+        assert!((chain.propagate_belief(eta) - eta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn belief_propagation_contracts_toward_eta() {
+        let chain = TwoStateMarkov::new(0.4, 0.3).unwrap();
+        let eta = chain.utilization();
+        let mut belief = 0.99;
+        let mut last_gap = (belief - eta).abs();
+        for _ in 0..20 {
+            belief = chain.propagate_belief(belief);
+            let gap = (belief - eta).abs();
+            assert!(gap <= last_gap + 1e-12, "belief must contract toward η");
+            last_gap = gap;
+        }
+        assert!(last_gap < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "belief must be a probability")]
+    fn invalid_belief_panics() {
+        let _ = TwoStateMarkov::new(0.4, 0.3).unwrap().propagate_belief(1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn propagated_belief_stays_a_probability(
+            p01 in 0.0..=1.0f64,
+            p10 in 0.0..=1.0f64,
+            b in 0.0..=1.0f64,
+        ) {
+            prop_assume!(p01 > 0.0 || p10 > 0.0);
+            let chain = TwoStateMarkov::new(p01, p10).unwrap();
+            let out = chain.propagate_belief(b);
+            prop_assert!((0.0..=1.0).contains(&out));
+        }
+
+        #[test]
+        fn utilization_is_a_probability(p01 in 0.0..=1.0f64, p10 in 0.0..=1.0f64) {
+            prop_assume!(p01 > 0.0 || p10 > 0.0);
+            let chain = TwoStateMarkov::new(p01, p10).unwrap();
+            let eta = chain.utilization();
+            prop_assert!((0.0..=1.0).contains(&eta));
+        }
+
+        #[test]
+        fn stationarity_is_preserved_in_expectation(
+            p01 in 0.01..=1.0f64,
+            p10 in 0.01..=1.0f64,
+        ) {
+            // π_busy · p10 = π_idle · p01 (detailed balance for 2 states).
+            let chain = TwoStateMarkov::new(p01, p10).unwrap();
+            let eta = chain.utilization();
+            prop_assert!((eta * p10 - (1.0 - eta) * p01).abs() < 1e-12);
+        }
+
+        #[test]
+        fn with_utilization_roundtrips(eta in 0.0..0.74f64) {
+            let chain = TwoStateMarkov::with_utilization(eta, 0.3).unwrap();
+            prop_assert!((chain.utilization() - eta).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The primary network: `M` licensed channels evolved slot by slot
+//! (Section III-A).
+//!
+//! The spectrum consists of `M + 1` channels: channel 0 is the common,
+//! unlicensed channel reserved for CR users (always "idle" from the
+//! primary network's perspective); channels `1..=M` are licensed to the
+//! primary network and follow independent two-state Markov processes.
+//! This module tracks only the licensed channels; the common channel
+//! needs no state.
+
+use crate::markov::{ChannelState, TwoStateMarkov};
+use rand::Rng;
+use std::fmt;
+
+/// Identifier of a licensed channel, `0..M` (code is 0-based; the paper
+/// indexes licensed channels `1..=M`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub usize);
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// The set of `M` licensed channels with their occupancy processes and
+/// current states.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_spectrum::primary::PrimaryNetwork;
+/// use fcr_spectrum::markov::TwoStateMarkov;
+/// use rand::SeedableRng;
+///
+/// let chain = TwoStateMarkov::new(0.4, 0.3)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut primary = PrimaryNetwork::homogeneous(8, chain, &mut rng);
+/// primary.step(&mut rng);
+/// assert_eq!(primary.num_channels(), 8);
+/// assert_eq!(primary.states().len(), 8);
+/// # Ok::<(), fcr_spectrum::SpectrumError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrimaryNetwork {
+    chains: Vec<TwoStateMarkov>,
+    states: Vec<ChannelState>,
+    slot: u64,
+}
+
+impl PrimaryNetwork {
+    /// Creates a network whose channels all follow the same chain, with
+    /// initial states drawn from the stationary distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_channels == 0`; a CR network with no licensed
+    /// channel has nothing to sense.
+    pub fn homogeneous<R: Rng + ?Sized>(
+        num_channels: usize,
+        chain: TwoStateMarkov,
+        rng: &mut R,
+    ) -> Self {
+        Self::heterogeneous(vec![chain; num_channels], rng)
+    }
+
+    /// Creates a network with per-channel chains, initial states drawn
+    /// from each chain's stationary distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chains` is empty.
+    pub fn heterogeneous<R: Rng + ?Sized>(chains: Vec<TwoStateMarkov>, rng: &mut R) -> Self {
+        assert!(!chains.is_empty(), "primary network needs at least one channel");
+        let states = chains.iter().map(|c| c.sample_stationary(rng)).collect();
+        Self {
+            chains,
+            states,
+            slot: 0,
+        }
+    }
+
+    /// Number of licensed channels `M`.
+    pub fn num_channels(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Current slot index (number of [`step`](Self::step) calls so far).
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Current occupancy vector `S⃗(t)`.
+    pub fn states(&self) -> &[ChannelState] {
+        &self.states
+    }
+
+    /// Occupancy of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn state(&self, id: ChannelId) -> ChannelState {
+        self.states[id.0]
+    }
+
+    /// The Markov chain of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn chain(&self, id: ChannelId) -> &TwoStateMarkov {
+        &self.chains[id.0]
+    }
+
+    /// Stationary utilization η of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn utilization(&self, id: ChannelId) -> f64 {
+        self.chains[id.0].utilization()
+    }
+
+    /// Advances every channel by one slot (channels evolve independently,
+    /// per Section III-A).
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for (chain, state) in self.chains.iter().zip(self.states.iter_mut()) {
+            *state = chain.step(*state, rng);
+        }
+        self.slot += 1;
+    }
+
+    /// Iterator over `(ChannelId, ChannelState)` pairs for the current slot.
+    pub fn iter(&self) -> impl Iterator<Item = (ChannelId, ChannelState)> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ChannelId(i), *s))
+    }
+
+    /// Channels currently idle (true spectrum opportunities).
+    pub fn idle_channels(&self) -> Vec<ChannelId> {
+        self.iter()
+            .filter(|(_, s)| s.is_idle())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Number of channels currently busy.
+    pub fn busy_count(&self) -> usize {
+        self.states.iter().filter(|s| s.is_busy()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcr_stats::rng::SeedSequence;
+
+    fn baseline() -> TwoStateMarkov {
+        TwoStateMarkov::new(0.4, 0.3).unwrap()
+    }
+
+    #[test]
+    fn homogeneous_construction() {
+        let mut rng = SeedSequence::new(3).stream("primary", 0);
+        let net = PrimaryNetwork::homogeneous(8, baseline(), &mut rng);
+        assert_eq!(net.num_channels(), 8);
+        assert_eq!(net.slot(), 0);
+        for i in 0..8 {
+            assert!((net.utilization(ChannelId(i)) - 4.0 / 7.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_panics() {
+        let mut rng = SeedSequence::new(3).stream("primary", 0);
+        let _ = PrimaryNetwork::homogeneous(0, baseline(), &mut rng);
+    }
+
+    #[test]
+    fn step_advances_slot_counter() {
+        let mut rng = SeedSequence::new(3).stream("primary", 1);
+        let mut net = PrimaryNetwork::homogeneous(4, baseline(), &mut rng);
+        for expected in 1..=10 {
+            net.step(&mut rng);
+            assert_eq!(net.slot(), expected);
+        }
+    }
+
+    #[test]
+    fn idle_and_busy_partition_channels() {
+        let mut rng = SeedSequence::new(3).stream("primary", 2);
+        let mut net = PrimaryNetwork::homogeneous(12, baseline(), &mut rng);
+        for _ in 0..50 {
+            net.step(&mut rng);
+            assert_eq!(net.idle_channels().len() + net.busy_count(), 12);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_channels_keep_their_chains() {
+        let mut rng = SeedSequence::new(3).stream("primary", 3);
+        let chains = vec![
+            TwoStateMarkov::new(0.1, 0.9).unwrap(),
+            TwoStateMarkov::new(0.9, 0.1).unwrap(),
+        ];
+        let net = PrimaryNetwork::heterogeneous(chains, &mut rng);
+        assert!(net.utilization(ChannelId(0)) < 0.2);
+        assert!(net.utilization(ChannelId(1)) > 0.8);
+        assert_eq!(net.chain(ChannelId(0)).p01(), 0.1);
+    }
+
+    #[test]
+    fn long_run_occupancy_matches_eta_per_channel() {
+        let mut rng = SeedSequence::new(11).stream("primary", 4);
+        let mut net = PrimaryNetwork::homogeneous(3, baseline(), &mut rng);
+        let slots = 100_000;
+        let mut busy = [0u64; 3];
+        for _ in 0..slots {
+            net.step(&mut rng);
+            for (i, b) in busy.iter_mut().enumerate() {
+                *b += u64::from(net.state(ChannelId(i)).is_busy());
+            }
+        }
+        for (i, b) in busy.iter().enumerate() {
+            let emp = *b as f64 / slots as f64;
+            assert!((emp - 4.0 / 7.0).abs() < 0.02, "channel {i}: {emp}");
+        }
+    }
+
+    #[test]
+    fn channel_id_displays() {
+        assert_eq!(format!("{}", ChannelId(3)), "ch3");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut rng = SeedSequence::new(seed).stream("primary", 0);
+            let mut net = PrimaryNetwork::homogeneous(6, baseline(), &mut rng);
+            let mut history = Vec::new();
+            for _ in 0..20 {
+                net.step(&mut rng);
+                history.push(net.states().to_vec());
+            }
+            history
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -1,0 +1,241 @@
+//! Imperfect spectrum sensing (Section III-B).
+//!
+//! A sensor observing channel `m` reports [`Observation::Busy`] or
+//! [`Observation::Idle`], with two error modes:
+//!
+//! * **false alarm** — an idle channel reported busy, probability ε:
+//!   `Pr{Θ = 1 | H0} = ε`;
+//! * **miss detection** — a busy channel reported idle, probability δ:
+//!   `Pr{Θ = 0 | H1} = δ`.
+//!
+//! The paper's baseline sets ε = δ = 0.3 for all sensors; Fig. 6(b)
+//! sweeps the pairs {(0.2, 0.48), (0.24, 0.38), (0.3, 0.3), (0.38, 0.24),
+//! (0.48, 0.2)}, trading false alarms for miss detections along a
+//! receiver operating characteristic.
+
+use crate::error::{check_probability, SpectrumError};
+use crate::markov::ChannelState;
+use rand::{Rng, RngExt};
+
+/// A single sensing result `Θ^m_i` on some channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Observation {
+    /// Sensor reports the channel idle (`Θ = 0`).
+    Idle,
+    /// Sensor reports the channel busy (`Θ = 1`).
+    Busy,
+}
+
+impl Observation {
+    /// Returns the paper's 0/1 encoding.
+    pub fn as_bit(self) -> u8 {
+        match self {
+            Observation::Idle => 0,
+            Observation::Busy => 1,
+        }
+    }
+
+    /// Returns `true` for [`Observation::Busy`].
+    pub fn is_busy(self) -> bool {
+        matches!(self, Observation::Busy)
+    }
+}
+
+/// Error profile of one sensor: false-alarm probability ε and
+/// miss-detection probability δ.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_spectrum::sensing::SensorProfile;
+///
+/// let s = SensorProfile::new(0.3, 0.3)?;
+/// assert_eq!(s.false_alarm(), 0.3);
+/// assert_eq!(s.miss_detection(), 0.3);
+/// # Ok::<(), fcr_spectrum::SpectrumError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorProfile {
+    epsilon: f64,
+    delta: f64,
+}
+
+impl SensorProfile {
+    /// Creates a profile with false-alarm probability `epsilon` and
+    /// miss-detection probability `delta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectrumError::InvalidProbability`] if either probability
+    /// is outside `[0, 1]`.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self, SpectrumError> {
+        Ok(Self {
+            epsilon: check_probability("epsilon", epsilon)?,
+            delta: check_probability("delta", delta)?,
+        })
+    }
+
+    /// A hypothetical error-free sensor (useful in tests and ablations).
+    pub fn perfect() -> Self {
+        Self {
+            epsilon: 0.0,
+            delta: 0.0,
+        }
+    }
+
+    /// False-alarm probability ε.
+    pub fn false_alarm(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Miss-detection probability δ.
+    pub fn miss_detection(&self) -> f64 {
+        self.delta
+    }
+
+    /// Returns `true` when the sensor is informative, i.e. its likelihood
+    /// ratio actually moves the posterior (ε + δ < 1 for the usual
+    /// better-than-chance regime; ε + δ > 1 is "inverted but still
+    /// informative"; ε + δ = 1 is pure noise).
+    pub fn is_informative(&self) -> bool {
+        (self.epsilon + self.delta - 1.0).abs() > f64::EPSILON
+    }
+
+    /// Draws one observation of a channel in the given true state.
+    ///
+    /// Idle channels are reported busy with probability ε; busy channels
+    /// are reported idle with probability δ.
+    pub fn observe<R: Rng + ?Sized>(&self, truth: ChannelState, rng: &mut R) -> Observation {
+        match truth {
+            ChannelState::Idle => {
+                if rng.random_bool(self.epsilon) {
+                    Observation::Busy
+                } else {
+                    Observation::Idle
+                }
+            }
+            ChannelState::Busy => {
+                if rng.random_bool(self.delta) {
+                    Observation::Idle
+                } else {
+                    Observation::Busy
+                }
+            }
+        }
+    }
+
+    /// Likelihood `Pr{Θ = obs | H1 (busy)}`.
+    pub fn likelihood_given_busy(&self, obs: Observation) -> f64 {
+        match obs {
+            Observation::Idle => self.delta,
+            Observation::Busy => 1.0 - self.delta,
+        }
+    }
+
+    /// Likelihood `Pr{Θ = obs | H0 (idle)}`.
+    pub fn likelihood_given_idle(&self, obs: Observation) -> f64 {
+        match obs {
+            Observation::Idle => 1.0 - self.epsilon,
+            Observation::Busy => self.epsilon,
+        }
+    }
+}
+
+/// The (ε, δ) operating points swept in Fig. 6(b).
+pub const FIG6B_OPERATING_POINTS: [(f64, f64); 5] = [
+    (0.20, 0.48),
+    (0.24, 0.38),
+    (0.30, 0.30),
+    (0.38, 0.24),
+    (0.48, 0.20),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcr_stats::rng::SeedSequence;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encoding_matches_paper() {
+        assert_eq!(Observation::Idle.as_bit(), 0);
+        assert_eq!(Observation::Busy.as_bit(), 1);
+        assert!(Observation::Busy.is_busy());
+        assert!(!Observation::Idle.is_busy());
+    }
+
+    #[test]
+    fn constructor_validates_probabilities() {
+        assert!(SensorProfile::new(0.3, 0.3).is_ok());
+        assert!(SensorProfile::new(-0.1, 0.3).is_err());
+        assert!(SensorProfile::new(0.3, 1.5).is_err());
+    }
+
+    #[test]
+    fn perfect_sensor_never_errs() {
+        let s = SensorProfile::perfect();
+        let mut rng = SeedSequence::new(0).stream("sensing", 0);
+        for _ in 0..100 {
+            assert_eq!(s.observe(ChannelState::Idle, &mut rng), Observation::Idle);
+            assert_eq!(s.observe(ChannelState::Busy, &mut rng), Observation::Busy);
+        }
+    }
+
+    #[test]
+    fn error_rates_are_empirically_correct() {
+        let s = SensorProfile::new(0.3, 0.2).unwrap();
+        let mut rng = SeedSequence::new(8).stream("sensing", 1);
+        let n = 100_000;
+        let mut false_alarms = 0u64;
+        let mut misses = 0u64;
+        for _ in 0..n {
+            false_alarms += u64::from(s.observe(ChannelState::Idle, &mut rng).is_busy());
+            misses += u64::from(!s.observe(ChannelState::Busy, &mut rng).is_busy());
+        }
+        let fa = false_alarms as f64 / n as f64;
+        let md = misses as f64 / n as f64;
+        assert!((fa - 0.3).abs() < 0.01, "false alarm rate {fa}");
+        assert!((md - 0.2).abs() < 0.01, "miss rate {md}");
+    }
+
+    #[test]
+    fn likelihoods_sum_to_one_per_hypothesis() {
+        let s = SensorProfile::new(0.3, 0.2).unwrap();
+        let sum_busy = s.likelihood_given_busy(Observation::Idle)
+            + s.likelihood_given_busy(Observation::Busy);
+        let sum_idle = s.likelihood_given_idle(Observation::Idle)
+            + s.likelihood_given_idle(Observation::Busy);
+        assert!((sum_busy - 1.0).abs() < 1e-12);
+        assert!((sum_idle - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn informativeness() {
+        assert!(SensorProfile::new(0.3, 0.3).unwrap().is_informative());
+        assert!(!SensorProfile::new(0.5, 0.5).unwrap().is_informative());
+        assert!(!SensorProfile::new(0.2, 0.8).unwrap().is_informative());
+        assert!(SensorProfile::new(0.9, 0.9).unwrap().is_informative()); // inverted
+    }
+
+    #[test]
+    fn fig6b_points_are_valid_profiles() {
+        for (eps, delta) in FIG6B_OPERATING_POINTS {
+            let s = SensorProfile::new(eps, delta).unwrap();
+            assert!(s.is_informative(), "({eps},{delta}) should be informative");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn likelihoods_are_probabilities(
+            eps in 0.0..=1.0f64,
+            delta in 0.0..=1.0f64,
+        ) {
+            let s = SensorProfile::new(eps, delta).unwrap();
+            for obs in [Observation::Idle, Observation::Busy] {
+                prop_assert!((0.0..=1.0).contains(&s.likelihood_given_busy(obs)));
+                prop_assert!((0.0..=1.0).contains(&s.likelihood_given_idle(obs)));
+            }
+        }
+    }
+}

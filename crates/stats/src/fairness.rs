@@ -1,0 +1,129 @@
+//! Fairness indices.
+//!
+//! The paper's proportional-fair objective ("maximize the sum of the
+//! logarithms of received PSNRs", after Kelly et al.) is motivated by
+//! balance across users; Fig. 3 argues the proposed scheme is "well
+//! balanced among the three users". Jain's index quantifies that claim.
+
+/// Jain's fairness index of an allocation.
+///
+/// `J(x) = (Σx)² / (n · Σx²)`, ranges in `(0, 1]`; 1 means perfectly
+/// equal, `1/n` means one user gets everything.
+///
+/// Returns `None` for an empty slice or when all values are zero (the
+/// index is undefined there).
+///
+/// # Panics
+///
+/// Panics if any value is negative or NaN — fairness over signed
+/// quantities is meaningless.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_stats::fairness::jain_index;
+///
+/// assert_eq!(jain_index(&[1.0, 1.0, 1.0]), Some(1.0));
+/// let skewed = jain_index(&[3.0, 0.0, 0.0]).unwrap();
+/// assert!((skewed - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn jain_index(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for &v in values {
+        assert!(v >= 0.0 && !v.is_nan(), "fairness values must be nonnegative, got {v}");
+        sum += v;
+        sum_sq += v * v;
+    }
+    if sum_sq == 0.0 {
+        return None;
+    }
+    Some(sum * sum / (values.len() as f64 * sum_sq))
+}
+
+/// The proportional-fairness utility `Σ ln(x_i)` used as the paper's
+/// objective (eq. (10) with PSNR in place of rate).
+///
+/// Returns `None` if any value is non-positive (the log utility is
+/// undefined there).
+pub fn log_sum_utility(values: &[f64]) -> Option<f64> {
+    let mut total = 0.0;
+    for &v in values {
+        if v <= 0.0 || v.is_nan() {
+            return None;
+        }
+        total += v.ln();
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn equal_allocation_is_perfectly_fair() {
+        assert_eq!(jain_index(&[5.0; 7]), Some(1.0));
+    }
+
+    #[test]
+    fn single_user_monopolies_score_one_over_n() {
+        for n in 1..10usize {
+            let mut xs = vec![0.0; n];
+            xs[0] = 2.0;
+            let j = jain_index(&xs).unwrap();
+            assert!((j - 1.0 / n as f64).abs() < 1e-12, "n={n} j={j}");
+        }
+    }
+
+    #[test]
+    fn empty_and_all_zero_are_none() {
+        assert_eq!(jain_index(&[]), None);
+        assert_eq!(jain_index(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_values_panic() {
+        let _ = jain_index(&[1.0, -1.0]);
+    }
+
+    #[test]
+    fn log_sum_utility_basics() {
+        assert_eq!(log_sum_utility(&[1.0, 1.0]), Some(0.0));
+        assert_eq!(log_sum_utility(&[0.0, 1.0]), None);
+        assert_eq!(log_sum_utility(&[-1.0]), None);
+        let u = log_sum_utility(&[std::f64::consts::E]).unwrap();
+        assert!((u - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn jain_is_in_unit_interval(xs in proptest::collection::vec(0.01..1e3f64, 1..50)) {
+            let j = jain_index(&xs).unwrap();
+            let n = xs.len() as f64;
+            prop_assert!(j >= 1.0 / n - 1e-12);
+            prop_assert!(j <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn jain_is_scale_invariant(xs in proptest::collection::vec(0.01..1e3f64, 1..50), k in 0.1..100.0f64) {
+            let j1 = jain_index(&xs).unwrap();
+            let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+            let j2 = jain_index(&scaled).unwrap();
+            prop_assert!((j1 - j2).abs() < 1e-9);
+        }
+
+        #[test]
+        fn log_sum_prefers_balance(total in 1.0..100.0f64, skew in 0.01..0.49f64) {
+            // Splitting a fixed total equally always beats a skewed split.
+            let equal = log_sum_utility(&[total / 2.0, total / 2.0]).unwrap();
+            let uneven = log_sum_utility(&[total * skew, total * (1.0 - skew)]).unwrap();
+            prop_assert!(equal >= uneven - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Fixed-width histograms for PSNR and rate distributions.
+
+use std::fmt;
+
+/// A histogram over `[lo, hi)` with equal-width bins, plus explicit
+/// underflow/overflow counters.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_stats::histogram::Histogram;
+///
+/// let mut h = Histogram::new(30.0, 40.0, 5)?;
+/// for x in [31.0, 31.5, 36.0, 45.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(0), 2);   // [30, 32)
+/// assert_eq!(h.count(3), 1);   // [36, 38)
+/// assert_eq!(h.overflow(), 1); // 45.0
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lo ≥ hi`, either bound is not finite, or
+    /// `bins` is zero.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, String> {
+        if !(lo.is_finite() && hi.is_finite()) {
+            return Err(format!("bounds must be finite, got [{lo}, {hi})"));
+        }
+        if lo >= hi {
+            return Err(format!("empty range [{lo}, {hi})"));
+        }
+        if bins == 0 {
+            return Err("need at least one bin".to_string());
+        }
+        Ok(Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins.len() as f64
+    }
+
+    /// The `[lo, hi)` range of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin {i} out of range");
+        let w = self.bin_width();
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// Records an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN — silently binning NaN would corrupt the counts.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN observation");
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / self.bin_width()) as usize;
+            // Guard the hi-boundary rounding case.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The mode's bin index, or `None` if empty (ties go to the lowest
+    /// bin).
+    pub fn mode_bin(&self) -> Option<usize> {
+        let max = *self.bins.iter().max()?;
+        if max == 0 {
+            return None;
+        }
+        self.bins.iter().position(|c| *c == max)
+    }
+
+    /// Renders an ASCII bar chart, one row per bin.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, count) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let bar_len = (*count as usize * width) / max as usize;
+            out.push_str(&format!(
+                "[{lo:>7.2}, {hi:>7.2})  {:>6}  {}\n",
+                count,
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Histogram::new(0.0, 10.0, 5).is_ok());
+        assert!(Histogram::new(10.0, 0.0, 5).is_err());
+        assert!(Histogram::new(0.0, 10.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 10.0, 5).is_err());
+    }
+
+    #[test]
+    fn binning_is_exact_at_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.record(0.0); // first bin, inclusive
+        h.record(2.0); // second bin's lower edge
+        h.record(9.999); // last bin
+        h.record(10.0); // overflow (exclusive upper bound)
+        h.record(-0.001); // underflow
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn bin_ranges_tile_the_domain() {
+        let h = Histogram::new(30.0, 40.0, 4).unwrap();
+        assert_eq!(h.num_bins(), 4);
+        assert!((h.bin_width() - 2.5).abs() < 1e-12);
+        let (lo, hi) = h.bin_range(1);
+        assert!((lo - 32.5).abs() < 1e-12);
+        assert!((hi - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_detection() {
+        let mut h = Histogram::new(0.0, 3.0, 3).unwrap();
+        assert_eq!(h.mode_bin(), None);
+        h.record(1.5);
+        h.record(1.6);
+        h.record(0.5);
+        assert_eq!(h.mode_bin(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        Histogram::new(0.0, 1.0, 1).unwrap().record(f64::NAN);
+    }
+
+    #[test]
+    fn render_has_one_row_per_bin() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.record(0.5);
+        let s = format!("{h}");
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains('#'));
+    }
+
+    proptest! {
+        #[test]
+        fn every_observation_is_counted_once(
+            xs in proptest::collection::vec(-100.0..200.0f64, 0..300),
+        ) {
+            let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+            for x in &xs {
+                h.record(*x);
+            }
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+
+        #[test]
+        fn in_range_observations_land_in_their_bin(x in 0.0..100.0f64) {
+            let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+            h.record(x);
+            let expected = ((x / 10.0) as usize).min(9);
+            prop_assert_eq!(h.count(expected), 1);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Labelled experiment series: `(x, mean ± ci)` points.
+//!
+//! Every figure in the paper is a set of curves (one per scheme) over a
+//! swept parameter. [`Series`] is the common container the experiment
+//! drivers fill and print.
+
+use crate::ci::{ConfidenceInterval, Level};
+use crate::descriptive::Summary;
+use std::fmt;
+
+/// One point of a series: the swept x value and the y samples collected
+/// over simulation runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesPoint {
+    /// Swept parameter value (e.g. number of channels, utilization η).
+    pub x: f64,
+    /// One y sample per simulation run.
+    pub samples: Vec<f64>,
+}
+
+impl SeriesPoint {
+    /// Creates a point from its samples.
+    pub fn new(x: f64, samples: Vec<f64>) -> Self {
+        Self { x, samples }
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        self.samples.iter().copied().collect::<Summary>().mean()
+    }
+
+    /// 95% confidence interval of the samples.
+    pub fn ci95(&self) -> ConfidenceInterval {
+        ConfidenceInterval::from_samples(&self.samples, Level::P95)
+    }
+}
+
+/// A named curve: what the paper plots as one line in a figure.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_stats::series::Series;
+///
+/// let mut s = Series::new("Proposed scheme");
+/// s.push(4.0, vec![33.0, 33.4]);
+/// s.push(6.0, vec![34.0, 34.4]);
+/// assert_eq!(s.len(), 2);
+/// assert!(s.is_monotone_increasing(0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    name: String,
+    points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// Creates an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name (legend label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, samples: Vec<f64>) {
+        self.points.push(SeriesPoint::new(x, samples));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over points in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, SeriesPoint> {
+        self.points.iter()
+    }
+
+    /// Mean y values in insertion order.
+    pub fn means(&self) -> Vec<f64> {
+        self.points.iter().map(SeriesPoint::mean).collect()
+    }
+
+    /// Returns `true` if the means are non-decreasing, allowing dips of
+    /// up to `tolerance` (simulation noise).
+    pub fn is_monotone_increasing(&self, tolerance: f64) -> bool {
+        self.means().windows(2).all(|w| w[1] >= w[0] - tolerance)
+    }
+
+    /// Returns `true` if the means are non-increasing, allowing bumps of
+    /// up to `tolerance`.
+    pub fn is_monotone_decreasing(&self, tolerance: f64) -> bool {
+        self.means().windows(2).all(|w| w[1] <= w[0] + tolerance)
+    }
+
+    /// Mean gap `self − other` averaged over matching points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two series have different lengths or mismatched x
+    /// values — comparing misaligned curves is a caller bug.
+    pub fn mean_gap(&self, other: &Series) -> f64 {
+        assert_eq!(self.len(), other.len(), "series length mismatch");
+        let mut total = 0.0;
+        for (a, b) in self.points.iter().zip(other.points.iter()) {
+            assert!(
+                (a.x - b.x).abs() < 1e-9,
+                "series x mismatch: {} vs {}",
+                a.x,
+                b.x
+            );
+            total += a.mean() - b.mean();
+        }
+        total / self.len() as f64
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {}", self.name)?;
+        for p in &self.points {
+            let ci = p.ci95();
+            writeln!(f, "{:>10.4}  {:>10.4} ± {:.4}", p.x, p.mean(), ci.half_width())?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders several series side by side as an aligned text table, the
+/// format the experiment binary prints for each figure.
+pub fn render_table(x_label: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:>12}", x_label));
+    for s in series {
+        out.push_str(&format!("  {:>24}", s.name()));
+    }
+    out.push('\n');
+    let rows = series.first().map_or(0, Series::len);
+    for i in 0..rows {
+        let x = series[0].points[i].x;
+        out.push_str(&format!("{x:>12.4}"));
+        for s in series {
+            let p = &s.points[i];
+            let ci = p.ci95();
+            out.push_str(&format!(
+                "  {:>15.3} ± {:>6.3}",
+                p.mean(),
+                ci.half_width()
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders several series as CSV: header `x,<name> mean,<name> ci95,…`
+/// then one row per point — for piping figure data into external
+/// plotting tools.
+pub fn render_csv(x_label: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(x_label);
+    for s in series {
+        out.push_str(&format!(",{} mean,{} ci95", s.name(), s.name()));
+    }
+    out.push('\n');
+    let rows = series.first().map_or(0, Series::len);
+    for i in 0..rows {
+        out.push_str(&format!("{}", series[0].points[i].x));
+        for s in series {
+            let p = &s.points[i];
+            out.push_str(&format!(",{},{}", p.mean(), p.ci95().half_width()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Series {
+        let mut s = Series::new("demo");
+        s.push(1.0, vec![10.0, 12.0]);
+        s.push(2.0, vec![13.0, 15.0]);
+        s.push(3.0, vec![15.0, 17.0]);
+        s
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let s = demo();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let xs: Vec<f64> = s.iter().map(|p| p.x).collect();
+        assert_eq!(xs, vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.means(), vec![11.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn monotonicity_checks() {
+        let s = demo();
+        assert!(s.is_monotone_increasing(0.0));
+        assert!(!s.is_monotone_decreasing(0.0));
+        // Tolerance forgives small dips.
+        let mut noisy = Series::new("noisy");
+        noisy.push(1.0, vec![10.0]);
+        noisy.push(2.0, vec![9.9]);
+        noisy.push(3.0, vec![11.0]);
+        assert!(!noisy.is_monotone_increasing(0.0));
+        assert!(noisy.is_monotone_increasing(0.2));
+    }
+
+    #[test]
+    fn mean_gap_between_aligned_series() {
+        let a = demo();
+        let mut b = Series::new("other");
+        b.push(1.0, vec![9.0]);
+        b.push(2.0, vec![12.0]);
+        b.push(3.0, vec![14.0]);
+        let gap = a.mean_gap(&b);
+        assert!((gap - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mean_gap_rejects_mismatched_lengths() {
+        let a = demo();
+        let b = Series::new("empty");
+        let _ = a.mean_gap(&b);
+    }
+
+    #[test]
+    fn render_table_has_all_rows_and_headers() {
+        let table = render_table("M", &[demo()]);
+        assert!(table.contains("demo"));
+        assert_eq!(table.lines().count(), 4);
+        assert!(table.contains('±'));
+    }
+
+    #[test]
+    fn display_includes_name() {
+        assert!(format!("{}", demo()).contains("# demo"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = render_csv("M", &[demo()]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("M,demo mean,demo ci95"));
+        assert_eq!(csv.lines().count(), 4);
+        let first_row = csv.lines().nth(1).unwrap();
+        assert!(first_row.starts_with("1,11,"));
+    }
+
+    #[test]
+    fn csv_of_empty_series_is_header_only() {
+        let csv = render_csv("x", &[Series::new("empty")]);
+        assert_eq!(csv.lines().count(), 1);
+    }
+}

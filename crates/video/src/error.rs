@@ -1,0 +1,81 @@
+//! Error type for video-model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a video model is constructed with an invalid
+/// parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VideoError {
+    /// A quantity that must be nonnegative and finite was not.
+    Negative {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A quantity that must be strictly positive was not.
+    NonPositive {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for VideoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VideoError::Negative { name, value } => {
+                write!(f, "parameter `{name}` must be nonnegative and finite, got {value}")
+            }
+            VideoError::NonPositive { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for VideoError {}
+
+pub(crate) fn check_nonnegative(name: &'static str, value: f64) -> Result<f64, VideoError> {
+    if value >= 0.0 && value.is_finite() {
+        Ok(value)
+    } else {
+        Err(VideoError::Negative { name, value })
+    }
+}
+
+pub(crate) fn check_positive(name: &'static str, value: f64) -> Result<f64, VideoError> {
+    if value > 0.0 && value.is_finite() {
+        Ok(value)
+    } else {
+        Err(VideoError::NonPositive { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_helpers() {
+        assert!(check_nonnegative("x", 0.0).is_ok());
+        assert!(check_nonnegative("x", -1.0).is_err());
+        assert!(check_nonnegative("x", f64::NAN).is_err());
+        assert!(check_positive("x", 1.0).is_ok());
+        assert!(check_positive("x", 0.0).is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = check_positive("beta", -3.0).unwrap_err();
+        assert!(format!("{e}").contains("beta"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<VideoError>();
+    }
+}

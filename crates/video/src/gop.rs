@@ -1,0 +1,206 @@
+//! Group-of-pictures structure and the real-time delivery deadline.
+//!
+//! "Due to real-time constraint, each Group of Pictures (GOP) of a video
+//! stream must be delivered in the next `T` time slots … Overdue packets
+//! will be discarded." (Section III-E). [`GopConfig`] carries the static
+//! structure; [`GopClock`] tracks which slot of which GOP the simulation
+//! is in and signals deadline boundaries.
+
+use crate::error::VideoError;
+
+/// Static GOP parameters: frames per GOP and the delivery deadline `T`
+/// in time slots.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_video::gop::GopConfig;
+///
+/// let g = GopConfig::new(16, 10)?; // the paper's values
+/// assert_eq!(g.frames(), 16);
+/// assert_eq!(g.deadline_slots(), 10);
+/// # Ok::<(), fcr_video::VideoError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GopConfig {
+    frames: u32,
+    deadline_slots: u32,
+}
+
+impl GopConfig {
+    /// Creates a GOP configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::NonPositive`] if either parameter is zero.
+    pub fn new(frames: u32, deadline_slots: u32) -> Result<Self, VideoError> {
+        if frames == 0 {
+            return Err(VideoError::NonPositive {
+                name: "frames",
+                value: 0.0,
+            });
+        }
+        if deadline_slots == 0 {
+            return Err(VideoError::NonPositive {
+                name: "deadline_slots",
+                value: 0.0,
+            });
+        }
+        Ok(Self {
+            frames,
+            deadline_slots,
+        })
+    }
+
+    /// Frames per GOP (16 in the paper).
+    pub fn frames(&self) -> u32 {
+        self.frames
+    }
+
+    /// Delivery deadline `T` in slots (10 in the paper).
+    pub fn deadline_slots(&self) -> u32 {
+        self.deadline_slots
+    }
+}
+
+/// Tracks GOP progress across time slots.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_video::gop::{GopClock, GopConfig};
+///
+/// let mut clock = GopClock::new(GopConfig::new(16, 3)?);
+/// assert_eq!(clock.slot_in_gop(), 0);
+/// assert!(!clock.advance()); // slot 1 of 3
+/// assert!(!clock.advance()); // slot 2 of 3
+/// assert!(clock.advance());  // deadline: GOP complete
+/// assert_eq!(clock.completed_gops(), 1);
+/// assert_eq!(clock.slot_in_gop(), 0);
+/// # Ok::<(), fcr_video::VideoError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GopClock {
+    config: GopConfig,
+    slot_in_gop: u32,
+    completed: u64,
+}
+
+impl GopClock {
+    /// Creates a clock at slot 0 of GOP 0.
+    pub fn new(config: GopConfig) -> Self {
+        Self {
+            config,
+            slot_in_gop: 0,
+            completed: 0,
+        }
+    }
+
+    /// The GOP configuration.
+    pub fn config(&self) -> GopConfig {
+        self.config
+    }
+
+    /// Slot index within the current GOP, `0..T`.
+    pub fn slot_in_gop(&self) -> u32 {
+        self.slot_in_gop
+    }
+
+    /// Paper-style 1-based slot index `t ∈ 1..=T` of the *next*
+    /// transmission slot.
+    pub fn paper_slot(&self) -> u32 {
+        self.slot_in_gop + 1
+    }
+
+    /// Number of GOP deadlines passed so far.
+    pub fn completed_gops(&self) -> u64 {
+        self.completed
+    }
+
+    /// Remaining slots (including the one about to run) before the
+    /// deadline.
+    pub fn slots_remaining(&self) -> u32 {
+        self.config.deadline_slots - self.slot_in_gop
+    }
+
+    /// Returns `true` if the slot about to run is the last before the
+    /// deadline.
+    pub fn is_last_slot(&self) -> bool {
+        self.slots_remaining() == 1
+    }
+
+    /// Advances one slot; returns `true` when this crossing completes a
+    /// GOP (the deadline fires and the per-GOP PSNR should be recorded).
+    pub fn advance(&mut self) -> bool {
+        self.slot_in_gop += 1;
+        if self.slot_in_gop == self.config.deadline_slots {
+            self.slot_in_gop = 0;
+            self.completed += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(GopConfig::new(16, 10).is_ok());
+        assert!(GopConfig::new(0, 10).is_err());
+        assert!(GopConfig::new(16, 0).is_err());
+    }
+
+    #[test]
+    fn clock_cycles_through_deadlines() {
+        let mut clock = GopClock::new(GopConfig::new(16, 10).unwrap());
+        let mut deadlines = 0;
+        for slot in 0..35 {
+            assert_eq!(clock.slot_in_gop(), (slot % 10) as u32);
+            assert_eq!(clock.paper_slot(), (slot % 10) as u32 + 1);
+            if clock.advance() {
+                deadlines += 1;
+            }
+        }
+        assert_eq!(deadlines, 3);
+        assert_eq!(clock.completed_gops(), 3);
+        assert_eq!(clock.slot_in_gop(), 5);
+    }
+
+    #[test]
+    fn last_slot_detection() {
+        let mut clock = GopClock::new(GopConfig::new(16, 3).unwrap());
+        assert!(!clock.is_last_slot());
+        assert_eq!(clock.slots_remaining(), 3);
+        clock.advance();
+        clock.advance();
+        assert!(clock.is_last_slot());
+        assert_eq!(clock.slots_remaining(), 1);
+    }
+
+    #[test]
+    fn single_slot_deadline_fires_every_advance() {
+        let mut clock = GopClock::new(GopConfig::new(16, 1).unwrap());
+        for _ in 0..5 {
+            assert!(clock.is_last_slot());
+            assert!(clock.advance());
+        }
+        assert_eq!(clock.completed_gops(), 5);
+    }
+
+    proptest! {
+        #[test]
+        fn completed_gops_counts_slots_over_t(t in 1u32..30, steps in 0u32..300) {
+            let mut clock = GopClock::new(GopConfig::new(16, t).unwrap());
+            for _ in 0..steps {
+                clock.advance();
+            }
+            prop_assert_eq!(clock.completed_gops(), u64::from(steps / t));
+            prop_assert_eq!(clock.slot_in_gop(), steps % t);
+        }
+    }
+}

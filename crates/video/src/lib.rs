@@ -1,0 +1,55 @@
+//! MGS scalable-video substrate (Section III-E of Hu & Mao,
+//! ICDCS 2011).
+//!
+//! The paper streams H.264/SVC **medium grain scalability (MGS)** videos
+//! and models the quality of the reconstructed video with the linear
+//! rate–PSNR law `W(R) = α + β·R` (eq. (9)), where `R` is the received
+//! rate and `(α, β)` are per-sequence codec constants. This crate
+//! provides:
+//!
+//! * [`quality`] — strongly-typed [`quality::Psnr`] and [`quality::Mbps`]
+//!   newtypes so decibels and megabits cannot be confused;
+//! * [`mgs`] — the rate–PSNR model itself, plus the per-slot PSNR
+//!   increment constants `R_{i,j} = β_j·B_i/T` used by problem (10);
+//! * [`sequences`] — presets for the CIF test sequences the paper
+//!   streams (Bus, Mobile, Harbor) and a few extras;
+//! * [`gop`] — group-of-pictures structure and the `T`-slot delivery
+//!   deadline;
+//! * [`packet`] — NAL-unit packetization with significance ordering
+//!   ("video packets are transmitted in the decreasing order of their
+//!   significances");
+//! * [`session`] — the per-user PSNR recursion
+//!   `W^t = W^{t−1} + ξ·ρ·R` over a GOP, the quantity the whole
+//!   optimization maximizes.
+//!
+//! # Examples
+//!
+//! ```
+//! use fcr_video::sequences::Sequence;
+//! use fcr_video::quality::Mbps;
+//!
+//! let bus = Sequence::Bus.model();
+//! let w = bus.psnr(Mbps::new(0.3)?);
+//! assert!(w.db() > bus.alpha().db());
+//! # Ok::<(), fcr_video::VideoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod gop;
+pub mod mgs;
+pub mod packet;
+pub mod quality;
+pub mod sequences;
+pub mod session;
+
+mod error;
+
+pub use error::VideoError;
+pub use gop::{GopClock, GopConfig};
+pub use mgs::MgsRateModel;
+pub use packet::{NalUnit, Packetizer, TransmissionQueue};
+pub use quality::{Mbps, Psnr};
+pub use sequences::{Scalability, Sequence};
+pub use session::VideoSession;

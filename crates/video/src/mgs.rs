@@ -1,0 +1,183 @@
+//! The MGS rate–PSNR model `W(R) = α + β·R` (eq. (9)).
+//!
+//! `α` is the base-layer quality (PSNR received with zero enhancement
+//! rate) and `β` the marginal quality per Mbps of MGS enhancement data.
+//! Both are per-sequence, per-codec constants; the paper cites Wien,
+//! Schwarz & Oelbaum for the model and notes that `W(R)` is an *average*
+//! PSNR that already folds in decoding dependencies and error
+//! propagation.
+
+use crate::error::{check_positive, VideoError};
+use crate::quality::{Mbps, Psnr};
+
+/// Linear MGS rate–quality model for one encoded sequence.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_video::mgs::MgsRateModel;
+/// use fcr_video::quality::{Mbps, Psnr};
+///
+/// let model = MgsRateModel::new(Psnr::new(30.0)?, 24.0)?;
+/// let w = model.psnr(Mbps::new(0.25)?);
+/// assert!((w.db() - 36.0).abs() < 1e-12);
+/// // Inverse: what rate reaches 36 dB?
+/// let r = model.rate_for(Psnr::new(36.0)?);
+/// assert!((r.value() - 0.25).abs() < 1e-12);
+/// # Ok::<(), fcr_video::VideoError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MgsRateModel {
+    alpha: Psnr,
+    beta: f64,
+}
+
+impl MgsRateModel {
+    /// Creates a model with base quality `alpha` (dB) and slope `beta`
+    /// (dB per Mbps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::NonPositive`] if `beta` is not strictly
+    /// positive — a non-increasing rate–quality curve cannot drive the
+    /// allocator.
+    pub fn new(alpha: Psnr, beta: f64) -> Result<Self, VideoError> {
+        Ok(Self {
+            alpha,
+            beta: check_positive("beta", beta)?,
+        })
+    }
+
+    /// Base-layer quality α.
+    pub fn alpha(&self) -> Psnr {
+        self.alpha
+    }
+
+    /// Slope β in dB per Mbps.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Reconstructed quality at received rate `rate` (eq. (9)).
+    pub fn psnr(&self, rate: Mbps) -> Psnr {
+        Psnr::new(self.alpha.db() + self.beta * rate.value())
+            .expect("alpha ≥ 0 and beta·rate ≥ 0 imply a valid PSNR")
+    }
+
+    /// Inverse of eq. (9): the rate needed to reach `target` quality.
+    /// Targets at or below α need zero enhancement rate.
+    pub fn rate_for(&self, target: Psnr) -> Mbps {
+        let gap = (target.db() - self.alpha.db()).max(0.0);
+        Mbps::new(gap / self.beta).expect("nonnegative by construction")
+    }
+
+    /// The per-slot quality-increment constant of problem (10):
+    /// `R_{i,j} = β_j · B_i / T` in dB per (full slot of bandwidth
+    /// `B_i`), where `T` is the GOP delivery deadline in slots.
+    ///
+    /// When a user receives a fraction ρ of slot `t` on a resource with
+    /// bandwidth `B_i`, its PSNR advances by `ρ · R_{i,j}` (times the
+    /// loss indicator ξ and, on the FBS side, the channel count `G_t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline_slots` is zero.
+    pub fn slot_increment(&self, bandwidth: Mbps, deadline_slots: u32) -> Psnr {
+        assert!(deadline_slots > 0, "GOP deadline must be at least one slot");
+        Psnr::new(self.beta * bandwidth.value() / f64::from(deadline_slots))
+            .expect("nonnegative by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> MgsRateModel {
+        MgsRateModel::new(Psnr::new(30.0).unwrap(), 24.0).unwrap()
+    }
+
+    #[test]
+    fn eq9_at_zero_rate_gives_alpha() {
+        assert_eq!(model().psnr(Mbps::ZERO), model().alpha());
+    }
+
+    #[test]
+    fn eq9_is_linear() {
+        let m = model();
+        let w1 = m.psnr(Mbps::new(0.1).unwrap()).db();
+        let w2 = m.psnr(Mbps::new(0.2).unwrap()).db();
+        let w3 = m.psnr(Mbps::new(0.3).unwrap()).db();
+        assert!((w2 - w1 - (w3 - w2)).abs() < 1e-12);
+        assert!((w2 - w1 - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let m = model();
+        for r in [0.0, 0.05, 0.3, 1.0] {
+            let rate = Mbps::new(r).unwrap();
+            let back = m.rate_for(m.psnr(rate));
+            assert!((back.value() - r).abs() < 1e-12, "r={r}");
+        }
+        // Below-alpha targets clamp to zero rate.
+        assert_eq!(m.rate_for(Psnr::new(10.0).unwrap()), Mbps::ZERO);
+    }
+
+    #[test]
+    fn slot_increment_matches_formula() {
+        let m = model();
+        // R = β·B/T = 24·0.3/10 = 0.72 dB per full slot.
+        let inc = m.slot_increment(Mbps::new(0.3).unwrap(), 10);
+        assert!((inc.db() - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_deadline_panics() {
+        let _ = model().slot_increment(Mbps::new(0.3).unwrap(), 0);
+    }
+
+    #[test]
+    fn construction_validates_beta() {
+        assert!(MgsRateModel::new(Psnr::new(30.0).unwrap(), 0.0).is_err());
+        assert!(MgsRateModel::new(Psnr::new(30.0).unwrap(), -3.0).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let m = model();
+        assert_eq!(m.alpha().db(), 30.0);
+        assert_eq!(m.beta(), 24.0);
+    }
+
+    proptest! {
+        #[test]
+        fn psnr_is_monotone_in_rate(
+            alpha in 20.0..40.0f64,
+            beta in 1.0..50.0f64,
+            r1 in 0.0..5.0f64,
+            r2 in 0.0..5.0f64,
+        ) {
+            let m = MgsRateModel::new(Psnr::new(alpha).unwrap(), beta).unwrap();
+            let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+            let w_lo = m.psnr(Mbps::new(lo).unwrap());
+            let w_hi = m.psnr(Mbps::new(hi).unwrap());
+            prop_assert!(w_lo <= w_hi);
+        }
+
+        #[test]
+        fn total_gop_increment_is_deadline_invariant(
+            beta in 1.0..50.0f64,
+            bw in 0.01..2.0f64,
+            t in 1u32..60,
+        ) {
+            // T slots at full share must add β·B regardless of T.
+            let m = MgsRateModel::new(Psnr::new(30.0).unwrap(), beta).unwrap();
+            let inc = m.slot_increment(Mbps::new(bw).unwrap(), t);
+            let total = inc.db() * f64::from(t);
+            prop_assert!((total - beta * bw).abs() < 1e-9);
+        }
+    }
+}

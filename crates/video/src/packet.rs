@@ -1,0 +1,390 @@
+//! NAL-unit packetization and the significance-ordered transmission
+//! queue.
+//!
+//! MGS scalability is *Network Abstraction Layer unit*-grained: the
+//! encoder emits, per GOP, one base-layer unit followed by a ladder of
+//! enhancement units, each refining the reconstruction. Section III-E
+//! prescribes the transmission discipline this module implements:
+//! "Video packets are transmitted in the decreasing order of their
+//! significances in improving the quality of reconstructed video, with
+//! retransmissions if necessary. Overdue packets will be discarded."
+//!
+//! The optimizer in `fcr-core` works at the rate level (eq. (9) is linear
+//! in rate); this packet layer exists so examples and the simulator can
+//! account for unit-level delivery, retransmission, and deadline
+//! expiry — the mechanism that makes the MGS model's "received rate"
+//! concrete.
+
+use crate::error::VideoError;
+use crate::gop::GopConfig;
+use crate::mgs::MgsRateModel;
+use crate::quality::{Mbps, Psnr};
+use std::collections::VecDeque;
+
+/// One NAL unit of an MGS-encoded GOP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NalUnit {
+    /// Which GOP this unit belongs to.
+    pub gop_index: u64,
+    /// 0 = base layer; `1..` = MGS enhancement rungs, most significant
+    /// first.
+    pub layer: u16,
+    /// Payload size in bits.
+    pub size_bits: u64,
+    /// Marginal quality this unit contributes when decoded (requires all
+    /// lower layers of the same GOP, which the in-order queue
+    /// guarantees).
+    pub psnr_gain: Psnr,
+    /// Absolute slot index after which the unit is overdue.
+    pub deadline_slot: u64,
+}
+
+impl NalUnit {
+    /// Returns `true` if the unit is the GOP's base layer.
+    pub fn is_base_layer(&self) -> bool {
+        self.layer == 0
+    }
+
+    /// Returns `true` if the unit can still be delivered at
+    /// `current_slot`.
+    pub fn is_live(&self, current_slot: u64) -> bool {
+        current_slot <= self.deadline_slot
+    }
+}
+
+/// Splits each GOP of an MGS stream into significance-ordered NAL units.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_video::packet::Packetizer;
+/// use fcr_video::sequences::Sequence;
+/// use fcr_video::quality::Mbps;
+///
+/// let p = Packetizer::new(
+///     Sequence::Bus.model(),
+///     Sequence::Bus.gop(),
+///     Mbps::new(0.5)?, // full-quality enhancement rate
+///     8,               // MGS rungs per GOP
+/// )?;
+/// let units = p.packetize(0, 0);
+/// assert_eq!(units.len(), 9); // base + 8 enhancement rungs
+/// assert!(units[0].is_base_layer());
+/// # Ok::<(), fcr_video::VideoError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packetizer {
+    model: MgsRateModel,
+    gop: GopConfig,
+    enhancement_rate: Mbps,
+    rungs: u16,
+}
+
+impl Packetizer {
+    /// Creates a packetizer for one encoded stream.
+    ///
+    /// `enhancement_rate` is the rate of the full MGS enhancement ladder
+    /// (per GOP-second); `rungs` is how many NAL units it is split into
+    /// (MGS granularity — the paper contrasts this with FGS's
+    /// bit-level granularity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::NonPositive`] if `rungs` is zero or
+    /// `enhancement_rate` is zero.
+    pub fn new(
+        model: MgsRateModel,
+        gop: GopConfig,
+        enhancement_rate: Mbps,
+        rungs: u16,
+    ) -> Result<Self, VideoError> {
+        if rungs == 0 {
+            return Err(VideoError::NonPositive {
+                name: "rungs",
+                value: 0.0,
+            });
+        }
+        if enhancement_rate.value() <= 0.0 {
+            return Err(VideoError::NonPositive {
+                name: "enhancement_rate",
+                value: enhancement_rate.value(),
+            });
+        }
+        Ok(Self {
+            model,
+            gop,
+            enhancement_rate,
+            rungs,
+        })
+    }
+
+    /// Number of enhancement rungs per GOP.
+    pub fn rungs(&self) -> u16 {
+        self.rungs
+    }
+
+    /// GOP duration in seconds (frames / 30 fps), the horizon the
+    /// enhancement rate is integrated over.
+    pub fn gop_seconds(&self) -> f64 {
+        f64::from(self.gop.frames()) / 30.0
+    }
+
+    /// Emits the NAL units of GOP `gop_index`, most significant first.
+    ///
+    /// `first_slot` is the absolute index of the GOP's first
+    /// transmission slot; every unit carries the deadline
+    /// `first_slot + T − 1`.
+    pub fn packetize(&self, gop_index: u64, first_slot: u64) -> Vec<NalUnit> {
+        let deadline = first_slot + u64::from(self.gop.deadline_slots()) - 1;
+        let gop_seconds = self.gop_seconds();
+        let rung_rate = self.enhancement_rate.value() / f64::from(self.rungs);
+        let rung_bits = (rung_rate * 1e6 * gop_seconds).round() as u64;
+        let rung_gain = Psnr::new(self.model.beta() * rung_rate).expect("nonnegative");
+
+        let mut units = Vec::with_capacity(usize::from(self.rungs) + 1);
+        // Base layer: carries α; size modeled as one rung's worth of bits
+        // (base layers of MGS streams are small relative to enhancement).
+        units.push(NalUnit {
+            gop_index,
+            layer: 0,
+            size_bits: rung_bits,
+            psnr_gain: self.model.alpha(),
+            deadline_slot: deadline,
+        });
+        for layer in 1..=self.rungs {
+            units.push(NalUnit {
+                gop_index,
+                layer,
+                size_bits: rung_bits,
+                psnr_gain: rung_gain,
+                deadline_slot: deadline,
+            });
+        }
+        units
+    }
+}
+
+/// Statistics the queue keeps about unit-level delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Units delivered (acknowledged).
+    pub delivered: u64,
+    /// Units discarded at their deadline.
+    pub expired: u64,
+    /// Delivery attempts that failed and will be retransmitted.
+    pub retransmissions: u64,
+}
+
+/// Significance-ordered transmission queue with deadline expiry.
+///
+/// Units are served strictly in the order the packetizer emitted them
+/// (decreasing significance); a failed attempt leaves the unit at the
+/// head for retransmission; [`TransmissionQueue::expire`] drops overdue
+/// units.
+#[derive(Debug, Clone, Default)]
+pub struct TransmissionQueue {
+    queue: VecDeque<NalUnit>,
+    delivered_gain: Psnr,
+    stats: QueueStats,
+}
+
+impl TransmissionQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a GOP's units (already significance-ordered).
+    pub fn enqueue_gop(&mut self, units: Vec<NalUnit>) {
+        self.queue.extend(units);
+    }
+
+    /// Number of queued units.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The next unit to send, if any (highest remaining significance).
+    pub fn head(&self) -> Option<&NalUnit> {
+        self.queue.front()
+    }
+
+    /// Records one transmission attempt of the head unit.
+    ///
+    /// `success` is the realized loss indicator ξ; on success the unit is
+    /// removed and its quality gain credited, on failure it stays for
+    /// retransmission. Returns the unit if it was delivered.
+    pub fn attempt(&mut self, success: bool) -> Option<NalUnit> {
+        if success {
+            let unit = self.queue.pop_front()?;
+            self.delivered_gain += unit.psnr_gain;
+            self.stats.delivered += 1;
+            Some(unit)
+        } else {
+            if !self.queue.is_empty() {
+                self.stats.retransmissions += 1;
+            }
+            None
+        }
+    }
+
+    /// Discards every queued unit whose deadline has passed at
+    /// `current_slot`; returns how many were dropped.
+    pub fn expire(&mut self, current_slot: u64) -> usize {
+        let before = self.queue.len();
+        self.queue.retain(|u| u.is_live(current_slot));
+        let dropped = before - self.queue.len();
+        self.stats.expired += dropped as u64;
+        dropped
+    }
+
+    /// Total quality credited from delivered units.
+    pub fn delivered_gain(&self) -> Psnr {
+        self.delivered_gain
+    }
+
+    /// Delivery statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequences::Sequence;
+    use proptest::prelude::*;
+
+    fn packetizer() -> Packetizer {
+        Packetizer::new(
+            Sequence::Bus.model(),
+            Sequence::Bus.gop(),
+            Mbps::new(0.5).unwrap(),
+            8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn packetize_emits_base_then_enhancements() {
+        let units = packetizer().packetize(3, 100);
+        assert_eq!(units.len(), 9);
+        assert!(units[0].is_base_layer());
+        for (i, u) in units.iter().enumerate() {
+            assert_eq!(u.layer as usize, i);
+            assert_eq!(u.gop_index, 3);
+            assert_eq!(u.deadline_slot, 109); // 100 + T(=10) − 1
+        }
+    }
+
+    #[test]
+    fn enhancement_gains_sum_to_beta_times_rate() {
+        let p = packetizer();
+        let units = p.packetize(0, 0);
+        let total: f64 = units[1..].iter().map(|u| u.psnr_gain.db()).sum();
+        // β·R = 24 · 0.5 = 12 dB across the full ladder.
+        assert!((total - 12.0).abs() < 1e-9, "total {total}");
+        // Base layer carries α.
+        assert!((units[0].psnr_gain.db() - 30.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_sizes_match_rate_and_gop_duration() {
+        let p = packetizer();
+        let units = p.packetize(0, 0);
+        // GOP of 16 frames at 30 fps = 0.5333 s; 0.5 Mbps / 8 rungs each.
+        let expected_bits = (0.5_f64 / 8.0 * 1e6 * (16.0 / 30.0)).round() as u64;
+        assert!(units.iter().all(|u| u.size_bits == expected_bits));
+        assert!((p.gop_seconds() - 16.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packetizer_validation() {
+        let m = Sequence::Bus.model();
+        let g = Sequence::Bus.gop();
+        assert!(Packetizer::new(m, g, Mbps::new(0.5).unwrap(), 0).is_err());
+        assert!(Packetizer::new(m, g, Mbps::ZERO, 8).is_err());
+    }
+
+    #[test]
+    fn queue_serves_in_significance_order() {
+        let mut q = TransmissionQueue::new();
+        q.enqueue_gop(packetizer().packetize(0, 0));
+        assert_eq!(q.len(), 9);
+        let first = q.attempt(true).unwrap();
+        assert!(first.is_base_layer());
+        let second = q.attempt(true).unwrap();
+        assert_eq!(second.layer, 1);
+        assert_eq!(q.stats().delivered, 2);
+    }
+
+    #[test]
+    fn failed_attempts_retransmit_the_head() {
+        let mut q = TransmissionQueue::new();
+        q.enqueue_gop(packetizer().packetize(0, 0));
+        assert!(q.attempt(false).is_none());
+        assert!(q.attempt(false).is_none());
+        assert_eq!(q.stats().retransmissions, 2);
+        let delivered = q.attempt(true).unwrap();
+        assert!(delivered.is_base_layer(), "head must not change on failure");
+    }
+
+    #[test]
+    fn expire_drops_only_overdue_units() {
+        let p = packetizer();
+        let mut q = TransmissionQueue::new();
+        q.enqueue_gop(p.packetize(0, 0)); // deadline slot 9
+        q.enqueue_gop(p.packetize(1, 10)); // deadline slot 19
+        assert_eq!(q.len(), 18);
+        let dropped = q.expire(10); // GOP 0 overdue
+        assert_eq!(dropped, 9);
+        assert_eq!(q.len(), 9);
+        assert_eq!(q.head().unwrap().gop_index, 1);
+        assert_eq!(q.stats().expired, 9);
+        assert_eq!(q.expire(10), 0, "idempotent at same slot");
+    }
+
+    #[test]
+    fn delivered_gain_accumulates() {
+        let mut q = TransmissionQueue::new();
+        q.enqueue_gop(packetizer().packetize(0, 0));
+        q.attempt(true);
+        q.attempt(true);
+        let expected = 30.2 + 24.0 * 0.5 / 8.0;
+        assert!((q.delivered_gain().db() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_queue_attempt_is_none() {
+        let mut q = TransmissionQueue::new();
+        assert!(q.attempt(true).is_none());
+        assert!(q.attempt(false).is_none());
+        assert_eq!(q.stats().retransmissions, 0, "no retransmission counted on empty queue");
+        assert!(q.head().is_none());
+        assert!(q.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn conservation_of_units(
+            successes in proptest::collection::vec(proptest::bool::ANY, 0..40),
+            expire_at in 0u64..20,
+        ) {
+            let p = packetizer();
+            let mut q = TransmissionQueue::new();
+            q.enqueue_gop(p.packetize(0, 0));
+            let initial = q.len() as u64;
+            for s in successes {
+                q.attempt(s);
+            }
+            let dropped = q.expire(expire_at) as u64;
+            let stats = q.stats();
+            prop_assert_eq!(stats.delivered + dropped + q.len() as u64, initial);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Strongly-typed video-quality and rate quantities.
+//!
+//! PSNR (decibels) and bit rate (Mbps) are both `f64` under the hood;
+//! the newtypes keep the optimizer from ever adding a rate to a PSNR
+//! without going through the rate–PSNR model.
+
+use crate::error::{check_nonnegative, VideoError};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Peak signal-to-noise ratio in decibels.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_video::quality::Psnr;
+///
+/// let base = Psnr::new(30.0)?;
+/// let improved = base + Psnr::new(4.3)?;
+/// assert!((improved.db() - 34.3).abs() < 1e-12);
+/// # Ok::<(), fcr_video::VideoError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Psnr(f64);
+
+impl Psnr {
+    /// Creates a PSNR value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::Negative`] if `db` is negative or not
+    /// finite; a negative PSNR has no physical meaning for video quality.
+    pub fn new(db: f64) -> Result<Self, VideoError> {
+        Ok(Self(check_nonnegative("psnr_db", db)?))
+    }
+
+    /// Zero decibels.
+    pub const ZERO: Psnr = Psnr(0.0);
+
+    /// The value in decibels.
+    pub fn db(&self) -> f64 {
+        self.0
+    }
+
+    /// Natural logarithm of the dB value — the per-user term of the
+    /// paper's proportional-fair objective `Σ log(W_j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PSNR is zero (log-utility is undefined); sessions
+    /// always start from `α > 0` so this indicates a construction bug.
+    pub fn log_utility(&self) -> f64 {
+        assert!(self.0 > 0.0, "log utility of zero PSNR");
+        self.0.ln()
+    }
+
+    /// Mean squared error of an 8-bit video implied by this PSNR:
+    /// `MSE = 255² / 10^(PSNR/10)`.
+    pub fn to_mse(&self) -> f64 {
+        255.0 * 255.0 / 10f64.powf(self.0 / 10.0)
+    }
+
+    /// PSNR of an 8-bit video with the given mean squared error:
+    /// `PSNR = 10·log10(255²/MSE)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::NonPositive`] if `mse` is not strictly
+    /// positive (a zero-MSE reconstruction has infinite PSNR).
+    pub fn from_mse(mse: f64) -> Result<Self, VideoError> {
+        if mse <= 0.0 || !mse.is_finite() {
+            return Err(VideoError::NonPositive {
+                name: "mse",
+                value: mse,
+            });
+        }
+        let db = 10.0 * (255.0 * 255.0 / mse).log10();
+        // Very large MSE (> 255²) implies a nonsensical negative PSNR.
+        Psnr::new(db)
+    }
+}
+
+impl Add for Psnr {
+    type Output = Psnr;
+    fn add(self, rhs: Psnr) -> Psnr {
+        Psnr(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Psnr {
+    fn add_assign(&mut self, rhs: Psnr) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Psnr {
+    type Output = Psnr;
+    /// Saturating difference: quality gaps below zero clamp to zero.
+    fn sub(self, rhs: Psnr) -> Psnr {
+        Psnr((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Sum for Psnr {
+    fn sum<I: Iterator<Item = Psnr>>(iter: I) -> Psnr {
+        iter.fold(Psnr::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Psnr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dB", self.0)
+    }
+}
+
+/// A bit rate in megabits per second.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_video::quality::Mbps;
+///
+/// let b0 = Mbps::new(0.3)?;
+/// assert_eq!(b0.value(), 0.3);
+/// # Ok::<(), fcr_video::VideoError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Mbps(f64);
+
+impl Mbps {
+    /// Creates a rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::Negative`] if `value` is negative or not
+    /// finite.
+    pub fn new(value: f64) -> Result<Self, VideoError> {
+        Ok(Self(check_nonnegative("mbps", value)?))
+    }
+
+    /// Zero rate.
+    pub const ZERO: Mbps = Mbps(0.0);
+
+    /// The value in Mbps.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// Scales the rate by a nonnegative factor (e.g. a time share ρ or
+    /// an expected channel count `G_t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or NaN.
+    pub fn scale(&self, factor: f64) -> Mbps {
+        assert!(factor >= 0.0 && !factor.is_nan(), "invalid scale factor {factor}");
+        Mbps(self.0 * factor)
+    }
+}
+
+impl Add for Mbps {
+    type Output = Mbps;
+    fn add(self, rhs: Mbps) -> Mbps {
+        Mbps(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Mbps {
+    fn add_assign(&mut self, rhs: Mbps) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Mbps {
+    fn sum<I: Iterator<Item = Mbps>>(iter: I) -> Mbps {
+        iter.fold(Mbps::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Mbps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} Mbps", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn psnr_construction_and_accessors() {
+        let p = Psnr::new(34.5).unwrap();
+        assert_eq!(p.db(), 34.5);
+        assert!(Psnr::new(-1.0).is_err());
+        assert!(Psnr::new(f64::INFINITY).is_err());
+        assert_eq!(Psnr::ZERO.db(), 0.0);
+    }
+
+    #[test]
+    fn psnr_arithmetic() {
+        let a = Psnr::new(30.0).unwrap();
+        let b = Psnr::new(4.0).unwrap();
+        assert_eq!((a + b).db(), 34.0);
+        assert_eq!((b - a).db(), 0.0, "saturating subtraction");
+        assert_eq!((a - b).db(), 26.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.db(), 34.0);
+        let total: Psnr = [a, b].into_iter().sum();
+        assert_eq!(total.db(), 34.0);
+    }
+
+    #[test]
+    fn psnr_ordering_and_display() {
+        assert!(Psnr::new(30.0).unwrap() < Psnr::new(31.0).unwrap());
+        assert_eq!(format!("{}", Psnr::new(34.25).unwrap()), "34.25 dB");
+    }
+
+    #[test]
+    fn log_utility_matches_ln() {
+        let p = Psnr::new(std::f64::consts::E).unwrap();
+        assert!((p.log_utility() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "log utility of zero")]
+    fn log_utility_of_zero_panics() {
+        let _ = Psnr::ZERO.log_utility();
+    }
+
+    #[test]
+    fn mbps_construction_and_scaling() {
+        let r = Mbps::new(0.3).unwrap();
+        assert_eq!(r.value(), 0.3);
+        assert!((r.scale(0.5).value() - 0.15).abs() < 1e-12);
+        assert_eq!(r.scale(0.0), Mbps::ZERO);
+        assert!(Mbps::new(-0.1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scale factor")]
+    fn negative_scale_panics() {
+        let _ = Mbps::new(1.0).unwrap().scale(-1.0);
+    }
+
+    #[test]
+    fn mbps_sum_and_display() {
+        let total: Mbps = [Mbps::new(0.1).unwrap(), Mbps::new(0.2).unwrap()]
+            .into_iter()
+            .sum();
+        assert!((total.value() - 0.3).abs() < 1e-12);
+        assert_eq!(format!("{}", Mbps::new(0.3).unwrap()), "0.300 Mbps");
+    }
+
+    #[test]
+    fn psnr_mse_conversions() {
+        // 8-bit identity cases: PSNR 48.13 dB ↔ MSE 1.0.
+        let p = Psnr::from_mse(1.0).unwrap();
+        assert!((p.db() - 48.1308).abs() < 1e-3);
+        assert!((p.to_mse() - 1.0).abs() < 1e-9);
+        // Typical streaming quality: 35 dB ≈ MSE 20.5.
+        let q = Psnr::new(35.0).unwrap();
+        assert!((q.to_mse() - 20.56).abs() < 0.01);
+        // Errors.
+        assert!(Psnr::from_mse(0.0).is_err());
+        assert!(Psnr::from_mse(-5.0).is_err());
+        assert!(Psnr::from_mse(f64::INFINITY).is_err());
+        // MSE larger than 255² would need a negative PSNR.
+        assert!(Psnr::from_mse(100_000.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn psnr_mse_roundtrips(db in 0.1..60.0f64) {
+            let p = Psnr::new(db).unwrap();
+            let back = Psnr::from_mse(p.to_mse()).unwrap();
+            prop_assert!((back.db() - db).abs() < 1e-9);
+        }
+
+        #[test]
+        fn higher_psnr_means_lower_mse(a in 0.0..60.0f64, b in 0.0..60.0f64) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let mse_lo = Psnr::new(lo).unwrap().to_mse();
+            let mse_hi = Psnr::new(hi).unwrap().to_mse();
+            prop_assert!(mse_hi <= mse_lo + 1e-12);
+        }
+
+        #[test]
+        fn psnr_addition_is_commutative(a in 0.0..100.0f64, b in 0.0..100.0f64) {
+            let x = Psnr::new(a).unwrap();
+            let y = Psnr::new(b).unwrap();
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn mbps_scale_composes(r in 0.0..10.0f64, f1 in 0.0..5.0f64, f2 in 0.0..5.0f64) {
+            let rate = Mbps::new(r).unwrap();
+            let a = rate.scale(f1).scale(f2).value();
+            let b = rate.scale(f1 * f2).value();
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Per-user streaming session: the PSNR recursion of problem (10).
+//!
+//! Within a GOP, user `j`'s quality evolves as
+//!
+//! ```text
+//! W^t_j = W^{t−1}_j + ξ^t_{0,j}·ρ^t_{0,j}·R_{0,j} + ξ^t_{1,j}·ρ^t_{1,j}·G^t·R_{1,j}
+//! ```
+//!
+//! starting from `W^0_j = α_j` (the base layer) and ending at the GOP
+//! deadline `t = T`, where `W^T_j` is the Y-PSNR of that GOP's
+//! reconstruction. [`VideoSession`] owns this recursion and the per-GOP
+//! history the experiments average.
+
+use crate::gop::{GopClock, GopConfig};
+use crate::mgs::MgsRateModel;
+use crate::quality::{Mbps, Psnr};
+use crate::sequences::Sequence;
+
+/// One user's ongoing MGS stream.
+///
+/// # Examples
+///
+/// ```
+/// use fcr_video::session::VideoSession;
+/// use fcr_video::sequences::Sequence;
+/// use fcr_video::quality::Mbps;
+///
+/// let mut session = VideoSession::for_sequence(Sequence::Bus);
+/// let alpha = session.current_psnr();
+/// // Full slot on the common channel (B0 = 0.3 Mbps), delivered.
+/// let inc = session.mbs_increment(1.0, Mbps::new(0.3)?);
+/// session.credit(inc);
+/// assert!(session.current_psnr() > alpha);
+/// # Ok::<(), fcr_video::VideoError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VideoSession {
+    model: MgsRateModel,
+    clock: GopClock,
+    current: Psnr,
+    history: Vec<Psnr>,
+}
+
+impl VideoSession {
+    /// Creates a session from an explicit model and GOP structure.
+    pub fn new(model: MgsRateModel, gop: GopConfig) -> Self {
+        Self {
+            model,
+            clock: GopClock::new(gop),
+            current: model.alpha(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Creates a session for one of the preset sequences.
+    pub fn for_sequence(sequence: Sequence) -> Self {
+        Self::new(sequence.model(), sequence.gop())
+    }
+
+    /// The rate–PSNR model of the encoded stream.
+    pub fn model(&self) -> MgsRateModel {
+        self.model
+    }
+
+    /// The GOP clock (slot within GOP, completed GOPs).
+    pub fn clock(&self) -> GopClock {
+        self.clock
+    }
+
+    /// The running quality `w^t_j` of the in-flight GOP.
+    pub fn current_psnr(&self) -> Psnr {
+        self.current
+    }
+
+    /// Quality increment for receiving fraction `rho` of a slot from the
+    /// MBS on the common channel of bandwidth `b0`:
+    /// `ρ·R_{0,j}` with `R_{0,j} = β_j·B_0/T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is outside `[0, 1]` (a time share).
+    pub fn mbs_increment(&self, rho: f64, b0: Mbps) -> Psnr {
+        assert!((0.0..=1.0).contains(&rho), "time share must be in [0,1], got {rho}");
+        Psnr::new(
+            self.model
+                .slot_increment(b0, self.clock.config().deadline_slots())
+                .db()
+                * rho,
+        )
+        .expect("nonnegative")
+    }
+
+    /// Quality increment for receiving fraction `rho` of a slot from an
+    /// FBS aggregating `g` expected licensed channels of bandwidth `b1`
+    /// each: `ρ·G^t·R_{1,j}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is outside `[0, 1]` or `g` is negative.
+    pub fn fbs_increment(&self, rho: f64, g: f64, b1: Mbps) -> Psnr {
+        assert!((0.0..=1.0).contains(&rho), "time share must be in [0,1], got {rho}");
+        assert!(g >= 0.0, "expected channel count must be nonnegative, got {g}");
+        Psnr::new(
+            self.model
+                .slot_increment(b1, self.clock.config().deadline_slots())
+                .db()
+                * rho
+                * g,
+        )
+        .expect("nonnegative")
+    }
+
+    /// Credits a delivered quality increment (the `ξ = 1` branch of the
+    /// recursion; on loss simply do not call this).
+    pub fn credit(&mut self, increment: Psnr) {
+        self.current += increment;
+    }
+
+    /// Ends the current slot. At a GOP deadline the finished GOP's
+    /// quality is recorded and returned, and the recursion restarts at
+    /// `α_j` for the next GOP.
+    pub fn end_slot(&mut self) -> Option<Psnr> {
+        if self.clock.advance() {
+            let finished = self.current;
+            self.history.push(finished);
+            self.current = self.model.alpha();
+            Some(finished)
+        } else {
+            None
+        }
+    }
+
+    /// Qualities of all completed GOPs, in order.
+    pub fn gop_history(&self) -> &[Psnr] {
+        &self.history
+    }
+
+    /// Mean quality over completed GOPs, or `None` before the first
+    /// deadline.
+    pub fn mean_gop_psnr(&self) -> Option<Psnr> {
+        if self.history.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.history.iter().map(Psnr::db).sum();
+        Some(Psnr::new(sum / self.history.len() as f64).expect("mean of valid PSNRs"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn session() -> VideoSession {
+        VideoSession::for_sequence(Sequence::Bus) // α=30.2, β=24, T=10
+    }
+
+    #[test]
+    fn starts_at_alpha() {
+        let s = session();
+        assert_eq!(s.current_psnr(), s.model().alpha());
+        assert!(s.gop_history().is_empty());
+        assert_eq!(s.mean_gop_psnr(), None);
+    }
+
+    #[test]
+    fn mbs_increment_matches_r0j() {
+        let s = session();
+        // R0 = β·B0/T = 24·0.3/10 = 0.72; half a slot → 0.36.
+        let inc = s.mbs_increment(0.5, Mbps::new(0.3).unwrap());
+        assert!((inc.db() - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fbs_increment_scales_with_g() {
+        let s = session();
+        // R1 = 0.72; ρ=0.25, G=3 → 0.54.
+        let inc = s.fbs_increment(0.25, 3.0, Mbps::new(0.3).unwrap());
+        assert!((inc.db() - 0.54).abs() < 1e-12);
+        assert_eq!(s.fbs_increment(0.5, 0.0, Mbps::new(0.3).unwrap()), Psnr::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "time share")]
+    fn rho_above_one_panics() {
+        let _ = session().mbs_increment(1.5, Mbps::new(0.3).unwrap());
+    }
+
+    #[test]
+    fn full_gop_accumulates_and_resets() {
+        let mut s = session();
+        let b0 = Mbps::new(0.3).unwrap();
+        for slot in 0..10 {
+            let inc = s.mbs_increment(1.0, b0);
+            s.credit(inc);
+            let finished = s.end_slot();
+            if slot < 9 {
+                assert!(finished.is_none());
+            } else {
+                // Full share for all T slots: W = α + β·B0 = 30.2 + 7.2.
+                let f = finished.unwrap();
+                assert!((f.db() - 37.4).abs() < 1e-9);
+            }
+        }
+        assert_eq!(s.current_psnr(), s.model().alpha(), "reset after deadline");
+        assert_eq!(s.gop_history().len(), 1);
+        assert!((s.mean_gop_psnr().unwrap().db() - 37.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn losses_leave_quality_unchanged() {
+        let mut s = session();
+        // ξ = 0: no credit call.
+        for _ in 0..9 {
+            assert!(s.end_slot().is_none());
+        }
+        let finished = s.end_slot().unwrap();
+        assert_eq!(finished, s.model().alpha(), "all-loss GOP decodes base layer only");
+    }
+
+    #[test]
+    fn mean_over_multiple_gops() {
+        let mut s = session();
+        let b0 = Mbps::new(0.3).unwrap();
+        for gop in 0..3 {
+            for _ in 0..10 {
+                if gop == 1 {
+                    let inc = s.mbs_increment(1.0, b0);
+                    s.credit(inc);
+                }
+                s.end_slot();
+            }
+        }
+        assert_eq!(s.gop_history().len(), 3);
+        let mean = s.mean_gop_psnr().unwrap().db();
+        // GOPs: α, α+7.2, α → mean = α + 2.4.
+        assert!((mean - (30.2 + 2.4)).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn quality_is_monotone_within_a_gop(
+            shares in proptest::collection::vec(0.0..=1.0f64, 1..9),
+        ) {
+            let mut s = session();
+            let b1 = Mbps::new(0.3).unwrap();
+            let mut last = s.current_psnr();
+            for rho in shares {
+                let inc = s.fbs_increment(rho, 2.5, b1);
+                s.credit(inc);
+                prop_assert!(s.current_psnr() >= last);
+                last = s.current_psnr();
+                s.end_slot();
+            }
+        }
+
+        #[test]
+        fn gop_quality_equals_alpha_plus_credits(
+            credit_dbs in proptest::collection::vec(0.0..2.0f64, 10),
+        ) {
+            let mut s = session();
+            let mut total = 0.0;
+            let mut finished = None;
+            for db in &credit_dbs {
+                s.credit(Psnr::new(*db).unwrap());
+                total += db;
+                finished = s.end_slot();
+            }
+            let f = finished.expect("10 slots complete one GOP");
+            prop_assert!((f.db() - (30.2 + total)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The paper's codec choice, quantified: stream the same scenario with
+//! H.264/SVC MGS (the paper's pick) and MPEG-4 FGS enhancement layers.
+//! MGS wins on rate-distortion (Section I's motivating claim); FGS's
+//! finer granularity claws a little back at packet level, but not
+//! enough.
+//!
+//! ```text
+//! cargo run --release --example mgs_vs_fgs
+//! ```
+
+use fcr::prelude::*;
+use fcr::sim::engine::run_once;
+use fcr::sim::packet_engine::run_packet_level;
+use fcr::video::sequences::Scalability;
+
+fn main() {
+    // Rate–distortion curves first.
+    println!("Rate–PSNR at 0.3 Mbps enhancement (eq. (9) presets):");
+    for s in Sequence::PAPER_TRIO {
+        let r = Mbps::new(0.3).expect("valid rate");
+        let mgs = s.model_for(Scalability::Mgs).psnr(r);
+        let fgs = s.model_for(Scalability::Fgs).psnr(r);
+        println!(
+            "  {:<8} MGS {:.2} dB   FGS {:.2} dB   (MGS +{:.2} dB)",
+            s.name(),
+            mgs.db(),
+            fgs.db(),
+            mgs.db() - fgs.db()
+        );
+    }
+    println!();
+
+    // End-to-end: same network, same scheme, two codecs.
+    let runs = 5;
+    let seeds = SeedSequence::new(33);
+    let mut rows = Vec::new();
+    for scalability in [Scalability::Mgs, Scalability::Fgs] {
+        let cfg = SimConfig {
+            gops: 12,
+            scalability,
+            ..SimConfig::default()
+        };
+        let scenario = Scenario::single_fbs(&cfg);
+        let fluid = (0..runs)
+            .map(|r| run_once(&scenario, &cfg, Scheme::Proposed, &seeds, r).mean_psnr())
+            .sum::<f64>()
+            / runs as f64;
+        let packet = (0..runs)
+            .map(|r| {
+                run_packet_level(&scenario, &cfg, Scheme::Proposed, &seeds, r).mean_psnr()
+            })
+            .sum::<f64>()
+            / runs as f64;
+        rows.push((scalability, fluid, packet));
+    }
+    println!("Codec   fluid Y-PSNR   packet Y-PSNR");
+    for (s, fluid, packet) in &rows {
+        println!("{s:?}    {fluid:>10.2} {packet:>15.2}");
+    }
+    let fluid_gap = rows[0].1 - rows[1].1;
+    let packet_gap = rows[0].2 - rows[1].2;
+    println!();
+    println!(
+        "MGS advantage: {fluid_gap:.2} dB at the fluid level, {packet_gap:.2} dB at packet level\n\
+         (FGS's bit-level granularity — 64 rungs vs. 16 — recovers some of\n\
+         the quantization waste but not the rate-distortion deficit), which\n\
+         is why the paper streams MGS."
+    );
+}

@@ -1,0 +1,78 @@
+//! The sensing-error trade-off of Fig. 6(b): walk the sensor's
+//! receiver-operating curve from aggressive (few false alarms, many
+//! misses) to conservative (many false alarms, few misses) and watch
+//! both the fused posterior quality and the end-to-end video quality.
+//!
+//! ```text
+//! cargo run --example sensing_tradeoff
+//! ```
+
+use fcr::prelude::*;
+use fcr::spectrum::markov::ChannelState;
+use fcr::spectrum::sensing::FIG6B_OPERATING_POINTS;
+use rand::RngExt;
+
+fn main() {
+    // --- Posterior sharpness at each operating point. ---
+    println!("Posterior after 3 consistent idle reports (prior η = 4/7):");
+    let eta = 4.0 / 7.0;
+    for (eps, delta) in FIG6B_OPERATING_POINTS {
+        let sensor = SensorProfile::new(eps, delta).expect("valid profile");
+        let mut posterior = AvailabilityPosterior::new(eta).expect("valid prior");
+        for _ in 0..3 {
+            posterior.update(&sensor, Observation::Idle);
+        }
+        println!(
+            "  ε = {eps:.2}, δ = {delta:.2}  →  P^A = {:.4}",
+            posterior.probability()
+        );
+    }
+    println!();
+
+    // --- Empirical detection quality of one sensor. ---
+    let mut rng = SeedSequence::new(3).stream("demo", 0);
+    let sensor = SensorProfile::new(0.3, 0.3).expect("valid profile");
+    let chain = TwoStateMarkov::new(0.4, 0.3).expect("valid chain");
+    let mut state = chain.sample_stationary(&mut rng);
+    let (mut correct, mut total) = (0u64, 0u64);
+    for _ in 0..10_000 {
+        state = chain.step(state, &mut rng);
+        let obs = sensor.observe(state, &mut rng);
+        let said_busy = obs.is_busy();
+        let is_busy = state == ChannelState::Busy;
+        correct += u64::from(said_busy == is_busy);
+        total += 1;
+    }
+    println!(
+        "Single ε = δ = 0.3 sensor raw accuracy over 10k slots: {:.1}%",
+        100.0 * correct as f64 / total as f64
+    );
+    let _ = rng.random::<u64>();
+    println!();
+
+    // --- End-to-end: video quality across the ROC (Fig. 6(b) shrunk). ---
+    println!("Mean Y-PSNR across the Fig. 6(b) operating points (proposed scheme):");
+    for (eps, delta) in FIG6B_OPERATING_POINTS {
+        let cfg = SimConfig {
+            gops: 6,
+            ..SimConfig::default()
+        }
+        .with_sensing_errors(eps, delta);
+        let scenario = Scenario::interfering_fig5(&cfg);
+        let experiment = Experiment::new(scenario, cfg, 11).runs(3);
+        let s = experiment.summarize(Scheme::Proposed);
+        println!(
+            "  ε = {eps:.2}, δ = {delta:.2}  →  {:.2} ± {:.2} dB (collisions {:.3} ≤ γ = {})",
+            s.overall.mean(),
+            s.overall.half_width(),
+            s.collision.mean(),
+            cfg.gamma
+        );
+    }
+    println!();
+    println!(
+        "Because both error types are modeled inside the availability\n\
+         posterior, quality moves only mildly across the whole ROC —\n\
+         the paper's Fig. 6(b) observation."
+    );
+}

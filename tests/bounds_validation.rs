@@ -1,0 +1,151 @@
+//! Randomized validation of the channel-allocation bounds: Theorem 2
+//! (`gain(greedy) ≥ gain(opt)/(1+D_max)`) and eq. (23)
+//! (`Q(opt) ≤ Q(greedy) + Σ D(l)·Δ_l`) against the exhaustive optimum.
+
+use fcr::core::bounds;
+use fcr::core::exhaustive::ExhaustiveAllocator;
+use fcr::core::greedy::GreedyAllocator;
+use fcr::core::interfering::InterferingProblem;
+use fcr::prelude::*;
+use rand::RngExt;
+
+fn random_instance(
+    rng: &mut impl rand::Rng,
+    n: usize,
+    users: usize,
+    channels: usize,
+) -> InterferingProblem {
+    // Random graph.
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_bool(0.5) {
+                edges.push((FbsId(i), FbsId(j)));
+            }
+        }
+    }
+    let graph = InterferenceGraph::new(n, &edges);
+    let users: Vec<UserState> = (0..users)
+        .map(|_| {
+            UserState::new(
+                rng.random_range(25.0..40.0),
+                FbsId(rng.random_range(0..n)),
+                rng.random_range(0.2..1.2),
+                rng.random_range(0.2..1.2),
+                rng.random_range(0.1..1.0),
+                rng.random_range(0.1..1.0),
+            )
+            .expect("valid state")
+        })
+        .collect();
+    let weights: Vec<f64> = (0..channels).map(|_| rng.random_range(0.3..1.0)).collect();
+    InterferingProblem::new(users, graph, weights).expect("valid instance")
+}
+
+#[test]
+fn theorem2_and_eq23_hold_on_thirty_random_instances() {
+    let mut rng = SeedSequence::new(2011).stream("bounds", 0);
+    for trial in 0..30 {
+        let (nu, nc) = (rng.random_range(2..7), rng.random_range(1..4));
+        let p = random_instance(&mut rng, 3, nu, nc);
+        let greedy = GreedyAllocator::new().allocate(&p);
+        let opt = ExhaustiveAllocator::new().allocate(&p);
+
+        assert!(
+            opt.q_value() >= greedy.q_value() - 1e-5,
+            "trial {trial}: exhaustive below greedy"
+        );
+        assert!(
+            bounds::satisfies_theorem2(
+                greedy.gain(),
+                opt.gain(),
+                p.graph().max_degree(),
+                1e-5
+            ),
+            "trial {trial}: Theorem 2 violated (greedy {}, opt {}, D_max {})",
+            greedy.gain(),
+            opt.gain(),
+            p.graph().max_degree()
+        );
+        assert!(
+            greedy.upper_bound() >= opt.q_value() - 1e-5,
+            "trial {trial}: eq.(23) violated ({} < {})",
+            greedy.upper_bound(),
+            opt.q_value()
+        );
+    }
+}
+
+#[test]
+fn greedy_is_exactly_optimal_when_interference_vanishes() {
+    // Section IV-B: D_max = 0 ⇒ the greedy's bound is 1/(1+0) = 1, and
+    // it must actually hit the optimum.
+    let mut rng = SeedSequence::new(2012).stream("bounds", 1);
+    for _ in 0..10 {
+        let users: Vec<UserState> = (0..4)
+            .map(|j| {
+                UserState::new(
+                    rng.random_range(25.0..40.0),
+                    FbsId(j % 2),
+                    0.72,
+                    0.72,
+                    rng.random_range(0.2..0.9),
+                    rng.random_range(0.2..0.9),
+                )
+                .expect("valid state")
+            })
+            .collect();
+        let p = InterferingProblem::new(
+            users,
+            InterferenceGraph::edgeless(2),
+            vec![0.9, 0.7],
+        )
+        .expect("valid instance");
+        let greedy = GreedyAllocator::new().allocate(&p);
+        let opt = ExhaustiveAllocator::new().allocate(&p);
+        assert!(
+            (greedy.q_value() - opt.q_value()).abs() < 1e-6,
+            "greedy {} vs opt {}",
+            greedy.q_value(),
+            opt.q_value()
+        );
+    }
+}
+
+#[test]
+fn greedy_assignments_are_always_conflict_free() {
+    let mut rng = SeedSequence::new(2013).stream("bounds", 2);
+    for _ in 0..20 {
+        let p = random_instance(&mut rng, 4, 5, 3);
+        let outcome = GreedyAllocator::new().allocate(&p);
+        assert!(outcome.assignment().is_conflict_free(p.graph()));
+        // And maximal: Table III runs until no pair can be added.
+        for ch in 0..p.num_channels() {
+            let holders = outcome.assignment().holders(ch);
+            for i in 0..p.num_fbss() {
+                let f = FbsId(i);
+                if holders.contains(&f) {
+                    continue;
+                }
+                assert!(
+                    holders.iter().any(|h| p.graph().are_adjacent(*h, f)),
+                    "channel {ch} could still be granted to {f}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn degree_zero_steps_contribute_tightly_to_eq23() {
+    // On an edgeless graph every D(l) = 0, so eq.(23) collapses to the
+    // greedy gain itself.
+    let users = vec![
+        UserState::new(30.0, FbsId(0), 0.7, 0.7, 0.5, 0.9).unwrap(),
+        UserState::new(28.0, FbsId(1), 0.7, 0.7, 0.5, 0.9).unwrap(),
+    ];
+    let p = InterferingProblem::new(users, InterferenceGraph::edgeless(2), vec![0.8, 0.6])
+        .unwrap();
+    let outcome = GreedyAllocator::new().allocate(&p);
+    assert!((outcome.upper_bound_gain() - outcome.gain()).abs() < 1e-9);
+}

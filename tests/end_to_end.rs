@@ -1,0 +1,165 @@
+//! End-to-end invariants of the full pipeline: primary evolution →
+//! sensing → fusion → access → allocation → transmission → PSNR
+//! accounting, across all schemes and both scenarios.
+
+use fcr::prelude::*;
+use fcr::sim::engine::run_once;
+
+fn cfg(gops: u32) -> SimConfig {
+    SimConfig {
+        gops,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn every_scheme_produces_valid_results_on_both_scenarios() {
+    let cfg = cfg(4);
+    let seeds = SeedSequence::new(100);
+    for scenario in [Scenario::single_fbs(&cfg), Scenario::interfering_fig5(&cfg)] {
+        for scheme in Scheme::WITH_BOUND {
+            let r = run_once(&scenario, &cfg, scheme, &seeds, 0);
+            assert_eq!(r.per_user_psnr.len(), scenario.num_users(), "{scheme}");
+            for (j, p) in r.per_user_psnr.iter().enumerate() {
+                let alpha = scenario.users[j].sequence.model().alpha().db();
+                let cap = scenario.users[j].sequence.max_psnr().db();
+                assert!(
+                    *p >= alpha - 1e-9 && *p <= cap + 1e-9,
+                    "{scheme} user {j}: {p} outside [{alpha}, {cap}]"
+                );
+            }
+            assert!((0.0..=1.0).contains(&r.collision_rate), "{scheme}");
+            assert!(r.mean_expected_available >= 0.0, "{scheme}");
+            assert!(
+                r.mean_expected_available <= cfg.num_channels as f64,
+                "{scheme}"
+            );
+        }
+    }
+}
+
+#[test]
+fn collision_rate_stays_under_gamma_for_all_schemes() {
+    // The primary-protection constraint is enforced by the access stage,
+    // before any scheme-specific logic, so every scheme must obey it.
+    let cfg = cfg(25);
+    let seeds = SeedSequence::new(200);
+    let scenario = Scenario::single_fbs(&cfg);
+    for scheme in Scheme::PAPER_TRIO {
+        let r = run_once(&scenario, &cfg, scheme, &seeds, 0);
+        assert!(
+            r.collision_rate <= cfg.gamma + 0.03,
+            "{scheme}: {} > γ + slack",
+            r.collision_rate
+        );
+    }
+}
+
+#[test]
+fn gamma_zero_means_almost_no_collisions() {
+    let cfg = SimConfig {
+        gamma: 0.0,
+        gops: 10,
+        ..SimConfig::default()
+    };
+    let scenario = Scenario::single_fbs(&cfg);
+    let r = run_once(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(1), 0);
+    // γ = 0 blocks every channel whose posterior is not certain-idle;
+    // with noisy sensors posteriors are never exactly 1, so nothing is
+    // accessed and nothing collides.
+    assert_eq!(r.collision_rate, 0.0);
+    assert_eq!(r.mean_expected_available, 0.0);
+}
+
+#[test]
+fn perfect_sensing_gives_more_quality_than_noisy_sensing() {
+    let noisy = cfg(10);
+    let clean = SimConfig {
+        epsilon: 0.0,
+        delta: 0.0,
+        ..noisy
+    };
+    let seeds = SeedSequence::new(300);
+    let scenario = Scenario::single_fbs(&noisy);
+    let mean = |c: &SimConfig| {
+        (0..4)
+            .map(|r| run_once(&scenario, c, Scheme::Proposed, &seeds, r).mean_psnr())
+            .sum::<f64>()
+            / 4.0
+    };
+    assert!(
+        mean(&clean) > mean(&noisy),
+        "perfect sensing should not hurt"
+    );
+}
+
+#[test]
+fn idle_spectrum_beats_busy_spectrum() {
+    let seeds = SeedSequence::new(400);
+    let quiet = cfg(10).with_utilization(0.3);
+    let loud = cfg(10).with_utilization(0.7);
+    let scenario = Scenario::single_fbs(&quiet);
+    let mean = |c: &SimConfig| {
+        (0..4)
+            .map(|r| run_once(&scenario, c, Scheme::Proposed, &seeds, r).mean_psnr())
+            .sum::<f64>()
+            / 4.0
+    };
+    assert!(mean(&quiet) > mean(&loud));
+}
+
+#[test]
+fn upper_bound_scheme_dominates_proposed_in_interfering_scenario() {
+    let cfg = cfg(8);
+    let scenario = Scenario::interfering_fig5(&cfg);
+    let seeds = SeedSequence::new(500);
+    let mut ub_total = 0.0;
+    let mut proposed_total = 0.0;
+    for r in 0..3 {
+        ub_total += run_once(&scenario, &cfg, Scheme::UpperBound, &seeds, r).mean_psnr();
+        proposed_total += run_once(&scenario, &cfg, Scheme::Proposed, &seeds, r).mean_psnr();
+    }
+    // Exhaustively-optimal channel allocation can only help; allow a
+    // sliver of realization noise.
+    assert!(
+        ub_total >= proposed_total - 0.15,
+        "upper bound {ub_total} vs proposed {proposed_total}"
+    );
+}
+
+#[test]
+fn eq23_bound_dominates_greedy_objective_every_slot_on_average() {
+    let cfg = cfg(6);
+    let scenario = Scenario::interfering_fig5(&cfg);
+    let r = run_once(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(600), 0);
+    let q = r.mean_greedy_objective.expect("recorded");
+    let ub = r.mean_eq23_bound.expect("recorded");
+    assert!(ub >= q, "eq.(23) bound {ub} below greedy objective {q}");
+}
+
+#[test]
+fn experiment_summaries_match_manual_aggregation() {
+    let cfg = cfg(3);
+    let scenario = Scenario::single_fbs(&cfg);
+    let experiment = Experiment::new(scenario.clone(), cfg, 700).runs(4);
+    let runs = experiment.run_scheme(Scheme::Proposed);
+    let summary = experiment.summarize(Scheme::Proposed);
+    let manual_mean =
+        runs.iter().map(RunResult::mean_psnr).sum::<f64>() / runs.len() as f64;
+    assert!((summary.overall.mean() - manual_mean).abs() < 1e-9);
+}
+
+#[test]
+fn longer_deadline_does_not_change_total_gop_budget() {
+    // R = β·B/T scales inversely with T, so a full-share GOP is worth
+    // the same quality no matter how it is sliced.
+    let session_t10 = VideoSession::for_sequence(Sequence::Bus);
+    let b = Mbps::new(0.3).unwrap();
+    let total_t10: f64 = (0..10)
+        .map(|_| session_t10.mbs_increment(1.0, b).db())
+        .sum();
+    let cfg = fcr::video::gop::GopConfig::new(16, 5).unwrap();
+    let session_t5 = VideoSession::new(Sequence::Bus.model(), cfg);
+    let total_t5: f64 = (0..5).map(|_| session_t5.mbs_increment(1.0, b).db()).sum();
+    assert!((total_t10 - total_t5).abs() < 1e-9);
+}

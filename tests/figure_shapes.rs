@@ -1,0 +1,153 @@
+//! Scaled-down versions of every figure in Section V, asserting the
+//! qualitative shape the paper reports: who wins, monotonicity, and
+//! where the bound sits. Full-scale numbers live in EXPERIMENTS.md.
+
+use fcr::prelude::*;
+use fcr::sim::runner::sweep;
+
+const RUNS: u64 = 3;
+const GOPS: u32 = 6;
+const SEED: u64 = 20110620;
+
+fn base() -> SimConfig {
+    SimConfig {
+        gops: GOPS,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn fig3_proposed_wins_the_single_fbs_mean() {
+    let cfg = base();
+    let e = Experiment::new(Scenario::single_fbs(&cfg), cfg, SEED).runs(RUNS);
+    let proposed = e.summarize(Scheme::Proposed).overall.mean();
+    let h1 = e.summarize(Scheme::Heuristic1).overall.mean();
+    let h2 = e.summarize(Scheme::Heuristic2).overall.mean();
+    assert!(proposed > h1, "proposed {proposed} vs H1 {h1}");
+    assert!(proposed > h2, "proposed {proposed} vs H2 {h2}");
+    // "Well balanced among the three users": better fairness than the
+    // winner-takes-the-slot heuristic.
+    let jain_p = e.summarize(Scheme::Proposed).jain;
+    let jain_h2 = e.summarize(Scheme::Heuristic2).jain;
+    assert!(jain_p > jain_h2, "Jain proposed {jain_p} vs H2 {jain_h2}");
+}
+
+#[test]
+fn fig4b_quality_increases_with_channels_and_proposed_has_the_steepest_slope() {
+    let points: Vec<(f64, SimConfig, Scenario)> = [4usize, 8, 12]
+        .iter()
+        .map(|m| {
+            let cfg = SimConfig {
+                num_channels: *m,
+                ..base()
+            };
+            (*m as f64, cfg, Scenario::single_fbs(&cfg))
+        })
+        .collect();
+    let series = sweep(&points, &Scheme::PAPER_TRIO, RUNS, SEED);
+    for s in &series {
+        assert!(
+            s.is_monotone_increasing(0.25),
+            "{} not increasing in M: {:?}",
+            s.name(),
+            s.means()
+        );
+    }
+    let slope = |means: &[f64]| means[means.len() - 1] - means[0];
+    let proposed_slope = slope(&series[0].means());
+    assert!(
+        proposed_slope >= slope(&series[1].means()) - 0.3,
+        "proposed should exploit extra channels at least as well as H1"
+    );
+    assert!(proposed_slope >= slope(&series[2].means()) - 0.3);
+}
+
+#[test]
+fn fig4c_quality_decreases_with_utilization() {
+    let points: Vec<(f64, SimConfig, Scenario)> = [0.3, 0.5, 0.7]
+        .iter()
+        .map(|eta| {
+            let cfg = base().with_utilization(*eta);
+            (*eta, cfg, Scenario::single_fbs(&cfg))
+        })
+        .collect();
+    let series = sweep(&points, &Scheme::PAPER_TRIO, RUNS, SEED);
+    for s in &series {
+        assert!(
+            s.is_monotone_decreasing(0.25),
+            "{} not decreasing in η: {:?}",
+            s.name(),
+            s.means()
+        );
+    }
+    // Proposed on top at every point.
+    for i in 0..3 {
+        assert!(series[0].means()[i] >= series[1].means()[i] - 0.1);
+        assert!(series[0].means()[i] >= series[2].means()[i] - 0.1);
+    }
+}
+
+#[test]
+fn fig6a_bound_sits_just_above_proposed_in_the_interfering_case() {
+    let points: Vec<(f64, SimConfig, Scenario)> = [0.4, 0.6]
+        .iter()
+        .map(|eta| {
+            let cfg = base().with_utilization(*eta);
+            (*eta, cfg, Scenario::interfering_fig5(&cfg))
+        })
+        .collect();
+    let series = sweep(&points, &Scheme::WITH_BOUND, RUNS, SEED);
+    let (ub, proposed) = (&series[0], &series[1]);
+    for i in 0..ub.len() {
+        let gap = ub.means()[i] - proposed.means()[i];
+        assert!(
+            gap >= -0.15,
+            "bound below proposed at point {i}: gap {gap}"
+        );
+        assert!(
+            gap < 2.0,
+            "bound implausibly loose at point {i}: gap {gap} dB (paper: ~0.4 dB)"
+        );
+    }
+    // Proposed beats both heuristics at every point.
+    for i in 0..proposed.len() {
+        assert!(proposed.means()[i] >= series[2].means()[i] - 0.1, "vs H1 at {i}");
+        assert!(proposed.means()[i] >= series[3].means()[i] - 0.1, "vs H2 at {i}");
+    }
+}
+
+#[test]
+fn fig6b_quality_moves_only_mildly_across_the_sensing_roc() {
+    let points: Vec<(f64, SimConfig, Scenario)> = [(0.2, 0.48), (0.3, 0.3), (0.48, 0.2)]
+        .iter()
+        .map(|(eps, delta)| {
+            let cfg = base().with_sensing_errors(*eps, *delta);
+            (*eps, cfg, Scenario::interfering_fig5(&cfg))
+        })
+        .collect();
+    let series = sweep(&points, &[Scheme::Proposed], RUNS, SEED);
+    let means = series[0].means();
+    let spread = means.iter().cloned().fold(f64::MIN, f64::max)
+        - means.iter().cloned().fold(f64::MAX, f64::min);
+    // "The dynamic range of video quality is not big for the range of
+    // sensing errors simulated" — both error types are folded into the
+    // posterior.
+    assert!(spread < 2.5, "sensing sweep spread {spread} dB too large: {means:?}");
+}
+
+#[test]
+fn fig6c_quality_increases_in_b0_with_diminishing_returns() {
+    let points: Vec<(f64, SimConfig, Scenario)> = [0.1, 0.3, 0.5]
+        .iter()
+        .map(|b0| {
+            let cfg = SimConfig { b0: *b0, ..base() };
+            (*b0, cfg, Scenario::interfering_fig5(&cfg))
+        })
+        .collect();
+    let series = sweep(&points, &[Scheme::Proposed], RUNS, SEED);
+    let means = series[0].means();
+    assert!(
+        means[2] > means[0],
+        "more common-channel bandwidth should help: {means:?}"
+    );
+}

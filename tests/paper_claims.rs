@@ -1,0 +1,156 @@
+//! A consolidated checklist of the paper's formal claims, each checked
+//! end-to-end on live instances (detailed variants live next to the
+//! modules; this file is the one-stop audit).
+
+use fcr::core::bounds;
+use fcr::core::exhaustive::ExhaustiveAllocator;
+use fcr::core::greedy::GreedyAllocator;
+use fcr::core::interfering::InterferingProblem;
+use fcr::core::multistage::{decomposition_gap, dp_value, MultistageInstance, TinyUser};
+use fcr::prelude::*;
+use fcr::sim::engine::run_once;
+
+/// Lemma 1 / strong duality: the distributed algorithm's value matches
+/// the centralized optimum (zero duality gap in practice).
+#[test]
+fn claim_strong_duality_gap_vanishes() {
+    let p = SlotProblem::single_fbs(
+        vec![
+            UserState::new(30.2, FbsId(0), 0.72, 0.72, 0.9, 0.85).unwrap(),
+            UserState::new(27.6, FbsId(0), 0.63, 0.63, 0.8, 0.9).unwrap(),
+            UserState::new(28.8, FbsId(0), 0.675, 0.675, 0.85, 0.8).unwrap(),
+        ],
+        3.0,
+    )
+    .unwrap();
+    let dual = DualSolver::new(DualConfig::default()).solve(&p);
+    let primal = WaterfillingSolver::new().solve(&p);
+    assert!((dual.objective() - p.objective(&primal)).abs() < 1e-6);
+    assert!(dual.converged());
+}
+
+/// Theorem 1: optimal (p, q) is binary — no user splits a slot between
+/// the MBS and its FBS.
+#[test]
+fn claim_theorem1_mode_binariness() {
+    let p = SlotProblem::single_fbs(
+        vec![
+            UserState::new(31.0, FbsId(0), 0.5, 0.9, 0.7, 0.7).unwrap(),
+            UserState::new(29.0, FbsId(0), 0.9, 0.5, 0.7, 0.7).unwrap(),
+        ],
+        2.0,
+    )
+    .unwrap();
+    for alloc in [
+        WaterfillingSolver::new().solve(&p),
+        DualSolver::new(DualConfig::default()).solve(&p).allocation().clone(),
+    ] {
+        for u in alloc.users() {
+            assert!(u.rho_mbs == 0.0 || u.rho_fbs == 0.0);
+        }
+    }
+}
+
+/// Theorem 2 on the paper's own Fig. 2 interference graph (D_max = 1):
+/// the greedy gain is at least half the optimal gain.
+#[test]
+fn claim_theorem2_on_the_fig2_graph() {
+    let graph = InterferenceGraph::new(4, &[(FbsId(2), FbsId(3))]);
+    assert_eq!(graph.max_degree(), 1);
+    let users: Vec<UserState> = (0..8)
+        .map(|j| {
+            UserState::new(
+                27.0 + j as f64,
+                FbsId(j % 4),
+                0.72,
+                0.72,
+                0.5,
+                0.9 - 0.05 * (j % 3) as f64,
+            )
+            .unwrap()
+        })
+        .collect();
+    let p = InterferingProblem::new(users, graph, vec![0.9, 0.8, 0.7]).unwrap();
+    let greedy = GreedyAllocator::new().allocate(&p);
+    let opt = ExhaustiveAllocator::new().allocate(&p);
+    assert!(
+        bounds::satisfies_theorem2(greedy.gain(), opt.gain(), 1, 1e-6),
+        "greedy {} vs half of optimal {}",
+        greedy.gain(),
+        opt.gain() / 2.0
+    );
+    // And eq. (23) is tighter than (or equal to) Theorem 2's bound.
+    assert!(greedy.upper_bound_gain() <= 2.0 * greedy.gain() + 1e-9);
+    assert!(greedy.upper_bound() >= opt.q_value() - 1e-6);
+}
+
+/// Section IV-A's decomposition claim: per-slot myopic solving matches
+/// the exact multistage optimum (numerically, on a tiny instance).
+#[test]
+fn claim_per_slot_decomposition_is_lossless() {
+    let inst = MultistageInstance {
+        users: vec![
+            TinyUser {
+                w0: 30.2,
+                r_mbs: 0.72,
+                r_fbs: 2.16,
+                s_mbs: 0.9,
+                s_fbs: 0.85,
+            },
+            TinyUser {
+                w0: 27.6,
+                r_mbs: 0.63,
+                r_fbs: 1.89,
+                s_mbs: 0.8,
+                s_fbs: 0.9,
+            },
+        ],
+        horizon: 2,
+        rho_grid: vec![0.0, 0.5, 1.0],
+    };
+    let gap = decomposition_gap(&inst);
+    assert!(gap.abs() <= 1e-6 * dp_value(&inst).abs().max(1.0), "gap {gap}");
+}
+
+/// Eq. (6): primary users are protected — empirically, on the Fig. 1
+/// network, for every scheme.
+#[test]
+fn claim_collision_bound_on_the_fig1_network() {
+    let cfg = SimConfig {
+        gops: 10,
+        ..SimConfig::default()
+    };
+    let scenario = Scenario::fig1(&cfg);
+    assert_eq!(scenario.graph.max_degree(), 1);
+    let seeds = SeedSequence::new(2026);
+    for scheme in Scheme::WITH_BOUND {
+        let r = run_once(&scenario, &cfg, scheme, &seeds, 0);
+        assert!(
+            r.collision_rate <= cfg.gamma + 0.03,
+            "{scheme}: {}",
+            r.collision_rate
+        );
+        assert_eq!(r.per_user_psnr.len(), 12);
+    }
+}
+
+/// Section V's headline: the proposed scheme outperforms both
+/// heuristics — also on the Fig. 1 network the paper illustrates with.
+#[test]
+fn claim_proposed_wins_on_the_fig1_network() {
+    let cfg = SimConfig {
+        gops: 8,
+        ..SimConfig::default()
+    };
+    let scenario = Scenario::fig1(&cfg);
+    let seeds = SeedSequence::new(2027);
+    let mean = |scheme| {
+        (0..3)
+            .map(|r| run_once(&scenario, &cfg, scheme, &seeds, r).mean_psnr())
+            .sum::<f64>()
+            / 3.0
+    };
+    let proposed = mean(Scheme::Proposed);
+    assert!(proposed > mean(Scheme::Heuristic1) - 0.05);
+    assert!(proposed > mean(Scheme::Heuristic2) - 0.05);
+}

@@ -1,0 +1,150 @@
+//! Cross-validation of the three ways to solve the per-slot problem:
+//! the paper's distributed dual decomposition (Tables I/II), the fast
+//! water-filling solver, and brute-force grid search.
+
+use fcr::prelude::*;
+use proptest::prelude::*;
+use rand::RngExt;
+
+fn random_problem(rng: &mut impl rand::Rng, num_users: usize, num_fbss: usize) -> SlotProblem {
+    let users: Vec<UserState> = (0..num_users)
+        .map(|_| {
+            UserState::new(
+                rng.random_range(20.0..45.0),
+                FbsId(rng.random_range(0..num_fbss)),
+                rng.random_range(0.1..1.5),
+                rng.random_range(0.1..1.5),
+                rng.random_range(0.1..1.0),
+                rng.random_range(0.1..1.0),
+            )
+            .expect("generated state valid")
+        })
+        .collect();
+    let g: Vec<f64> = (0..num_fbss).map(|_| rng.random_range(0.0..6.0)).collect();
+    SlotProblem::new(users, g).expect("generated problem valid")
+}
+
+#[test]
+fn dual_and_waterfilling_agree_on_random_instances() {
+    let mut rng = SeedSequence::new(42).stream("equiv", 0);
+    let dual = DualSolver::new(DualConfig::default());
+    let wf = WaterfillingSolver::new();
+    for trial in 0..25 {
+        let (nu, nf) = (rng.random_range(1..6), rng.random_range(1..4));
+        let p = random_problem(&mut rng, nu, nf);
+        let d = dual.solve(&p);
+        let w = wf.solve(&p);
+        let dv = d.objective();
+        let wv = p.objective(&w);
+        // Both land in flip/swap-stable local optima; near-tie instances
+        // can differ by a hair, so compare with a relative tolerance.
+        assert!(
+            (dv - wv).abs() < 1e-3 * wv.abs().max(1.0),
+            "trial {trial}: dual {dv} vs waterfill {wv}\nproblem: {p:?}"
+        );
+        assert!(p.is_feasible(d.allocation(), 1e-6), "trial {trial}: dual infeasible");
+        assert!(p.is_feasible(&w, 1e-6), "trial {trial}: waterfill infeasible");
+    }
+}
+
+#[test]
+fn waterfilling_beats_dense_grid_on_two_user_instances() {
+    let mut rng = SeedSequence::new(43).stream("equiv", 1);
+    let wf = WaterfillingSolver::new();
+    for trial in 0..10 {
+        let p = random_problem(&mut rng, 2, 1);
+        let best = p.objective(&wf.solve(&p));
+        let grid = 25;
+        for mode_bits in 0..4u8 {
+            for a in 0..=grid {
+                for b in 0..=grid {
+                    let r = [a as f64 / grid as f64, b as f64 / grid as f64];
+                    let modes = [
+                        if mode_bits & 1 == 0 { Mode::Mbs } else { Mode::Fbs },
+                        if mode_bits & 2 == 0 { Mode::Mbs } else { Mode::Fbs },
+                    ];
+                    let mbs_load: f64 = (0..2)
+                        .filter(|j| modes[*j] == Mode::Mbs)
+                        .map(|j| r[j])
+                        .sum();
+                    let fbs_load: f64 = (0..2)
+                        .filter(|j| modes[*j] == Mode::Fbs)
+                        .map(|j| r[j])
+                        .sum();
+                    if mbs_load > 1.0 || fbs_load > 1.0 {
+                        continue;
+                    }
+                    let alloc = Allocation::new(
+                        (0..2)
+                            .map(|j| match modes[j] {
+                                Mode::Mbs => UserAllocation::mbs(r[j]),
+                                Mode::Fbs => UserAllocation::fbs(r[j]),
+                            })
+                            .collect(),
+                    );
+                    let v = p.objective(&alloc);
+                    assert!(
+                        v <= best + 1e-5,
+                        "trial {trial}: grid {v} beats solver {best}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem1_binariness_holds_in_solver_outputs() {
+    let mut rng = SeedSequence::new(44).stream("equiv", 2);
+    let wf = WaterfillingSolver::new();
+    let dual = DualSolver::new(DualConfig::default());
+    for _ in 0..15 {
+        let nu = rng.random_range(1..7);
+        let p = random_problem(&mut rng, nu, 1);
+        for alloc in [wf.solve(&p), dual.solve(&p).allocation().clone()] {
+            for u in alloc.users() {
+                assert!(
+                    u.rho_mbs == 0.0 || u.rho_fbs == 0.0,
+                    "a user splits the slot between base stations: {u:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dual_converges_within_the_papers_iteration_scale() {
+    // The paper observes convergence after ~500 iterations (Fig. 4(a)).
+    let mut rng = SeedSequence::new(45).stream("equiv", 3);
+    let solver = DualSolver::new(DualConfig::default());
+    for _ in 0..10 {
+        let p = random_problem(&mut rng, 3, 1);
+        let sol = solver.solve(&p);
+        assert!(
+            sol.converged(),
+            "no convergence in {} iterations",
+            sol.iterations()
+        );
+        assert!(sol.iterations() <= 5_000);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn solvers_never_produce_infeasible_allocations(seed in 0u64..10_000) {
+        let mut rng = SeedSequence::new(seed).stream("equiv-prop", 0);
+        let (nu, nf) = (rng.random_range(1..8), rng.random_range(1..4));
+        let p = random_problem(&mut rng, nu, nf);
+        let w = WaterfillingSolver::new().solve(&p);
+        prop_assert!(p.is_feasible(&w, 1e-6));
+        let d = DualSolver::new(DualConfig::default()).solve(&p);
+        prop_assert!(p.is_feasible(d.allocation(), 1e-6));
+        // And the optimum dominates both heuristics.
+        let h1 = fcr::core::heuristics::equal_allocation(&p);
+        let h2 = fcr::core::heuristics::multiuser_diversity(&p);
+        let opt = p.objective(&w).max(d.objective());
+        prop_assert!(p.objective(&h1) <= opt + 1e-5);
+        prop_assert!(p.objective(&h2) <= opt + 1e-5);
+    }
+}
