@@ -148,7 +148,15 @@ fn ablation_prior(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_prior");
     group.sample_size(10);
     group.bench_function("stationary_eta", |b| {
-        b.iter(|| black_box(run_once(&scenario, &stationary, Scheme::Proposed, &seeds, 0)))
+        b.iter(|| {
+            black_box(run_once(
+                &scenario,
+                &stationary,
+                Scheme::Proposed,
+                &seeds,
+                0,
+            ))
+        })
     });
     group.bench_function("belief_tracking", |b2| {
         b2.iter(|| black_box(run_once(&scenario, &tracked, Scheme::Proposed, &seeds, 0)))
@@ -185,7 +193,15 @@ fn ablation_access(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_access");
     group.sample_size(10);
     group.bench_function("probabilistic_eq7", |b2| {
-        b2.iter(|| black_box(run_once(&scenario, &probabilistic, Scheme::Proposed, &seeds, 0)))
+        b2.iter(|| {
+            black_box(run_once(
+                &scenario,
+                &probabilistic,
+                Scheme::Proposed,
+                &seeds,
+                0,
+            ))
+        })
     });
     group.bench_function("hard_threshold", |b2| {
         b2.iter(|| black_box(run_once(&scenario, &threshold, Scheme::Proposed, &seeds, 0)))

@@ -94,7 +94,15 @@ fn bench_engines(c: &mut Criterion) {
         b.iter(|| black_box(run_once(&scenario, &cfg, Scheme::Proposed, &seeds, 0)))
     });
     group.bench_function("packet_2gops", |b| {
-        b.iter(|| black_box(run_packet_level(&scenario, &cfg, Scheme::Proposed, &seeds, 0)))
+        b.iter(|| {
+            black_box(run_packet_level(
+                &scenario,
+                &cfg,
+                Scheme::Proposed,
+                &seeds,
+                0,
+            ))
+        })
     });
     group.finish();
 }

@@ -1,0 +1,118 @@
+//! Throughput benchmarks of the scheduling runtime: a multi-run sweep
+//! executed (a) as one batch on the shared worker pool, (b) serially
+//! on the calling thread, and (c) with the seed's per-run
+//! `thread::scope` spawning — the baseline the pool replaced.
+//!
+//! Record `slots/sec = runs × total_slots / mean wall time` in
+//! EXPERIMENTS.md when the numbers move.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcr_runtime::Runtime;
+use fcr_sim::config::SimConfig;
+use fcr_sim::engine::run_once;
+use fcr_sim::pool::{self, SimJob};
+use fcr_sim::scenario::Scenario;
+use fcr_sim::scheme::Scheme;
+use fcr_stats::rng::SeedSequence;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const RUNS: u64 = 8;
+const SEED: u64 = 2011;
+
+fn bench_config() -> SimConfig {
+    SimConfig {
+        gops: 2,
+        ..SimConfig::default()
+    }
+}
+
+fn jobs(scenario: &Arc<Scenario>, config: SimConfig) -> Vec<SimJob> {
+    (0..RUNS)
+        .map(|run_index| SimJob {
+            scenario: Arc::clone(scenario),
+            config,
+            scheme: Scheme::Proposed,
+            master_seed: SEED,
+            run_index,
+        })
+        .collect()
+}
+
+fn bench_runtime_throughput(c: &mut Criterion) {
+    let config = bench_config();
+    let scenario = Arc::new(Scenario::single_fbs(&config));
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(10);
+
+    // (a) One batch of RUNS jobs on the shared fixed-size pool.
+    group.bench_function("sweep_8runs_pooled", |b| {
+        b.iter(|| {
+            let outcomes = pool::execute_all(jobs(&scenario, config));
+            assert!(outcomes.iter().all(Result::is_ok));
+            black_box(outcomes)
+        })
+    });
+
+    // (b) The same runs serially on the calling thread (lower bound on
+    // overhead, no parallelism).
+    group.bench_function("sweep_8runs_serial", |b| {
+        let seeds = SeedSequence::new(SEED);
+        b.iter(|| {
+            let results: Vec<_> = (0..RUNS)
+                .map(|run| run_once(&scenario, &config, Scheme::Proposed, &seeds, run))
+                .collect();
+            black_box(results)
+        })
+    });
+
+    // (c) The seed's original strategy: one OS thread per run, created
+    // and torn down every batch.
+    group.bench_function("sweep_8runs_thread_per_run", |b| {
+        let seeds = SeedSequence::new(SEED);
+        b.iter(|| {
+            let mut results = Vec::with_capacity(RUNS as usize);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..RUNS)
+                    .map(|run| {
+                        let scenario = &scenario;
+                        let config = &config;
+                        let seeds = &seeds;
+                        scope
+                            .spawn(move || run_once(scenario, config, Scheme::Proposed, seeds, run))
+                    })
+                    .collect();
+                for h in handles {
+                    results.push(h.join().expect("bench run panicked"));
+                }
+            });
+            black_box(results)
+        })
+    });
+    group.finish();
+}
+
+fn bench_pool_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_overhead");
+
+    // Pure scheduling cost: trivial jobs, so the numbers are all
+    // queue/wakeup/handle overhead.
+    group.bench_function("noop_batch_64", |b| {
+        let runtime = pool::shared();
+        b.iter(|| {
+            let outcomes = runtime.run_batch((0..64u64).map(|i| move || i));
+            black_box(outcomes)
+        })
+    });
+
+    group.bench_function("pool_construction_teardown", |b| {
+        b.iter(|| {
+            let runtime = Runtime::new();
+            black_box(runtime.workers());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime_throughput, bench_pool_overhead);
+criterion_main!(benches);

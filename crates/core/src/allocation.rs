@@ -57,7 +57,10 @@ impl UserAllocation {
     ///
     /// Panics if `rho` is outside `[0, 1]`.
     pub fn mbs(rho: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rho), "time share must be in [0,1], got {rho}");
+        assert!(
+            (0.0..=1.0).contains(&rho),
+            "time share must be in [0,1], got {rho}"
+        );
         Self {
             mode: Mode::Mbs,
             rho_mbs: rho,
@@ -71,7 +74,10 @@ impl UserAllocation {
     ///
     /// Panics if `rho` is outside `[0, 1]`.
     pub fn fbs(rho: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rho), "time share must be in [0,1], got {rho}");
+        assert!(
+            (0.0..=1.0).contains(&rho),
+            "time share must be in [0,1], got {rho}"
+        );
         Self {
             mode: Mode::Fbs,
             rho_mbs: 0.0,

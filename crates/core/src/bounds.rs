@@ -53,12 +53,7 @@ pub fn per_run_upper_bound(steps: &[(f64, usize)]) -> f64 {
 
 /// Checks Theorem 2 on a solved instance: returns `true` iff
 /// `greedy_gain ≥ optimal_gain / (1 + d_max) − tol`.
-pub fn satisfies_theorem2(
-    greedy_gain: f64,
-    optimal_gain: f64,
-    d_max: usize,
-    tol: f64,
-) -> bool {
+pub fn satisfies_theorem2(greedy_gain: f64, optimal_gain: f64, d_max: usize, tol: f64) -> bool {
     greedy_gain >= optimal_gain * worst_case_fraction(d_max) - tol
 }
 

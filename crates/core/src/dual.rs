@@ -51,9 +51,7 @@ impl StepSchedule {
     pub fn at(&self, tau: usize) -> f64 {
         let s = match self {
             StepSchedule::Constant(s) => *s,
-            StepSchedule::Diminishing { initial, decay } => {
-                initial / (1.0 + tau as f64 / decay)
-            }
+            StepSchedule::Diminishing { initial, decay } => initial / (1.0 + tau as f64 / decay),
         };
         assert!(s > 0.0, "step size must be positive, got {s}");
         s
@@ -191,12 +189,8 @@ impl DualSolver {
             // Steps 3–8: every user best-responds locally.
             let mut loads = vec![0.0; n_prices];
             for (j, u) in problem.users().iter().enumerate() {
-                let sol = lagrangian::solve_user(
-                    u,
-                    problem.g(u.fbs()),
-                    lambda[0],
-                    lambda[1 + u.fbs().0],
-                );
+                let sol =
+                    lagrangian::solve_user(u, problem.g(u.fbs()), lambda[0], lambda[1 + u.fbs().0]);
                 modes[j] = sol.allocation.mode;
                 match sol.allocation.mode {
                     Mode::Mbs => loads[0] += sol.allocation.rho_mbs,
@@ -261,7 +255,11 @@ mod tests {
     fn converges_and_is_feasible() {
         let p = paper_problem();
         let sol = DualSolver::new(DualConfig::default()).solve(&p);
-        assert!(sol.converged(), "did not converge in {} iters", sol.iterations());
+        assert!(
+            sol.converged(),
+            "did not converge in {} iters",
+            sol.iterations()
+        );
         assert!(p.is_feasible(sol.allocation(), 1e-9));
         assert!(sol.objective().is_finite());
         assert_eq!(sol.lambda().len(), 2);

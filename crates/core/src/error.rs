@@ -50,10 +50,16 @@ impl fmt::Display for CoreError {
                 write!(f, "parameter `{name}` must be positive, got {value}")
             }
             CoreError::Negative { name, value } => {
-                write!(f, "parameter `{name}` must be nonnegative and finite, got {value}")
+                write!(
+                    f,
+                    "parameter `{name}` must be nonnegative and finite, got {value}"
+                )
             }
             CoreError::UnknownFbs { fbs, num_fbss } => {
-                write!(f, "user references fbs{fbs} but the problem has {num_fbss} FBSs")
+                write!(
+                    f,
+                    "user references fbs{fbs} but the problem has {num_fbss} FBSs"
+                )
             }
             CoreError::NoUsers => write!(f, "allocation problem has no users"),
         }
@@ -104,10 +110,22 @@ mod tests {
     #[test]
     fn display_variants() {
         for e in [
-            CoreError::InvalidProbability { name: "p", value: 2.0 },
-            CoreError::NonPositive { name: "w", value: 0.0 },
-            CoreError::Negative { name: "g", value: -1.0 },
-            CoreError::UnknownFbs { fbs: 5, num_fbss: 2 },
+            CoreError::InvalidProbability {
+                name: "p",
+                value: 2.0,
+            },
+            CoreError::NonPositive {
+                name: "w",
+                value: 0.0,
+            },
+            CoreError::Negative {
+                name: "g",
+                value: -1.0,
+            },
+            CoreError::UnknownFbs {
+                fbs: 5,
+                num_fbss: 2,
+            },
             CoreError::NoUsers,
         ] {
             assert!(!format!("{e}").is_empty());

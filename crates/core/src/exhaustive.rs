@@ -126,7 +126,6 @@ impl ExhaustiveAllocator {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,12 +186,7 @@ mod tests {
         let opt = ExhaustiveAllocator::new().allocate(&p);
         let greedy = GreedyAllocator::new().allocate(&p);
         assert!(
-            bounds::satisfies_theorem2(
-                greedy.gain(),
-                opt.gain(),
-                p.graph().max_degree(),
-                1e-6
-            ),
+            bounds::satisfies_theorem2(greedy.gain(), opt.gain(), p.graph().max_degree(), 1e-6),
             "greedy gain {} vs optimal gain {} (D_max = {})",
             greedy.gain(),
             opt.gain(),
@@ -247,12 +241,7 @@ mod tests {
                 "trial {trial}: optimum below greedy"
             );
             assert!(
-                bounds::satisfies_theorem2(
-                    greedy.gain(),
-                    opt.gain(),
-                    p.graph().max_degree(),
-                    1e-5
-                ),
+                bounds::satisfies_theorem2(greedy.gain(), opt.gain(), p.graph().max_degree(), 1e-5),
                 "trial {trial}: Theorem 2 violated: greedy {} optimal {} dmax {}",
                 greedy.gain(),
                 opt.gain(),

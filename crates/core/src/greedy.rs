@@ -155,9 +155,7 @@ impl GreedyAllocator {
 
             // Steps 5–6: remove the pair and R(i′) × m′.
             let neighbors = problem.graph().neighbors(fbs);
-            candidates.retain(|(f, ch)| {
-                !(*ch == channel && (*f == fbs || neighbors.contains(f)))
-            });
+            candidates.retain(|(f, ch)| !(*ch == channel && (*f == fbs || neighbors.contains(f))));
         }
 
         debug_assert!(assignment.is_conflict_free(problem.graph()));

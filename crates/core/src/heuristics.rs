@@ -170,11 +170,9 @@ mod tests {
     fn h1_respects_per_user_channel_conditions() {
         // User 0's FBS link is terrible: it chooses the MBS and gets the
         // whole common channel (it is alone there).
-        let p = SlotProblem::single_fbs(
-            vec![user(30.0, 0, 0.9, 0.05), user(28.0, 0, 0.1, 0.9)],
-            1.0,
-        )
-        .unwrap();
+        let p =
+            SlotProblem::single_fbs(vec![user(30.0, 0, 0.9, 0.05), user(28.0, 0, 0.1, 0.9)], 1.0)
+                .unwrap();
         let alloc = equal_allocation(&p);
         assert_eq!(alloc.user(0).mode, Mode::Mbs);
         assert!((alloc.user(0).rho_mbs - 1.0).abs() < 1e-12);
@@ -217,11 +215,9 @@ mod tests {
         // Both stations independently pick user 0 (ties to the lowest
         // id); it keeps the better FBS side, the MBS slot is wasted, and
         // user 1 starves — the uncoordinated-pick pathology.
-        let p = SlotProblem::single_fbs(
-            vec![user(30.0, 0, 0.5, 0.9), user(28.0, 0, 0.5, 0.9)],
-            2.0,
-        )
-        .unwrap();
+        let p =
+            SlotProblem::single_fbs(vec![user(30.0, 0, 0.5, 0.9), user(28.0, 0, 0.5, 0.9)], 2.0)
+                .unwrap();
         let alloc = multiuser_diversity(&p);
         assert!((alloc.user(0).rho_fbs - 1.0).abs() < 1e-12);
         assert_eq!(alloc.user(1).rho(), 0.0, "user 1 starves this slot");
@@ -232,11 +228,9 @@ mod tests {
     fn h2_double_pick_takes_mbs_when_it_is_the_better_side() {
         // User 0 is picked by both stations but its FBS side is useless
         // (G = 0): it takes the MBS slot instead.
-        let p = SlotProblem::single_fbs(
-            vec![user(30.0, 0, 0.9, 0.9), user(28.0, 0, 0.5, 0.5)],
-            0.0,
-        )
-        .unwrap();
+        let p =
+            SlotProblem::single_fbs(vec![user(30.0, 0, 0.9, 0.9), user(28.0, 0, 0.5, 0.5)], 0.0)
+                .unwrap();
         let alloc = multiuser_diversity(&p);
         assert_eq!(alloc.user(0).mode, Mode::Mbs);
         assert!((alloc.user(0).rho_mbs - 1.0).abs() < 1e-12);

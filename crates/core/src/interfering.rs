@@ -98,10 +98,7 @@ impl ChannelAssignment {
 /// in cyclic order starting at `m mod N`, and each FBS takes it if no
 /// already-holding neighbor conflicts. Spatial reuse without any
 /// quality-awareness.
-pub fn round_robin_assignment(
-    graph: &InterferenceGraph,
-    num_channels: usize,
-) -> ChannelAssignment {
+pub fn round_robin_assignment(graph: &InterferenceGraph, num_channels: usize) -> ChannelAssignment {
     let n = graph.num_vertices();
     let mut assignment = ChannelAssignment::empty(n, num_channels);
     for m in 0..num_channels {
@@ -124,10 +121,7 @@ pub fn round_robin_assignment(
 /// by construction; unlike [`round_robin_assignment`] it never *packs*
 /// extra non-conflicting FBSs onto a channel, making it the most
 /// conservative of the quality-blind baselines.
-pub fn coloring_assignment(
-    graph: &InterferenceGraph,
-    num_channels: usize,
-) -> ChannelAssignment {
+pub fn coloring_assignment(graph: &InterferenceGraph, num_channels: usize) -> ChannelAssignment {
     let n = graph.num_vertices();
     let mut assignment = ChannelAssignment::empty(n, num_channels);
     if n == 0 {
@@ -405,7 +399,10 @@ mod tests {
         let q1 = p.q_value(&a, &solver);
         a.assign(FbsId(1), 1);
         let q2 = p.q_value(&a, &solver);
-        assert!(q1 >= empty - 1e-9, "one channel can't hurt: {q1} vs {empty}");
+        assert!(
+            q1 >= empty - 1e-9,
+            "one channel can't hurt: {q1} vs {empty}"
+        );
         assert!(q2 >= q1 - 1e-9);
     }
 

@@ -58,7 +58,11 @@ impl KktReport {
 ///
 /// Panics if `allocation` or `lambdas` have the wrong dimensions.
 pub fn verify(problem: &SlotProblem, allocation: &Allocation, lambdas: &[f64]) -> KktReport {
-    assert_eq!(allocation.len(), problem.num_users(), "allocation size mismatch");
+    assert_eq!(
+        allocation.len(),
+        problem.num_users(),
+        "allocation size mismatch"
+    );
     assert_eq!(
         lambdas.len(),
         problem.num_fbss() + 1,
@@ -82,10 +86,7 @@ pub fn verify(problem: &SlotProblem, allocation: &Allocation, lambdas: &[f64]) -
         loads.push(load);
     }
     for a in allocation.users() {
-        report.primal_feasibility = report
-            .primal_feasibility
-            .max(-a.rho())
-            .max(a.rho() - 1.0);
+        report.primal_feasibility = report.primal_feasibility.max(-a.rho()).max(a.rho() - 1.0);
     }
 
     // Stationarity per served user.
@@ -93,11 +94,7 @@ pub fn verify(problem: &SlotProblem, allocation: &Allocation, lambdas: &[f64]) -
         let u = problem.user(j);
         let (s, c, lambda) = match a.mode {
             Mode::Mbs => (u.success_mbs(), u.r_mbs(), lambdas[0]),
-            Mode::Fbs => (
-                u.success_fbs(),
-                problem.fbs_rate(j),
-                lambdas[1 + u.fbs().0],
-            ),
+            Mode::Fbs => (u.success_fbs(), problem.fbs_rate(j), lambdas[1 + u.fbs().0]),
         };
         if s <= 0.0 || c <= 0.0 {
             // The branch has no gradient in ρ; only ρ = 0 is sensible,
@@ -186,10 +183,7 @@ mod tests {
             let modes: Vec<Mode> = alloc.users().iter().map(|u| u.mode).collect();
             let (filled, lambdas) = solver.fill_with_prices(&p, &modes);
             let report = verify(&p, &filled, &lambdas);
-            assert!(
-                report.is_satisfied(1e-6),
-                "trial {trial}: {report:?}"
-            );
+            assert!(report.is_satisfied(1e-6), "trial {trial}: {report:?}");
         }
     }
 

@@ -79,13 +79,24 @@ pub fn branch_value(success: f64, lambda: f64, w: f64, rate: f64, rho: f64) -> f
 /// Solves the subproblem (14) for one user at prices
 /// `(lambda_mbs, lambda_fbs)`, with `g` the user's FBS channel count
 /// `G^t_i`.
-pub fn solve_user(user: &UserState, g: f64, lambda_mbs: f64, lambda_fbs: f64) -> SubproblemSolution {
+pub fn solve_user(
+    user: &UserState,
+    g: f64,
+    lambda_mbs: f64,
+    lambda_fbs: f64,
+) -> SubproblemSolution {
     let fbs_rate = g * user.r_fbs();
 
     let rho_mbs = best_share(user.success_mbs(), lambda_mbs, user.w(), user.r_mbs());
     let rho_fbs = best_share(user.success_fbs(), lambda_fbs, user.w(), fbs_rate);
 
-    let value_mbs = branch_value(user.success_mbs(), lambda_mbs, user.w(), user.r_mbs(), rho_mbs);
+    let value_mbs = branch_value(
+        user.success_mbs(),
+        lambda_mbs,
+        user.w(),
+        user.r_mbs(),
+        rho_mbs,
+    );
     let value_fbs = branch_value(user.success_fbs(), lambda_fbs, user.w(), fbs_rate, rho_fbs);
 
     // Step 4: strict comparison — ties go to the FBS branch (the
@@ -138,7 +149,10 @@ mod tests {
         // Interior requires λ ∈ (s/(w/r + 1), s/(w/r)) ≈ (0.0432, 0.0455).
         let lambda = 0.0443;
         let rho = best_share(s, lambda, w, r);
-        assert!(rho > 0.0 && rho < 1.0, "test needs an interior point, got {rho}");
+        assert!(
+            rho > 0.0 && rho < 1.0,
+            "test needs an interior point, got {rho}"
+        );
         let derivative = s * r / (w + rho * r) - lambda;
         assert!(derivative.abs() < 1e-9, "derivative {derivative}");
     }

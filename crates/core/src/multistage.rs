@@ -209,8 +209,7 @@ fn myopic_recurse(
     let mut best_action = &actions[0];
     let mut best_one_step = f64::NEG_INFINITY;
     for a in actions {
-        let one_step = instance
-            .expect_over_outcomes(w, a, &mut MultistageInstance::terminal_value);
+        let one_step = instance.expect_over_outcomes(w, a, &mut MultistageInstance::terminal_value);
         if one_step > best_one_step {
             best_one_step = one_step;
             best_action = a;
@@ -284,10 +283,7 @@ mod tests {
         let inst = paper_like(2);
         let dp = dp_value(&inst);
         let gap = decomposition_gap(&inst);
-        assert!(
-            gap <= 1e-6 * dp.abs().max(1.0),
-            "gap {gap} vs optimum {dp}"
-        );
+        assert!(gap <= 1e-6 * dp.abs().max(1.0), "gap {gap} vs optimum {dp}");
     }
 
     #[test]

@@ -9,9 +9,7 @@
 //! in [`crate::dual`] and [`crate::waterfill`] consume this structure.
 
 use crate::allocation::{Allocation, Mode};
-use crate::error::{
-    check_nonnegative, check_positive, check_probability, CoreError,
-};
+use crate::error::{check_nonnegative, check_positive, check_probability, CoreError};
 use fcr_net::node::FbsId;
 
 /// Per-user data of the slot problem.
@@ -251,8 +249,7 @@ impl SlotProblem {
         let a = alloc.user(j);
         match a.mode {
             Mode::Mbs => {
-                u.success_mbs * (u.w + a.rho_mbs * u.r_mbs).ln()
-                    + (1.0 - u.success_mbs) * u.w.ln()
+                u.success_mbs * (u.w + a.rho_mbs * u.r_mbs).ln() + (1.0 - u.success_mbs) * u.w.ln()
             }
             Mode::Fbs => {
                 u.success_fbs * (u.w + a.rho_fbs * self.fbs_rate(j)).ln()
@@ -407,7 +404,13 @@ mod tests {
         fn arb_problem() -> impl Strategy<Value = SlotProblem> {
             (
                 proptest::collection::vec(
-                    (5.0..50.0f64, 0.0..2.0f64, 0.0..2.0f64, 0.0..=1.0f64, 0.0..=1.0f64),
+                    (
+                        5.0..50.0f64,
+                        0.0..2.0f64,
+                        0.0..2.0f64,
+                        0.0..=1.0f64,
+                        0.0..=1.0f64,
+                    ),
                     1..6,
                 ),
                 0.0..6.0f64,

@@ -65,8 +65,7 @@ impl WaterfillingSolver {
             .iter()
             .enumerate()
             .map(|(j, u)| {
-                let v_mbs =
-                    lagrangian::branch_value(u.success_mbs(), 0.0, u.w(), u.r_mbs(), 1.0);
+                let v_mbs = lagrangian::branch_value(u.success_mbs(), 0.0, u.w(), u.r_mbs(), 1.0);
                 let v_fbs =
                     lagrangian::branch_value(u.success_fbs(), 0.0, u.w(), problem.fbs_rate(j), 1.0);
                 if v_mbs > v_fbs {
@@ -122,14 +121,14 @@ impl WaterfillingSolver {
     /// Panics if `allocation` covers a different number of users than
     /// `problem`.
     pub fn polish(&self, problem: &SlotProblem, allocation: Allocation) -> Allocation {
-        assert_eq!(allocation.len(), problem.num_users(), "allocation size mismatch");
+        assert_eq!(
+            allocation.len(),
+            problem.num_users(),
+            "allocation size mismatch"
+        );
         let mut best_value = problem.objective(&allocation);
         let mut best = allocation;
-        let mut modes: Vec<Mode> = best
-            .users()
-            .iter()
-            .map(|u| u.mode)
-            .collect();
+        let mut modes: Vec<Mode> = best.users().iter().map(|u| u.mode).collect();
         let flip = |m: Mode| match m {
             Mode::Mbs => Mode::Fbs,
             Mode::Fbs => Mode::Mbs,
@@ -192,7 +191,11 @@ impl WaterfillingSolver {
         problem: &SlotProblem,
         modes: &[Mode],
     ) -> (Allocation, Vec<f64>) {
-        assert_eq!(modes.len(), problem.num_users(), "mode vector size mismatch");
+        assert_eq!(
+            modes.len(),
+            problem.num_users(),
+            "mode vector size mismatch"
+        );
         let n = problem.num_fbss();
         let mut allocations = vec![UserAllocation::idle(); problem.num_users()];
         let mut lambdas = vec![0.0; n + 1];
@@ -232,7 +235,10 @@ impl WaterfillingSolver {
     /// Solves one budget: returns `(λ, shares)` with `Σ shares ≤ 1`.
     fn fill_constraint(&self, users: &ConstraintUsers) -> (f64, Vec<f64>) {
         // Users that cannot benefit (zero rate or success) always get 0.
-        let effective: Vec<bool> = users.iter().map(|(_, s, _, c)| *s > 0.0 && *c > 0.0).collect();
+        let effective: Vec<bool> = users
+            .iter()
+            .map(|(_, s, _, c)| *s > 0.0 && *c > 0.0)
+            .collect();
         let shares_at = |lambda: f64| -> Vec<f64> {
             users
                 .iter()
@@ -340,11 +346,8 @@ mod tests {
     fn beats_every_grid_allocation_two_users() {
         // Exhaustive grid over modes × shares for K=2 confirms global
         // optimality of the water-filling + flip solution.
-        let p = SlotProblem::single_fbs(
-            vec![user(30.2, 0.9, 0.7), user(27.6, 0.6, 0.95)],
-            2.5,
-        )
-        .unwrap();
+        let p = SlotProblem::single_fbs(vec![user(30.2, 0.9, 0.7), user(27.6, 0.6, 0.95)], 2.5)
+            .unwrap();
         let alloc = WaterfillingSolver::new().solve(&p);
         let best = p.objective(&alloc);
         let grid = 40;
@@ -380,11 +383,8 @@ mod tests {
 
     #[test]
     fn zero_g_sends_everyone_to_the_mbs() {
-        let p = SlotProblem::single_fbs(
-            vec![user(30.0, 0.9, 0.9), user(28.0, 0.9, 0.9)],
-            0.0,
-        )
-        .unwrap();
+        let p =
+            SlotProblem::single_fbs(vec![user(30.0, 0.9, 0.9), user(28.0, 0.9, 0.9)], 0.0).unwrap();
         let alloc = WaterfillingSolver::new().solve(&p);
         for u in alloc.users() {
             assert_eq!(u.mode, Mode::Mbs, "G=0 makes the FBS worthless");
@@ -394,11 +394,8 @@ mod tests {
 
     #[test]
     fn large_g_pulls_everyone_to_the_fbs() {
-        let p = SlotProblem::single_fbs(
-            vec![user(30.0, 0.9, 0.9), user(28.0, 0.9, 0.9)],
-            50.0,
-        )
-        .unwrap();
+        let p = SlotProblem::single_fbs(vec![user(30.0, 0.9, 0.9), user(28.0, 0.9, 0.9)], 50.0)
+            .unwrap();
         let alloc = WaterfillingSolver::new().solve(&p);
         for u in alloc.users() {
             assert_eq!(u.mode, Mode::Fbs);
@@ -427,11 +424,8 @@ mod tests {
         // Identical users except current quality: the lagging user gets
         // the larger share (log utility's diminishing returns). MBS
         // success is zero so both users compete for the same FBS budget.
-        let p = SlotProblem::single_fbs(
-            vec![user(36.0, 0.0, 0.9), user(28.0, 0.0, 0.9)],
-            3.0,
-        )
-        .unwrap();
+        let p =
+            SlotProblem::single_fbs(vec![user(36.0, 0.0, 0.9), user(28.0, 0.0, 0.9)], 3.0).unwrap();
         let alloc = WaterfillingSolver::new().solve(&p);
         assert!(alloc.user(1).rho() > alloc.user(0).rho());
     }

@@ -240,9 +240,11 @@ pub fn ablation(opts: &ExperimentOpts) -> String {
             .map(|r| run_once(&scenario, cfg, Scheme::Proposed, &seeds, r))
             .collect();
         let mean = results.iter().map(RunResult::mean_psnr).sum::<f64>() / results.len() as f64;
-        let coll =
-            results.iter().map(|r| r.collision_rate).sum::<f64>() / results.len() as f64;
-        let g = results.iter().map(|r| r.mean_expected_available).sum::<f64>()
+        let coll = results.iter().map(|r| r.collision_rate).sum::<f64>() / results.len() as f64;
+        let g = results
+            .iter()
+            .map(|r| r.mean_expected_available)
+            .sum::<f64>()
             / results.len() as f64;
         (mean, coll, g)
     };
@@ -307,10 +309,23 @@ pub fn ablation(opts: &ExperimentOpts) -> String {
     let optimal = ExhaustiveAllocator::new().allocate(&slot);
     let rr = round_robin_assignment(slot.graph(), slot.num_channels());
     let _ = writeln!(out);
-    let _ = writeln!(out, "Channel allocation on a representative interfering slot:");
+    let _ = writeln!(
+        out,
+        "Channel allocation on a representative interfering slot:"
+    );
     let _ = writeln!(out, "{:<34} {:>12}", "allocator", "objective Q");
-    let _ = writeln!(out, "{:<34} {:>12.6}", "greedy (Table III)", greedy.q_value());
-    let _ = writeln!(out, "{:<34} {:>12.6}", "exhaustive optimum", optimal.q_value());
+    let _ = writeln!(
+        out,
+        "{:<34} {:>12.6}",
+        "greedy (Table III)",
+        greedy.q_value()
+    );
+    let _ = writeln!(
+        out,
+        "{:<34} {:>12.6}",
+        "exhaustive optimum",
+        optimal.q_value()
+    );
     let _ = writeln!(
         out,
         "{:<34} {:>12.6}",
@@ -324,7 +339,12 @@ pub fn ablation(opts: &ExperimentOpts) -> String {
         "coloring split",
         slot.q_value(&coloring, &solver)
     );
-    let _ = writeln!(out, "{:<34} {:>12.6}", "eq.(23) upper bound", greedy.upper_bound());
+    let _ = writeln!(
+        out,
+        "{:<34} {:>12.6}",
+        "eq.(23) upper bound",
+        greedy.upper_bound()
+    );
     out
 }
 
@@ -423,7 +443,10 @@ pub fn packet(opts: &ExperimentOpts) -> String {
     let seeds = SeedSequence::new(opts.seed);
 
     let mut out = String::new();
-    let _ = writeln!(out, "Packet-level validation (single FBS, proposed scenario)");
+    let _ = writeln!(
+        out,
+        "Packet-level validation (single FBS, proposed scenario)"
+    );
     let _ = writeln!(
         out,
         "{:<18} {:>14} {:>15} {:>7}",
@@ -520,16 +543,27 @@ mod tests {
 
     #[test]
     fn csv_mode_emits_csv_for_sweeps() {
-        let opts = ExperimentOpts { csv: true, ..tiny() };
+        let opts = ExperimentOpts {
+            csv: true,
+            ..tiny()
+        };
         let out = fig4b(&opts);
-        assert!(out.contains("M,Proposed scheme mean,Proposed scheme ci95"), "{out}");
+        assert!(
+            out.contains("M,Proposed scheme mean,Proposed scheme ci95"),
+            "{out}"
+        );
         assert!(out.contains(','));
     }
 
     #[test]
     fn packet_validation_prints_all_schemes() {
         let out = packet(&tiny());
-        for needle in ["Proposed scheme", "Heuristic 1", "Heuristic 2", "base-layer"] {
+        for needle in [
+            "Proposed scheme",
+            "Heuristic 1",
+            "Heuristic 2",
+            "base-layer",
+        ] {
             assert!(out.contains(needle), "missing {needle} in:\n{out}");
         }
     }

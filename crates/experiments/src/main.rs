@@ -3,45 +3,64 @@
 //! Usage: `experiments <fig3|fig4a|fig4b|fig4c|fig6a|fig6b|fig6c|all> [--runs N] [--gops N]`
 //!
 //! Each subcommand prints the same rows/series the paper plots; see
-//! EXPERIMENTS.md for paper-vs-measured commentary.
+//! EXPERIMENTS.md for paper-vs-measured commentary. `--pool-stats`
+//! appends a live snapshot of the shared simulation worker pool
+//! (jobs, queue, wall-time histogram, slots simulated) to stderr so
+//! archived stdout stays byte-comparable across machines.
 
-use fcr_experiments::{ablation, packet, scale, fig3, fig4a, fig4b, fig4c, fig6a, fig6b, fig6c, ExperimentOpts};
+use fcr_experiments::{
+    ablation, fig3, fig4a, fig4b, fig4c, fig6a, fig6b, fig6c, packet, scale, ExperimentOpts,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(which) = args.first() else {
-        eprintln!("usage: experiments <fig3|fig4a|fig4b|fig4c|fig6a|fig6b|fig6c|ablation|scale|packet|all> [--runs N] [--gops N] [--seed N] [--csv]");
+        eprintln!("usage: experiments <fig3|fig4a|fig4b|fig4c|fig6a|fig6b|fig6c|ablation|scale|packet|all> [--runs N] [--gops N] [--seed N] [--csv] [--pool-stats]");
         return ExitCode::FAILURE;
     };
 
     let mut opts = ExperimentOpts::default();
+    let mut pool_stats = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--runs" => {
-                opts.runs = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--runs needs a positive integer");
-                    std::process::exit(2);
-                });
+                opts.runs = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--runs needs a positive integer");
+                        std::process::exit(2);
+                    });
                 i += 2;
             }
             "--gops" => {
-                opts.gops = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--gops needs a positive integer");
-                    std::process::exit(2);
-                });
+                opts.gops = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--gops needs a positive integer");
+                        std::process::exit(2);
+                    });
                 i += 2;
             }
             "--csv" => {
                 opts.csv = true;
                 i += 1;
             }
+            "--pool-stats" => {
+                pool_stats = true;
+                i += 1;
+            }
             "--seed" => {
-                opts.seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--seed needs an integer");
-                    std::process::exit(2);
-                });
+                opts.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
                 i += 2;
             }
             other => {
@@ -81,6 +100,12 @@ fn main() -> ExitCode {
             eprintln!("unknown experiment {other}");
             return ExitCode::FAILURE;
         }
+    }
+    if pool_stats {
+        eprint!(
+            "{}",
+            fcr_sim::report::runtime_metrics_table(&fcr_sim::pool::snapshot())
+        );
     }
     ExitCode::SUCCESS
 }

@@ -95,7 +95,10 @@ impl InterferenceGraph {
     /// `D_max`, the maximum vertex degree — the constant in Theorem 2's
     /// bound `Q(greedy) ≥ Q(opt)/(1 + D_max)`.
     pub fn max_degree(&self) -> usize {
-        (0..self.n).map(|i| self.degree(FbsId(i))).max().unwrap_or(0)
+        (0..self.n)
+            .map(|i| self.degree(FbsId(i)))
+            .max()
+            .unwrap_or(0)
     }
 
     /// All undirected edges, each reported once with the smaller id
@@ -164,7 +167,11 @@ impl InterferenceGraph {
     /// Number of colors a greedy coloring uses (an upper bound on the
     /// chromatic number, itself at most `D_max + 1`).
     pub fn greedy_chromatic_number(&self) -> usize {
-        self.greedy_coloring().iter().map(|c| c + 1).max().unwrap_or(0)
+        self.greedy_coloring()
+            .iter()
+            .map(|c| c + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Enumerates all **maximal** independent sets.
@@ -180,17 +187,23 @@ impl InterferenceGraph {
     ///
     /// Panics if `N > 24` to guard against accidental blow-up.
     pub fn maximal_independent_sets(&self) -> Vec<Vec<FbsId>> {
-        assert!(self.n <= 24, "maximal IS enumeration is exponential; n={} too large", self.n);
+        assert!(
+            self.n <= 24,
+            "maximal IS enumeration is exponential; n={} too large",
+            self.n
+        );
         let mut result = Vec::new();
         for mask in 0u32..(1u32 << self.n) {
-            let set: Vec<FbsId> = (0..self.n).filter(|i| mask & (1 << i) != 0).map(FbsId).collect();
+            let set: Vec<FbsId> = (0..self.n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(FbsId)
+                .collect();
             if set.is_empty() || !self.is_independent(&set) {
                 continue;
             }
             // Maximal: no vertex outside the set can be added.
-            let maximal = (0..self.n).all(|v| {
-                mask & (1 << v) != 0 || set.iter().any(|&u| self.adjacency[u.0][v])
-            });
+            let maximal = (0..self.n)
+                .all(|v| mask & (1 << v) != 0 || set.iter().any(|&u| self.adjacency[u.0][v]));
             if maximal {
                 result.push(set);
             }
@@ -201,7 +214,12 @@ impl InterferenceGraph {
 
 impl fmt::Display for InterferenceGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "InterferenceGraph(n={}, edges={:?})", self.n, self.edges())
+        write!(
+            f,
+            "InterferenceGraph(n={}, edges={:?})",
+            self.n,
+            self.edges()
+        )
     }
 }
 
@@ -293,7 +311,11 @@ mod tests {
     fn maximal_independent_sets_of_triangle() {
         let g = InterferenceGraph::new(
             3,
-            &[(FbsId(0), FbsId(1)), (FbsId(1), FbsId(2)), (FbsId(0), FbsId(2))],
+            &[
+                (FbsId(0), FbsId(1)),
+                (FbsId(1), FbsId(2)),
+                (FbsId(0), FbsId(2)),
+            ],
         );
         let sets = g.maximal_independent_sets();
         assert_eq!(sets.len(), 3, "each singleton is maximal in a triangle");
@@ -318,7 +340,11 @@ mod tests {
         // Triangle: 3 colors.
         let t = InterferenceGraph::new(
             3,
-            &[(FbsId(0), FbsId(1)), (FbsId(1), FbsId(2)), (FbsId(0), FbsId(2))],
+            &[
+                (FbsId(0), FbsId(1)),
+                (FbsId(1), FbsId(2)),
+                (FbsId(0), FbsId(2)),
+            ],
         );
         assert_eq!(t.greedy_chromatic_number(), 3);
         // Empty graph edge case.

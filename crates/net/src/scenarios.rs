@@ -22,11 +22,7 @@ use rand::{Rng, RngExt};
 pub fn single_fbs(num_users: usize) -> Topology {
     let fbs_center = Point::new(80.0, 0.0);
     let users = ring_of_users(fbs_center, 12.0, num_users);
-    Topology::new(
-        Point::ORIGIN,
-        vec![Fbs::new(fbs_center, 30.0)],
-        users,
-    )
+    Topology::new(Point::ORIGIN, vec![Fbs::new(fbs_center, 30.0)], users)
 }
 
 /// Scenario B (Section V-B / Fig. 5): three FBSs in a line where FBS 1–2
@@ -85,7 +81,10 @@ pub fn random_topology<R: Rng + ?Sized>(
     coverage: f64,
     rng: &mut R,
 ) -> Topology {
-    assert!(side > 0.0 && coverage > 0.0, "side and coverage must be positive");
+    assert!(
+        side > 0.0 && coverage > 0.0,
+        "side and coverage must be positive"
+    );
     let mut fbss = Vec::with_capacity(num_fbss);
     let mut users = Vec::new();
     for _ in 0..num_fbss {

@@ -139,7 +139,9 @@ impl Topology {
     ///
     /// Panics if either id is out of range.
     pub fn distance_to_fbs(&self, id: UserId, fbs: FbsId) -> f64 {
-        self.users[id.0].position().distance(self.fbss[fbs.0].position())
+        self.users[id.0]
+            .position()
+            .distance(self.fbss[fbs.0].position())
     }
 
     /// Derives the interference graph from coverage overlaps: FBSs whose
@@ -186,10 +188,8 @@ impl Topology {
                 // segment toward i (and symmetrically for cell i).
                 let edge_ij = (d - self.fbss[j].coverage_radius()).max(0.0);
                 let edge_ji = (d - self.fbss[i].coverage_radius()).max(0.0);
-                let ci_at_j =
-                    path_loss_db(edge_ij) - path_loss_db(self.fbss[j].coverage_radius());
-                let ci_at_i =
-                    path_loss_db(edge_ji) - path_loss_db(self.fbss[i].coverage_radius());
+                let ci_at_j = path_loss_db(edge_ij) - path_loss_db(self.fbss[j].coverage_radius());
+                let ci_at_i = path_loss_db(edge_ji) - path_loss_db(self.fbss[i].coverage_radius());
                 if ci_at_j < margin_db || ci_at_i < margin_db {
                     edges.push((FbsId(i), FbsId(j)));
                 }

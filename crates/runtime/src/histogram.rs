@@ -1,0 +1,160 @@
+//! Lock-free wall-time histograms with power-of-two microsecond
+//! buckets, recordable from every worker concurrently and
+//! snapshot-able mid-flight.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets: bucket `i` counts durations in
+/// `[2^(i-1), 2^i) µs` (bucket 0 is `< 1 µs`), with the last bucket
+/// collecting everything above `2^(BUCKETS-2) µs` (~134 s).
+pub(crate) const BUCKETS: usize = 28;
+
+/// Concurrent histogram of durations.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    min_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            min_micros: AtomicU64::new(u64::MAX),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(micros: u64) -> usize {
+        if micros == 0 {
+            0
+        } else {
+            // 1 µs → bucket 1, 2–3 µs → bucket 2, 4–7 µs → 3, ...
+            ((64 - micros.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let micros = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.min_micros.fetch_min(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram. Taken with relaxed loads:
+    /// individual fields may be skewed by in-flight recordings, which
+    /// is acceptable for live telemetry.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            min_micros: (count > 0).then(|| self.min_micros.load(Ordering::Relaxed)),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (upper_bound_micros(i), c.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+/// Exclusive upper bound (µs) of bucket `i`; `u64::MAX` for the last.
+fn upper_bound_micros(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// A point-in-time copy of an [`AtomicHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of all recorded durations in microseconds.
+    pub sum_micros: u64,
+    /// Smallest recorded duration (µs); `None` when empty.
+    pub min_micros: Option<u64>,
+    /// Largest recorded duration (µs); 0 when empty.
+    pub max_micros: u64,
+    /// `(exclusive upper bound in µs, count)` per bucket, in order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded duration in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Buckets that actually received samples, for compact rendering.
+    pub fn occupied_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().copied().filter(|(_, c)| *c > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_the_right_buckets() {
+        let h = AtomicHistogram::new();
+        h.record(Duration::from_nanos(100)); // 0 µs -> bucket 0
+        h.record(Duration::from_micros(1)); // bucket 1
+        h.record(Duration::from_micros(3)); // bucket 2
+        h.record(Duration::from_micros(1000)); // 1024 > 1000 -> bucket 10
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min_micros, Some(0));
+        assert_eq!(s.max_micros, 1000);
+        assert_eq!(s.buckets[0].1, 1);
+        assert_eq!(s.buckets[1].1, 1);
+        assert_eq!(s.buckets[2].1, 1);
+        assert_eq!(s.buckets[10].1, 1);
+        assert_eq!(s.occupied_buckets().count(), 4);
+        assert!((s.mean_micros() - 251.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let s = AtomicHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min_micros, None);
+        assert_eq!(s.mean_micros(), 0.0);
+        assert_eq!(s.occupied_buckets().count(), 0);
+    }
+
+    #[test]
+    fn huge_durations_saturate_the_last_bucket() {
+        let h = AtomicHistogram::new();
+        h.record(Duration::from_secs(100_000));
+        let s = h.snapshot();
+        assert_eq!(s.buckets.last().unwrap().1, 1);
+        assert_eq!(s.buckets.last().unwrap().0, u64::MAX);
+    }
+}

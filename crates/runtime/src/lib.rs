@@ -1,0 +1,76 @@
+//! `fcr-runtime` — the shared execution runtime underneath every
+//! parallel workload in the workspace.
+//!
+//! The paper's evaluation (Section V of Hu & Mao, ICDCS 2011) is
+//! embarrassingly parallel: every figure is a sweep of
+//! `(parameter point × scheme × runs)` independent slot-loop
+//! simulations. The seed implementation spawned one unbounded OS
+//! thread per run; this crate replaces that with a fixed-size,
+//! metrics-instrumented worker pool that the simulator, the
+//! experiments binary, and future sharded/batched backends all share.
+//!
+//! # Architecture
+//!
+//! * **[`Runtime`]** — a fixed worker pool sized by
+//!   [`std::thread::available_parallelism`] (overridable via
+//!   [`RuntimeConfig`]). Workers never exceed the configured count: a
+//!   hard concurrency cap regardless of how many jobs are submitted.
+//! * **Sharded bounded queues** — each worker owns one bounded FIFO
+//!   shard; submissions are spread round-robin and idle workers
+//!   **steal** from the back of sibling shards, so one slow shard
+//!   cannot strand work.
+//! * **Backpressure** — [`Runtime::spawn`] blocks the submitter when
+//!   every shard is full; [`Runtime::try_spawn`] instead hands the job
+//!   back as a [`RejectedJob`] the caller may retry, drop, or execute
+//!   inline.
+//! * **Panic containment** — a panicking job is caught, recorded as a
+//!   failed [`JobOutcome`], and counted in the metrics; the worker
+//!   survives and the pool keeps draining.
+//! * **Graceful shutdown** — [`Runtime::shutdown`] (also run on drop)
+//!   finishes every queued job before joining the workers.
+//! * **Live metrics** — an atomic [`MetricsRegistry`]
+//!   (jobs submitted / completed / failed / stolen / rejected, queue
+//!   depth, in-flight gauge, wall-time histogram, plus named domain
+//!   counters such as `slots_simulated`) snapshot-able mid-flight via
+//!   [`Runtime::snapshot`].
+//!
+//! # Determinism
+//!
+//! The runtime executes opaque closures and returns their results in
+//! **submission order** ([`Runtime::run_batch`]); it injects no
+//! randomness and no ordering dependence. Callers that derive each
+//! job's seed from `(master seed, job index)` — as
+//! `fcr-sim::pool::SimJob` does — therefore obtain results
+//! bit-identical to a serial loop, preserving the common-random-numbers
+//! property across allocation schemes.
+//!
+//! # Example
+//!
+//! ```
+//! use fcr_runtime::{Runtime, RuntimeConfig};
+//!
+//! let rt = Runtime::with_config(RuntimeConfig {
+//!     workers: 2,
+//!     queue_capacity: 8,
+//! });
+//! let outcomes = rt.run_batch((0u64..16).map(|i| move || i * i));
+//! let squares: Vec<u64> = outcomes.into_iter().map(Result::unwrap).collect();
+//! assert_eq!(squares[5], 25);
+//! let snap = rt.snapshot();
+//! assert_eq!(snap.jobs_completed, 16);
+//! assert_eq!(snap.jobs_failed, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod histogram;
+pub mod job;
+pub mod metrics;
+pub mod pool;
+pub(crate) mod queue;
+
+pub use histogram::HistogramSnapshot;
+pub use job::{JobError, JobHandle, JobOutcome};
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use pool::{RejectedJob, Runtime, RuntimeConfig};

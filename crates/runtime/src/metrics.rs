@@ -1,0 +1,181 @@
+//! The atomic metrics registry and its snapshots.
+//!
+//! Every counter is updated with relaxed atomics on the hot path;
+//! [`MetricsRegistry::snapshot`] can be taken from any thread
+//! mid-flight without pausing the pool.
+
+use crate::histogram::{AtomicHistogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Live counters for one [`crate::Runtime`].
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    started_at: Instant,
+    workers: usize,
+    /// Jobs accepted into a shard queue.
+    pub(crate) jobs_submitted: AtomicU64,
+    /// Jobs that ran to completion.
+    pub(crate) jobs_completed: AtomicU64,
+    /// Jobs whose closure panicked (contained, not propagated).
+    pub(crate) jobs_failed: AtomicU64,
+    /// Jobs taken from a sibling's shard.
+    pub(crate) jobs_stolen: AtomicU64,
+    /// `try_spawn` submissions bounced by a full pool.
+    pub(crate) jobs_rejected: AtomicU64,
+    /// Jobs currently sitting in shard queues.
+    pub(crate) queue_depth: AtomicU64,
+    /// Jobs currently executing on a worker.
+    pub(crate) jobs_in_flight: AtomicU64,
+    /// Wall-clock time per executed job.
+    pub(crate) job_wall_time: AtomicHistogram,
+    /// Domain counters registered at runtime (e.g. `slots_simulated`).
+    named: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+}
+
+impl MetricsRegistry {
+    pub(crate) fn new(workers: usize) -> Self {
+        MetricsRegistry {
+            started_at: Instant::now(),
+            workers,
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_stolen: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            jobs_in_flight: AtomicU64::new(0),
+            job_wall_time: AtomicHistogram::new(),
+            named: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Returns (registering on first use) the named domain counter.
+    /// Callers keep the `Arc` and bump it with
+    /// [`AtomicU64::fetch_add`]; the snapshot lists every registered
+    /// counter.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut named = self.named.lock().expect("metrics registry poisoned");
+        Arc::clone(
+            named
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    pub(crate) fn record_job(&self, wall: Duration, ok: bool) {
+        if ok {
+            self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.job_wall_time.record(wall);
+    }
+
+    /// A point-in-time copy of every counter. Safe to call while the
+    /// pool is running; relaxed loads may be mutually skewed by a few
+    /// in-flight jobs.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let named = self
+            .named
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        MetricsSnapshot {
+            workers: self.workers,
+            uptime: self.started_at.elapsed(),
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_stolen: self.jobs_stolen.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            jobs_in_flight: self.jobs_in_flight.load(Ordering::Relaxed),
+            job_wall_time: self.job_wall_time.snapshot(),
+            counters: named,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Fixed worker count of the pool.
+    pub workers: usize,
+    /// Time since the pool was built.
+    pub uptime: Duration,
+    /// Jobs accepted into a shard queue.
+    pub jobs_submitted: u64,
+    /// Jobs that ran to completion.
+    pub jobs_completed: u64,
+    /// Jobs whose closure panicked (contained).
+    pub jobs_failed: u64,
+    /// Jobs executed by a worker other than the shard owner.
+    pub jobs_stolen: u64,
+    /// `try_spawn` submissions bounced by a full pool.
+    pub jobs_rejected: u64,
+    /// Jobs queued but not yet started.
+    pub queue_depth: u64,
+    /// Jobs executing right now.
+    pub jobs_in_flight: u64,
+    /// Wall-clock time per executed job.
+    pub job_wall_time: HistogramSnapshot,
+    /// Named domain counters (e.g. `slots_simulated`,
+    /// `solver_invocations`), sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Jobs finished (ok or failed) per wall-clock second since the
+    /// pool started.
+    pub fn jobs_per_sec(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            (self.jobs_completed + self.jobs_failed) as f64 / secs
+        }
+    }
+
+    /// Value of a named domain counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_counters_register_once_and_accumulate() {
+        let m = MetricsRegistry::new(4);
+        let a = m.counter("slots_simulated");
+        let b = m.counter("slots_simulated");
+        a.fetch_add(10, Ordering::Relaxed);
+        b.fetch_add(5, Ordering::Relaxed);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("slots_simulated"), Some(15));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.workers, 4);
+    }
+
+    #[test]
+    fn record_job_splits_ok_and_failed() {
+        let m = MetricsRegistry::new(1);
+        m.record_job(Duration::from_micros(5), true);
+        m.record_job(Duration::from_micros(7), false);
+        let snap = m.snapshot();
+        assert_eq!(snap.jobs_completed, 1);
+        assert_eq!(snap.jobs_failed, 1);
+        assert_eq!(snap.job_wall_time.count, 2);
+        assert!(snap.jobs_per_sec() > 0.0);
+    }
+}

@@ -1,0 +1,569 @@
+//! The fixed-size worker pool: sharded submission, work stealing,
+//! blocking and non-blocking backpressure, panic containment, and
+//! graceful shutdown.
+
+use crate::job::{panic_message, CompletionSlot, JobError, JobHandle, JobOutcome, Task};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::queue::Shard;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sizing knobs for a [`Runtime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Number of worker threads — the hard concurrency cap. One queue
+    /// shard is created per worker.
+    pub workers: usize,
+    /// Bounded capacity of **each** shard; total queued jobs never
+    /// exceed `workers * queue_capacity`.
+    pub queue_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            queue_capacity: 128,
+        }
+    }
+}
+
+struct PoolState {
+    /// Jobs currently sitting in shard queues (guarded mirror of the
+    /// per-shard lengths, so workers can park on one condvar).
+    queued: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    shards: Vec<Shard>,
+    metrics: Arc<MetricsRegistry>,
+    state: Mutex<PoolState>,
+    /// Signalled on enqueue; workers park here when idle.
+    work_available: Condvar,
+    /// Signalled on dequeue; blocked submitters park here.
+    space_available: Condvar,
+}
+
+impl Shared {
+    fn note_enqueued(&self) {
+        let mut st = self.state.lock().expect("pool state poisoned");
+        st.queued += 1;
+        drop(st);
+        self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.work_available.notify_one();
+    }
+
+    fn note_dequeued(&self) {
+        let mut st = self.state.lock().expect("pool state poisoned");
+        st.queued = st.queued.saturating_sub(1);
+        drop(st);
+        self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.space_available.notify_one();
+    }
+
+    /// Pops from the worker's own shard, else steals from a sibling.
+    fn take_task(&self, worker: usize) -> Option<Task> {
+        if let Some(task) = self.shards[worker].pop() {
+            self.note_dequeued();
+            return Some(task);
+        }
+        let n = self.shards.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            if let Some(task) = self.shards[victim].steal() {
+                self.metrics.jobs_stolen.fetch_add(1, Ordering::Relaxed);
+                self.note_dequeued();
+                return Some(task);
+            }
+        }
+        None
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    loop {
+        if let Some(task) = shared.take_task(index) {
+            // The task wrapper contains its own catch_unwind and
+            // in-flight accounting; it never unwinds into the worker
+            // loop.
+            task();
+            continue;
+        }
+        let mut st = shared.state.lock().expect("pool state poisoned");
+        loop {
+            if st.queued > 0 {
+                break; // rescan the shards
+            }
+            if st.shutdown {
+                return; // drained + shutdown requested
+            }
+            st = shared.work_available.wait(st).expect("pool state poisoned");
+        }
+    }
+}
+
+/// Wraps a user closure into a queue [`Task`] plus the [`JobHandle`]
+/// observing it. The wrapper catches panics, records metrics, and
+/// fulfils the handle — workers just invoke it.
+fn package<T, F>(metrics: Arc<MetricsRegistry>, f: F) -> (Task, JobHandle<T>)
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let slot = CompletionSlot::new();
+    let handle = JobHandle::new(Arc::clone(&slot));
+    let task: Task = Box::new(move || {
+        metrics.jobs_in_flight.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(f));
+        metrics.record_job(start.elapsed(), result.is_ok());
+        // Leave the in-flight gauge *before* fulfilling the handle, so
+        // a joiner that snapshots right after a drained batch reads 0.
+        metrics.jobs_in_flight.fetch_sub(1, Ordering::Relaxed);
+        let outcome: JobOutcome<T> =
+            result.map_err(|payload| JobError::Panicked(panic_message(payload.as_ref())));
+        slot.fulfill(outcome);
+    });
+    (task, handle)
+}
+
+/// A job bounced by [`Runtime::try_spawn`] because every shard was
+/// full. Holds both the (unexecuted) work and its handle; the caller
+/// decides whether to retry ([`Runtime::try_resubmit`]), block
+/// ([`Runtime::resubmit`]), or absorb the backpressure on its own
+/// thread ([`RejectedJob::run_inline`]).
+pub struct RejectedJob<T> {
+    task: Task,
+    handle: JobHandle<T>,
+}
+
+impl<T> std::fmt::Debug for RejectedJob<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RejectedJob").finish_non_exhaustive()
+    }
+}
+
+impl<T> RejectedJob<T> {
+    /// Executes the job on the calling thread (metrics still record
+    /// its completion and wall time) and returns its outcome.
+    pub fn run_inline(self) -> JobOutcome<T> {
+        (self.task)();
+        self.handle.join()
+    }
+}
+
+/// A fixed-size sharded worker pool. See the crate docs for the full
+/// architecture story.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_shard: AtomicUsize,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runtime {
+    /// A pool sized by [`std::thread::available_parallelism`].
+    pub fn new() -> Self {
+        Self::with_config(RuntimeConfig::default())
+    }
+
+    /// A pool with explicit sizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `queue_capacity` is zero.
+    pub fn with_config(config: RuntimeConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.queue_capacity > 0, "need positive queue capacity");
+        let metrics = Arc::new(MetricsRegistry::new(config.workers));
+        let shared = Arc::new(Shared {
+            shards: (0..config.workers)
+                .map(|_| Shard::new(config.queue_capacity))
+                .collect(),
+            metrics,
+            state: Mutex::new(PoolState {
+                queued: 0,
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+            space_available: Condvar::new(),
+        });
+        let workers = (0..config.workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fcr-runtime-{index}"))
+                    .spawn(move || worker_loop(shared, index))
+                    .expect("spawning runtime worker failed")
+            })
+            .collect();
+        Runtime {
+            shared,
+            workers,
+            next_shard: AtomicUsize::new(0),
+        }
+    }
+
+    /// The fixed worker count (= shard count).
+    pub fn workers(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// The live metrics registry (for registering domain counters).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.metrics
+    }
+
+    /// A point-in-time copy of the metrics, safe mid-flight.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    fn is_shut_down(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .expect("pool state poisoned")
+            .shutdown
+    }
+
+    /// One round-robin pass over all shards; hands the task back when
+    /// everything is full.
+    fn try_enqueue(&self, task: Task) -> Result<(), Task> {
+        let n = self.shared.shards.len();
+        let start = self.next_shard.fetch_add(1, Ordering::Relaxed);
+        let mut task = task;
+        for offset in 0..n {
+            match self.shared.shards[(start + offset) % n].try_push(task) {
+                Ok(()) => {
+                    self.shared
+                        .metrics
+                        .jobs_submitted
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared.note_enqueued();
+                    return Ok(());
+                }
+                Err(bounced) => task = bounced,
+            }
+        }
+        Err(task)
+    }
+
+    fn submit_blocking(&self, task: Task) {
+        let mut task = task;
+        loop {
+            assert!(
+                !self.is_shut_down(),
+                "cannot submit jobs to a runtime after shutdown"
+            );
+            match self.try_enqueue(task) {
+                Ok(()) => return,
+                Err(bounced) => {
+                    task = bounced;
+                    // Wait for a worker to free queue space. The
+                    // timeout covers the unsynchronized window between
+                    // the failed pass and this wait (a pop in that
+                    // window would otherwise be a lost wakeup).
+                    let st = self.shared.state.lock().expect("pool state poisoned");
+                    let _ = self
+                        .shared
+                        .space_available
+                        .wait_timeout(st, Duration::from_millis(1))
+                        .expect("pool state poisoned");
+                }
+            }
+        }
+    }
+
+    /// Submits a job, **blocking** the caller while every shard is
+    /// full (backpressure). Returns a handle to `join` for the
+    /// outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime was already shut down.
+    pub fn spawn<T, F>(&self, f: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (task, handle) = package(Arc::clone(&self.shared.metrics), f);
+        self.submit_blocking(task);
+        handle
+    }
+
+    /// Submits a job without blocking: when every shard is full the
+    /// job comes back as a [`RejectedJob`] (and `jobs_rejected` is
+    /// counted), letting the caller choose its own backpressure
+    /// policy.
+    pub fn try_spawn<T, F>(&self, f: F) -> Result<JobHandle<T>, RejectedJob<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (task, handle) = package(Arc::clone(&self.shared.metrics), f);
+        match self.try_enqueue(task) {
+            Ok(()) => Ok(handle),
+            Err(task) => {
+                self.shared
+                    .metrics
+                    .jobs_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(RejectedJob { task, handle })
+            }
+        }
+    }
+
+    /// Retries a previously rejected job without blocking.
+    pub fn try_resubmit<T>(
+        &self,
+        rejected: RejectedJob<T>,
+    ) -> Result<JobHandle<T>, RejectedJob<T>> {
+        let RejectedJob { task, handle } = rejected;
+        match self.try_enqueue(task) {
+            Ok(()) => Ok(handle),
+            Err(task) => {
+                self.shared
+                    .metrics
+                    .jobs_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(RejectedJob { task, handle })
+            }
+        }
+    }
+
+    /// Resubmits a previously rejected job, blocking until it fits.
+    pub fn resubmit<T>(&self, rejected: RejectedJob<T>) -> JobHandle<T> {
+        let RejectedJob { task, handle } = rejected;
+        self.submit_blocking(task);
+        handle
+    }
+
+    /// Submits every job of a batch (blocking on backpressure) and
+    /// returns their outcomes **in submission order** — the property
+    /// that makes pooled sweeps bit-identical to serial loops.
+    pub fn run_batch<T, F, I>(&self, jobs: I) -> Vec<JobOutcome<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+        I: IntoIterator<Item = F>,
+    {
+        let handles: Vec<JobHandle<T>> = jobs.into_iter().map(|f| self.spawn(f)).collect();
+        handles.into_iter().map(JobHandle::join).collect()
+    }
+
+    /// Graceful shutdown: every already-queued job still runs, then
+    /// the workers exit and are joined. Also invoked on drop. Further
+    /// submissions panic.
+    pub fn shutdown(&mut self) {
+        let workers = std::mem::take(&mut self.workers);
+        if workers.is_empty() {
+            return; // already shut down
+        }
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+        }
+        self.shared.work_available.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc;
+
+    fn small(workers: usize, capacity: usize) -> Runtime {
+        Runtime::with_config(RuntimeConfig {
+            workers,
+            queue_capacity: capacity,
+        })
+    }
+
+    #[test]
+    fn batch_results_arrive_in_submission_order() {
+        let rt = small(4, 4);
+        // 64 jobs through 16 queue slots: exercises backpressure.
+        let outcomes = rt.run_batch((0u64..64).map(|i| move || i * 3));
+        let values: Vec<u64> = outcomes.into_iter().map(Result::unwrap).collect();
+        assert_eq!(values, (0u64..64).map(|i| i * 3).collect::<Vec<_>>());
+        let snap = rt.snapshot();
+        assert_eq!(snap.jobs_submitted, 64);
+        assert_eq!(snap.jobs_completed, 64);
+        assert_eq!(snap.jobs_failed, 0);
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.job_wall_time.count, 64);
+    }
+
+    #[test]
+    fn panicking_jobs_are_contained_and_pool_survives() {
+        let rt = small(2, 8);
+        let outcomes = rt.run_batch((0u32..10).map(|i| {
+            move || {
+                if i % 3 == 0 {
+                    panic!("injected failure {i}");
+                }
+                i
+            }
+        }));
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(
+                    outcome,
+                    &Err(JobError::Panicked(format!("injected failure {i}")))
+                );
+            } else {
+                assert_eq!(outcome, &Ok(i as u32));
+            }
+        }
+        // The pool still works after the panics.
+        assert_eq!(rt.spawn(|| 99).join(), Ok(99));
+        let snap = rt.snapshot();
+        assert_eq!(snap.jobs_failed, 4); // 0, 3, 6, 9
+        assert_eq!(snap.jobs_completed, 7); // 6 survivors + the probe
+    }
+
+    #[test]
+    fn try_spawn_applies_backpressure_and_rejected_jobs_recover() {
+        let rt = small(1, 1);
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        // Occupy the single worker.
+        let blocker = rt.spawn(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+            "blocker done"
+        });
+        started_rx.recv().unwrap();
+        // Fill the single queue slot.
+        let queued = rt.try_spawn(|| 1).expect("one slot free");
+        // Pool saturated: the next submission bounces.
+        let rejected = match rt.try_spawn(|| 2) {
+            Err(r) => r,
+            Ok(_) => panic!("expected rejection from a saturated pool"),
+        };
+        assert!(rt.snapshot().jobs_rejected >= 1);
+        // The caller can absorb the backpressure inline...
+        assert_eq!(rejected.run_inline(), Ok(2));
+        // ...or retry after releasing the worker.
+        let rejected = match rt.try_spawn(|| 3) {
+            Err(r) => r,
+            Ok(_) => panic!("still saturated"),
+        };
+        release_tx.send(()).unwrap();
+        assert_eq!(blocker.join(), Ok("blocker done"));
+        let handle = rt.resubmit(rejected);
+        assert_eq!(handle.join(), Ok(3));
+        assert_eq!(queued.join(), Ok(1));
+    }
+
+    #[test]
+    fn snapshot_observes_jobs_in_flight() {
+        let rt = small(1, 4);
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        let handle = rt.spawn(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        });
+        started_rx.recv().unwrap();
+        let snap = rt.snapshot();
+        assert_eq!(snap.jobs_in_flight, 1);
+        assert_eq!(snap.workers, 1);
+        release_tx.send(()).unwrap();
+        assert_eq!(handle.join(), Ok(()));
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_queued_jobs() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut rt = small(2, 64);
+        let handles: Vec<_> = (0..50)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                rt.spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        rt.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 50, "all queued jobs ran");
+        for h in handles {
+            assert_eq!(h.join(), Ok(()));
+        }
+        // Idempotent.
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "after shutdown")]
+    fn submitting_after_shutdown_panics() {
+        let mut rt = small(1, 1);
+        rt.shutdown();
+        let _ = rt.spawn(|| 0);
+    }
+
+    #[test]
+    fn work_is_shared_across_workers() {
+        // With more jobs than one shard can hold and all submissions
+        // spread round-robin, every worker participates; the steal
+        // counter is exercised opportunistically (no strict assertion
+        // — stealing depends on scheduling).
+        let rt = small(4, 2);
+        let outcomes = rt.run_batch((0..200u64).map(|i| {
+            move || {
+                // A touch of work so workers overlap.
+                (0..100).fold(i, |acc, _| acc.wrapping_mul(31).wrapping_add(7))
+            }
+        }));
+        assert_eq!(outcomes.len(), 200);
+        assert!(outcomes.iter().all(Result::is_ok));
+        let snap = rt.snapshot();
+        assert_eq!(snap.jobs_completed + snap.jobs_failed, 200);
+        assert_eq!(snap.jobs_submitted, 200);
+    }
+
+    #[test]
+    fn named_counters_flow_into_snapshots() {
+        let rt = small(2, 8);
+        let slots = rt.metrics().counter("slots_simulated");
+        let outcomes = rt.run_batch((0..8u64).map(|i| {
+            let slots = Arc::clone(&slots);
+            move || {
+                slots.fetch_add(10, Ordering::Relaxed);
+                i
+            }
+        }));
+        assert!(outcomes.iter().all(Result::is_ok));
+        assert_eq!(rt.snapshot().counter("slots_simulated"), Some(80));
+    }
+}

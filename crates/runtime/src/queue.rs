@@ -1,0 +1,103 @@
+//! Sharded bounded job queues.
+//!
+//! Each worker owns one [`Shard`]: a bounded FIFO. The owner pops from
+//! the **front**; idle siblings steal from the **back**, which keeps
+//! the owner working on the oldest (most latency-sensitive) jobs while
+//! thieves take the freshest ones — the classic deque discipline.
+
+use crate::job::Task;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One bounded job queue, owned by a single worker but stealable by
+/// the rest of the pool.
+pub(crate) struct Shard {
+    jobs: Mutex<VecDeque<Task>>,
+    capacity: usize,
+}
+
+impl Shard {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "shard capacity must be positive");
+        Shard {
+            jobs: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// Enqueues `task` unless the shard is at capacity, in which case
+    /// the task is handed back (backpressure).
+    pub(crate) fn try_push(&self, task: Task) -> Result<(), Task> {
+        let mut jobs = self.jobs.lock().expect("shard poisoned");
+        if jobs.len() >= self.capacity {
+            return Err(task);
+        }
+        jobs.push_back(task);
+        Ok(())
+    }
+
+    /// Owner-side pop (FIFO front).
+    pub(crate) fn pop(&self) -> Option<Task> {
+        self.jobs.lock().expect("shard poisoned").pop_front()
+    }
+
+    /// Thief-side pop (back of the deque).
+    pub(crate) fn steal(&self) -> Option<Task> {
+        self.jobs.lock().expect("shard poisoned").pop_back()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.jobs.lock().expect("shard poisoned").len()
+    }
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    fn noop() -> Task {
+        Box::new(|| {})
+    }
+
+    #[test]
+    fn bounded_push_and_fifo_pop() {
+        let order = Arc::new(AtomicU32::new(0));
+        let shard = Shard::new(2);
+        for tag in [10u32, 20] {
+            let order = Arc::clone(&order);
+            assert!(shard
+                .try_push(Box::new(move || {
+                    order.store(tag, Ordering::SeqCst);
+                }))
+                .is_ok());
+        }
+        // Full: the task comes back.
+        assert!(shard.try_push(noop()).is_err());
+        assert_eq!(shard.len(), 2);
+        // FIFO from the front.
+        shard.pop().expect("first")();
+        assert_eq!(order.load(Ordering::SeqCst), 10);
+        // Steal takes the back (the freshest job).
+        shard.steal().expect("second")();
+        assert_eq!(order.load(Ordering::SeqCst), 20);
+        assert!(shard.pop().is_none());
+        assert!(shard.steal().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Shard::new(0);
+    }
+}

@@ -105,10 +105,9 @@ fn run_impl(
         // --- Sensing + fusion (Section III-B). ---
         let busy_priors: Vec<f64> = match cfg.prior_mode {
             crate::config::PriorMode::Stationary => vec![eta; cfg.num_channels],
-            crate::config::PriorMode::BeliefTracking => beliefs
-                .iter()
-                .map(|b| chain.propagate_belief(*b))
-                .collect(),
+            crate::config::PriorMode::BeliefTracking => {
+                beliefs.iter().map(|b| chain.propagate_belief(*b)).collect()
+            }
         };
         let user_targets = sensing_targets(
             cfg.sensing_strategy,
@@ -355,7 +354,11 @@ fn sense_all_channels(
 ) -> (Vec<f64>, Vec<f64>) {
     let m = primary.num_channels();
     assert_eq!(busy_priors.len(), m, "one prior per channel");
-    assert_eq!(user_targets.len(), scenario.num_users(), "one target per user");
+    assert_eq!(
+        user_targets.len(),
+        scenario.num_users(),
+        "one target per user"
+    );
     let mut posteriors = Vec::with_capacity(m);
     let mut first_obs = Vec::with_capacity(m);
     for (ch, prior) in busy_priors.iter().copied().enumerate() {
@@ -486,7 +489,13 @@ mod tests {
             ..SimConfig::default()
         };
         let scenario = Scenario::single_fbs(&cfg);
-        let r = run_once(&scenario, &cfg, Scheme::Heuristic2, &SeedSequence::new(3), 0);
+        let r = run_once(
+            &scenario,
+            &cfg,
+            Scheme::Heuristic2,
+            &SeedSequence::new(3),
+            0,
+        );
         for (j, p) in r.per_user_psnr.iter().enumerate() {
             let cap = scenario.users[j].sequence.max_psnr().db();
             assert!(*p <= cap + 1e-9, "user {j}: {p} above ceiling {cap}");
@@ -532,7 +541,13 @@ mod tests {
     fn heuristics_do_not_record_greedy_diagnostics() {
         let cfg = quick_cfg();
         let scenario = Scenario::interfering_fig5(&cfg);
-        let r = run_once(&scenario, &cfg, Scheme::Heuristic1, &SeedSequence::new(7), 0);
+        let r = run_once(
+            &scenario,
+            &cfg,
+            Scheme::Heuristic1,
+            &SeedSequence::new(7),
+            0,
+        );
         assert!(r.mean_greedy_objective.is_none());
         assert!(r.mean_eq23_bound.is_none());
     }
@@ -567,7 +582,10 @@ mod tests {
         let scenario = Scenario::single_fbs(&small);
         let g4 = run_once(&scenario, &small, Scheme::Proposed, &seeds, 0).mean_expected_available;
         let g12 = run_once(&scenario, &large, Scheme::Proposed, &seeds, 0).mean_expected_available;
-        assert!(g12 > g4, "G with 12 channels ({g12}) should exceed 4 ({g4})");
+        assert!(
+            g12 > g4,
+            "G with 12 channels ({g12}) should exceed 4 ({g4})"
+        );
     }
 
     #[test]
@@ -580,13 +598,11 @@ mod tests {
         assert_eq!(plain, traced, "tracing must not perturb the simulation");
         assert_eq!(trace.len() as u64, cfg.total_slots());
         // Collision tally agrees with the aggregate rate.
-        let rate = trace.total_collisions() as f64
-            / (cfg.total_slots() * cfg.num_channels as u64) as f64;
+        let rate =
+            trace.total_collisions() as f64 / (cfg.total_slots() * cfg.num_channels as u64) as f64;
         assert!((rate - traced.collision_rate).abs() < 1e-12);
         // Mean G agrees.
-        assert!(
-            (trace.mean_expected_available() - traced.mean_expected_available).abs() < 1e-12
-        );
+        assert!((trace.mean_expected_available() - traced.mean_expected_available).abs() < 1e-12);
         // GOP history reconstructs the per-user means.
         for j in 0..scenario.num_users() {
             let history = trace.gop_history(j);
@@ -612,14 +628,24 @@ mod tests {
         };
         let scenario = Scenario::single_fbs(&cfg);
         let r = run_once(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(8), 0);
-        assert!(r.collision_rate <= cfg.gamma + 0.03, "rate {}", r.collision_rate);
+        assert!(
+            r.collision_rate <= cfg.gamma + 0.03,
+            "rate {}",
+            r.collision_rate
+        );
         assert!(r.mean_psnr() > 25.0);
         // The tracked prior actually changes behaviour vs. stationary.
         let stationary = SimConfig {
             prior_mode: crate::config::PriorMode::Stationary,
             ..cfg
         };
-        let r2 = run_once(&scenario, &stationary, Scheme::Proposed, &SeedSequence::new(8), 0);
+        let r2 = run_once(
+            &scenario,
+            &stationary,
+            Scheme::Proposed,
+            &SeedSequence::new(8),
+            0,
+        );
         assert_ne!(r, r2);
     }
 

@@ -26,9 +26,11 @@
 //! [`scheme`] (the four allocation policies), [`engine`] (the fluid
 //! slot loop, with optional per-slot [`trace`]s),
 //! [`packet_engine`] (the NAL-unit-granular validation mode),
-//! [`metrics`] (per-run results), [`report`] (table rendering), and
-//! [`runner`] (multi-run experiments with 95% confidence intervals and
-//! common random numbers, parallel across runs).
+//! [`metrics`] (per-run results), [`report`] (table rendering),
+//! [`pool`] (typed simulation jobs on the process-wide
+//! [`fcr_runtime`] worker pool), and [`runner`] (multi-run experiments
+//! with 95% confidence intervals and common random numbers, parallel
+//! across runs on the shared pool).
 //!
 //! # Examples
 //!
@@ -53,6 +55,7 @@ pub mod config;
 pub mod engine;
 pub mod metrics;
 pub mod packet_engine;
+pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -63,6 +66,7 @@ pub use config::SimConfig;
 pub use engine::run_once;
 pub use metrics::RunResult;
 pub use packet_engine::{run_packet_level, PacketRunResult};
+pub use pool::SimJob;
 pub use runner::Experiment;
 pub use scenario::{Scenario, UserSpec};
 pub use scheme::Scheme;

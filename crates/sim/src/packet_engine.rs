@@ -114,8 +114,11 @@ pub fn run_packet_level(
             .expect("preset packetizer valid")
         })
         .collect();
-    let mut queues: Vec<TransmissionQueue> =
-        scenario.users.iter().map(|_| TransmissionQueue::new()).collect();
+    let mut queues: Vec<TransmissionQueue> = scenario
+        .users
+        .iter()
+        .map(|_| TransmissionQueue::new())
+        .collect();
     // Quality delivered toward the *current* GOP of each user.
     let mut gop_quality = vec![0.0_f64; scenario.num_users()];
     let mut base_delivered = vec![false; scenario.num_users()];
@@ -228,10 +231,7 @@ pub fn run_packet_level(
             }
             let (success_p, rate_mbps) = match a.mode {
                 Mode::Mbs => (link_qualities[j].0, a.rho_mbs * cfg.b0),
-                Mode::Fbs => (
-                    link_qualities[j].1,
-                    a.rho_fbs * realized[u.fbs.0] * cfg.b1,
-                ),
+                Mode::Fbs => (link_qualities[j].1, a.rho_fbs * realized[u.fbs.0] * cfg.b1),
             };
             let mut budget_bits = rate_mbps * 1e6 * slot_seconds[j];
             while let Some(head) = queues[j].head().copied() {
@@ -338,8 +338,7 @@ mod tests {
         // Every packetized unit is delivered, expired, or still queued
         // (the last GOP expires at the final boundary, so queues are
         // empty); total = gops × (rungs + 1) × users.
-        let total =
-            u64::from(cfg.gops) * u64::from(rungs_for(cfg.scalability) + 1) * 3;
+        let total = u64::from(cfg.gops) * u64::from(rungs_for(cfg.scalability) + 1) * 3;
         assert_eq!(r.delivered_units + r.expired_units, total);
     }
 
@@ -355,9 +354,7 @@ mod tests {
             .sum::<f64>()
             / 3.0;
         let mean_packet = (0..3)
-            .map(|r| {
-                run_packet_level(&scenario, &cfg, Scheme::Proposed, &seeds, r).mean_psnr()
-            })
+            .map(|r| run_packet_level(&scenario, &cfg, Scheme::Proposed, &seeds, r).mean_psnr())
             .sum::<f64>()
             / 3.0;
         let gap = (mean_fluid - mean_packet).abs();
@@ -398,7 +395,10 @@ mod tests {
         };
         let scenario = Scenario::single_fbs(&cfg);
         let r = run_packet_level(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(9), 0);
-        assert!(r.base_layer_losses > 0, "terrible links must lose base layers");
+        assert!(
+            r.base_layer_losses > 0,
+            "terrible links must lose base layers"
+        );
         assert!(r.mean_psnr() < 30.0);
     }
 }

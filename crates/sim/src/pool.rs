@@ -1,0 +1,146 @@
+//! The process-wide simulation pool: typed [`SimJob`]s executed on the
+//! shared [`fcr_runtime::Runtime`].
+//!
+//! Every multi-run code path ([`crate::runner::Experiment::run_scheme`]
+//! and [`crate::runner::sweep`]) routes through this module, so the
+//! whole process shares **one** fixed-size worker pool — a hard
+//! concurrency cap, replacing the seed's unbounded per-run thread
+//! spawning.
+//!
+//! # Determinism
+//!
+//! A [`SimJob`] carries everything a run depends on — scenario,
+//! config, scheme, master seed, run index — and derives its RNG
+//! streams from `SeedSequence::new(master_seed)` exactly like the
+//! serial [`run_once`] path. Combined with the runtime returning batch
+//! results in submission order, pooled execution is **bit-identical**
+//! to a serial loop regardless of worker count or scheduling, and the
+//! common-random-numbers property across schemes is preserved
+//! (verified by `tests/determinism.rs`).
+
+use crate::config::SimConfig;
+use crate::engine::run_once;
+use crate::metrics::RunResult;
+use crate::scenario::Scenario;
+use crate::scheme::Scheme;
+use fcr_runtime::{JobOutcome, MetricsSnapshot, Runtime};
+use fcr_stats::rng::SeedSequence;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
+
+/// Name of the domain counter tracking simulated channel slots.
+pub const SLOTS_COUNTER: &str = "slots_simulated";
+/// Name of the domain counter tracking per-slot allocator invocations.
+pub const SOLVER_COUNTER: &str = "solver_invocations";
+
+/// One simulation run, fully described: `(scenario, config, scheme,
+/// master seed, run index) → RunResult`.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// Deployment under test (shared across the runs of a batch).
+    pub scenario: Arc<Scenario>,
+    /// Simulation parameters.
+    pub config: SimConfig,
+    /// Allocation scheme under test.
+    pub scheme: Scheme,
+    /// Master seed; per-run streams derive from `(master_seed,
+    /// run_index)`, never from scheduling order.
+    pub master_seed: u64,
+    /// Which run of the experiment this job is.
+    pub run_index: u64,
+}
+
+impl SimJob {
+    /// Executes the run on the calling thread — byte-identical to the
+    /// serial path because the seed derivation matches
+    /// [`crate::runner::Experiment::run_scheme`]'s contract.
+    pub fn execute(&self) -> RunResult {
+        run_once(
+            &self.scenario,
+            &self.config,
+            self.scheme,
+            &SeedSequence::new(self.master_seed),
+            self.run_index,
+        )
+    }
+}
+
+/// The process-wide runtime, built on first use and shared by every
+/// experiment in the process. Sized by
+/// [`std::thread::available_parallelism`].
+pub fn shared() -> &'static Runtime {
+    static POOL: OnceLock<Runtime> = OnceLock::new();
+    POOL.get_or_init(Runtime::new)
+}
+
+/// A live snapshot of the shared pool's metrics (jobs, queue depth,
+/// wall-time histogram, slots simulated, solver invocations).
+pub fn snapshot() -> MetricsSnapshot {
+    shared().snapshot()
+}
+
+/// Runs a batch of jobs on the shared pool, returning per-job outcomes
+/// **in submission order**. A panicking run yields
+/// `Err(JobError::Panicked(..))` for that job only; the pool and the
+/// remaining jobs are unaffected.
+pub fn execute_all(jobs: Vec<SimJob>) -> Vec<JobOutcome<RunResult>> {
+    let runtime = shared();
+    let slots = runtime.metrics().counter(SLOTS_COUNTER);
+    let solves = runtime.metrics().counter(SOLVER_COUNTER);
+    runtime.run_batch(jobs.into_iter().map(|job| {
+        let slots = Arc::clone(&slots);
+        let solves = Arc::clone(&solves);
+        move || {
+            let total_slots = job.config.total_slots();
+            let result = job.execute();
+            // One channel-allocation solve happens per simulated slot.
+            slots.fetch_add(total_slots, Ordering::Relaxed);
+            solves.fetch_add(total_slots, Ordering::Relaxed);
+            result
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooled_jobs_match_direct_execution_and_feed_metrics() {
+        let config = SimConfig {
+            gops: 2,
+            ..SimConfig::default()
+        };
+        let scenario = Arc::new(Scenario::single_fbs(&config));
+        let jobs: Vec<SimJob> = (0..3)
+            .map(|run_index| SimJob {
+                scenario: Arc::clone(&scenario),
+                config,
+                scheme: Scheme::Proposed,
+                master_seed: 4242,
+                run_index,
+            })
+            .collect();
+        let serial: Vec<RunResult> = jobs.iter().map(SimJob::execute).collect();
+        let before = snapshot().counter(SLOTS_COUNTER).unwrap_or(0);
+        let pooled = execute_all(jobs);
+        assert_eq!(pooled.len(), 3);
+        for (p, s) in pooled.iter().zip(&serial) {
+            assert_eq!(p.as_ref().expect("no panics"), s);
+        }
+        let after = snapshot().counter(SLOTS_COUNTER).expect("registered");
+        assert_eq!(after - before, 3 * config.total_slots());
+        assert_eq!(
+            snapshot().counter(SOLVER_COUNTER).expect("registered") % config.total_slots(),
+            after % config.total_slots(),
+        );
+    }
+
+    #[test]
+    fn shared_pool_is_a_singleton() {
+        let a = shared() as *const Runtime;
+        let b = shared() as *const Runtime;
+        assert_eq!(a, b);
+        assert!(shared().workers() >= 1);
+    }
+}

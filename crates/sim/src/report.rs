@@ -1,9 +1,11 @@
 //! Rendering helpers for experiment results: the Fig. 3-style
-//! per-user/per-scheme tables, shared by the `experiments` binary and
-//! downstream users of the library.
+//! per-user/per-scheme tables and the live worker-pool telemetry
+//! table, shared by the `experiments` binary and downstream users of
+//! the library.
 
 use crate::metrics::SchemeSummary;
 use crate::scheme::Scheme;
+use fcr_runtime::MetricsSnapshot;
 use std::fmt::Write as _;
 
 /// Renders a per-user comparison table (rows = users + mean + Jain,
@@ -85,6 +87,53 @@ pub fn scheme_list(schemes: &[Scheme], summaries: &[SchemeSummary]) -> String {
     out
 }
 
+/// Renders a live snapshot of the shared simulation pool: worker
+/// count, job counters, queue state, the job wall-time histogram
+/// (occupied buckets only), and every registered domain counter
+/// (`slots_simulated`, `solver_invocations`, ...).
+pub fn runtime_metrics_table(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "runtime pool ({} workers)", snapshot.workers);
+    let rows: [(&str, u64); 7] = [
+        ("jobs submitted", snapshot.jobs_submitted),
+        ("jobs completed", snapshot.jobs_completed),
+        ("jobs failed", snapshot.jobs_failed),
+        ("jobs stolen", snapshot.jobs_stolen),
+        ("jobs rejected", snapshot.jobs_rejected),
+        ("queue depth", snapshot.queue_depth),
+        ("in flight", snapshot.jobs_in_flight),
+    ];
+    for (label, value) in rows {
+        let _ = writeln!(out, "  {label:<20} {value:>12}");
+    }
+    let _ = writeln!(
+        out,
+        "  {:<20} {:>12.1}",
+        "jobs/sec",
+        snapshot.jobs_per_sec()
+    );
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "  {name:<20} {value:>12}");
+    }
+    let wall = &snapshot.job_wall_time;
+    let _ = writeln!(
+        out,
+        "  job wall time: n={} mean={:.0}us min={}us max={}us",
+        wall.count,
+        wall.mean_micros(),
+        wall.min_micros.unwrap_or(0),
+        wall.max_micros,
+    );
+    for (upper, count) in wall.occupied_buckets() {
+        if upper == u64::MAX {
+            let _ = writeln!(out, "    {:>12} {count:>10}", "   overflow");
+        } else {
+            let _ = writeln!(out, "    < {upper:>8}us {count:>10}");
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +194,47 @@ mod tests {
     fn mismatched_user_counts_panic() {
         let labels = vec!["only one".to_string()];
         let _ = per_user_table(&labels, &[Scheme::Proposed], &[summary()]);
+    }
+
+    #[test]
+    fn runtime_metrics_table_lists_counters_and_histogram() {
+        use crate::config::SimConfig;
+        use crate::pool::{self, SLOTS_COUNTER};
+        use crate::scenario::Scenario;
+        use std::sync::Arc;
+
+        // Push at least one real job through the shared pool so every
+        // section of the table has data.
+        let config = SimConfig {
+            gops: 2,
+            ..SimConfig::default()
+        };
+        let outcomes = pool::execute_all(vec![crate::pool::SimJob {
+            scenario: Arc::new(Scenario::single_fbs(&config)),
+            config,
+            scheme: Scheme::Proposed,
+            master_seed: 7,
+            run_index: 0,
+        }]);
+        assert!(outcomes[0].is_ok());
+        let snap = pool::snapshot();
+        let out = runtime_metrics_table(&snap);
+        assert!(out.contains("runtime pool ("), "header rendered:\n{out}");
+        for label in [
+            "jobs submitted",
+            "jobs completed",
+            "jobs failed",
+            "queue depth",
+            "jobs/sec",
+            SLOTS_COUNTER,
+            "solver_invocations",
+            "job wall time:",
+        ] {
+            assert!(out.contains(label), "{label} rendered:\n{out}");
+        }
+        assert!(
+            out.lines().count() >= 13,
+            "counter rows + histogram rows:\n{out}"
+        );
     }
 }

@@ -1,14 +1,23 @@
 //! Multi-run experiments: the paper's "each point is the average of 10
 //! simulation runs" with 95% confidence intervals, parallel across
-//! runs.
+//! runs on the process-wide [`crate::pool`] runtime.
+//!
+//! The seed's per-run `std::thread::scope` spawning (unbounded: a
+//! 40-point sweep × 4 schemes × 10 runs would have peaked at hundreds
+//! of live threads) is gone; every run is a [`SimJob`] on the shared
+//! fixed-size pool, so total process concurrency is capped by the
+//! worker count regardless of experiment shape. A panicking run is
+//! carried as an error value ([`JobError`]) instead of aborting the
+//! experiment.
 
 use crate::config::SimConfig;
-use crate::engine::run_once;
 use crate::metrics::{RunResult, SchemeSummary};
+use crate::pool::{self, SimJob};
 use crate::scenario::Scenario;
 use crate::scheme::Scheme;
-use fcr_stats::rng::SeedSequence;
+use fcr_runtime::JobError;
 use fcr_stats::series::Series;
+use std::sync::Arc;
 
 /// A repeated-runs experiment of several schemes on one scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,30 +60,63 @@ impl Experiment {
         &self.scenario
     }
 
-    /// Executes all runs of one scheme, in parallel across runs.
+    /// The jobs this experiment submits for one scheme, in run order.
+    fn jobs(&self, scheme: Scheme) -> Vec<SimJob> {
+        let scenario = Arc::new(self.scenario.clone());
+        (0..self.runs)
+            .map(|run_index| SimJob {
+                scenario: Arc::clone(&scenario),
+                config: self.config,
+                scheme,
+                master_seed: self.master_seed,
+                run_index,
+            })
+            .collect()
+    }
+
+    /// Executes all runs of one scheme on the shared pool, returning
+    /// one outcome per run **in run order**. A run that panics yields
+    /// `Err(JobError::Panicked(..))` in its slot; the other runs (and
+    /// the pool) are unaffected.
     ///
     /// Seeds are derived per `(scheme, run)`, so the primary-user and
     /// fading sample paths are **identical across schemes** (common
     /// random numbers — the comparison noise the paper's figures would
-    /// otherwise carry is removed).
+    /// otherwise carry is removed). Pooled execution is bit-identical
+    /// to calling [`crate::engine::run_once`] serially with the same
+    /// seeds.
+    pub fn try_run_scheme(&self, scheme: Scheme) -> Vec<Result<RunResult, JobError>> {
+        pool::execute_all(self.jobs(scheme))
+    }
+
+    /// Executes all runs of one scheme, in parallel across runs,
+    /// discarding failed runs (reported on stderr).
+    ///
+    /// # Panics
+    ///
+    /// Panics if **every** run failed — there is nothing to average.
+    /// Use [`Experiment::try_run_scheme`] to inspect individual
+    /// failures.
     pub fn run_scheme(&self, scheme: Scheme) -> Vec<RunResult> {
-        let seeds = SeedSequence::new(self.master_seed);
-        let mut results: Vec<Option<RunResult>> = vec![None; self.runs as usize];
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for run in 0..self.runs {
-                let scenario = &self.scenario;
-                let config = &self.config;
-                handles.push((
-                    run,
-                    scope.spawn(move || run_once(scenario, config, scheme, &seeds, run)),
-                ));
-            }
-            for (run, h) in handles {
-                results[run as usize] = Some(h.join().expect("simulation thread panicked"));
-            }
-        });
-        results.into_iter().map(|r| r.expect("all runs filled")).collect()
+        let outcomes = self.try_run_scheme(scheme);
+        let total = outcomes.len();
+        let results: Vec<RunResult> = outcomes
+            .into_iter()
+            .enumerate()
+            .filter_map(|(run, outcome)| match outcome {
+                Ok(result) => Some(result),
+                Err(err) => {
+                    eprintln!("run {run} of {} failed: {err}", scheme.name());
+                    None
+                }
+            })
+            .collect();
+        assert!(
+            !results.is_empty(),
+            "all {total} runs of {} failed",
+            scheme.name()
+        );
+        results
     }
 
     /// Runs a scheme and aggregates (mean ± 95% CI).
@@ -87,20 +129,54 @@ impl Experiment {
 /// `schemes` and returns one [`Series`] per scheme with the mean
 /// Y-PSNR samples at every x (the exact layout of Figs. 4(b), 4(c),
 /// 6(a), 6(b), 6(c)).
+///
+/// Every `(point, scheme, run)` triple becomes one [`SimJob`] in a
+/// single batch on the shared pool, so the whole sweep parallelizes
+/// across everything at once while results regroup deterministically
+/// in submission order. Failed runs are dropped from their sample set
+/// (reported on stderr); a point whose runs *all* fail contributes an
+/// empty sample set.
 pub fn sweep(
     points: &[(f64, SimConfig, Scenario)],
     schemes: &[Scheme],
     runs: u64,
     master_seed: u64,
 ) -> Vec<Series> {
+    assert!(runs > 0, "need at least one run");
+    // One flat batch, nested submission order: point-major, then
+    // scheme, then run — mirrored exactly when regrouping below.
+    let mut jobs = Vec::with_capacity(points.len() * schemes.len() * runs as usize);
+    for (_, cfg, scenario) in points {
+        let scenario = Arc::new(scenario.clone());
+        for &scheme in schemes {
+            for run_index in 0..runs {
+                jobs.push(SimJob {
+                    scenario: Arc::clone(&scenario),
+                    config: *cfg,
+                    scheme,
+                    master_seed,
+                    run_index,
+                });
+            }
+        }
+    }
+    let mut outcomes = pool::execute_all(jobs).into_iter();
     let mut series: Vec<Series> = schemes.iter().map(|s| Series::new(s.name())).collect();
-    for (x, cfg, scenario) in points {
-        let experiment = Experiment::new(scenario.clone(), *cfg, master_seed).runs(runs);
+    for (x, _, _) in points {
         for (scheme, out) in schemes.iter().zip(series.iter_mut()) {
-            let samples: Vec<f64> = experiment
-                .run_scheme(*scheme)
-                .iter()
-                .map(RunResult::mean_psnr)
+            let samples: Vec<f64> = (0..runs)
+                .filter_map(
+                    |run| match outcomes.next().expect("one outcome per submitted job") {
+                        Ok(result) => Some(result.mean_psnr()),
+                        Err(err) => {
+                            eprintln!(
+                                "sweep point x={x}: run {run} of {} failed: {err}",
+                                scheme.name()
+                            );
+                            None
+                        }
+                    },
+                )
                 .collect();
             out.push(*x, samples);
         }
@@ -111,6 +187,8 @@ pub fn sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::run_once;
+    use fcr_stats::rng::SeedSequence;
 
     fn quick() -> Experiment {
         let cfg = SimConfig {
@@ -127,6 +205,25 @@ mod tests {
         let b = e.run_scheme(Scheme::Proposed);
         assert_eq!(a, b, "same seed, same results");
         assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn pooled_runs_match_serial_run_once() {
+        let e = quick();
+        let pooled = e.run_scheme(Scheme::Heuristic2);
+        let seeds = SeedSequence::new(77);
+        let serial: Vec<RunResult> = (0..3)
+            .map(|run| run_once(e.scenario(), e.config(), Scheme::Heuristic2, &seeds, run))
+            .collect();
+        assert_eq!(pooled, serial, "pool must be bit-identical to serial");
+    }
+
+    #[test]
+    fn try_run_scheme_carries_per_run_outcomes() {
+        let e = quick();
+        let outcomes = e.try_run_scheme(Scheme::Proposed);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.iter().all(Result::is_ok));
     }
 
     #[test]
@@ -158,6 +255,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_run_sweep_panics() {
+        let cfg = SimConfig::default();
+        let points = vec![(1.0, cfg, Scenario::single_fbs(&cfg))];
+        let _ = sweep(&points, &[Scheme::Proposed], 0, 5);
+    }
+
+    #[test]
     fn sweep_builds_aligned_series() {
         let base = SimConfig {
             gops: 2,
@@ -178,5 +283,40 @@ mod tests {
         assert_eq!(series[0].name(), "Proposed scheme");
         assert_eq!(series[0].len(), 2);
         assert_eq!(series[1].len(), 2);
+    }
+
+    #[test]
+    fn sweep_matches_per_point_experiments() {
+        // The single-batch sweep must produce exactly the samples the
+        // equivalent per-point Experiment loop produces.
+        let base = SimConfig {
+            gops: 2,
+            ..SimConfig::default()
+        };
+        let points: Vec<(f64, SimConfig, Scenario)> = [4usize, 8]
+            .iter()
+            .map(|m| {
+                let cfg = SimConfig {
+                    num_channels: *m,
+                    ..base
+                };
+                (*m as f64, cfg, Scenario::single_fbs(&cfg))
+            })
+            .collect();
+        let schemes = [Scheme::Proposed, Scheme::UpperBound];
+        let batched = sweep(&points, &schemes, 2, 99);
+        let mut serial: Vec<Series> = schemes.iter().map(|s| Series::new(s.name())).collect();
+        for (x, cfg, scenario) in &points {
+            let e = Experiment::new(scenario.clone(), *cfg, 99).runs(2);
+            for (scheme, out) in schemes.iter().zip(serial.iter_mut()) {
+                let samples: Vec<f64> = e
+                    .run_scheme(*scheme)
+                    .iter()
+                    .map(RunResult::mean_psnr)
+                    .collect();
+                out.push(*x, samples);
+            }
+        }
+        assert_eq!(batched, serial);
     }
 }

@@ -251,7 +251,10 @@ mod tests {
         assert_eq!(s.num_fbss(), 1);
         assert!(!s.has_interference());
         assert_eq!(
-            s.users.iter().map(|u| u.sequence.name()).collect::<Vec<_>>(),
+            s.users
+                .iter()
+                .map(|u| u.sequence.name())
+                .collect::<Vec<_>>(),
             vec!["Bus", "Mobile", "Harbor"]
         );
         assert!(s.users.iter().all(|u| u.fbs == FbsId(0)));
@@ -295,12 +298,8 @@ mod tests {
     fn from_topology_derives_links_from_geometry() {
         let cfg = SimConfig::default();
         let topo = fcr_net::scenarios::paper_fig5();
-        let scenario = Scenario::from_topology(
-            &topo,
-            &Sequence::PAPER_TRIO,
-            &RadioParams::default(),
-            &cfg,
-        );
+        let scenario =
+            Scenario::from_topology(&topo, &Sequence::PAPER_TRIO, &RadioParams::default(), &cfg);
         assert_eq!(scenario.num_users(), 9);
         assert_eq!(scenario.num_fbss(), 3);
         // The geometric path graph carries over.
@@ -332,12 +331,8 @@ mod tests {
             ],
             vec![CrUser::new(Point::new(20.0, 0.0))], // outside both disks
         );
-        let scenario = Scenario::from_topology(
-            &topo,
-            &[Sequence::Bus],
-            &RadioParams::default(),
-            &cfg,
-        );
+        let scenario =
+            Scenario::from_topology(&topo, &[Sequence::Bus], &RadioParams::default(), &cfg);
         // Nearest is FBS 1 (30 m vs 70 m).
         assert_eq!(scenario.users[0].fbs, FbsId(1));
     }
@@ -349,12 +344,8 @@ mod tests {
             ..SimConfig::default()
         };
         let topo = fcr_net::scenarios::single_fbs(3);
-        let scenario = Scenario::from_topology(
-            &topo,
-            &Sequence::PAPER_TRIO,
-            &RadioParams::default(),
-            &cfg,
-        );
+        let scenario =
+            Scenario::from_topology(&topo, &Sequence::PAPER_TRIO, &RadioParams::default(), &cfg);
         let r = crate::engine::run_once(
             &scenario,
             &cfg,

@@ -213,10 +213,16 @@ mod tests {
         let proposed = decide_slot(Scheme::Proposed, &users, &graph, &weights, 0.0);
         let ub = decide_slot(Scheme::UpperBound, &users, &graph, &weights, 0.0);
         let p = InterferingProblem::new(users.clone(), graph.clone(), weights.to_vec()).unwrap();
-        let q_proposed =
-            p.problem_for(proposed.assignment.as_ref().unwrap()).objective(&proposed.allocation);
-        let q_ub = p.problem_for(ub.assignment.as_ref().unwrap()).objective(&ub.allocation);
-        assert!(q_ub >= q_proposed - 1e-6, "exhaustive {q_ub} below greedy {q_proposed}");
+        let q_proposed = p
+            .problem_for(proposed.assignment.as_ref().unwrap())
+            .objective(&proposed.allocation);
+        let q_ub = p
+            .problem_for(ub.assignment.as_ref().unwrap())
+            .objective(&ub.allocation);
+        assert!(
+            q_ub >= q_proposed - 1e-6,
+            "exhaustive {q_ub} below greedy {q_proposed}"
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ impl SimTrace {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().map(|r| r.expected_available).sum::<f64>()
+        self.records
+            .iter()
+            .map(|r| r.expected_available)
+            .sum::<f64>()
             / self.records.len() as f64
     }
 

@@ -340,7 +340,10 @@ mod tests {
         }
         let rate = collisions as f64 / n as f64;
         assert!(rate <= 0.2 + 0.01, "collision rate {rate} exceeds γ");
-        assert!(rate >= 0.2 - 0.01, "binding constraint should be tight, got {rate}");
+        assert!(
+            rate >= 0.2 - 0.01,
+            "binding constraint should be tight, got {rate}"
+        );
     }
 
     #[test]
@@ -353,7 +356,10 @@ mod tests {
         assert!(!outcome.is_empty());
         assert!((outcome.expected_available() - 1.8).abs() < 1e-12);
         assert!(outcome.contains(ChannelId(0)));
-        assert_eq!(outcome.channel_ids(), vec![ChannelId(0), ChannelId(1), ChannelId(2)]);
+        assert_eq!(
+            outcome.channel_ids(),
+            vec![ChannelId(0), ChannelId(1), ChannelId(2)]
+        );
     }
 
     #[test]
@@ -390,7 +396,11 @@ mod tests {
         assert!(policy.decide(0.85));
         assert!(policy.decide(0.8)); // boundary: 1 − 0.8 = γ exactly
         assert!(!policy.decide(0.79));
-        assert_eq!(policy.expected_collision(0.5), 0.0, "blocked channel cannot collide");
+        assert_eq!(
+            policy.expected_collision(0.5),
+            0.0,
+            "blocked channel cannot collide"
+        );
         assert!((policy.expected_collision(0.9) - 0.1).abs() < 1e-12);
         assert!(ThresholdPolicy::new(1.5).is_err());
     }

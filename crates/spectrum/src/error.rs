@@ -37,7 +37,10 @@ impl fmt::Display for SpectrumError {
                 write!(f, "parameter `{name}` must be positive, got {value}")
             }
             SpectrumError::DegenerateChain => {
-                write!(f, "markov chain with p01 = p10 = 0 has no unique stationary distribution")
+                write!(
+                    f,
+                    "markov chain with p01 = p10 = 0 has no unique stationary distribution"
+                )
             }
         }
     }

@@ -137,8 +137,16 @@ mod tests {
             state = next;
         }
         let estimate = counts.mle().unwrap();
-        assert!((estimate.p01() - 0.4).abs() < 0.01, "p01 {}", estimate.p01());
-        assert!((estimate.p10() - 0.3).abs() < 0.01, "p10 {}", estimate.p10());
+        assert!(
+            (estimate.p01() - 0.4).abs() < 0.01,
+            "p01 {}",
+            estimate.p01()
+        );
+        assert!(
+            (estimate.p10() - 0.3).abs() < 0.01,
+            "p10 {}",
+            estimate.p10()
+        );
         assert!((estimate.utilization() - truth.utilization()).abs() < 0.01);
     }
 
@@ -195,7 +203,13 @@ mod tests {
 
         fn to_states(bits: &[bool]) -> Vec<ChannelState> {
             bits.iter()
-                .map(|b| if *b { ChannelState::Busy } else { ChannelState::Idle })
+                .map(|b| {
+                    if *b {
+                        ChannelState::Busy
+                    } else {
+                        ChannelState::Idle
+                    }
+                })
                 .collect()
         }
 

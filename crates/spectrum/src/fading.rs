@@ -258,8 +258,7 @@ impl NakagamiBlockFading {
             10f64.powf(z * self.shadowing_sigma_db / 10.0)
         };
         let conditional_mean = self.mean_sinr * shadow;
-        let pf =
-            fcr_stats::special::gamma_p(self.m, self.m * self.threshold / conditional_mean);
+        let pf = fcr_stats::special::gamma_p(self.m, self.m * self.threshold / conditional_mean);
         LinkQuality::new(pf.clamp(0.0, 1.0)).expect("gamma CDF is a probability")
     }
 }
@@ -468,7 +467,11 @@ mod tests {
         let mut rng = SeedSequence::new(5).stream("fading", 4);
         let s: Summary = (0..100_000).map(|_| standard_normal(&mut rng)).collect();
         assert!(s.mean().abs() < 0.02, "mean {}", s.mean());
-        assert!((s.sample_std_dev() - 1.0).abs() < 0.02, "sd {}", s.sample_std_dev());
+        assert!(
+            (s.sample_std_dev() - 1.0).abs() < 0.02,
+            "sd {}",
+            s.sample_std_dev()
+        );
     }
 
     #[test]
@@ -515,8 +518,9 @@ mod tests {
     #[test]
     fn block_fading_link_enum_dispatches() {
         let ray: BlockFadingLink = RayleighBlockFading::new(15.0, 3.0, 0.0).unwrap().into();
-        let nak: BlockFadingLink =
-            NakagamiBlockFading::new(3.0, 15.0, 3.0, 0.0).unwrap().into();
+        let nak: BlockFadingLink = NakagamiBlockFading::new(3.0, 15.0, 3.0, 0.0)
+            .unwrap()
+            .into();
         assert_eq!(ray.mean_sinr(), 15.0);
         assert_eq!(nak.mean_sinr(), 15.0);
         assert!(nak.marginal_loss_probability() < ray.marginal_loss_probability());

@@ -96,10 +96,7 @@ impl AvailabilityPosterior {
     /// # Errors
     ///
     /// Returns an error if `eta` is not a probability.
-    pub fn batch(
-        eta: f64,
-        results: &[(SensorProfile, Observation)],
-    ) -> Result<f64, SpectrumError> {
+    pub fn batch(eta: f64, results: &[(SensorProfile, Observation)]) -> Result<f64, SpectrumError> {
         let mut p = Self::new(eta)?;
         for (sensor, obs) in results {
             p.update(sensor, *obs);
@@ -306,7 +303,11 @@ mod tests {
             let mut posterior = AvailabilityPosterior::new(eta).unwrap();
             for _ in 0..3 {
                 let obs = if idle {
-                    if rng.random_bool(0.3) { Observation::Busy } else { Observation::Idle }
+                    if rng.random_bool(0.3) {
+                        Observation::Busy
+                    } else {
+                        Observation::Idle
+                    }
                 } else if rng.random_bool(0.3) {
                     Observation::Idle
                 } else {

@@ -55,7 +55,9 @@ mod error;
 pub use access::{AccessConfig, AccessOutcome, AccessPolicy, ThresholdPolicy};
 pub use error::SpectrumError;
 pub use estimation::TransitionCounts;
-pub use fading::{BlockFadingLink, LinkQuality, NakagamiBlockFading, PathLoss, RayleighBlockFading};
+pub use fading::{
+    BlockFadingLink, LinkQuality, NakagamiBlockFading, PathLoss, RayleighBlockFading,
+};
 pub use fusion::AvailabilityPosterior;
 pub use markov::{ChannelState, TwoStateMarkov};
 pub use primary::{ChannelId, PrimaryNetwork};

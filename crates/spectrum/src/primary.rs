@@ -71,7 +71,10 @@ impl PrimaryNetwork {
     ///
     /// Panics if `chains` is empty.
     pub fn heterogeneous<R: Rng + ?Sized>(chains: Vec<TwoStateMarkov>, rng: &mut R) -> Self {
-        assert!(!chains.is_empty(), "primary network needs at least one channel");
+        assert!(
+            !chains.is_empty(),
+            "primary network needs at least one channel"
+        );
         let states = chains.iter().map(|c| c.sample_stationary(rng)).collect();
         Self {
             chains,

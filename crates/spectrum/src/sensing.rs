@@ -201,10 +201,10 @@ mod tests {
     #[test]
     fn likelihoods_sum_to_one_per_hypothesis() {
         let s = SensorProfile::new(0.3, 0.2).unwrap();
-        let sum_busy = s.likelihood_given_busy(Observation::Idle)
-            + s.likelihood_given_busy(Observation::Busy);
-        let sum_idle = s.likelihood_given_idle(Observation::Idle)
-            + s.likelihood_given_idle(Observation::Busy);
+        let sum_busy =
+            s.likelihood_given_busy(Observation::Idle) + s.likelihood_given_busy(Observation::Busy);
+        let sum_idle =
+            s.likelihood_given_idle(Observation::Idle) + s.likelihood_given_idle(Observation::Busy);
         assert!((sum_busy - 1.0).abs() < 1e-12);
         assert!((sum_idle - 1.0).abs() < 1e-12);
     }

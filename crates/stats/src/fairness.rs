@@ -34,7 +34,10 @@ pub fn jain_index(values: &[f64]) -> Option<f64> {
     let mut sum = 0.0;
     let mut sum_sq = 0.0;
     for &v in values {
-        assert!(v >= 0.0 && !v.is_nan(), "fairness values must be nonnegative, got {v}");
+        assert!(
+            v >= 0.0 && !v.is_nan(),
+            "fairness values must be nonnegative, got {v}"
+        );
         sum += v;
         sum_sq += v * v;
     }

@@ -30,8 +30,8 @@ pub mod descriptive;
 pub mod fairness;
 pub mod histogram;
 pub mod rng;
-pub mod special;
 pub mod series;
+pub mod special;
 
 pub use ci::ConfidenceInterval;
 pub use descriptive::Summary;

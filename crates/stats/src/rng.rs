@@ -99,7 +99,10 @@ mod tests {
         let mut seen = HashSet::new();
         for label in ["a", "b", "c", "fading", "sensing"] {
             for idx in 0..100 {
-                assert!(seen.insert(s.derive(label, idx)), "collision at {label}/{idx}");
+                assert!(
+                    seen.insert(s.derive(label, idx)),
+                    "collision at {label}/{idx}"
+                );
             }
         }
     }

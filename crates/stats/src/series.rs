@@ -132,7 +132,13 @@ impl fmt::Display for Series {
         writeln!(f, "# {}", self.name)?;
         for p in &self.points {
             let ci = p.ci95();
-            writeln!(f, "{:>10.4}  {:>10.4} ± {:.4}", p.x, p.mean(), ci.half_width())?;
+            writeln!(
+                f,
+                "{:>10.4}  {:>10.4} ± {:.4}",
+                p.x,
+                p.mean(),
+                ci.half_width()
+            )?;
         }
         Ok(())
     }
@@ -154,11 +160,7 @@ pub fn render_table(x_label: &str, series: &[Series]) -> String {
         for s in series {
             let p = &s.points[i];
             let ci = p.ci95();
-            out.push_str(&format!(
-                "  {:>15.3} ± {:>6.3}",
-                p.mean(),
-                ci.half_width()
-            ));
+            out.push_str(&format!("  {:>15.3} ± {:>6.3}", p.mean(), ci.half_width()));
         }
         out.push('\n');
     }

@@ -27,7 +27,10 @@ impl fmt::Display for VideoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VideoError::Negative { name, value } => {
-                write!(f, "parameter `{name}` must be nonnegative and finite, got {value}")
+                write!(
+                    f,
+                    "parameter `{name}` must be nonnegative and finite, got {value}"
+                )
             }
             VideoError::NonPositive { name, value } => {
                 write!(f, "parameter `{name}` must be positive, got {value}")

@@ -364,7 +364,11 @@ mod tests {
         let mut q = TransmissionQueue::new();
         assert!(q.attempt(true).is_none());
         assert!(q.attempt(false).is_none());
-        assert_eq!(q.stats().retransmissions, 0, "no retransmission counted on empty queue");
+        assert_eq!(
+            q.stats().retransmissions,
+            0,
+            "no retransmission counted on empty queue"
+        );
         assert!(q.head().is_none());
         assert!(q.is_empty());
     }

@@ -154,7 +154,10 @@ impl Mbps {
     ///
     /// Panics if `factor` is negative or NaN.
     pub fn scale(&self, factor: f64) -> Mbps {
-        assert!(factor >= 0.0 && !factor.is_nan(), "invalid scale factor {factor}");
+        assert!(
+            factor >= 0.0 && !factor.is_nan(),
+            "invalid scale factor {factor}"
+        );
         Mbps(self.0 * factor)
     }
 }

@@ -224,9 +224,12 @@ mod tests {
             }
             // The gap stays in the ~0.7–1.5 dB range the SVC literature
             // reports over the paper's operating rates.
-            let gap_mid = mgs.psnr(Mbps::new(0.3).unwrap()).db()
-                - fgs.psnr(Mbps::new(0.3).unwrap()).db();
-            assert!((0.5..=2.5).contains(&gap_mid), "{s}: mid-rate gap {gap_mid}");
+            let gap_mid =
+                mgs.psnr(Mbps::new(0.3).unwrap()).db() - fgs.psnr(Mbps::new(0.3).unwrap()).db();
+            assert!(
+                (0.5..=2.5).contains(&gap_mid),
+                "{s}: mid-rate gap {gap_mid}"
+            );
             assert!(s.max_psnr_for(Scalability::Fgs) < s.max_psnr_for(Scalability::Mgs));
         }
         // Default flavour is MGS.
@@ -241,7 +244,10 @@ mod tests {
         for s in Sequence::ALL {
             let cap = s.max_psnr();
             assert!(cap > s.model().alpha(), "{s}: ceiling above base layer");
-            assert!(cap.db() < 48.0, "{s}: ceiling within the paper's axis range");
+            assert!(
+                cap.db() < 48.0,
+                "{s}: ceiling within the paper's axis range"
+            );
             assert!(s.full_rate().value() > 0.0);
         }
         // The ceiling is exactly the model evaluated at the full rate.

@@ -80,7 +80,10 @@ impl VideoSession {
     ///
     /// Panics if `rho` is outside `[0, 1]` (a time share).
     pub fn mbs_increment(&self, rho: f64, b0: Mbps) -> Psnr {
-        assert!((0.0..=1.0).contains(&rho), "time share must be in [0,1], got {rho}");
+        assert!(
+            (0.0..=1.0).contains(&rho),
+            "time share must be in [0,1], got {rho}"
+        );
         Psnr::new(
             self.model
                 .slot_increment(b0, self.clock.config().deadline_slots())
@@ -98,8 +101,14 @@ impl VideoSession {
     ///
     /// Panics if `rho` is outside `[0, 1]` or `g` is negative.
     pub fn fbs_increment(&self, rho: f64, g: f64, b1: Mbps) -> Psnr {
-        assert!((0.0..=1.0).contains(&rho), "time share must be in [0,1], got {rho}");
-        assert!(g >= 0.0, "expected channel count must be nonnegative, got {g}");
+        assert!(
+            (0.0..=1.0).contains(&rho),
+            "time share must be in [0,1], got {rho}"
+        );
+        assert!(
+            g >= 0.0,
+            "expected channel count must be nonnegative, got {g}"
+        );
         Psnr::new(
             self.model
                 .slot_increment(b1, self.clock.config().deadline_slots())
@@ -177,7 +186,10 @@ mod tests {
         // R1 = 0.72; ρ=0.25, G=3 → 0.54.
         let inc = s.fbs_increment(0.25, 3.0, Mbps::new(0.3).unwrap());
         assert!((inc.db() - 0.54).abs() < 1e-12);
-        assert_eq!(s.fbs_increment(0.5, 0.0, Mbps::new(0.3).unwrap()), Psnr::ZERO);
+        assert_eq!(
+            s.fbs_increment(0.5, 0.0, Mbps::new(0.3).unwrap()),
+            Psnr::ZERO
+        );
     }
 
     #[test]
@@ -215,7 +227,11 @@ mod tests {
             assert!(s.end_slot().is_none());
         }
         let finished = s.end_slot().unwrap();
-        assert_eq!(finished, s.model().alpha(), "all-loss GOP decodes base layer only");
+        assert_eq!(
+            finished,
+            s.model().alpha(),
+            "all-loss GOP decodes base layer only"
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ fn main() {
     }
 
     let fitted = counts.mle().expect("both states observed");
-    println!("Monitoring: {} transitions observed across 8 channels", counts.transitions());
+    println!(
+        "Monitoring: {} transitions observed across 8 channels",
+        counts.transitions()
+    );
     println!(
         "truth:  P01 = {:.4}  P10 = {:.4}  η = {:.4}",
         truth.p01(),

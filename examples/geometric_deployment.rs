@@ -35,12 +35,8 @@ fn main() {
     );
 
     // Link budget: 33 dBm macro vs. 10 dBm femto, log-distance loss.
-    let scenario = Scenario::from_topology(
-        &topology,
-        &Sequence::ALL,
-        &RadioParams::default(),
-        &cfg,
-    );
+    let scenario =
+        Scenario::from_topology(&topology, &Sequence::ALL, &RadioParams::default(), &cfg);
     println!();
     println!("user   fbs    MBS SINR (dB)   FBS SINR (dB)   sequence");
     for (j, u) in scenario.users.iter().enumerate() {

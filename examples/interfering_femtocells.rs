@@ -36,15 +36,8 @@ fn main() {
         .users
         .iter()
         .map(|u| {
-            UserState::new(
-                u.sequence.model().alpha().db(),
-                u.fbs,
-                0.72,
-                0.72,
-                0.6,
-                0.9,
-            )
-            .expect("valid user")
+            UserState::new(u.sequence.model().alpha().db(), u.fbs, 0.72, 0.72, 0.6, 0.9)
+                .expect("valid user")
         })
         .collect();
     let slot = InterferingProblem::new(users, scenario.graph.clone(), vec![0.9, 0.8, 0.75, 0.7])

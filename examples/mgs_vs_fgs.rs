@@ -46,9 +46,7 @@ fn main() {
             .sum::<f64>()
             / runs as f64;
         let packet = (0..runs)
-            .map(|r| {
-                run_packet_level(&scenario, &cfg, Scheme::Proposed, &seeds, r).mean_psnr()
-            })
+            .map(|r| run_packet_level(&scenario, &cfg, Scheme::Proposed, &seeds, r).mean_psnr())
             .sum::<f64>()
             / runs as f64;
         rows.push((scalability, fluid, packet));

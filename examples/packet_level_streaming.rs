@@ -23,8 +23,7 @@ fn main() {
 
     // A fading FBS link: per-slot loss probability from Rayleigh +
     // shadowing.
-    let link = fcr::spectrum::fading::RayleighBlockFading::new(12.0, 3.0, 3.0)
-        .expect("valid link");
+    let link = fcr::spectrum::fading::RayleighBlockFading::new(12.0, 3.0, 3.0).expect("valid link");
     let mut rng = SeedSequence::new(5).stream("packets", 0);
 
     let mut queue = TransmissionQueue::new();

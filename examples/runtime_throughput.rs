@@ -1,0 +1,90 @@
+//! Saturate the shared simulation pool and print a live metrics
+//! snapshot: how many slot simulations per second the process-wide
+//! [`fcr::runtime`] worker pool sustains on this machine.
+//!
+//! ```text
+//! cargo run --release --example runtime_throughput -- --jobs 64 --gops 4
+//! ```
+//!
+//! Every job is a full [`SimJob`] (one simulation run of the paper's
+//! baseline single-FBS scenario); the batch is large enough to keep
+//! every worker busy, and the snapshot printed at the end shows the
+//! pool-level counters (submitted/completed/failed/stolen), the
+//! wall-time histogram, and the domain counters (`slots_simulated`,
+//! `solver_invocations`).
+
+use fcr::prelude::*;
+use fcr::sim::pool::{self, SLOTS_COUNTER};
+use fcr::sim::report::runtime_metrics_table;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn parse_args() -> (u64, u32) {
+    let mut jobs = 64u64;
+    let mut gops = 4u32;
+    fn grab<T: std::str::FromStr>(name: &str, value: Option<String>) -> T {
+        value
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{name} needs a positive integer"))
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--jobs" => jobs = grab("--jobs", args.next()),
+            "--gops" => gops = grab("--gops", args.next()),
+            other => panic!("unknown flag {other}; use --jobs N --gops N"),
+        }
+    }
+    assert!(jobs > 0 && gops > 0, "--jobs and --gops must be positive");
+    (jobs, gops)
+}
+
+fn main() {
+    let (jobs, gops) = parse_args();
+    let config = SimConfig {
+        gops,
+        ..SimConfig::default()
+    };
+    let scenario = Arc::new(Scenario::single_fbs(&config));
+    let schemes = Scheme::PAPER_TRIO;
+
+    // One batch of `jobs` runs, round-robin over the paper's three
+    // schemes so the mix resembles a real figure reproduction.
+    let batch: Vec<SimJob> = (0..jobs)
+        .map(|i| SimJob {
+            scenario: Arc::clone(&scenario),
+            config,
+            scheme: schemes[(i % schemes.len() as u64) as usize],
+            master_seed: 2011,
+            run_index: i / schemes.len() as u64,
+        })
+        .collect();
+
+    let workers = pool::shared().workers();
+    println!(
+        "submitting {jobs} simulation runs ({gops} GOPs each, {} slots/run) to {workers} workers...",
+        config.total_slots(),
+    );
+    let started = Instant::now();
+    let outcomes = pool::execute_all(batch);
+    let elapsed = started.elapsed();
+
+    let ok = outcomes.iter().filter(|o| o.is_ok()).count();
+    let failed = outcomes.len() - ok;
+    let slots = jobs * config.total_slots();
+    println!(
+        "done in {:.2?}: {ok} ok, {failed} failed, {:.0} slots/sec, {:.1} runs/sec",
+        elapsed,
+        slots as f64 / elapsed.as_secs_f64(),
+        jobs as f64 / elapsed.as_secs_f64(),
+    );
+    println!();
+
+    let snapshot = pool::snapshot();
+    print!("{}", runtime_metrics_table(&snapshot));
+    assert_eq!(
+        snapshot.counter(SLOTS_COUNTER),
+        Some(slots),
+        "every simulated slot is accounted for"
+    );
+}

@@ -24,7 +24,10 @@ fn main() {
         0,
     );
 
-    println!("One GOP ({} slots), single FBS, three streams:", cfg.deadline);
+    println!(
+        "One GOP ({} slots), single FBS, three streams:",
+        cfg.deadline
+    );
     println!();
     for r in trace.records() {
         let truth: String = r

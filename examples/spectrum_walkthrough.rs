@@ -32,8 +32,7 @@ fn main() {
     println!();
     println!("ch   truth   observations      fused P^A");
     for (id, truth) in primary.iter() {
-        let mut posterior =
-            AvailabilityPosterior::new(chain.utilization()).expect("valid prior");
+        let mut posterior = AvailabilityPosterior::new(chain.utilization()).expect("valid prior");
         let mut symbols = String::new();
         for _ in 0..3 {
             let obs = sensor.observe(truth, &mut rng);
@@ -56,9 +55,16 @@ fn main() {
     println!();
     println!(
         "Available set A(t) = {:?}",
-        outcome.channel_ids().iter().map(|c| c.0).collect::<Vec<_>>()
+        outcome
+            .channel_ids()
+            .iter()
+            .map(|c| c.0)
+            .collect::<Vec<_>>()
     );
-    println!("Expected available channels G_t = {:.4}", outcome.expected_available());
+    println!(
+        "Expected available channels G_t = {:.4}",
+        outcome.expected_available()
+    );
     for &p in &posteriors {
         assert!(policy.expected_collision(p) <= 0.2 + 1e-12);
     }

@@ -18,6 +18,7 @@
 //! | [`video`] | MGS rate–PSNR model, sequences, GOPs, NAL packets, sessions |
 //! | [`net`] | topology, association, interference graphs |
 //! | [`core`] | the allocation algorithms and bounds (the paper's contribution) |
+//! | [`runtime`] | the sharded worker-pool scheduling runtime with live metrics |
 //! | [`sim`] | the slot-level simulator and experiment runner |
 //!
 //! # Quick start
@@ -45,6 +46,7 @@
 
 pub use fcr_core as core;
 pub use fcr_net as net;
+pub use fcr_runtime as runtime;
 pub use fcr_sim as sim;
 pub use fcr_spectrum as spectrum;
 pub use fcr_stats as stats;
@@ -60,8 +62,10 @@ pub mod prelude {
     pub use fcr_core::waterfill::WaterfillingSolver;
     pub use fcr_net::interference::InterferenceGraph;
     pub use fcr_net::node::{FbsId, UserId};
+    pub use fcr_runtime::{JobError, JobOutcome, MetricsSnapshot, Runtime, RuntimeConfig};
     pub use fcr_sim::config::SimConfig;
     pub use fcr_sim::metrics::RunResult;
+    pub use fcr_sim::pool::SimJob;
     pub use fcr_sim::runner::Experiment;
     pub use fcr_sim::scenario::Scenario;
     pub use fcr_sim::scheme::Scheme;

@@ -56,12 +56,7 @@ fn theorem2_and_eq23_hold_on_thirty_random_instances() {
             "trial {trial}: exhaustive below greedy"
         );
         assert!(
-            bounds::satisfies_theorem2(
-                greedy.gain(),
-                opt.gain(),
-                p.graph().max_degree(),
-                1e-5
-            ),
+            bounds::satisfies_theorem2(greedy.gain(), opt.gain(), p.graph().max_degree(), 1e-5),
             "trial {trial}: Theorem 2 violated (greedy {}, opt {}, D_max {})",
             greedy.gain(),
             opt.gain(),
@@ -95,12 +90,8 @@ fn greedy_is_exactly_optimal_when_interference_vanishes() {
                 .expect("valid state")
             })
             .collect();
-        let p = InterferingProblem::new(
-            users,
-            InterferenceGraph::edgeless(2),
-            vec![0.9, 0.7],
-        )
-        .expect("valid instance");
+        let p = InterferingProblem::new(users, InterferenceGraph::edgeless(2), vec![0.9, 0.7])
+            .expect("valid instance");
         let greedy = GreedyAllocator::new().allocate(&p);
         let opt = ExhaustiveAllocator::new().allocate(&p);
         assert!(
@@ -144,8 +135,7 @@ fn degree_zero_steps_contribute_tightly_to_eq23() {
         UserState::new(30.0, FbsId(0), 0.7, 0.7, 0.5, 0.9).unwrap(),
         UserState::new(28.0, FbsId(1), 0.7, 0.7, 0.5, 0.9).unwrap(),
     ];
-    let p = InterferingProblem::new(users, InterferenceGraph::edgeless(2), vec![0.8, 0.6])
-        .unwrap();
+    let p = InterferingProblem::new(users, InterferenceGraph::edgeless(2), vec![0.8, 0.6]).unwrap();
     let outcome = GreedyAllocator::new().allocate(&p);
     assert!((outcome.upper_bound_gain() - outcome.gain()).abs() < 1e-9);
 }

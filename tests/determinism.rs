@@ -28,7 +28,9 @@ fn runs_are_independent_of_execution_order() {
     let scenario = Scenario::single_fbs(&cfg);
     let seeds = SeedSequence::new(55);
     let solo = run_once(&scenario, &cfg, Scheme::Proposed, &seeds, 2);
-    let batch = Experiment::new(scenario, cfg, 55).runs(4).run_scheme(Scheme::Proposed);
+    let batch = Experiment::new(scenario, cfg, 55)
+        .runs(4)
+        .run_scheme(Scheme::Proposed);
     assert_eq!(solo, batch[2]);
 }
 
@@ -48,7 +50,10 @@ fn scheme_under_test_does_not_perturb_the_environment() {
         let a = run_once(&scenario, &cfg, Scheme::Proposed, &seeds, run);
         let b = run_once(&scenario, &cfg, Scheme::Heuristic2, &seeds, run);
         assert_eq!(a.collision_rate, b.collision_rate, "run {run}");
-        assert_eq!(a.mean_expected_available, b.mean_expected_available, "run {run}");
+        assert_eq!(
+            a.mean_expected_available, b.mean_expected_available,
+            "run {run}"
+        );
     }
 }
 
@@ -62,6 +67,65 @@ fn different_master_seeds_give_different_sample_paths() {
     let a = run_once(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(1), 0);
     let b = run_once(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(2), 0);
     assert_ne!(a, b);
+}
+
+#[test]
+fn pooled_execution_matches_serial_run_once_for_all_schemes() {
+    // The worker pool must be invisible in the numbers: for every
+    // scheme, Experiment::run_scheme (pooled) is bit-identical to a
+    // serial run_once loop with the same seed derivation, regardless
+    // of worker count or scheduling.
+    let cfg = SimConfig {
+        gops: 3,
+        ..SimConfig::default()
+    };
+    let scenario = Scenario::single_fbs(&cfg);
+    let experiment = Experiment::new(scenario.clone(), cfg, 2011).runs(4);
+    let seeds = SeedSequence::new(2011);
+    for scheme in Scheme::WITH_BOUND {
+        let pooled = experiment.run_scheme(scheme);
+        let serial: Vec<RunResult> = (0..4)
+            .map(|run| run_once(&scenario, &cfg, scheme, &seeds, run))
+            .collect();
+        assert_eq!(pooled, serial, "{} diverged under the pool", scheme.name());
+    }
+}
+
+#[test]
+fn pooled_sweep_matches_serial_computation() {
+    // The single-batch sweep (all point × scheme × run jobs submitted
+    // at once) must reproduce the fully serial nested-loop numbers.
+    let base = SimConfig {
+        gops: 2,
+        ..SimConfig::default()
+    };
+    let points: Vec<(f64, SimConfig, Scenario)> = [4usize, 8]
+        .iter()
+        .map(|m| {
+            let cfg = SimConfig {
+                num_channels: *m,
+                ..base
+            };
+            (*m as f64, cfg, Scenario::single_fbs(&cfg))
+        })
+        .collect();
+    let schemes = [Scheme::Proposed, Scheme::Heuristic1];
+    let runs = 3u64;
+    let master_seed = 9090u64;
+    let swept = fcr::sim::runner::sweep(&points, &schemes, runs, master_seed);
+
+    for (i, scheme) in schemes.iter().enumerate() {
+        assert_eq!(swept[i].name(), scheme.name());
+        for (j, (x, cfg, scenario)) in points.iter().enumerate() {
+            let seeds = SeedSequence::new(master_seed);
+            let serial: Vec<f64> = (0..runs)
+                .map(|run| run_once(scenario, cfg, *scheme, &seeds, run).mean_psnr())
+                .collect();
+            let point = swept[i].iter().nth(j).expect("one point per x");
+            assert_eq!(point.x, *x);
+            assert_eq!(point.samples, serial, "{} at x={x}", scheme.name());
+        }
+    }
 }
 
 #[test]

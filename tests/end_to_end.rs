@@ -131,7 +131,13 @@ fn upper_bound_scheme_dominates_proposed_in_interfering_scenario() {
 fn eq23_bound_dominates_greedy_objective_every_slot_on_average() {
     let cfg = cfg(6);
     let scenario = Scenario::interfering_fig5(&cfg);
-    let r = run_once(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(600), 0);
+    let r = run_once(
+        &scenario,
+        &cfg,
+        Scheme::Proposed,
+        &SeedSequence::new(600),
+        0,
+    );
     let q = r.mean_greedy_objective.expect("recorded");
     let ub = r.mean_eq23_bound.expect("recorded");
     assert!(ub >= q, "eq.(23) bound {ub} below greedy objective {q}");
@@ -144,8 +150,7 @@ fn experiment_summaries_match_manual_aggregation() {
     let experiment = Experiment::new(scenario.clone(), cfg, 700).runs(4);
     let runs = experiment.run_scheme(Scheme::Proposed);
     let summary = experiment.summarize(Scheme::Proposed);
-    let manual_mean =
-        runs.iter().map(RunResult::mean_psnr).sum::<f64>() / runs.len() as f64;
+    let manual_mean = runs.iter().map(RunResult::mean_psnr).sum::<f64>() / runs.len() as f64;
     assert!((summary.overall.mean() - manual_mean).abs() < 1e-9);
 }
 

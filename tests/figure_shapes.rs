@@ -100,10 +100,7 @@ fn fig6a_bound_sits_just_above_proposed_in_the_interfering_case() {
     let (ub, proposed) = (&series[0], &series[1]);
     for i in 0..ub.len() {
         let gap = ub.means()[i] - proposed.means()[i];
-        assert!(
-            gap >= -0.15,
-            "bound below proposed at point {i}: gap {gap}"
-        );
+        assert!(gap >= -0.15, "bound below proposed at point {i}: gap {gap}");
         assert!(
             gap < 2.0,
             "bound implausibly loose at point {i}: gap {gap} dB (paper: ~0.4 dB)"
@@ -111,8 +108,14 @@ fn fig6a_bound_sits_just_above_proposed_in_the_interfering_case() {
     }
     // Proposed beats both heuristics at every point.
     for i in 0..proposed.len() {
-        assert!(proposed.means()[i] >= series[2].means()[i] - 0.1, "vs H1 at {i}");
-        assert!(proposed.means()[i] >= series[3].means()[i] - 0.1, "vs H2 at {i}");
+        assert!(
+            proposed.means()[i] >= series[2].means()[i] - 0.1,
+            "vs H1 at {i}"
+        );
+        assert!(
+            proposed.means()[i] >= series[3].means()[i] - 0.1,
+            "vs H2 at {i}"
+        );
     }
 }
 
@@ -132,7 +135,10 @@ fn fig6b_quality_moves_only_mildly_across_the_sensing_roc() {
     // "The dynamic range of video quality is not big for the range of
     // sensing errors simulated" — both error types are folded into the
     // posterior.
-    assert!(spread < 2.5, "sensing sweep spread {spread} dB too large: {means:?}");
+    assert!(
+        spread < 2.5,
+        "sensing sweep spread {spread} dB too large: {means:?}"
+    );
 }
 
 #[test]

@@ -43,7 +43,10 @@ fn claim_theorem1_mode_binariness() {
     .unwrap();
     for alloc in [
         WaterfillingSolver::new().solve(&p),
-        DualSolver::new(DualConfig::default()).solve(&p).allocation().clone(),
+        DualSolver::new(DualConfig::default())
+            .solve(&p)
+            .allocation()
+            .clone(),
     ] {
         for u in alloc.users() {
             assert!(u.rho_mbs == 0.0 || u.rho_fbs == 0.0);
@@ -109,7 +112,10 @@ fn claim_per_slot_decomposition_is_lossless() {
         rho_grid: vec![0.0, 0.5, 1.0],
     };
     let gap = decomposition_gap(&inst);
-    assert!(gap.abs() <= 1e-6 * dp_value(&inst).abs().max(1.0), "gap {gap}");
+    assert!(
+        gap.abs() <= 1e-6 * dp_value(&inst).abs().max(1.0),
+        "gap {gap}"
+    );
 }
 
 /// Eq. (6): primary users are protected — empirically, on the Fig. 1

@@ -1,0 +1,115 @@
+//! Integration tests for the process-wide simulation pool: panic
+//! containment on the *shared* runtime, end-to-end metrics accounting,
+//! and the pool's invisibility to experiment results.
+
+use fcr::prelude::*;
+use fcr::sim::pool::{self, SimJob, SLOTS_COUNTER, SOLVER_COUNTER};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn quick_config() -> SimConfig {
+    SimConfig {
+        gops: 2,
+        ..SimConfig::default()
+    }
+}
+
+/// These tests assert on deltas of *process-global* pool counters, so
+/// they must not interleave their batches. (The pool itself is fine
+/// with concurrent batches — see `sweep` — but the arithmetic here is
+/// not.)
+fn exclusive() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[test]
+fn injected_panic_is_contained_and_the_shared_pool_survives() {
+    let _gate = exclusive();
+    let runtime = pool::shared();
+    let failed_before = runtime.snapshot().jobs_failed;
+
+    // A batch with a poison pill in the middle: the bad job must fail
+    // alone, in its submission slot, without taking down the pool.
+    let outcomes = runtime.run_batch((0..5u64).map(|i| {
+        move || {
+            assert!(i != 2, "injected failure on job 2");
+            i * 10
+        }
+    }));
+    assert_eq!(outcomes.len(), 5);
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if i == 2 {
+            let err = outcome.as_ref().expect_err("job 2 panicked");
+            assert!(
+                err.to_string().contains("injected failure on job 2"),
+                "panic message preserved: {err}"
+            );
+        } else {
+            assert_eq!(outcome.as_ref().copied(), Ok(i as u64 * 10), "job {i}");
+        }
+    }
+    assert_eq!(runtime.snapshot().jobs_failed, failed_before + 1);
+
+    // The same pool still runs real experiments afterwards: no
+    // poisoning, no lost workers.
+    let cfg = quick_config();
+    let results = Experiment::new(Scenario::single_fbs(&cfg), cfg, 31)
+        .runs(3)
+        .run_scheme(Scheme::Proposed);
+    assert_eq!(results.len(), 3);
+    assert!(results.iter().all(|r| r.mean_psnr() > 20.0));
+}
+
+#[test]
+fn shared_pool_accounts_every_simulated_slot() {
+    let _gate = exclusive();
+    let cfg = quick_config();
+    let scenario = Arc::new(Scenario::single_fbs(&cfg));
+    let before = pool::snapshot();
+    let jobs: Vec<SimJob> = (0..4)
+        .map(|run_index| SimJob {
+            scenario: Arc::clone(&scenario),
+            config: cfg,
+            scheme: Scheme::Heuristic1,
+            master_seed: 17,
+            run_index,
+        })
+        .collect();
+    let outcomes = pool::execute_all(jobs);
+    assert!(outcomes.iter().all(Result::is_ok));
+    let after = pool::snapshot();
+
+    let slots = 4 * cfg.total_slots();
+    assert_eq!(
+        after.counter(SLOTS_COUNTER).unwrap_or(0) - before.counter(SLOTS_COUNTER).unwrap_or(0),
+        slots
+    );
+    assert_eq!(
+        after.counter(SOLVER_COUNTER).unwrap_or(0) - before.counter(SOLVER_COUNTER).unwrap_or(0),
+        slots
+    );
+    assert!(after.jobs_completed >= before.jobs_completed + 4);
+    assert!(after.job_wall_time.count >= before.job_wall_time.count + 4);
+    assert!(after.workers >= 1);
+}
+
+#[test]
+fn snapshot_exposes_the_advertised_counter_set() {
+    let _gate = exclusive();
+    // The acceptance bar: at least five counters/histograms visible in
+    // one mid-flight snapshot, renderable as a table.
+    let cfg = quick_config();
+    let _ = Experiment::new(Scenario::single_fbs(&cfg), cfg, 5)
+        .runs(2)
+        .run_scheme(Scheme::UpperBound);
+    let snap = pool::snapshot();
+    assert!(snap.jobs_submitted >= 2);
+    assert!(snap.jobs_completed >= 2);
+    assert_eq!(snap.queue_depth, 0, "drained batch leaves no queue");
+    assert_eq!(snap.jobs_in_flight, 0, "drained batch leaves no stragglers");
+    assert!(snap.job_wall_time.count >= 2);
+    assert!(snap.counter(SLOTS_COUNTER).unwrap_or(0) >= 2 * cfg.total_slots());
+    let table = fcr::sim::report::runtime_metrics_table(&snap);
+    assert!(table.contains("jobs completed"));
+    assert!(table.contains(SLOTS_COUNTER));
+}

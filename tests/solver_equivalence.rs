@@ -42,8 +42,14 @@ fn dual_and_waterfilling_agree_on_random_instances() {
             (dv - wv).abs() < 1e-3 * wv.abs().max(1.0),
             "trial {trial}: dual {dv} vs waterfill {wv}\nproblem: {p:?}"
         );
-        assert!(p.is_feasible(d.allocation(), 1e-6), "trial {trial}: dual infeasible");
-        assert!(p.is_feasible(&w, 1e-6), "trial {trial}: waterfill infeasible");
+        assert!(
+            p.is_feasible(d.allocation(), 1e-6),
+            "trial {trial}: dual infeasible"
+        );
+        assert!(
+            p.is_feasible(&w, 1e-6),
+            "trial {trial}: waterfill infeasible"
+        );
     }
 }
 
@@ -60,8 +66,16 @@ fn waterfilling_beats_dense_grid_on_two_user_instances() {
                 for b in 0..=grid {
                     let r = [a as f64 / grid as f64, b as f64 / grid as f64];
                     let modes = [
-                        if mode_bits & 1 == 0 { Mode::Mbs } else { Mode::Fbs },
-                        if mode_bits & 2 == 0 { Mode::Mbs } else { Mode::Fbs },
+                        if mode_bits & 1 == 0 {
+                            Mode::Mbs
+                        } else {
+                            Mode::Fbs
+                        },
+                        if mode_bits & 2 == 0 {
+                            Mode::Mbs
+                        } else {
+                            Mode::Fbs
+                        },
                     ];
                     let mbs_load: f64 = (0..2)
                         .filter(|j| modes[*j] == Mode::Mbs)

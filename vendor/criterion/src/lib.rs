@@ -1,0 +1,182 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Runs each benchmark closure for a short, adaptive number of
+//! iterations and prints the mean wall-clock time per iteration. No
+//! statistical analysis, baselines, or plots — just enough for
+//! `cargo bench` to run offline and produce grep-able numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Target measurement budget per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.default_sample_size(), f);
+        self
+    }
+
+    fn default_sample_size(&self) -> usize {
+        10
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples to collect.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `self.name/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(name: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration pass: find out how long one closure invocation takes.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    // Scale the real pass so samples * iters fits the budget.
+    let budget_per_sample = MEASURE_BUDGET / samples.max(1) as u32;
+    let iters = (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    let mut total_iters = 0u64;
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean = bencher.elapsed / iters.max(1) as u32;
+        best = best.min(mean);
+        total += bencher.elapsed;
+        total_iters += bencher.iters;
+    }
+    let mean = if total_iters > 0 {
+        total / total_iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "bench {name:<48} mean {:>12.3?}/iter  best {:>12.3?}/iter  ({samples} samples x {iters} iters)",
+        mean, best
+    );
+}
+
+/// Passed to every benchmark closure; measures the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Prevents the optimizer from discarding a value (re-export of
+/// `std::hint::black_box` for API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench` (and possibly filters);
+            // the stand-in runs everything and ignores the arguments.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        c.bench_function("direct", |b| b.iter(|| black_box(21u64 * 2)));
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Provides the subset of the proptest API this workspace uses:
+//!
+//! * the [`macro@proptest`] macro (with `#![proptest_config(..)]`
+//!   support) expanding each property into a `#[test]`;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`];
+//! * the [`strategy::Strategy`] trait with `prop_map`, implemented for
+//!   numeric ranges, tuples, [`collection::vec`], [`bool::ANY`], and
+//!   [`strategy::Just`];
+//! * [`test_runner::ProptestConfig`] and a deterministic
+//!   [`test_runner::TestRunner`].
+//!
+//! Differences from the real crate: cases are drawn from a fixed
+//! deterministic seed (override with the `PROPTEST_SEED` environment
+//! variable), and failing inputs are reported but **not shrunk**.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod collection;
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Strategy yielding `true` / `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.random::<bool>()
+        }
+    }
+}
+
+pub mod test_runner;
+
+/// The glob-importable API surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a property holds for the current case (stand-in: plain
+/// `assert!`, which fails the whole test on the first violation).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality assertion for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Inequality assertion for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        // Bind first so negation applies to a plain bool; negating the
+        // comparison expression directly would trip
+        // clippy::neg_cmp_op_on_partial_ord in callers comparing
+        // floats.
+        let holds: bool = $cond;
+        if !holds {
+            return;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { .. }`
+/// item expands to a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`macro@proptest`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( cfg = ($cfg:expr);
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($cfg);
+                runner.run(( $( $strat, )+ ), |( $( $arg, )+ )| $body);
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0.0..10.0f64, k in 1usize..5) {
+            prop_assert!((0.0..10.0).contains(&x));
+            prop_assert!((1..5).contains(&k));
+        }
+
+        #[test]
+        fn assume_skips_cases(x in -5.0..5.0f64) {
+            prop_assume!(x >= 0.0);
+            prop_assert!(x >= 0.0);
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in crate::collection::vec(0u32..100, 2..6),
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 100));
+            let _ = flag;
+        }
+
+        #[test]
+        fn prop_map_transforms(doubled in (0u32..50).prop_map(|x| x * 2)) {
+            prop_assert!(doubled % 2 == 0);
+            prop_assert!(doubled < 100);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut a = Vec::new();
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10));
+        runner.run((0u64..1000,), |(x,)| a.push(x));
+        let mut b = Vec::new();
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10));
+        runner.run((0u64..1000,), |(x,)| b.push(x));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+    }
+}

@@ -1,0 +1,76 @@
+//! Case generation and execution.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The random generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic property-test executor (no shrinking).
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner seeded from `PROPTEST_SEED` (or a fixed
+    /// default), so failures reproduce across invocations.
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5eed_cafe_f00d_d00d);
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs `test` on `config.cases` sampled inputs, reporting the
+    /// failing input (unshrunk) on panic.
+    pub fn run<S, F>(&mut self, strategy: S, mut test: F)
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: FnMut(S::Value),
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.sample(&mut self.rng);
+            let rendered = format!("{value:?}");
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                test(value);
+            }));
+            if let Err(payload) = outcome {
+                eprintln!(
+                    "proptest stand-in: case {}/{} failed for input {} (no shrinking)",
+                    case + 1,
+                    self.config.cases,
+                    rendered
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
