@@ -173,6 +173,7 @@ impl DualSolver {
     /// FBSs, run [`crate::greedy`] first to fix the channel allocation,
     /// then this solver — Section IV-C.)
     pub fn solve(&self, problem: &SlotProblem) -> DualSolution {
+        let _span = fcr_telemetry::Span::enter(fcr_telemetry::Phase::Solver);
         let n_prices = problem.num_fbss() + 1;
         let mut lambda = vec![self.config.initial_lambda; n_prices];
         let mut trace = Vec::new();
@@ -182,6 +183,7 @@ impl DualSolver {
 
         let mut iterations = 0;
         let mut converged = false;
+        let mut residual = f64::INFINITY;
         let mut modes = vec![Mode::Mbs; problem.num_users()];
 
         for tau in 0..self.config.max_iterations {
@@ -209,10 +211,23 @@ impl DualSolver {
                 trace.push(lambda.clone());
             }
             // Step 11.
+            residual = delta_sq;
             if delta_sq <= self.config.tolerance {
                 converged = true;
                 break;
             }
+        }
+
+        // Convergence telemetry (Tables I/II): how hard the subgradient
+        // loop worked, the step-11 residual it stopped at, and the
+        // final prices. No-op unless telemetry is enabled.
+        if fcr_telemetry::is_enabled() {
+            fcr_telemetry::record_solve(fcr_telemetry::SolveRecord {
+                iterations,
+                converged,
+                residual,
+                lambda: lambda.clone(),
+            });
         }
 
         // Final primal recovery: exact fill at the converged modes, then

@@ -114,6 +114,7 @@ impl GreedyAllocator {
 
     /// Runs the greedy algorithm on `problem`.
     pub fn allocate(&self, problem: &InterferingProblem) -> GreedyOutcome {
+        let _span = fcr_telemetry::Span::enter(fcr_telemetry::Phase::GreedyAlloc);
         let n = problem.num_fbss();
         let m = problem.num_channels();
         let q_empty = problem.q_empty(&self.solver);
@@ -162,6 +163,22 @@ impl GreedyAllocator {
         let final_problem = problem.problem_for(&assignment);
         let allocation = self.solver.solve(&final_problem);
         let q_value = final_problem.objective(&allocation);
+        // Eq.-(23) bookkeeping: the per-step gap terms D(l)·Δ_l make
+        // the per-run optimality bound observable. No-op when
+        // telemetry is disabled.
+        if fcr_telemetry::is_enabled() {
+            fcr_telemetry::record_greedy(fcr_telemetry::GreedyRecord {
+                steps: steps.len(),
+                gain: steps.iter().map(|s| s.delta).sum(),
+                upper_bound_gain: bounds::per_run_upper_bound(
+                    &steps
+                        .iter()
+                        .map(|s| (s.delta, s.degree))
+                        .collect::<Vec<_>>(),
+                ),
+                gap_terms: steps.iter().map(|s| s.degree as f64 * s.delta).collect(),
+            });
+        }
         GreedyOutcome {
             assignment,
             steps,

@@ -247,6 +247,10 @@ impl InterferingProblem {
     /// `Q(c)`: the optimal objective of problem (17) under `assignment`,
     /// computed with the fast water-filling solver.
     pub fn q_value(&self, assignment: &ChannelAssignment, solver: &WaterfillingSolver) -> f64 {
+        // Each Q(c) evaluation is one inner time-share solve — the
+        // O(N²M²) term of Table III. The counter makes the actual
+        // inner-solve volume observable per run.
+        fcr_telemetry::incr("greedy.inner_solves", 1);
         let problem = self.problem_for(assignment);
         let alloc = solver.solve(&problem);
         problem.objective(&alloc)

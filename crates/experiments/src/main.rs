@@ -7,6 +7,13 @@
 //! appends a live snapshot of the shared simulation worker pool
 //! (jobs, queue, wall-time histogram, slots simulated) to stderr so
 //! archived stdout stays byte-comparable across machines.
+//!
+//! `--telemetry[=PATH]` turns on `fcr-telemetry` span tracing and
+//! solver-convergence capture for the whole run. Without a path the
+//! phase-timing / convergence tables print to stderr; with a path the
+//! full snapshot (plus per-worker pool utilization) is written to
+//! `PATH` as JSONL. Telemetry never changes results — simulations are
+//! bit-identical with it on or off.
 
 use fcr_experiments::{
     ablation, fig3, fig4a, fig4b, fig4c, fig6a, fig6b, fig6c, packet, scale, ExperimentOpts,
@@ -16,12 +23,15 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(which) = args.first() else {
-        eprintln!("usage: experiments <fig3|fig4a|fig4b|fig4c|fig6a|fig6b|fig6c|ablation|scale|packet|all> [--runs N] [--gops N] [--seed N] [--csv] [--pool-stats]");
+        eprintln!("usage: experiments <fig3|fig4a|fig4b|fig4c|fig6a|fig6b|fig6c|ablation|scale|packet|all> [--runs N] [--gops N] [--seed N] [--csv] [--pool-stats] [--telemetry[=PATH]]");
         return ExitCode::FAILURE;
     };
 
     let mut opts = ExperimentOpts::default();
     let mut pool_stats = false;
+    // None: telemetry off; Some(None): tables to stderr;
+    // Some(Some(path)): JSONL to path.
+    let mut telemetry: Option<Option<String>> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -53,6 +63,19 @@ fn main() -> ExitCode {
                 pool_stats = true;
                 i += 1;
             }
+            "--telemetry" => {
+                telemetry = Some(None);
+                i += 1;
+            }
+            flag if flag.starts_with("--telemetry=") => {
+                let path = &flag["--telemetry=".len()..];
+                if path.is_empty() {
+                    eprintln!("--telemetry= needs a path (or use bare --telemetry)");
+                    return ExitCode::FAILURE;
+                }
+                telemetry = Some(Some(path.to_string()));
+                i += 1;
+            }
             "--seed" => {
                 opts.seed = args
                     .get(i + 1)
@@ -68,6 +91,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if telemetry.is_some() {
+        fcr_telemetry::enable();
     }
 
     match which.as_str() {
@@ -106,6 +133,26 @@ fn main() -> ExitCode {
             "{}",
             fcr_sim::report::runtime_metrics_table(&fcr_sim::pool::snapshot())
         );
+    }
+    match telemetry {
+        Some(Some(path)) => {
+            let jsonl = fcr_telemetry::to_jsonl(
+                &fcr_telemetry::global().snapshot(),
+                Some(&fcr_sim::pool::snapshot()),
+            );
+            if let Err(e) = std::fs::write(&path, jsonl) {
+                eprintln!("failed to write telemetry to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("telemetry written to {path}");
+        }
+        Some(None) => {
+            eprint!(
+                "{}",
+                fcr_sim::report::telemetry_table(&fcr_telemetry::global().snapshot())
+            );
+        }
+        None => {}
     }
     ExitCode::SUCCESS
 }

@@ -57,6 +57,19 @@ impl AtomicHistogram {
         self.max_micros.fetch_max(micros, Ordering::Relaxed);
     }
 
+    /// Clears the histogram back to empty. Relaxed stores: concurrent
+    /// recorders may interleave, which is acceptable between telemetry
+    /// windows.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_micros.store(0, Ordering::Relaxed);
+        self.min_micros.store(u64::MAX, Ordering::Relaxed);
+        self.max_micros.store(0, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the histogram. Taken with relaxed loads:
     /// individual fields may be skewed by in-flight recordings, which
     /// is acceptable for live telemetry.
@@ -147,6 +160,24 @@ mod tests {
         assert_eq!(s.min_micros, None);
         assert_eq!(s.mean_micros(), 0.0);
         assert_eq!(s.occupied_buckets().count(), 0);
+    }
+
+    #[test]
+    fn reset_returns_histogram_to_empty() {
+        let h = AtomicHistogram::new();
+        h.record(Duration::from_micros(7));
+        h.record(Duration::from_micros(900));
+        assert_eq!(h.snapshot().count, 2);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum_micros, 0);
+        assert_eq!(s.min_micros, None);
+        assert_eq!(s.max_micros, 0);
+        assert_eq!(s.occupied_buckets().count(), 0);
+        // Still usable after reset.
+        h.record(Duration::from_micros(3));
+        assert_eq!(h.snapshot().count, 1);
     }
 
     #[test]

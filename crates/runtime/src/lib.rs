@@ -33,6 +33,11 @@
 //!   depth, in-flight gauge, wall-time histogram, plus named domain
 //!   counters such as `slots_simulated`) snapshot-able mid-flight via
 //!   [`Runtime::snapshot`].
+//! * **Per-worker utilization** — each worker's busy time, executed
+//!   job count, and steal count are tracked individually and exposed
+//!   as [`WorkerSnapshot`] rows (`busy_ns / lifetime_ns` = the
+//!   worker's utilization), feeding `fcr-telemetry`'s JSONL export
+//!   and the simulator's runtime report.
 //!
 //! # Determinism
 //!
@@ -72,5 +77,5 @@ pub(crate) mod queue;
 
 pub use histogram::HistogramSnapshot;
 pub use job::{JobError, JobHandle, JobOutcome};
-pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, WorkerSnapshot};
 pub use pool::{RejectedJob, Runtime, RuntimeConfig};

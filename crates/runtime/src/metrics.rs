@@ -10,11 +10,23 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Live per-worker counters: how much wall time worker `i` spent
+/// executing jobs, how many jobs it ran, and how many of those it
+/// stole from a sibling's shard.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerStats {
+    busy_ns: AtomicU64,
+    jobs_executed: AtomicU64,
+    steals: AtomicU64,
+}
+
 /// Live counters for one [`crate::Runtime`].
 #[derive(Debug)]
 pub struct MetricsRegistry {
     started_at: Instant,
     workers: usize,
+    /// Per-worker execution accounting, indexed by worker.
+    worker_stats: Vec<WorkerStats>,
     /// Jobs accepted into a shard queue.
     pub(crate) jobs_submitted: AtomicU64,
     /// Jobs that ran to completion.
@@ -40,6 +52,7 @@ impl MetricsRegistry {
         MetricsRegistry {
             started_at: Instant::now(),
             workers,
+            worker_stats: (0..workers).map(|_| WorkerStats::default()).collect(),
             jobs_submitted: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
@@ -74,6 +87,27 @@ impl MetricsRegistry {
         self.job_wall_time.record(wall);
     }
 
+    /// Attributes one executed job and its wall time to worker
+    /// `index`. (Jobs absorbed inline by a caller via
+    /// [`crate::RejectedJob::run_inline`] run on no worker and are
+    /// deliberately not attributed here.)
+    pub(crate) fn record_worker_job(&self, index: usize, busy: Duration) {
+        if let Some(w) = self.worker_stats.get(index) {
+            let ns = u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX);
+            w.busy_ns.fetch_add(ns, Ordering::Relaxed);
+            w.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Attributes one successful steal to the **stealing** worker
+    /// `index` (the pool-wide `jobs_stolen` counter is kept
+    /// separately by the queue path).
+    pub(crate) fn record_worker_steal(&self, index: usize) {
+        if let Some(w) = self.worker_stats.get(index) {
+            w.steals.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time copy of every counter. Safe to call while the
     /// pool is running; relaxed loads may be mutually skewed by a few
     /// in-flight jobs.
@@ -85,9 +119,23 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
             .collect();
+        let uptime = self.started_at.elapsed();
+        let lifetime_ns = u64::try_from(uptime.as_nanos()).unwrap_or(u64::MAX);
+        let per_worker = self
+            .worker_stats
+            .iter()
+            .enumerate()
+            .map(|(index, w)| WorkerSnapshot {
+                index,
+                busy_ns: w.busy_ns.load(Ordering::Relaxed),
+                lifetime_ns,
+                jobs_executed: w.jobs_executed.load(Ordering::Relaxed),
+                steals: w.steals.load(Ordering::Relaxed),
+            })
+            .collect();
         MetricsSnapshot {
             workers: self.workers,
-            uptime: self.started_at.elapsed(),
+            uptime,
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
@@ -96,7 +144,41 @@ impl MetricsRegistry {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             jobs_in_flight: self.jobs_in_flight.load(Ordering::Relaxed),
             job_wall_time: self.job_wall_time.snapshot(),
+            per_worker,
             counters: named,
+        }
+    }
+}
+
+/// A point-in-time copy of one worker's execution accounting.
+///
+/// `busy_ns / lifetime_ns` is the worker's utilization: the fraction of
+/// its lifetime so far spent executing jobs (as opposed to parked or
+/// scanning for work). `lifetime_ns` is the pool's uptime at snapshot
+/// time — workers are spawned with the pool and live until shutdown,
+/// so one shared lifetime is exact up to thread-spawn jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// The worker's index (also its home shard).
+    pub index: usize,
+    /// Wall time this worker spent executing jobs (ns).
+    pub busy_ns: u64,
+    /// The worker's lifetime at snapshot time (ns).
+    pub lifetime_ns: u64,
+    /// Jobs this worker executed (own shard + stolen).
+    pub jobs_executed: u64,
+    /// Of those, jobs stolen from a sibling's shard.
+    pub steals: u64,
+}
+
+impl WorkerSnapshot {
+    /// Fraction of this worker's lifetime spent executing jobs
+    /// (0 when the lifetime is zero).
+    pub fn utilization(&self) -> f64 {
+        if self.lifetime_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.lifetime_ns as f64
         }
     }
 }
@@ -124,6 +206,8 @@ pub struct MetricsSnapshot {
     pub jobs_in_flight: u64,
     /// Wall-clock time per executed job.
     pub job_wall_time: HistogramSnapshot,
+    /// Per-worker execution accounting, indexed by worker.
+    pub per_worker: Vec<WorkerSnapshot>,
     /// Named domain counters (e.g. `slots_simulated`,
     /// `solver_invocations`), sorted by name.
     pub counters: Vec<(String, u64)>,
@@ -165,6 +249,49 @@ mod tests {
         assert_eq!(snap.counter("slots_simulated"), Some(15));
         assert_eq!(snap.counter("missing"), None);
         assert_eq!(snap.workers, 4);
+    }
+
+    #[test]
+    fn worker_attribution_lands_on_the_right_worker() {
+        let m = MetricsRegistry::new(2);
+        m.record_worker_job(0, Duration::from_micros(40));
+        m.record_worker_job(0, Duration::from_micros(60));
+        m.record_worker_job(1, Duration::from_micros(10));
+        m.record_worker_steal(1);
+        // Out-of-range indices are ignored, not panicking.
+        m.record_worker_job(7, Duration::from_micros(1));
+        m.record_worker_steal(7);
+        let snap = m.snapshot();
+        assert_eq!(snap.per_worker.len(), 2);
+        let w0 = snap.per_worker[0];
+        let w1 = snap.per_worker[1];
+        assert_eq!((w0.index, w0.jobs_executed, w0.steals), (0, 2, 0));
+        assert_eq!(w0.busy_ns, 100_000);
+        assert_eq!((w1.index, w1.jobs_executed, w1.steals), (1, 1, 1));
+        assert_eq!(w1.busy_ns, 10_000);
+        for w in &snap.per_worker {
+            assert_eq!(w.lifetime_ns, snap.per_worker[0].lifetime_ns);
+            assert!(w.lifetime_ns > 0);
+            // Synthetic busy times can exceed the registry's (tiny)
+            // uptime here, so only check sanity, not the ≤ 1 bound —
+            // the pool test covers the real invariant.
+            assert!(
+                w.utilization() >= 0.0 && w.utilization().is_finite(),
+                "{w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_lifetime_utilization_is_zero() {
+        let w = WorkerSnapshot {
+            index: 0,
+            busy_ns: 5,
+            lifetime_ns: 0,
+            jobs_executed: 1,
+            steals: 0,
+        };
+        assert_eq!(w.utilization(), 0.0);
     }
 
     #[test]

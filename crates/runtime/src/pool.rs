@@ -78,6 +78,7 @@ impl Shared {
             let victim = (worker + offset) % n;
             if let Some(task) = self.shards[victim].steal() {
                 self.metrics.jobs_stolen.fetch_add(1, Ordering::Relaxed);
+                self.metrics.record_worker_steal(worker);
                 self.note_dequeued();
                 return Some(task);
             }
@@ -91,8 +92,11 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         if let Some(task) = shared.take_task(index) {
             // The task wrapper contains its own catch_unwind and
             // in-flight accounting; it never unwinds into the worker
-            // loop.
+            // loop. Busy time is attributed to this worker for the
+            // utilization metrics.
+            let start = Instant::now();
             task();
+            shared.metrics.record_worker_job(index, start.elapsed());
             continue;
         }
         let mut st = shared.state.lock().expect("pool state poisoned");
@@ -550,6 +554,38 @@ mod tests {
         let snap = rt.snapshot();
         assert_eq!(snap.jobs_completed + snap.jobs_failed, 200);
         assert_eq!(snap.jobs_submitted, 200);
+    }
+
+    #[test]
+    fn per_worker_accounting_covers_every_executed_job() {
+        let mut rt = small(3, 4);
+        let outcomes = rt.run_batch((0..60u64).map(|i| {
+            move || {
+                std::thread::sleep(Duration::from_micros(50));
+                i
+            }
+        }));
+        assert!(outcomes.iter().all(Result::is_ok));
+        // Joining the workers first makes the attribution exact: the
+        // per-worker record lands after the job fulfils its handle, so
+        // a snapshot racing the last job could otherwise under-count.
+        rt.shutdown();
+        let snap = rt.snapshot();
+        assert_eq!(snap.per_worker.len(), 3);
+        let executed: u64 = snap.per_worker.iter().map(|w| w.jobs_executed).sum();
+        assert_eq!(executed, 60, "{:?}", snap.per_worker);
+        let stolen: u64 = snap.per_worker.iter().map(|w| w.steals).sum();
+        assert_eq!(stolen, snap.jobs_stolen);
+        for w in &snap.per_worker {
+            assert!(w.lifetime_ns > 0);
+            assert!(w.steals <= w.jobs_executed);
+            let u = w.utilization();
+            assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+        }
+        assert!(
+            snap.per_worker.iter().any(|w| w.busy_ns > 0),
+            "sleeping jobs must register busy time"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use fcr_core::allocation::Mode;
 use fcr_core::problem::{SlotProblem, UserState};
 use fcr_net::node::FbsId;
 use fcr_spectrum::access::AccessOutcome;
-use fcr_spectrum::fusion::AvailabilityPosterior;
+use fcr_spectrum::fusion::fuse_channel;
 use fcr_spectrum::primary::{ChannelId, PrimaryNetwork};
 use fcr_spectrum::sensing::SensorProfile;
 use fcr_stats::rng::SeedSequence;
@@ -183,7 +183,8 @@ fn run_impl(
             greedy_slots += 1;
         }
 
-        // --- Transmission realization. ---
+        // --- Transmission realization + PSNR crediting. ---
+        let video_span = fcr_telemetry::Span::enter(fcr_telemetry::Phase::VideoCredit);
         let realized_g = realized_channels(scenario, &outcome, &decision.assignment, &primary);
         let mut delivered_db = vec![0.0; user_states.len()];
         for (j, user) in user_states.iter().enumerate() {
@@ -213,6 +214,7 @@ fn run_impl(
         for session in &mut sessions {
             completed_gop_db.push(session.end_slot().map(|p| p.db()));
         }
+        drop(video_span);
 
         if let Some(trace) = trace.as_deref_mut() {
             let slot_collisions = outcome
@@ -220,6 +222,26 @@ fn run_impl(
                 .iter()
                 .filter(|(id, _)| primary.state(*id).is_busy())
                 .count();
+            // Traced mode only: run the dual-decomposition solver
+            // (Tables I/II) on this slot's problem so the per-slot
+            // convergence behaviour is observable. The solver is
+            // deterministic and consumes no RNG, so the simulation
+            // results are bit-identical with or without tracing.
+            let dual_problem = match &decision.assignment {
+                Some(assignment) => fcr_core::interfering::InterferingProblem::new(
+                    user_states.clone(),
+                    scenario.graph.clone(),
+                    weights.clone(),
+                )
+                .expect("engine-built states are valid")
+                .problem_for(assignment),
+                None => SlotProblem::new(
+                    user_states.clone(),
+                    vec![outcome.expected_available(); scenario.num_fbss()],
+                )
+                .expect("engine-built states are valid"),
+            };
+            let dual = fcr_core::dual::DualSolver::default().solve(&dual_problem);
             trace.push(crate::trace::SlotRecord {
                 slot,
                 true_idle: primary.states().iter().map(|s| s.is_idle()).collect(),
@@ -231,6 +253,8 @@ fn run_impl(
                 realized_g,
                 delivered_db,
                 completed_gop_db,
+                dual_iterations: dual.iterations(),
+                dual_converged: dual.converged(),
             });
         }
     }
@@ -363,25 +387,17 @@ fn sense_all_channels(
     let mut first_obs = Vec::with_capacity(m);
     for (ch, prior) in busy_priors.iter().copied().enumerate() {
         let truth = primary.state(ChannelId(ch));
-        let mut posterior = AvailabilityPosterior::new(prior).expect("prior is a probability");
-        let mut first = None;
-        for _ in 0..scenario.num_fbss() {
-            let obs = sensor.observe(truth, rng);
-            posterior.update(sensor, obs);
-            if first.is_none() {
-                let mut p = AvailabilityPosterior::new(prior).expect("prior is a probability");
-                p.update(sensor, obs);
-                first = Some(p.probability());
-            }
-        }
-        for target in user_targets {
-            if *target == ch {
-                let obs = sensor.observe(truth, rng);
-                posterior.update(sensor, obs);
-            }
-        }
-        posteriors.push(posterior.probability());
-        first_obs.push(first.unwrap_or(1.0 - prior));
+        // Sensing phase: the FBS observations first, then one per user
+        // targeting this channel — the exact RNG draw order of the
+        // original interleaved observe-and-update loop, so sample
+        // paths are unchanged. `observe_many` times the draws under a
+        // `Phase::Sensing` telemetry span.
+        let user_obs = user_targets.iter().filter(|t| **t == ch).count();
+        let observations = sensor.observe_many(truth, scenario.num_fbss() + user_obs, rng);
+        // Fusion phase (eqs. (2)–(4)), timed under `Phase::Fusion`.
+        let fused = fuse_channel(prior, sensor, &observations).expect("prior is a probability");
+        posteriors.push(fused.posterior);
+        first_obs.push(fused.first_observation.unwrap_or(1.0 - prior));
     }
     (posteriors, first_obs)
 }

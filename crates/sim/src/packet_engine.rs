@@ -22,7 +22,7 @@ use fcr_core::allocation::Mode;
 use fcr_core::problem::UserState;
 use fcr_net::node::FbsId;
 use fcr_spectrum::access::AccessOutcome;
-use fcr_spectrum::fusion::AvailabilityPosterior;
+use fcr_spectrum::fusion::fuse_channel;
 use fcr_spectrum::primary::{ChannelId, PrimaryNetwork};
 use fcr_stats::rng::SeedSequence;
 use fcr_video::packet::{Packetizer, TransmissionQueue};
@@ -144,20 +144,20 @@ pub fn run_packet_level(
 
         primary.step(&mut primary_rng);
 
-        // Sensing + fusion (same structure as the fluid engine).
+        // Sensing + fusion (same structure as the fluid engine). The
+        // observation count per channel — every FBS plus the users whose
+        // round-robin sensing target is this channel — matches the old
+        // inline loop draw for draw, so results are bit-identical.
         let mut posteriors = Vec::with_capacity(cfg.num_channels);
         for ch in 0..cfg.num_channels {
             let truth = primary.state(ChannelId(ch));
-            let mut posterior = AvailabilityPosterior::new(eta).expect("valid prior");
-            for _ in 0..scenario.num_fbss() {
-                posterior.update(&sensor, sensor.observe(truth, &mut sensing_rng));
-            }
-            for j in 0..scenario.num_users() {
-                if (j as u64 + slot) % cfg.num_channels as u64 == ch as u64 {
-                    posterior.update(&sensor, sensor.observe(truth, &mut sensing_rng));
-                }
-            }
-            posteriors.push(posterior.probability());
+            let user_obs = (0..scenario.num_users())
+                .filter(|j| (*j as u64 + slot) % cfg.num_channels as u64 == ch as u64)
+                .count();
+            let observations =
+                sensor.observe_many(truth, scenario.num_fbss() + user_obs, &mut sensing_rng);
+            let fused = fuse_channel(eta, &sensor, &observations).expect("valid prior");
+            posteriors.push(fused.posterior);
         }
         let outcome = AccessOutcome::decide_all(policy, &posteriors, None, &mut access_rng);
 
@@ -224,6 +224,9 @@ pub fn run_packet_level(
         }
 
         // Transmission: spend each user's bit budget on queued units.
+        // Unit delivery and GOP scoring are the packet engine's
+        // "video credit" phase.
+        let video_span = fcr_telemetry::Span::enter(fcr_telemetry::Phase::VideoCredit);
         for (j, u) in scenario.users.iter().enumerate() {
             let a = decision.allocation.user(j);
             if a.rho() <= 0.0 {
@@ -267,6 +270,7 @@ pub fn run_packet_level(
                 queues[j].expire(slot + 1);
             }
         }
+        drop(video_span);
     }
 
     let per_user_psnr = completed

@@ -6,6 +6,7 @@
 use crate::metrics::SchemeSummary;
 use crate::scheme::Scheme;
 use fcr_runtime::MetricsSnapshot;
+use fcr_telemetry::TelemetrySnapshot;
 use std::fmt::Write as _;
 
 /// Renders a per-user comparison table (rows = users + mean + Jain,
@@ -131,6 +132,95 @@ pub fn runtime_metrics_table(snapshot: &MetricsSnapshot) -> String {
             let _ = writeln!(out, "    < {upper:>8}us {count:>10}");
         }
     }
+    if !snapshot.per_worker.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>8} {:>12} {:>8} {:>10}",
+            "worker", "jobs", "busy (ms)", "steals", "util"
+        );
+        for w in &snapshot.per_worker {
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>8} {:>12.2} {:>8} {:>9.1}%",
+                w.index,
+                w.jobs_executed,
+                w.busy_ns as f64 / 1e6,
+                w.steals,
+                100.0 * w.utilization(),
+            );
+        }
+    }
+    out
+}
+
+/// Renders a telemetry snapshot as human-readable tables: per-phase
+/// span timings, the dual-solver convergence summary, the eq.-(23)
+/// greedy optimality bookkeeping, and named counters.
+pub fn telemetry_table(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>12} {:>12} {:>12}",
+        "phase", "spans", "total (ms)", "mean (us)", "max (us)"
+    );
+    for (phase, stats) in &snapshot.phases {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>12.2} {:>12.1} {:>12.1}",
+            phase.name(),
+            stats.count,
+            stats.total_ns as f64 / 1e6,
+            stats.mean_ns() / 1e3,
+            stats.max_ns as f64 / 1e3,
+        );
+    }
+    if !snapshot.solves.is_empty() {
+        let max_iter = snapshot
+            .solves
+            .iter()
+            .map(|s| s.iterations)
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "dual solver: {} solves, {:.1} mean iterations, max {}, {:.1}% converged{}",
+            snapshot.solves.len(),
+            snapshot.mean_iterations().unwrap_or(0.0),
+            max_iter,
+            100.0 * snapshot.convergence_rate().unwrap_or(0.0),
+            if snapshot.dropped_solves > 0 {
+                format!(" ({} dropped)", snapshot.dropped_solves)
+            } else {
+                String::new()
+            },
+        );
+    }
+    if !snapshot.greedy.is_empty() {
+        let n = snapshot.greedy.len() as f64;
+        let mean_ratio: f64 = snapshot
+            .greedy
+            .iter()
+            .map(fcr_telemetry::GreedyRecord::optimality_ratio)
+            .sum::<f64>()
+            / n;
+        let mean_gap: f64 = snapshot
+            .greedy
+            .iter()
+            .map(fcr_telemetry::GreedyRecord::gap)
+            .sum::<f64>()
+            / n;
+        let _ = writeln!(
+            out,
+            "greedy (Table III): {} runs, mean eq.(23) gap {:.3} dB, \
+             mean guaranteed ratio {:.3}",
+            snapshot.greedy.len(),
+            mean_gap,
+            mean_ratio,
+        );
+    }
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "  {name:<24} {value:>12}");
+    }
     out
 }
 
@@ -235,6 +325,54 @@ mod tests {
         assert!(
             out.lines().count() >= 13,
             "counter rows + histogram rows:\n{out}"
+        );
+        // Per-worker utilization rows (one header + one per worker).
+        assert!(
+            out.contains("worker"),
+            "per-worker section rendered:\n{out}"
+        );
+        assert!(out.contains("util"), "utilization column rendered:\n{out}");
+    }
+
+    #[test]
+    fn telemetry_table_renders_all_sections() {
+        use fcr_telemetry::{GreedyRecord, Phase, SolveRecord, TelemetrySink};
+        use std::time::Duration;
+
+        let sink = TelemetrySink::new();
+        sink.record_span(Phase::Sensing, Duration::from_micros(40));
+        sink.record_span(Phase::Solver, Duration::from_micros(120));
+        sink.record_solve(SolveRecord {
+            iterations: 200,
+            converged: true,
+            residual: 1e-14,
+            lambda: vec![0.0, 0.1],
+        });
+        sink.record_greedy(GreedyRecord {
+            steps: 2,
+            gain: 1.5,
+            upper_bound_gain: 2.0,
+            gap_terms: vec![0.3, 0.2],
+        });
+        sink.incr("greedy.inner_solves", 12);
+        let out = telemetry_table(&sink.snapshot());
+        for needle in [
+            "phase",
+            "sensing",
+            "fusion",
+            "access",
+            "solver",
+            "greedy_alloc",
+            "video_credit",
+            "dual solver: 1 solves",
+            "greedy (Table III): 1 runs",
+            "greedy.inner_solves",
+        ] {
+            assert!(out.contains(needle), "{needle} rendered:\n{out}");
+        }
+        assert!(
+            out.contains("100.0% converged"),
+            "convergence rate rendered:\n{out}"
         );
     }
 }

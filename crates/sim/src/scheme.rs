@@ -93,6 +93,10 @@ pub fn decide_slot(
     channel_weights: &[f64],
     g_shared: f64,
 ) -> SlotDecision {
+    // The whole per-slot decision is the pipeline's "solver" phase;
+    // Table III's greedy allocation (when it runs) opens its own
+    // nested `GreedyAlloc` span inside this one.
+    let _span = fcr_telemetry::Span::enter(fcr_telemetry::Phase::Solver);
     let n = graph.num_vertices();
     let interfering = graph.max_degree() > 0 && !channel_weights.is_empty();
 

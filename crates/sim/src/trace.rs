@@ -30,6 +30,14 @@ pub struct SlotRecord {
     /// Per-user GOP quality recorded at this slot's deadline, if the
     /// slot closed a GOP.
     pub completed_gop_db: Vec<Option<f64>>,
+    /// Subgradient iterations the dual-decomposition solver
+    /// (Tables I/II) needed on this slot's problem (traced runs solve
+    /// it alongside the production path; the solver is deterministic,
+    /// so this costs time but never perturbs results).
+    pub dual_iterations: usize,
+    /// Whether that solve met the step-11 stopping criterion before
+    /// the iteration cap.
+    pub dual_converged: bool,
 }
 
 /// A whole run's slot records.
@@ -71,11 +79,14 @@ impl SimTrace {
 
     /// Total quality delivered to one user across the trace (dB).
     ///
-    /// # Panics
-    ///
-    /// Panics if `user` is out of range for any record.
-    pub fn total_delivered(&self, user: usize) -> f64 {
-        self.records.iter().map(|r| r.delivered_db[user]).sum()
+    /// Returns `None` when `user` is out of range for any record (the
+    /// crate-wide convention: indexing mistakes surface as values, not
+    /// panics). An empty trace delivers `Some(0.0)`.
+    pub fn total_delivered(&self, user: usize) -> Option<f64> {
+        self.records
+            .iter()
+            .map(|r| r.delivered_db.get(user).copied())
+            .sum()
     }
 
     /// Mean `G_t` across the trace; 0.0 when empty.
@@ -115,6 +126,8 @@ mod tests {
             realized_g: vec![1.0],
             delivered_db: vec![delivered],
             completed_gop_db: vec![gop],
+            dual_iterations: 3,
+            dual_converged: true,
         }
     }
 
@@ -127,7 +140,8 @@ mod tests {
         trace.push(record(2, 0.0, None));
         assert_eq!(trace.len(), 3);
         assert_eq!(trace.total_collisions(), 2);
-        assert!((trace.total_delivered(0) - 1.2).abs() < 1e-12);
+        assert!((trace.total_delivered(0).unwrap() - 1.2).abs() < 1e-12);
+        assert_eq!(trace.total_delivered(5), None, "out-of-range user");
         assert!((trace.mean_expected_available() - 0.8).abs() < 1e-12);
         assert_eq!(trace.gop_history(0), vec![34.0]);
         assert_eq!(trace.records()[1].slot, 1);
@@ -138,6 +152,7 @@ mod tests {
         let trace = SimTrace::new();
         assert_eq!(trace.mean_expected_available(), 0.0);
         assert_eq!(trace.total_collisions(), 0);
+        assert_eq!(trace.total_delivered(0), Some(0.0));
         assert!(trace.gop_history(0).is_empty());
     }
 }

@@ -189,6 +189,7 @@ impl AccessOutcome {
         first_obs_posteriors: Option<&[f64]>,
         rng: &mut R,
     ) -> Self {
+        let _span = fcr_telemetry::Span::enter(fcr_telemetry::Phase::Access);
         if let Some(first) = first_obs_posteriors {
             assert_eq!(
                 first.len(),
@@ -218,6 +219,7 @@ impl AccessOutcome {
         posteriors: &[f64],
         first_obs_posteriors: Option<&[f64]>,
     ) -> Self {
+        let _span = fcr_telemetry::Span::enter(fcr_telemetry::Phase::Access);
         if let Some(first) = first_obs_posteriors {
             assert_eq!(
                 first.len(),

@@ -136,6 +136,56 @@ impl AvailabilityPosterior {
     }
 }
 
+/// Result of fusing one channel's observations in a slot: the fully
+/// fused availability posterior and (when at least one observation was
+/// fused) the single-observation posterior `P^A_m(Θ^m_1)` the
+/// paper-literal `G_t` mode weights by.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedChannel {
+    /// `P^A_m(Θ⃗)`: the availability posterior after fusing every
+    /// observation.
+    pub posterior: f64,
+    /// `P^A_m(Θ^m_1)`: the posterior after the *first* observation
+    /// only; `None` when no observations were provided.
+    pub first_observation: Option<f64>,
+}
+
+/// Fuses one slot's observations of a single channel (all from sensors
+/// sharing `sensor`'s error profile) under one
+/// [`fcr_telemetry::Phase::Fusion`] span.
+///
+/// This is the per-channel fusion step of the slot pipeline: the
+/// recursion of eqs. (3)–(4) applied to `observations` in order,
+/// starting from busy prior `eta`. Splitting it from the observation
+/// draws lets the simulator time sensing and fusion as separate phases
+/// without altering either computation.
+///
+/// # Errors
+///
+/// Returns [`SpectrumError::InvalidProbability`] if `eta` is outside
+/// `[0, 1]`.
+pub fn fuse_channel(
+    eta: f64,
+    sensor: &SensorProfile,
+    observations: &[Observation],
+) -> Result<FusedChannel, SpectrumError> {
+    let _span = fcr_telemetry::Span::enter(fcr_telemetry::Phase::Fusion);
+    let mut posterior = AvailabilityPosterior::new(eta)?;
+    let mut first_observation = None;
+    for obs in observations {
+        posterior.update(sensor, *obs);
+        if first_observation.is_none() {
+            let mut p = AvailabilityPosterior::new(eta)?;
+            p.update(sensor, *obs);
+            first_observation = Some(p.probability());
+        }
+    }
+    Ok(FusedChannel {
+        posterior: posterior.probability(),
+        first_observation,
+    })
+}
+
 /// Natural log of the odds `p / (1 − p)`, with the conventional ±∞ at
 /// the endpoints.
 fn ln_odds(p: f64) -> f64 {
@@ -330,6 +380,26 @@ mod tests {
                 "bucket {b}: empirical idle rate {empirical} vs posterior ≈ {bucket_mid}"
             );
         }
+    }
+
+    #[test]
+    fn fuse_channel_matches_manual_recursion() {
+        let s = baseline_sensor();
+        let obs = [Observation::Idle, Observation::Busy, Observation::Idle];
+        let fused = fuse_channel(0.4, &s, &obs).unwrap();
+        let mut manual = AvailabilityPosterior::new(0.4).unwrap();
+        let mut first = AvailabilityPosterior::new(0.4).unwrap();
+        first.update(&s, obs[0]);
+        for o in obs {
+            manual.update(&s, o);
+        }
+        assert_eq!(fused.posterior, manual.probability());
+        assert_eq!(fused.first_observation, Some(first.probability()));
+        // No observations: prior posterior, no first-obs value.
+        let empty = fuse_channel(0.4, &s, &[]).unwrap();
+        assert!((empty.posterior - 0.6).abs() < 1e-12);
+        assert_eq!(empty.first_observation, None);
+        assert!(fuse_channel(1.2, &s, &obs).is_err());
     }
 
     #[test]

@@ -124,6 +124,23 @@ impl SensorProfile {
         }
     }
 
+    /// Draws `count` independent observations of a channel in the given
+    /// true state, under one [`fcr_telemetry::Phase::Sensing`] span.
+    ///
+    /// Byte-for-byte equivalent to calling [`SensorProfile::observe`]
+    /// `count` times with the same RNG — the batched form exists so the
+    /// per-channel sensing work of a slot is timed as one span without
+    /// changing the RNG call sequence.
+    pub fn observe_many<R: Rng + ?Sized>(
+        &self,
+        truth: ChannelState,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<Observation> {
+        let _span = fcr_telemetry::Span::enter(fcr_telemetry::Phase::Sensing);
+        (0..count).map(|_| self.observe(truth, rng)).collect()
+    }
+
     /// Likelihood `Pr{Θ = obs | H1 (busy)}`.
     pub fn likelihood_given_busy(&self, obs: Observation) -> f64 {
         match obs {

@@ -1,0 +1,244 @@
+//! JSONL export of telemetry snapshots.
+//!
+//! One self-describing JSON object per line (`"type"` discriminates),
+//! hand-rolled on `std` only — the container is offline, so no serde.
+//! Line types:
+//!
+//! | `type` | one line per | fields |
+//! |---|---|---|
+//! | `meta` | export | `dropped_solves`, `dropped_greedy` |
+//! | `phase` | pipeline phase | `phase`, `count`, `total_ns`, `mean_ns`, `max_ns`, `buckets_us` |
+//! | `solve` | dual solve | `iterations`, `converged`, `residual`, `lambda` |
+//! | `greedy` | greedy allocation | `steps`, `gain`, `upper_bound_gain`, `gap`, `optimality_ratio`, `gap_terms` |
+//! | `counter` | named counter | `name`, `value` |
+//! | `worker` | pool worker | `index`, `busy_ns`, `lifetime_ns`, `jobs`, `steals`, `utilization` |
+//! | `pool` | runtime snapshot | `workers`, `jobs_submitted`, `jobs_completed`, `jobs_failed`, `jobs_stolen` |
+
+use crate::sink::TelemetrySnapshot;
+use fcr_runtime::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Renders `snapshot` as JSONL; when `runtime` is given, per-worker
+/// utilization and a pool summary line are appended.
+pub fn to_jsonl(snapshot: &TelemetrySnapshot, runtime: Option<&MetricsSnapshot>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"dropped_solves\":{},\"dropped_greedy\":{}}}",
+        snapshot.dropped_solves, snapshot.dropped_greedy
+    );
+    for (phase, p) in &snapshot.phases {
+        let _ = write!(
+            out,
+            "{{\"type\":\"phase\",\"phase\":\"{}\",\"count\":{},\"total_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"buckets_us\":[",
+            phase.name(),
+            p.count,
+            p.total_ns,
+            num(p.mean_ns()),
+            p.max_ns,
+        );
+        let mut first = true;
+        for (upper, count) in p.wall.occupied_buckets() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            // The unbounded last bucket serializes its µs upper bound
+            // as null.
+            if upper == u64::MAX {
+                let _ = write!(out, "[null,{count}]");
+            } else {
+                let _ = write!(out, "[{upper},{count}]");
+            }
+        }
+        out.push_str("]}\n");
+    }
+    for s in &snapshot.solves {
+        let _ = write!(
+            out,
+            "{{\"type\":\"solve\",\"iterations\":{},\"converged\":{},\"residual\":{},\"lambda\":[",
+            s.iterations,
+            s.converged,
+            num(s.residual)
+        );
+        push_f64_array(&mut out, &s.lambda);
+        out.push_str("]}\n");
+    }
+    for g in &snapshot.greedy {
+        let _ = write!(
+            out,
+            "{{\"type\":\"greedy\",\"steps\":{},\"gain\":{},\"upper_bound_gain\":{},\"gap\":{},\"optimality_ratio\":{},\"gap_terms\":[",
+            g.steps,
+            num(g.gain),
+            num(g.upper_bound_gain),
+            num(g.gap()),
+            num(g.optimality_ratio()),
+        );
+        push_f64_array(&mut out, &g.gap_terms);
+        out.push_str("]}\n");
+    }
+    for (name, value) in &snapshot.counters {
+        let _ = write!(out, "{{\"type\":\"counter\",\"name\":");
+        push_json_string(&mut out, name);
+        let _ = writeln!(out, ",\"value\":{value}}}");
+    }
+    if let Some(rt) = runtime {
+        for w in &rt.per_worker {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"worker\",\"index\":{},\"busy_ns\":{},\"lifetime_ns\":{},\"jobs\":{},\"steals\":{},\"utilization\":{}}}",
+                w.index,
+                w.busy_ns,
+                w.lifetime_ns,
+                w.jobs_executed,
+                w.steals,
+                num(w.utilization()),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"pool\",\"workers\":{},\"jobs_submitted\":{},\"jobs_completed\":{},\"jobs_failed\":{},\"jobs_stolen\":{}}}",
+            rt.workers, rt.jobs_submitted, rt.jobs_completed, rt.jobs_failed, rt.jobs_stolen,
+        );
+    }
+    out
+}
+
+/// A JSON number for `v`: plain decimal for finite values, `null`
+/// otherwise (JSON has no NaN/∞).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn push_f64_array(out: &mut String, values: &[f64]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&num(*v));
+    }
+}
+
+/// Appends `s` as a JSON string literal with the mandatory escapes.
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{GreedyRecord, SolveRecord};
+    use crate::sink::TelemetrySink;
+    use crate::Phase;
+    use std::time::Duration;
+
+    fn populated_snapshot() -> TelemetrySnapshot {
+        let sink = TelemetrySink::new();
+        for phase in Phase::ALL {
+            sink.record_span(phase, Duration::from_micros(3));
+        }
+        sink.record_solve(SolveRecord {
+            iterations: 42,
+            converged: true,
+            residual: 1e-15,
+            lambda: vec![0.0, 0.25],
+        });
+        sink.record_greedy(GreedyRecord {
+            steps: 2,
+            gain: 1.5,
+            upper_bound_gain: 2.0,
+            gap_terms: vec![0.5],
+        });
+        sink.incr("greedy.inner_solves", 9);
+        sink.snapshot()
+    }
+
+    #[test]
+    fn jsonl_contains_every_phase_and_record_type() {
+        let out = to_jsonl(&populated_snapshot(), None);
+        for phase in Phase::ALL {
+            assert!(
+                out.contains(&format!("\"phase\":\"{}\"", phase.name())),
+                "{} missing:\n{out}",
+                phase.name()
+            );
+        }
+        assert!(out.contains("\"type\":\"meta\""));
+        assert!(out.contains("\"type\":\"solve\""));
+        assert!(out.contains("\"iterations\":42"));
+        assert!(out.contains("\"type\":\"greedy\""));
+        assert!(out.contains("\"optimality_ratio\":0.75"));
+        assert!(out.contains("\"type\":\"counter\""));
+        assert!(out.contains("\"greedy.inner_solves\""));
+        // No worker lines without a runtime snapshot.
+        assert!(!out.contains("\"type\":\"worker\""));
+    }
+
+    #[test]
+    fn every_line_is_balanced_json_object() {
+        // Cheap structural check without a JSON parser: every line is a
+        // single object with balanced braces/brackets and no raw
+        // control characters.
+        let out = to_jsonl(&populated_snapshot(), None);
+        assert!(out.lines().count() >= 9, "meta + 6 phases + records");
+        for line in out.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            let depth_ok = line
+                .chars()
+                .scan((0i32, 0i32), |(braces, brackets), c| {
+                    match c {
+                        '{' => *braces += 1,
+                        '}' => *braces -= 1,
+                        '[' => *brackets += 1,
+                        ']' => *brackets -= 1,
+                        _ => {}
+                    }
+                    Some((*braces, *brackets))
+                })
+                .last();
+            assert_eq!(depth_ok, Some((0, 0)), "unbalanced: {line}");
+        }
+    }
+
+    #[test]
+    fn runtime_snapshot_adds_worker_and_pool_lines() {
+        let rt = fcr_runtime::Runtime::with_config(fcr_runtime::RuntimeConfig {
+            workers: 2,
+            queue_capacity: 4,
+        });
+        let outcomes = rt.run_batch((0u64..8).map(|i| move || i));
+        assert!(outcomes.iter().all(Result::is_ok));
+        let out = to_jsonl(&TelemetrySink::new().snapshot(), Some(&rt.snapshot()));
+        assert_eq!(out.matches("\"type\":\"worker\"").count(), 2);
+        assert!(out.contains("\"type\":\"pool\""));
+        assert!(out.contains("\"utilization\":"));
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(0.5), "0.5");
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,222 @@
+//! `fcr-telemetry` — structured span tracing, solver-convergence
+//! telemetry, and export for the FCR pipeline.
+//!
+//! The crate is the observability layer of the reproduction: it gives
+//! every pipeline phase (sensing → fusion → access → solver → greedy
+//! allocation → video credit) an RAII timing span, captures the
+//! convergence behaviour of the dual-decomposition solver (Tables I/II
+//! of the paper) and the eq.-(23) optimality-gap bookkeeping of the
+//! greedy channel allocator (Table III), and renders everything as
+//! JSONL or human-readable tables.
+//!
+//! # Design
+//!
+//! - **Off by default, near-zero overhead.** Telemetry is gated by one
+//!   process-wide `AtomicBool`; a disabled [`Span::enter`] is a single
+//!   relaxed load and no clock read. Hot paths stay hot.
+//! - **Thread-local subscriber, process-wide sink.** Span nesting depth
+//!   is tracked per thread ([`current_depth`]); completed spans and
+//!   records land in the shared [`TelemetrySink`] behind relaxed
+//!   atomics and short mutexes, so the pooled runner can record from
+//!   every worker concurrently.
+//! - **Determinism-neutral.** Nothing here touches an RNG; enabling
+//!   telemetry changes only wall-clock observations, never simulation
+//!   results.
+//! - **`std` only.** The container is offline: JSONL is hand-rolled,
+//!   histograms are reused from `fcr-runtime`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use fcr_telemetry::{Phase, Span};
+//!
+//! fcr_telemetry::enable();
+//! {
+//!     let _span = Span::enter(Phase::Solver);
+//!     // ... run the solver ...
+//! }
+//! fcr_telemetry::record_solve(fcr_telemetry::SolveRecord {
+//!     iterations: 87,
+//!     converged: true,
+//!     residual: 3.2e-13,
+//!     lambda: vec![0.0, 0.41],
+//! });
+//! let snapshot = fcr_telemetry::global().snapshot();
+//! assert_eq!(snapshot.phase(Phase::Solver).count, 1);
+//! assert_eq!(snapshot.solves.len(), 1);
+//! let jsonl = fcr_telemetry::to_jsonl(&snapshot, None);
+//! assert!(jsonl.contains("\"type\":\"solve\""));
+//! fcr_telemetry::reset();
+//! fcr_telemetry::disable();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod export;
+mod phase;
+mod record;
+mod sink;
+mod span;
+
+pub use export::to_jsonl;
+pub use phase::Phase;
+pub use record::{GreedyRecord, SolveRecord};
+pub use sink::{PhaseSnapshot, TelemetrySink, TelemetrySnapshot, MAX_RECORDS};
+pub use span::{current_depth, Span};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// The process-wide enable flag. Relaxed is sufficient: the flag only
+/// gates *whether* observations are made, and the sink's own atomics
+/// order the data.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static GLOBAL: OnceLock<TelemetrySink> = OnceLock::new();
+
+/// Turns telemetry collection on process-wide.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns telemetry collection off process-wide. Already-collected data
+/// stays in the sink until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// `true` when telemetry is collecting. This is the one relaxed load a
+/// disabled [`Span::enter`] costs.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-wide sink (created lazily on first use).
+pub fn global() -> &'static TelemetrySink {
+    GLOBAL.get_or_init(TelemetrySink::new)
+}
+
+/// Clears the process-wide sink back to empty (enable state is
+/// unchanged).
+pub fn reset() {
+    global().reset();
+}
+
+/// Records one dual-decomposition solve into the global sink; no-op
+/// when telemetry is disabled.
+pub fn record_solve(record: SolveRecord) {
+    if is_enabled() {
+        global().record_solve(record);
+    }
+}
+
+/// Records one greedy-allocation run into the global sink; no-op when
+/// telemetry is disabled.
+pub fn record_greedy(record: GreedyRecord) {
+    if is_enabled() {
+        global().record_greedy(record);
+    }
+}
+
+/// Adds `n` to the named global counter; no-op when telemetry is
+/// disabled.
+pub fn incr(name: &str, n: u64) {
+    if is_enabled() {
+        global().incr(name, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// Serializes tests that flip the process-wide enable flag.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        GUARD
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = serial();
+        disable();
+        reset();
+        {
+            let span = Span::enter(Phase::Sensing);
+            assert!(!span.is_recording());
+            assert_eq!(current_depth(), 0);
+        }
+        record_solve(SolveRecord {
+            iterations: 1,
+            converged: true,
+            residual: 0.0,
+            lambda: Vec::new(),
+        });
+        incr("x", 1);
+        let snap = global().snapshot();
+        assert_eq!(snap.phase(Phase::Sensing).count, 0);
+        assert!(snap.solves.is_empty());
+        assert_eq!(snap.counter("x"), None);
+    }
+
+    #[test]
+    fn enabled_spans_nest_and_aggregate() {
+        let _g = serial();
+        enable();
+        reset();
+        {
+            let outer = Span::enter(Phase::Solver);
+            assert!(outer.is_recording());
+            assert_eq!(outer.phase(), Phase::Solver);
+            assert_eq!(current_depth(), 1);
+            {
+                let _inner = Span::enter(Phase::GreedyAlloc);
+                assert_eq!(current_depth(), 2);
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            assert_eq!(current_depth(), 1);
+        }
+        assert_eq!(current_depth(), 0);
+        let snap = global().snapshot();
+        assert_eq!(snap.phase(Phase::Solver).count, 1);
+        assert_eq!(snap.phase(Phase::GreedyAlloc).count, 1);
+        // Inclusive timing: the parent contains the child.
+        assert!(
+            snap.phase(Phase::Solver).total_ns >= snap.phase(Phase::GreedyAlloc).total_ns,
+            "parent {} < child {}",
+            snap.phase(Phase::Solver).total_ns,
+            snap.phase(Phase::GreedyAlloc).total_ns
+        );
+        reset();
+        disable();
+    }
+
+    #[test]
+    fn concurrent_spans_from_many_threads_all_land() {
+        let _g = serial();
+        enable();
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..25 {
+                        let _span = Span::enter(Phase::Fusion);
+                    }
+                    global().incr("threads.done", 1);
+                });
+            }
+        });
+        let snap = global().snapshot();
+        assert_eq!(snap.phase(Phase::Fusion).count, 100);
+        assert_eq!(snap.counter("threads.done"), Some(4));
+        reset();
+        disable();
+    }
+}

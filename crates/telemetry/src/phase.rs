@@ -1,0 +1,97 @@
+//! The named pipeline phases of the per-slot algorithm.
+
+use std::fmt;
+
+/// A named phase of the per-slot pipeline (Section III/IV of the
+/// paper): sensing → fusion → access → solver → greedy channel
+/// allocation → video credit.
+///
+/// Phases double as the span taxonomy: every [`crate::Span`] is tagged
+/// with exactly one phase, and the per-phase aggregator keys its timing
+/// statistics by this enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Spectrum sensing: collecting (ε, δ)-noisy channel observations.
+    Sensing,
+    /// Bayesian fusion of observations into availability posteriors
+    /// (eqs. (2)–(4)).
+    Fusion,
+    /// Collision-bounded opportunistic access (eq. (7)) building the
+    /// available set `A(t)`.
+    Access,
+    /// The time-share solve: water-filling / dual decomposition
+    /// (Tables I/II) and the heuristics.
+    Solver,
+    /// Greedy channel allocation across interfering FBSs (Table III).
+    GreedyAlloc,
+    /// Transmission realization and PSNR crediting of delivered video.
+    VideoCredit,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Sensing,
+        Phase::Fusion,
+        Phase::Access,
+        Phase::Solver,
+        Phase::GreedyAlloc,
+        Phase::VideoCredit,
+    ];
+
+    /// The stable snake_case name used in JSONL output and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Sensing => "sensing",
+            Phase::Fusion => "fusion",
+            Phase::Access => "access",
+            Phase::Solver => "solver",
+            Phase::GreedyAlloc => "greedy_alloc",
+            Phase::VideoCredit => "video_credit",
+        }
+    }
+
+    /// Index into [`Phase::ALL`] (the aggregator's slot for this
+    /// phase).
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Phase::Sensing => 0,
+            Phase::Fusion => 1,
+            Phase::Access => 2,
+            Phase::Solver => 3,
+            Phase::GreedyAlloc => 4,
+            Phase::VideoCredit => 5,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_indices_match_all_order() {
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "sensing",
+                "fusion",
+                "access",
+                "solver",
+                "greedy_alloc",
+                "video_credit"
+            ]
+        );
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(format!("{p}"), p.name());
+        }
+    }
+}

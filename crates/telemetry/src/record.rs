@@ -1,0 +1,83 @@
+//! Convergence-telemetry record types.
+//!
+//! These are plain data carriers: `fcr-core` fills them in at the end
+//! of each dual-decomposition solve (Tables I/II) and each greedy
+//! channel allocation (Table III), and the sink stores them for export
+//! and reporting. Keeping them dependency-free here lets `fcr-core`
+//! emit telemetry without this crate knowing any solver types.
+
+/// One dual-decomposition solve (Tables I/II): how hard the subgradient
+/// loop worked and where the prices ended up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRecord {
+    /// Subgradient iterations executed.
+    pub iterations: usize,
+    /// `true` if the step-11 criterion fired before the iteration cap.
+    pub converged: bool,
+    /// Final step-11 residual `Σ_i (Δλ_i)²`.
+    pub residual: f64,
+    /// Final dual prices `[λ_0, λ_1, …, λ_N]`.
+    pub lambda: Vec<f64>,
+}
+
+/// One greedy channel allocation (Table III) with the eq.-(23)
+/// bookkeeping, so the per-run optimality-gap bound is observable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedyRecord {
+    /// Committed steps `L`.
+    pub steps: usize,
+    /// The greedy gain `Σ_l Δ_l = Q(π_L) − Q(∅)`.
+    pub gain: f64,
+    /// The eq.-(23) upper bound on the optimal gain
+    /// `Σ_l (1 + D(l))·Δ_l`.
+    pub upper_bound_gain: f64,
+    /// Per-step gap terms `D(l)·Δ_l` — the slack eq. (23) adds on top
+    /// of the gain, step by step.
+    pub gap_terms: Vec<f64>,
+}
+
+impl GreedyRecord {
+    /// The bound's total slack `Σ_l D(l)·Δ_l = UB₍₂₃₎ − gain`.
+    pub fn gap(&self) -> f64 {
+        self.gap_terms.iter().sum()
+    }
+
+    /// The guaranteed optimality ratio `gain / UB₍₂₃₎` (1.0 when both
+    /// are zero — an empty allocation is trivially optimal).
+    pub fn optimality_ratio(&self) -> f64 {
+        if self.upper_bound_gain <= 0.0 {
+            1.0
+        } else {
+            self.gain / self.upper_bound_gain
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_record_derives_gap_and_ratio() {
+        let r = GreedyRecord {
+            steps: 3,
+            gain: 2.0,
+            upper_bound_gain: 3.0,
+            gap_terms: vec![0.5, 0.25, 0.25],
+        };
+        assert!((r.gap() - 1.0).abs() < 1e-12);
+        assert!((r.optimality_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_allocation_is_trivially_optimal() {
+        let r = GreedyRecord {
+            steps: 0,
+            gain: 0.0,
+            upper_bound_gain: 0.0,
+            gap_terms: Vec::new(),
+        };
+        assert_eq!(r.gap(), 0.0);
+        assert_eq!(r.optimality_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! The process-wide telemetry sink: per-phase timing aggregation, the
+//! solver-convergence channel, and named counters.
+//!
+//! All hot-path updates are relaxed atomics (timings) or a short
+//! mutex-guarded push (convergence records); snapshots can be taken
+//! from any thread mid-flight.
+
+use crate::phase::Phase;
+use crate::record::{GreedyRecord, SolveRecord};
+use fcr_runtime::histogram::AtomicHistogram;
+use fcr_runtime::HistogramSnapshot;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Cap on stored convergence records (per channel). Beyond it new
+/// records are counted as dropped instead of growing memory without
+/// bound during large sweeps.
+pub const MAX_RECORDS: usize = 65_536;
+
+/// Live per-phase timing statistics.
+#[derive(Debug, Default)]
+pub(crate) struct PhaseStats {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+    wall: AtomicHistogram,
+}
+
+impl PhaseStats {
+    fn record(&self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.wall.record(elapsed);
+    }
+
+    fn snapshot(&self) -> PhaseSnapshot {
+        PhaseSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            wall: self.wall.snapshot(),
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+        self.wall.reset();
+    }
+}
+
+/// A point-in-time copy of one phase's timing statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    /// Completed spans of this phase.
+    pub count: u64,
+    /// Total wall time across spans (ns).
+    pub total_ns: u64,
+    /// Longest single span (ns).
+    pub max_ns: u64,
+    /// Wall-time distribution (µs buckets, reused from `fcr-runtime`).
+    pub wall: HistogramSnapshot,
+}
+
+impl PhaseSnapshot {
+    /// Mean span duration in nanoseconds (0 when no spans completed).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// The telemetry sink: one lives as the process-wide global (see
+/// [`crate::global`]), but sinks are ordinary values and can be built
+/// standalone in tests.
+#[derive(Debug, Default)]
+pub struct TelemetrySink {
+    phases: [PhaseStats; 6],
+    solves: Mutex<Vec<SolveRecord>>,
+    dropped_solves: AtomicU64,
+    greedy: Mutex<Vec<GreedyRecord>>,
+    dropped_greedy: AtomicU64,
+    counters: Mutex<BTreeMap<String, u64>>,
+}
+
+impl TelemetrySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed span of `phase`.
+    pub fn record_span(&self, phase: Phase, elapsed: Duration) {
+        self.phases[phase.index()].record(elapsed);
+    }
+
+    /// Appends one dual-solver convergence record (capped at
+    /// [`MAX_RECORDS`]; overflow increments the dropped counter).
+    pub fn record_solve(&self, record: SolveRecord) {
+        let mut solves = lock(&self.solves);
+        if solves.len() < MAX_RECORDS {
+            solves.push(record);
+        } else {
+            drop(solves);
+            self.dropped_solves.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Appends one greedy-allocation record (eq. (23) bookkeeping),
+    /// capped like [`TelemetrySink::record_solve`].
+    pub fn record_greedy(&self, record: GreedyRecord) {
+        let mut greedy = lock(&self.greedy);
+        if greedy.len() < MAX_RECORDS {
+            greedy.push(record);
+        } else {
+            drop(greedy);
+            self.dropped_greedy.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n` to the named counter (registered on first use).
+    pub fn incr(&self, name: &str, n: u64) {
+        let mut counters = lock(&self.counters);
+        *counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// A point-in-time copy of everything the sink has aggregated.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            phases: Phase::ALL
+                .iter()
+                .map(|p| (*p, self.phases[p.index()].snapshot()))
+                .collect(),
+            solves: lock(&self.solves).clone(),
+            dropped_solves: self.dropped_solves.load(Ordering::Relaxed),
+            greedy: lock(&self.greedy).clone(),
+            dropped_greedy: self.dropped_greedy.load(Ordering::Relaxed),
+            counters: lock(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+
+    /// Clears every aggregate back to empty (used between experiment
+    /// sections and in tests).
+    pub fn reset(&self) {
+        for p in &self.phases {
+            p.reset();
+        }
+        lock(&self.solves).clear();
+        self.dropped_solves.store(0, Ordering::Relaxed);
+        lock(&self.greedy).clear();
+        self.dropped_greedy.store(0, Ordering::Relaxed);
+        lock(&self.counters).clear();
+    }
+}
+
+/// Locks a sink mutex, surviving poisoning (a panicked recorder must
+/// not take telemetry down with it — the data is diagnostic).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A point-in-time copy of a [`TelemetrySink`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Per-phase timing statistics, in pipeline order.
+    pub phases: Vec<(Phase, PhaseSnapshot)>,
+    /// Dual-solver convergence records, in completion order.
+    pub solves: Vec<SolveRecord>,
+    /// Solve records dropped past [`MAX_RECORDS`].
+    pub dropped_solves: u64,
+    /// Greedy-allocation records, in completion order.
+    pub greedy: Vec<GreedyRecord>,
+    /// Greedy records dropped past [`MAX_RECORDS`].
+    pub dropped_greedy: u64,
+    /// Named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl TelemetrySnapshot {
+    /// The timing snapshot of one phase.
+    pub fn phase(&self, phase: Phase) -> &PhaseSnapshot {
+        &self.phases[phase.index()].1
+    }
+
+    /// Value of a named counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Fraction of solves that converged before the iteration cap
+    /// (`None` when no solves were recorded).
+    pub fn convergence_rate(&self) -> Option<f64> {
+        if self.solves.is_empty() {
+            return None;
+        }
+        let converged = self.solves.iter().filter(|s| s.converged).count();
+        Some(converged as f64 / self.solves.len() as f64)
+    }
+
+    /// Mean dual-solver iterations per solve (`None` when empty).
+    pub fn mean_iterations(&self) -> Option<f64> {
+        if self.solves.is_empty() {
+            return None;
+        }
+        let total: usize = self.solves.iter().map(|s| s.iterations).sum();
+        Some(total as f64 / self.solves.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_aggregate_per_phase() {
+        let sink = TelemetrySink::new();
+        sink.record_span(Phase::Sensing, Duration::from_micros(10));
+        sink.record_span(Phase::Sensing, Duration::from_micros(30));
+        sink.record_span(Phase::Solver, Duration::from_micros(5));
+        let snap = sink.snapshot();
+        let sensing = snap.phase(Phase::Sensing);
+        assert_eq!(sensing.count, 2);
+        assert_eq!(sensing.total_ns, 40_000);
+        assert_eq!(sensing.max_ns, 30_000);
+        assert!((sensing.mean_ns() - 20_000.0).abs() < 1e-9);
+        assert_eq!(sensing.wall.count, 2);
+        assert_eq!(snap.phase(Phase::Solver).count, 1);
+        assert_eq!(snap.phase(Phase::Fusion).count, 0);
+        assert_eq!(snap.phase(Phase::Fusion).mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn solve_and_greedy_records_accumulate_and_reset() {
+        let sink = TelemetrySink::new();
+        sink.record_solve(SolveRecord {
+            iterations: 120,
+            converged: true,
+            residual: 1e-15,
+            lambda: vec![0.1, 0.2],
+        });
+        sink.record_solve(SolveRecord {
+            iterations: 5_000,
+            converged: false,
+            residual: 1e-3,
+            lambda: vec![0.3, 0.4],
+        });
+        sink.record_greedy(GreedyRecord {
+            steps: 4,
+            gain: 2.0,
+            upper_bound_gain: 3.5,
+            gap_terms: vec![1.0, 0.5],
+        });
+        sink.incr("greedy.inner_solves", 7);
+        sink.incr("greedy.inner_solves", 3);
+        let snap = sink.snapshot();
+        assert_eq!(snap.solves.len(), 2);
+        assert_eq!(snap.greedy.len(), 1);
+        assert_eq!(snap.convergence_rate(), Some(0.5));
+        assert_eq!(snap.mean_iterations(), Some(2_560.0));
+        assert_eq!(snap.counter("greedy.inner_solves"), Some(10));
+        assert_eq!(snap.counter("missing"), None);
+        sink.reset();
+        let empty = snap_is_empty(&sink.snapshot());
+        assert!(empty);
+    }
+
+    fn snap_is_empty(s: &TelemetrySnapshot) -> bool {
+        s.solves.is_empty()
+            && s.greedy.is_empty()
+            && s.counters.is_empty()
+            && s.phases.iter().all(|(_, p)| p.count == 0)
+            && s.convergence_rate().is_none()
+            && s.mean_iterations().is_none()
+    }
+
+    #[test]
+    fn record_cap_counts_drops() {
+        let sink = TelemetrySink::new();
+        for _ in 0..MAX_RECORDS + 3 {
+            sink.record_solve(SolveRecord {
+                iterations: 1,
+                converged: true,
+                residual: 0.0,
+                lambda: Vec::new(),
+            });
+        }
+        let snap = sink.snapshot();
+        assert_eq!(snap.solves.len(), MAX_RECORDS);
+        assert_eq!(snap.dropped_solves, 3);
+    }
+}

@@ -37,8 +37,13 @@ fn main() {
             .collect();
         let accessed: Vec<usize> = r.accessed.clone();
         println!(
-            "slot {:>2}  channels [{truth}]  accessed {accessed:?}  G_t = {:.2}  collisions {}",
-            r.slot, r.expected_available, r.collisions
+            "slot {:>2}  channels [{truth}]  accessed {accessed:?}  G_t = {:.2}  collisions {}  \
+             dual {} iters{}",
+            r.slot,
+            r.expected_available,
+            r.collisions,
+            r.dual_iterations,
+            if r.dual_converged { "" } else { " (hit cap)" },
         );
         for (j, u) in r.allocation.users().iter().enumerate() {
             if u.rho() > 0.0 {
@@ -62,5 +67,17 @@ fn main() {
         result.mean_psnr(),
         result.collision_rate,
         cfg.gamma
+    );
+    let n = trace.len().max(1) as f64;
+    let mean_iters = trace
+        .records()
+        .iter()
+        .map(|r| r.dual_iterations)
+        .sum::<usize>() as f64
+        / n;
+    let all_converged = trace.records().iter().all(|r| r.dual_converged);
+    println!(
+        "Dual solver (Tables I/II): {mean_iters:.1} mean subgradient iterations/slot, \
+         all slots converged: {all_converged}"
     );
 }

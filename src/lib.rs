@@ -19,6 +19,7 @@
 //! | [`net`] | topology, association, interference graphs |
 //! | [`core`] | the allocation algorithms and bounds (the paper's contribution) |
 //! | [`runtime`] | the sharded worker-pool scheduling runtime with live metrics |
+//! | [`telemetry`] | span tracing, solver convergence capture, JSONL export |
 //! | [`sim`] | the slot-level simulator and experiment runner |
 //!
 //! # Quick start
@@ -50,6 +51,7 @@ pub use fcr_runtime as runtime;
 pub use fcr_sim as sim;
 pub use fcr_spectrum as spectrum;
 pub use fcr_stats as stats;
+pub use fcr_telemetry as telemetry;
 pub use fcr_video as video;
 
 /// The most commonly used types, for glob import in examples and
@@ -74,6 +76,7 @@ pub mod prelude {
     pub use fcr_spectrum::markov::TwoStateMarkov;
     pub use fcr_spectrum::sensing::{Observation, SensorProfile};
     pub use fcr_stats::rng::SeedSequence;
+    pub use fcr_telemetry::{Phase, Span, TelemetrySink, TelemetrySnapshot};
     pub use fcr_video::quality::{Mbps, Psnr};
     pub use fcr_video::sequences::Sequence;
     pub use fcr_video::session::VideoSession;
