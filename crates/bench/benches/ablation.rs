@@ -10,11 +10,22 @@ use fcr_core::greedy::GreedyAllocator;
 use fcr_core::interfering::round_robin_assignment;
 use fcr_core::waterfill::WaterfillingSolver;
 use fcr_sim::config::SimConfig;
-use fcr_sim::engine::run_once;
+use fcr_sim::engine::{run, TraceMode};
 use fcr_sim::scenario::Scenario;
 use fcr_sim::scheme::Scheme;
 use fcr_stats::rng::SeedSequence;
 use std::hint::black_box;
+
+/// The pre-merge `run_once` shape on the unified `engine::run` API.
+fn run_off(
+    scenario: &Scenario,
+    cfg: &SimConfig,
+    scheme: Scheme,
+    seeds: &SeedSequence,
+    run_index: u64,
+) -> fcr_sim::metrics::RunResult {
+    run(scenario, cfg, scheme, seeds, run_index, TraceMode::Off).result
+}
 
 /// Ablation 1 — inner solver: the paper's distributed subgradient loop
 /// (constant and diminishing steps) vs. the centralized water-filling
@@ -61,8 +72,8 @@ fn ablation_posterior(c: &mut Criterion) {
     let scenario = Scenario::single_fbs(&fused_cfg);
     let seeds = SeedSequence::new(9);
 
-    let fused = run_once(&scenario, &fused_cfg, Scheme::Proposed, &seeds, 0);
-    let first = run_once(&scenario, &first_cfg, Scheme::Proposed, &seeds, 0);
+    let fused = run_off(&scenario, &fused_cfg, Scheme::Proposed, &seeds, 0);
+    let first = run_off(&scenario, &first_cfg, Scheme::Proposed, &seeds, 0);
     println!(
         "[ablation:posterior] mean PSNR fused={:.3} first-obs={:.3}",
         fused.mean_psnr(),
@@ -72,10 +83,10 @@ fn ablation_posterior(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_posterior");
     group.sample_size(10);
     group.bench_function("fused_gt", |b| {
-        b.iter(|| black_box(run_once(&scenario, &fused_cfg, Scheme::Proposed, &seeds, 0)))
+        b.iter(|| black_box(run_off(&scenario, &fused_cfg, Scheme::Proposed, &seeds, 0)))
     });
     group.bench_function("first_observation_gt", |b| {
-        b.iter(|| black_box(run_once(&scenario, &first_cfg, Scheme::Proposed, &seeds, 0)))
+        b.iter(|| black_box(run_off(&scenario, &first_cfg, Scheme::Proposed, &seeds, 0)))
     });
     group.finish();
 }
@@ -133,8 +144,8 @@ fn ablation_prior(c: &mut Criterion) {
     };
     let scenario = Scenario::single_fbs(&stationary);
     let seeds = SeedSequence::new(13);
-    let a = run_once(&scenario, &stationary, Scheme::Proposed, &seeds, 0);
-    let b = run_once(&scenario, &tracked, Scheme::Proposed, &seeds, 0);
+    let a = run_off(&scenario, &stationary, Scheme::Proposed, &seeds, 0);
+    let b = run_off(&scenario, &tracked, Scheme::Proposed, &seeds, 0);
     println!(
         "[ablation:prior] stationary: psnr={:.3} G={:.3} coll={:.4} | tracking: psnr={:.3} G={:.3} coll={:.4}",
         a.mean_psnr(),
@@ -148,18 +159,10 @@ fn ablation_prior(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_prior");
     group.sample_size(10);
     group.bench_function("stationary_eta", |b| {
-        b.iter(|| {
-            black_box(run_once(
-                &scenario,
-                &stationary,
-                Scheme::Proposed,
-                &seeds,
-                0,
-            ))
-        })
+        b.iter(|| black_box(run_off(&scenario, &stationary, Scheme::Proposed, &seeds, 0)))
     });
     group.bench_function("belief_tracking", |b2| {
-        b2.iter(|| black_box(run_once(&scenario, &tracked, Scheme::Proposed, &seeds, 0)))
+        b2.iter(|| black_box(run_off(&scenario, &tracked, Scheme::Proposed, &seeds, 0)))
     });
     group.finish();
 }
@@ -178,8 +181,8 @@ fn ablation_access(c: &mut Criterion) {
     };
     let scenario = Scenario::single_fbs(&probabilistic);
     let seeds = SeedSequence::new(14);
-    let a = run_once(&scenario, &probabilistic, Scheme::Proposed, &seeds, 0);
-    let b = run_once(&scenario, &threshold, Scheme::Proposed, &seeds, 0);
+    let a = run_off(&scenario, &probabilistic, Scheme::Proposed, &seeds, 0);
+    let b = run_off(&scenario, &threshold, Scheme::Proposed, &seeds, 0);
     println!(
         "[ablation:access] eq.(7): psnr={:.3} G={:.3} coll={:.4} | threshold: psnr={:.3} G={:.3} coll={:.4}",
         a.mean_psnr(),
@@ -194,7 +197,7 @@ fn ablation_access(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("probabilistic_eq7", |b2| {
         b2.iter(|| {
-            black_box(run_once(
+            black_box(run_off(
                 &scenario,
                 &probabilistic,
                 Scheme::Proposed,
@@ -204,7 +207,7 @@ fn ablation_access(c: &mut Criterion) {
         })
     });
     group.bench_function("hard_threshold", |b2| {
-        b2.iter(|| black_box(run_once(&scenario, &threshold, Scheme::Proposed, &seeds, 0)))
+        b2.iter(|| black_box(run_off(&scenario, &threshold, Scheme::Proposed, &seeds, 0)))
     });
     group.finish();
 }

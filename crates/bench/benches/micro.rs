@@ -76,7 +76,7 @@ fn bench_solvers(c: &mut Criterion) {
 
 fn bench_engines(c: &mut Criterion) {
     use fcr_sim::config::SimConfig;
-    use fcr_sim::engine::run_once;
+    use fcr_sim::engine::{run, TraceMode};
     use fcr_sim::packet_engine::run_packet_level;
     use fcr_sim::scenario::Scenario;
     use fcr_sim::scheme::Scheme;
@@ -91,7 +91,9 @@ fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("engines");
     group.sample_size(10);
     group.bench_function("fluid_2gops", |b| {
-        b.iter(|| black_box(run_once(&scenario, &cfg, Scheme::Proposed, &seeds, 0)))
+        b.iter(|| {
+            black_box(run(&scenario, &cfg, Scheme::Proposed, &seeds, 0, TraceMode::Off).result)
+        })
     });
     group.bench_function("packet_2gops", |b| {
         b.iter(|| {

@@ -9,12 +9,23 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fcr_runtime::Runtime;
 use fcr_sim::config::SimConfig;
-use fcr_sim::engine::run_once;
+use fcr_sim::engine::{run, TraceMode};
 use fcr_sim::pool::{self, SimJob};
 use fcr_sim::scenario::Scenario;
 use fcr_sim::scheme::Scheme;
 use fcr_stats::rng::SeedSequence;
 use std::hint::black_box;
+
+/// The pre-merge `run_once` shape on the unified `engine::run` API.
+fn run_off(
+    scenario: &Scenario,
+    cfg: &SimConfig,
+    scheme: Scheme,
+    seeds: &SeedSequence,
+    run_index: u64,
+) -> fcr_sim::metrics::RunResult {
+    run(scenario, cfg, scheme, seeds, run_index, TraceMode::Off).result
+}
 use std::sync::Arc;
 
 const RUNS: u64 = 8;
@@ -60,7 +71,7 @@ fn bench_runtime_throughput(c: &mut Criterion) {
         let seeds = SeedSequence::new(SEED);
         b.iter(|| {
             let results: Vec<_> = (0..RUNS)
-                .map(|run| run_once(&scenario, &config, Scheme::Proposed, &seeds, run))
+                .map(|run| run_off(&scenario, &config, Scheme::Proposed, &seeds, run))
                 .collect();
             black_box(results)
         })
@@ -78,8 +89,7 @@ fn bench_runtime_throughput(c: &mut Criterion) {
                         let scenario = &scenario;
                         let config = &config;
                         let seeds = &seeds;
-                        scope
-                            .spawn(move || run_once(scenario, config, Scheme::Proposed, seeds, run))
+                        scope.spawn(move || run_off(scenario, config, Scheme::Proposed, seeds, run))
                     })
                     .collect();
                 for h in handles {

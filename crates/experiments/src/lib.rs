@@ -10,9 +10,9 @@ use fcr_core::dual::{DualConfig, DualSolver, StepSchedule};
 use fcr_sim::config::SimConfig;
 use fcr_sim::engine::sample_slot_problem;
 use fcr_sim::metrics::SchemeSummary;
-use fcr_sim::runner::{sweep, Experiment};
 use fcr_sim::scenario::Scenario;
 use fcr_sim::scheme::Scheme;
+use fcr_sim::session::SimSession;
 use fcr_spectrum::sensing::FIG6B_OPERATING_POINTS;
 use fcr_stats::rng::SeedSequence;
 use fcr_stats::series::{render_csv, render_table, Series};
@@ -57,6 +57,17 @@ impl ExperimentOpts {
             render_table(x_label, series)
         }
     }
+
+    /// One [`SimSession`] per sweep: the template carries the run
+    /// count and seed; scenario/config are superseded point by point.
+    fn sweep(&self, points: &[(f64, SimConfig, Scenario)], schemes: &[Scheme]) -> Vec<Series> {
+        let (_, cfg, scenario) = points.first().expect("at least one sweep point");
+        SimSession::new(scenario.clone())
+            .config(*cfg)
+            .runs(self.runs)
+            .seed(self.seed)
+            .sweep(points, schemes)
+    }
 }
 
 /// Fig. 3 — single FBS: per-user Y-PSNR of Bus/Mobile/Harbor under the
@@ -64,7 +75,10 @@ impl ExperimentOpts {
 pub fn fig3(opts: &ExperimentOpts) -> String {
     let cfg = opts.base_config();
     let scenario = Scenario::single_fbs(&cfg);
-    let experiment = Experiment::new(scenario.clone(), cfg, opts.seed).runs(opts.runs);
+    let session = SimSession::new(scenario)
+        .config(cfg)
+        .runs(opts.runs)
+        .seed(opts.seed);
 
     let mut out = String::new();
     let _ = writeln!(
@@ -78,7 +92,7 @@ pub fn fig3(opts: &ExperimentOpts) -> String {
     );
     let summaries: Vec<SchemeSummary> = Scheme::PAPER_TRIO
         .iter()
-        .map(|s| experiment.summarize(*s))
+        .map(|s| session.run(*s).summary())
         .collect();
     let names = ["1 (Bus)", "2 (Mobile)", "3 (Harbor)"];
     for (j, name) in names.iter().enumerate() {
@@ -155,7 +169,7 @@ pub fn fig4b(opts: &ExperimentOpts) -> String {
             (*m as f64, cfg, Scenario::single_fbs(&cfg))
         })
         .collect();
-    let series = sweep(&points, &Scheme::PAPER_TRIO, opts.runs, opts.seed);
+    let series = opts.sweep(&points, &Scheme::PAPER_TRIO);
     format!(
         "Fig. 4(b) — Video quality vs. number of channels (single FBS)\n{}",
         opts.render("M", &series)
@@ -193,7 +207,7 @@ pub fn fig6b(opts: &ExperimentOpts) -> String {
             (*eps, cfg, Scenario::interfering_fig5(&cfg))
         })
         .collect();
-    let series = sweep(&points, &Scheme::WITH_BOUND, opts.runs, opts.seed);
+    let series = opts.sweep(&points, &Scheme::WITH_BOUND);
     format!(
         "Fig. 6(b) — Video quality vs. sensing error (x = false-alarm ε; δ paired as in the paper)\n{}",
         opts.render("epsilon", &series)
@@ -211,7 +225,7 @@ pub fn fig6c(opts: &ExperimentOpts) -> String {
             (*b0, cfg, Scenario::interfering_fig5(&cfg))
         })
         .collect();
-    let series = sweep(&points, &Scheme::WITH_BOUND, opts.runs, opts.seed);
+    let series = opts.sweep(&points, &Scheme::WITH_BOUND);
     format!(
         "Fig. 6(c) — Video quality vs. common channel bandwidth (interfering FBSs)\n{}",
         opts.render("B0 (Mbps)", &series)
@@ -227,7 +241,7 @@ pub fn ablation(opts: &ExperimentOpts) -> String {
     use fcr_core::interfering::{coloring_assignment, round_robin_assignment, InterferingProblem};
     use fcr_core::waterfill::WaterfillingSolver;
     use fcr_sim::config::{AccessMode, PriorMode, SensingStrategy};
-    use fcr_sim::engine::run_once;
+    use fcr_sim::engine::{run, TraceMode};
     use fcr_sim::metrics::RunResult;
 
     let mut out = String::new();
@@ -237,7 +251,7 @@ pub fn ablation(opts: &ExperimentOpts) -> String {
 
     let summarize = |cfg: &SimConfig| -> (f64, f64, f64) {
         let results: Vec<RunResult> = (0..opts.runs)
-            .map(|r| run_once(&scenario, cfg, Scheme::Proposed, &seeds, r))
+            .map(|r| run(&scenario, cfg, Scheme::Proposed, &seeds, r, TraceMode::Off).result)
             .collect();
         let mean = results.iter().map(RunResult::mean_psnr).sum::<f64>() / results.len() as f64;
         let coll = results.iter().map(|r| r.collision_rate).sum::<f64>() / results.len() as f64;
@@ -435,7 +449,7 @@ pub fn scale(opts: &ExperimentOpts) -> String {
 /// abstraction hides (unit quantization, retransmissions, base-layer
 /// outages) and checking that the scheme ordering survives.
 pub fn packet(opts: &ExperimentOpts) -> String {
-    use fcr_sim::engine::run_once;
+    use fcr_sim::engine::{run, TraceMode};
     use fcr_sim::packet_engine::run_packet_level;
 
     let cfg = opts.base_config();
@@ -454,7 +468,11 @@ pub fn packet(opts: &ExperimentOpts) -> String {
     );
     for scheme in Scheme::PAPER_TRIO {
         let fluid = (0..opts.runs)
-            .map(|r| run_once(&scenario, &cfg, scheme, &seeds, r).mean_psnr())
+            .map(|r| {
+                run(&scenario, &cfg, scheme, &seeds, r, TraceMode::Off)
+                    .result
+                    .mean_psnr()
+            })
             .sum::<f64>()
             / opts.runs as f64;
         let pkt = (0..opts.runs)
@@ -502,7 +520,7 @@ fn utilization_sweep(opts: &ExperimentOpts, interfering: bool) -> Vec<Series> {
             (*eta, cfg, scenario)
         })
         .collect();
-    sweep(&points, schemes, opts.runs, opts.seed)
+    opts.sweep(&points, schemes)
 }
 
 #[cfg(test)]

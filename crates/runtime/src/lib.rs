@@ -11,10 +11,18 @@
 //!
 //! # Architecture
 //!
-//! * **[`Runtime`]** — a fixed worker pool sized by
+//! * **[`Runtime`]** — an **elastic** worker pool sized by
 //!   [`std::thread::available_parallelism`] (overridable via
-//!   [`RuntimeConfig`]). Workers never exceed the configured count: a
-//!   hard concurrency cap regardless of how many jobs are submitted.
+//!   [`RuntimeConfig`]). Workers never exceed the configured
+//!   `max_workers` ceiling — a hard concurrency cap regardless of how
+//!   many jobs are submitted — and the active count can grow/shrink
+//!   between batches ([`Runtime::resize`] / [`Runtime::autoscale`])
+//!   within `[min_workers, max_workers]`, driven by queue depth and
+//!   per-worker utilization.
+//! * **[`ShardPolicy`]** — how shard-aware callers (`fcr-sim`) cut a
+//!   long multi-GOP run into independently schedulable slot-window
+//!   jobs; the policy only groups work, never changes RNG draws, so
+//!   every choice is bit-identical to serial.
 //! * **Sharded bounded queues** — each worker owns one bounded FIFO
 //!   shard; submissions are spread round-robin and idle workers
 //!   **steal** from the back of sibling shards, so one slow shard
@@ -57,6 +65,7 @@
 //! let rt = Runtime::with_config(RuntimeConfig {
 //!     workers: 2,
 //!     queue_capacity: 8,
+//!     ..RuntimeConfig::default()
 //! });
 //! let outcomes = rt.run_batch((0u64..16).map(|i| move || i * i));
 //! let squares: Vec<u64> = outcomes.into_iter().map(Result::unwrap).collect();
@@ -74,8 +83,10 @@ pub mod job;
 pub mod metrics;
 pub mod pool;
 pub(crate) mod queue;
+pub mod shard;
 
 pub use histogram::HistogramSnapshot;
 pub use job::{JobError, JobHandle, JobOutcome};
 pub use metrics::{MetricsRegistry, MetricsSnapshot, WorkerSnapshot};
 pub use pool::{RejectedJob, Runtime, RuntimeConfig};
+pub use shard::{ResizeEvent, ShardPolicy};

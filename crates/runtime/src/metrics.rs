@@ -24,8 +24,11 @@ pub(crate) struct WorkerStats {
 #[derive(Debug)]
 pub struct MetricsRegistry {
     started_at: Instant,
-    workers: usize,
-    /// Per-worker execution accounting, indexed by worker.
+    /// Currently active worker count (elastic pools update this on
+    /// resize).
+    active_workers: AtomicU64,
+    /// Per-worker execution accounting, indexed by worker slot (sized
+    /// to the pool's `max_workers`).
     worker_stats: Vec<WorkerStats>,
     /// Jobs accepted into a shard queue.
     pub(crate) jobs_submitted: AtomicU64,
@@ -51,7 +54,7 @@ impl MetricsRegistry {
     pub(crate) fn new(workers: usize) -> Self {
         MetricsRegistry {
             started_at: Instant::now(),
-            workers,
+            active_workers: AtomicU64::new(workers as u64),
             worker_stats: (0..workers).map(|_| WorkerStats::default()).collect(),
             jobs_submitted: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
@@ -76,6 +79,21 @@ impl MetricsRegistry {
                 .entry(name.to_string())
                 .or_insert_with(|| Arc::new(AtomicU64::new(0))),
         )
+    }
+
+    /// Records the pool's current active worker count (called by the
+    /// elastic resize path).
+    pub(crate) fn set_active_workers(&self, n: usize) {
+        self.active_workers.store(n as u64, Ordering::Relaxed);
+    }
+
+    /// Total busy nanoseconds across every worker slot — the raw
+    /// signal behind the autoscaler's delta-utilization reading.
+    pub(crate) fn total_busy_ns(&self) -> u64 {
+        self.worker_stats
+            .iter()
+            .map(|w| w.busy_ns.load(Ordering::Relaxed))
+            .sum()
     }
 
     pub(crate) fn record_job(&self, wall: Duration, ok: bool) {
@@ -134,7 +152,7 @@ impl MetricsRegistry {
             })
             .collect();
         MetricsSnapshot {
-            workers: self.workers,
+            workers: self.active_workers.load(Ordering::Relaxed) as usize,
             uptime,
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
@@ -186,7 +204,9 @@ impl WorkerSnapshot {
 /// A point-in-time copy of a [`MetricsRegistry`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
-    /// Fixed worker count of the pool.
+    /// **Active** worker count at snapshot time (elastic pools resize
+    /// this between batches; `per_worker.len()` is the slot count,
+    /// i.e. the pool's `max_workers`).
     pub workers: usize,
     /// Time since the pool was built.
     pub uptime: Duration,

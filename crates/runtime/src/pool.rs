@@ -1,12 +1,14 @@
-//! The fixed-size worker pool: sharded submission, work stealing,
-//! blocking and non-blocking backpressure, panic containment, and
-//! graceful shutdown.
+//! The elastic worker pool: sharded submission, work stealing,
+//! blocking and non-blocking backpressure, panic containment,
+//! between-batch grow/shrink within configured bounds, and graceful
+//! shutdown.
 
 use crate::job::{panic_message, CompletionSlot, JobError, JobHandle, JobOutcome, Task};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::queue::Shard;
+use crate::shard::{ResizeEvent, ShardPolicy};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -14,21 +16,36 @@ use std::time::{Duration, Instant};
 /// Sizing knobs for a [`Runtime`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeConfig {
-    /// Number of worker threads — the hard concurrency cap. One queue
-    /// shard is created per worker.
+    /// Number of worker threads started initially. One queue shard is
+    /// created per worker *slot* (see [`RuntimeConfig::max_workers`]).
     pub workers: usize,
     /// Bounded capacity of **each** shard; total queued jobs never
-    /// exceed `workers * queue_capacity`.
+    /// exceed `active workers * queue_capacity`.
     pub queue_capacity: usize,
+    /// Elastic floor: [`Runtime::resize`] / [`Runtime::autoscale`]
+    /// never shrink below this many workers. Clamped to
+    /// `1..=workers` at construction.
+    pub min_workers: usize,
+    /// Elastic ceiling: the pool never grows beyond this many workers
+    /// (also the number of queue shards). Raised to at least `workers`
+    /// at construction.
+    pub max_workers: usize,
+    /// Default intra-run sharding policy for shard-aware callers
+    /// (`fcr-sim` reads this when a `SimConfig` does not override it).
+    pub shard: ShardPolicy,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
         RuntimeConfig {
-            workers: std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(4),
+            workers,
             queue_capacity: 128,
+            min_workers: 1,
+            max_workers: workers,
+            shard: ShardPolicy::Auto,
         }
     }
 }
@@ -44,6 +61,9 @@ struct Shared {
     shards: Vec<Shard>,
     metrics: Arc<MetricsRegistry>,
     state: Mutex<PoolState>,
+    /// Number of currently active workers (≤ `shards.len()`). Workers
+    /// with `index >= active` retire as soon as they are idle.
+    active: AtomicUsize,
     /// Signalled on enqueue; workers park here when idle.
     work_available: Condvar,
     /// Signalled on dequeue; blocked submitters park here.
@@ -89,6 +109,12 @@ impl Shared {
 
 fn worker_loop(shared: Arc<Shared>, index: usize) {
     loop {
+        if index >= shared.active.load(Ordering::Acquire) {
+            // Retired by an elastic shrink. Queued work is never lost:
+            // the remaining active workers steal from every shard,
+            // including this one's.
+            return;
+        }
         if let Some(task) = shared.take_task(index) {
             // The task wrapper contains its own catch_unwind and
             // in-flight accounting; it never unwinds into the worker
@@ -101,6 +127,9 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         }
         let mut st = shared.state.lock().expect("pool state poisoned");
         loop {
+            if index >= shared.active.load(Ordering::Acquire) {
+                return; // retired while parked
+            }
             if st.queued > 0 {
                 break; // rescan the shards
             }
@@ -110,6 +139,14 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
             st = shared.work_available.wait(st).expect("pool state poisoned");
         }
     }
+}
+
+fn spawn_worker(shared: &Arc<Shared>, index: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("fcr-runtime-{index}"))
+        .spawn(move || worker_loop(shared, index))
+        .expect("spawning runtime worker failed")
 }
 
 /// Wraps a user closure into a queue [`Task`] plus the [`JobHandle`]
@@ -162,18 +199,35 @@ impl<T> RejectedJob<T> {
     }
 }
 
-/// A fixed-size sharded worker pool. See the crate docs for the full
+/// Baselines for delta-utilization readings between
+/// [`Runtime::autoscale`] calls.
+struct AutoscaleState {
+    last_busy_ns: u64,
+    last_at: Instant,
+}
+
+/// An elastic sharded worker pool. See the crate docs for the full
 /// architecture story.
 pub struct Runtime {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// Worker slots, indexed by shard. `None` = never started or
+    /// joined; a `Some` at index ≥ active is a retired thread whose
+    /// handle is reclaimed lazily on the next grow (or at shutdown).
+    workers: Mutex<Vec<Option<JoinHandle<()>>>>,
     next_shard: AtomicUsize,
+    min_workers: usize,
+    max_workers: usize,
+    shard_policy: ShardPolicy,
+    autoscale_state: Mutex<AutoscaleState>,
+    /// Named counter `pool.resizes` (also visible in snapshots).
+    resizes: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runtime")
-            .field("workers", &self.workers.len())
+            .field("active_workers", &self.active_workers())
+            .field("max_workers", &self.max_workers)
             .finish_non_exhaustive()
     }
 }
@@ -190,7 +244,9 @@ impl Runtime {
         Self::with_config(RuntimeConfig::default())
     }
 
-    /// A pool with explicit sizing.
+    /// A pool with explicit sizing. `min_workers` is clamped to
+    /// `1..=workers` and `max_workers` raised to at least `workers`,
+    /// so any pre-elasticity config keeps its old meaning.
     ///
     /// # Panics
     ///
@@ -198,9 +254,13 @@ impl Runtime {
     pub fn with_config(config: RuntimeConfig) -> Self {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.queue_capacity > 0, "need positive queue capacity");
-        let metrics = Arc::new(MetricsRegistry::new(config.workers));
+        let min_workers = config.min_workers.clamp(1, config.workers);
+        let max_workers = config.max_workers.max(config.workers);
+        let metrics = Arc::new(MetricsRegistry::new(max_workers));
+        metrics.set_active_workers(config.workers);
+        let resizes = metrics.counter("pool.resizes");
         let shared = Arc::new(Shared {
-            shards: (0..config.workers)
+            shards: (0..max_workers)
                 .map(|_| Shard::new(config.queue_capacity))
                 .collect(),
             metrics,
@@ -208,28 +268,151 @@ impl Runtime {
                 queued: 0,
                 shutdown: false,
             }),
+            active: AtomicUsize::new(config.workers),
             work_available: Condvar::new(),
             space_available: Condvar::new(),
         });
-        let workers = (0..config.workers)
-            .map(|index| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("fcr-runtime-{index}"))
-                    .spawn(move || worker_loop(shared, index))
-                    .expect("spawning runtime worker failed")
-            })
-            .collect();
+        let mut workers: Vec<Option<JoinHandle<()>>> = (0..max_workers).map(|_| None).collect();
+        for (index, slot) in workers.iter_mut().enumerate().take(config.workers) {
+            *slot = Some(spawn_worker(&shared, index));
+        }
         Runtime {
             shared,
-            workers,
+            workers: Mutex::new(workers),
             next_shard: AtomicUsize::new(0),
+            min_workers,
+            max_workers,
+            shard_policy: config.shard,
+            autoscale_state: Mutex::new(AutoscaleState {
+                last_busy_ns: 0,
+                last_at: Instant::now(),
+            }),
+            resizes,
         }
     }
 
-    /// The fixed worker count (= shard count).
+    /// The current **active** worker count (elastic; see
+    /// [`Runtime::resize`]).
     pub fn workers(&self) -> usize {
-        self.shared.shards.len()
+        self.active_workers()
+    }
+
+    /// The current active worker count.
+    pub fn active_workers(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// The elastic floor.
+    pub fn min_workers(&self) -> usize {
+        self.min_workers
+    }
+
+    /// The elastic ceiling (= shard count).
+    pub fn max_workers(&self) -> usize {
+        self.max_workers
+    }
+
+    /// The default intra-run sharding policy this pool was configured
+    /// with.
+    pub fn shard_policy(&self) -> ShardPolicy {
+        self.shard_policy
+    }
+
+    /// Sets the active worker count to `target`, clamped to the
+    /// configured `[min_workers, max_workers]` bounds, and returns the
+    /// applied count.
+    ///
+    /// Shrinking retires the highest-indexed workers as soon as they
+    /// are idle; their queued work is stolen by the survivors, so no
+    /// job is ever dropped or reordered. Growing first reclaims any
+    /// retired thread occupying the slot (joining it), then spawns a
+    /// fresh worker. Resizing a shut-down pool is a no-op.
+    pub fn resize(&self, target: usize) -> usize {
+        let target = target.clamp(self.min_workers, self.max_workers);
+        let mut slots = self.workers.lock().expect("pool workers poisoned");
+        if slots.is_empty() {
+            // Already shut down.
+            return self.active_workers();
+        }
+        let current = self.shared.active.load(Ordering::Acquire);
+        if target == current {
+            return current;
+        }
+        if target < current {
+            // Retire the tail workers; they exit on their next idle
+            // check. Handles stay in their slots for lazy reclaiming.
+            self.shared.active.store(target, Ordering::Release);
+            self.shared.work_available.notify_all();
+        } else {
+            // Reclaim retired threads *before* raising `active`: with
+            // `active` still below their index they are guaranteed to
+            // exit, so the join terminates.
+            for slot in slots.iter_mut().take(target).skip(current) {
+                if let Some(handle) = slot.take() {
+                    self.shared.work_available.notify_all();
+                    let _ = handle.join();
+                }
+            }
+            self.shared.active.store(target, Ordering::Release);
+            for (index, slot) in slots.iter_mut().enumerate().take(target).skip(current) {
+                *slot = Some(spawn_worker(&self.shared, index));
+            }
+            self.shared.work_available.notify_all();
+        }
+        self.shared.metrics.set_active_workers(target);
+        self.resizes.fetch_add(1, Ordering::Relaxed);
+        target
+    }
+
+    /// One adaptive sizing step, meant to run **between batches**:
+    /// grows the pool (one doubling) when the queue backlog exceeds
+    /// one job per active worker, shrinks it (one halving) when the
+    /// queue is empty and mean per-worker utilization since the last
+    /// call is below 25%. Returns the applied [`ResizeEvent`], or
+    /// `None` when the size is already right.
+    pub fn autoscale(&self) -> Option<ResizeEvent> {
+        let active = self.active_workers();
+        if active == 0 {
+            return None;
+        }
+        let queue_depth = self.shared.metrics.queue_depth.load(Ordering::Relaxed);
+        let busy_ns = self.shared.metrics.total_busy_ns();
+        let utilization = {
+            let mut st = self
+                .autoscale_state
+                .lock()
+                .expect("autoscale state poisoned");
+            let now = Instant::now();
+            let dt = now.duration_since(st.last_at).as_nanos() as f64;
+            let dbusy = busy_ns.saturating_sub(st.last_busy_ns) as f64;
+            st.last_busy_ns = busy_ns;
+            st.last_at = now;
+            if dt <= 0.0 {
+                0.0
+            } else {
+                (dbusy / (dt * active as f64)).clamp(0.0, 1.0)
+            }
+        };
+        let target = if queue_depth > active as u64 && active < self.max_workers {
+            (active * 2).min(self.max_workers)
+        } else if queue_depth == 0 && utilization < 0.25 && active > self.min_workers {
+            (active / 2).max(self.min_workers)
+        } else {
+            active
+        };
+        if target == active {
+            return None;
+        }
+        let to = self.resize(target);
+        if to == active {
+            return None;
+        }
+        Some(ResizeEvent {
+            from: active,
+            to,
+            queue_depth,
+            utilization,
+        })
     }
 
     /// The live metrics registry (for registering domain counters).
@@ -250,10 +433,15 @@ impl Runtime {
             .shutdown
     }
 
-    /// One round-robin pass over all shards; hands the task back when
-    /// everything is full.
+    /// One round-robin pass over the **active** shards; hands the task
+    /// back when everything is full. (Shards of retired workers still
+    /// drain via stealing but receive no new work.)
     fn try_enqueue(&self, task: Task) -> Result<(), Task> {
-        let n = self.shared.shards.len();
+        let n = self
+            .shared
+            .active
+            .load(Ordering::Acquire)
+            .clamp(1, self.shared.shards.len());
         let start = self.next_shard.fetch_add(1, Ordering::Relaxed);
         let mut task = task;
         for offset in 0..n {
@@ -376,10 +564,11 @@ impl Runtime {
     }
 
     /// Graceful shutdown: every already-queued job still runs, then
-    /// the workers exit and are joined. Also invoked on drop. Further
-    /// submissions panic.
+    /// the workers exit and are joined (including any threads retired
+    /// earlier by a shrink). Also invoked on drop. Further submissions
+    /// panic.
     pub fn shutdown(&mut self) {
-        let workers = std::mem::take(&mut self.workers);
+        let workers = std::mem::take(&mut *self.workers.lock().expect("pool workers poisoned"));
         if workers.is_empty() {
             return; // already shut down
         }
@@ -388,7 +577,7 @@ impl Runtime {
             st.shutdown = true;
         }
         self.shared.work_available.notify_all();
-        for worker in workers {
+        for worker in workers.into_iter().flatten() {
             let _ = worker.join();
         }
     }
@@ -410,6 +599,7 @@ mod tests {
         Runtime::with_config(RuntimeConfig {
             workers,
             queue_capacity: capacity,
+            ..RuntimeConfig::default()
         })
     }
 
@@ -586,6 +776,140 @@ mod tests {
             snap.per_worker.iter().any(|w| w.busy_ns > 0),
             "sleeping jobs must register busy time"
         );
+    }
+
+    #[test]
+    fn resize_clamps_to_configured_bounds() {
+        let rt = Runtime::with_config(RuntimeConfig {
+            workers: 2,
+            queue_capacity: 8,
+            min_workers: 1,
+            max_workers: 4,
+            ..RuntimeConfig::default()
+        });
+        assert_eq!(rt.active_workers(), 2);
+        assert_eq!(rt.max_workers(), 4);
+        assert_eq!(rt.min_workers(), 1);
+        assert_eq!(rt.resize(100), 4, "clamped to max_workers");
+        assert_eq!(rt.resize(0), 1, "clamped to min_workers");
+        assert_eq!(rt.resize(3), 3);
+        assert_eq!(rt.workers(), 3);
+        assert_eq!(rt.snapshot().workers, 3, "snapshot reports active count");
+        assert!(rt.snapshot().counter("pool.resizes").unwrap_or(0) >= 3);
+    }
+
+    #[test]
+    fn resized_pool_still_executes_everything_in_order() {
+        // Interleave shrink-to-1 / grow-to-max with batches; nothing
+        // is dropped or reordered and retired slots come back alive.
+        let rt = Runtime::with_config(RuntimeConfig {
+            workers: 3,
+            queue_capacity: 4,
+            min_workers: 1,
+            max_workers: 3,
+            ..RuntimeConfig::default()
+        });
+        let mut expected = Vec::new();
+        let mut got = Vec::new();
+        for round in 0..4u64 {
+            let size = [1, 3, 2, 3][round as usize];
+            assert_eq!(rt.resize(size), size);
+            let base = round * 50;
+            let outcomes = rt.run_batch((base..base + 50).map(|i| move || i));
+            got.extend(outcomes.into_iter().map(Result::unwrap));
+            expected.extend(base..base + 50);
+        }
+        assert_eq!(got, expected, "resizes must not drop or reorder jobs");
+        let snap = rt.snapshot();
+        assert_eq!(snap.jobs_completed, 200);
+        assert_eq!(snap.queue_depth, 0);
+    }
+
+    #[test]
+    fn shrink_never_strands_queued_work() {
+        let rt = Runtime::with_config(RuntimeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            min_workers: 1,
+            max_workers: 4,
+            ..RuntimeConfig::default()
+        });
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        // Park one job on a worker so the queue backs up a little.
+        let blocker = rt.spawn(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        });
+        started_rx.recv().unwrap();
+        let handles: Vec<_> = (0..40u64).map(|i| rt.spawn(move || i)).collect();
+        // Shrink while jobs are queued across all four shards; the
+        // lone survivor must steal and drain everything.
+        assert_eq!(rt.resize(1), 1);
+        release_tx.send(()).unwrap();
+        assert_eq!(blocker.join(), Ok(()));
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join(), Ok(i as u64));
+        }
+        assert_eq!(rt.snapshot().queue_depth, 0);
+    }
+
+    #[test]
+    fn autoscale_grows_on_backlog_and_shrinks_when_idle() {
+        let rt = Runtime::with_config(RuntimeConfig {
+            workers: 1,
+            queue_capacity: 64,
+            min_workers: 1,
+            max_workers: 4,
+            ..RuntimeConfig::default()
+        });
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let blocker = rt.spawn(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        });
+        started_rx.recv().unwrap();
+        // Build a backlog deeper than one job per active worker.
+        let handles: Vec<_> = (0..8u64).map(|i| rt.spawn(move || i)).collect();
+        let event = rt.autoscale().expect("backlog must trigger a grow");
+        assert_eq!(event.from, 1);
+        assert_eq!(event.to, 2);
+        assert!(event.queue_depth > 1);
+        release_tx.send(()).unwrap();
+        assert_eq!(blocker.join(), Ok(()));
+        for h in handles {
+            assert!(h.join().is_ok());
+        }
+        // Let the utilization window go quiet, then autoscale drains
+        // back down one halving at a time.
+        std::thread::sleep(Duration::from_millis(25));
+        let event = rt.autoscale().expect("idle pool must shrink");
+        assert_eq!(event.from, 2);
+        assert_eq!(event.to, 1);
+        assert_eq!(event.queue_depth, 0);
+        assert!(event.utilization < 0.25);
+        // At the floor, nothing more happens.
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(rt.autoscale().is_none());
+        // The shrunken pool still works.
+        assert_eq!(rt.spawn(|| 7).join(), Ok(7));
+    }
+
+    #[test]
+    fn shutdown_joins_retired_workers_too() {
+        let mut rt = Runtime::with_config(RuntimeConfig {
+            workers: 3,
+            queue_capacity: 8,
+            min_workers: 1,
+            max_workers: 3,
+            ..RuntimeConfig::default()
+        });
+        assert_eq!(rt.resize(1), 1);
+        assert_eq!(rt.spawn(|| 1).join(), Ok(1));
+        rt.shutdown();
+        // Resizing after shutdown is a harmless no-op.
+        assert_eq!(rt.resize(3), rt.active_workers());
     }
 
     #[test]

@@ -1,11 +1,37 @@
 //! The slot loop: sensing → fusion → access → allocation →
 //! transmission → accounting.
+//!
+//! # Plan / window / stitch
+//!
+//! Since the intra-run sharding redesign the engine is split into
+//! three stages that serial and sharded execution share:
+//!
+//! 1. **`plan_spectrum`** — the serial *spectrum prologue*. The
+//!    primary-user Markov chain, sensing, fusion, and access carry
+//!    state from slot to slot, so they run sequentially once per run
+//!    (they are cheap and scheme-independent) and produce a
+//!    `SpectrumPlan`: the per-slot truth, posteriors, and accessed
+//!    channels every shard reads.
+//! 2. **`run_window`** — the expensive allocation + transmission
+//!    stage for one GOP-aligned slot window. Video sessions reset to
+//!    the base layer at every GOP deadline and the fading/loss RNG
+//!    streams are derived per `(run, gop)`
+//!    ([`fcr_spectrum::streams::gop_streams`]), so windows are
+//!    independent given the plan — any GOP-aligned partition yields
+//!    bit-identical results.
+//! 3. **`stitch`** — merges window outputs (in GOP order) with the
+//!    plan's aggregates into the final [`RunResult`] and optional
+//!    [`SimTrace`].
+//!
+//! [`run`] executes all three stages serially (one whole-run window);
+//! `crate::session::SimSession` schedules stage 2 across the shared
+//! worker pool.
 
 use crate::config::SimConfig;
 use crate::metrics::RunResult;
 use crate::scenario::Scenario;
 use crate::scheme::{decide_slot, Scheme};
-use crate::trace::SimTrace;
+use crate::trace::{SimTrace, SlotRecord};
 use fcr_core::allocation::Mode;
 use fcr_core::problem::{SlotProblem, UserState};
 use fcr_net::node::FbsId;
@@ -13,19 +39,153 @@ use fcr_spectrum::access::AccessOutcome;
 use fcr_spectrum::fusion::fuse_channel;
 use fcr_spectrum::primary::{ChannelId, PrimaryNetwork};
 use fcr_spectrum::sensing::SensorProfile;
+use fcr_spectrum::streams::{gop_streams, spectrum_streams};
 use fcr_stats::rng::SeedSequence;
 use fcr_video::quality::Psnr;
 use fcr_video::session::VideoSession;
 use rand::rngs::StdRng;
 
+/// How much per-slot state a run records alongside its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TraceMode {
+    /// Record nothing beyond the aggregate [`RunResult`] (the
+    /// production mode; costs no memory).
+    #[default]
+    Off,
+    /// Record one [`SlotRecord`] per slot (posteriors, access
+    /// decisions, allocations, deliveries, GOP completions). Memory
+    /// proportional to slots × users.
+    Slots,
+    /// As [`TraceMode::Slots`], additionally running the
+    /// dual-decomposition solver (Tables I/II) on every slot's problem
+    /// so per-slot convergence behaviour is observable
+    /// (`SlotRecord::dual_iterations`). The solver is deterministic
+    /// and consumes no RNG, so results stay bit-identical.
+    Full,
+}
+
+impl TraceMode {
+    /// `true` when per-slot records are collected.
+    pub fn records(self) -> bool {
+        !matches!(self, TraceMode::Off)
+    }
+}
+
+/// The outcome of [`run`]: the aggregate result plus the per-slot
+/// trace when the [`TraceMode`] asked for one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutput {
+    /// Aggregate run result (always present).
+    pub result: RunResult,
+    /// Per-slot records; `Some` iff the trace mode records.
+    pub trace: Option<SimTrace>,
+}
+
+/// Everything the spectrum prologue decided for one slot: the ground
+/// truth, the fused posteriors, and the channels the access policy
+/// opened. Scheme-independent and read-only for every shard.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SlotPlan {
+    /// True idleness per channel after this slot's primary step.
+    pub true_idle: Vec<bool>,
+    /// Fused availability posterior per channel.
+    pub posteriors: Vec<f64>,
+    /// Channels accessed this slot with their availability weights.
+    pub available: Vec<(ChannelId, f64)>,
+    /// Expected number of available accessed channels (`G` of eq. (5)).
+    pub expected_available: f64,
+}
+
+impl SlotPlan {
+    /// Accessed channels that are actually busy (collisions).
+    pub fn collisions(&self) -> usize {
+        self.available
+            .iter()
+            .filter(|(id, _)| !self.true_idle[id.0])
+            .count()
+    }
+}
+
+/// The serial spectrum prologue of one run: per-slot sensing / fusion
+/// / access decisions shared by every shard of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SpectrumPlan {
+    pub slots: Vec<SlotPlan>,
+}
+
+impl SpectrumPlan {
+    /// Total collisions across the run.
+    pub fn total_collisions(&self) -> u64 {
+        self.slots.iter().map(|s| s.collisions() as u64).sum()
+    }
+
+    /// Sum of expected available channels across the run.
+    pub fn g_sum(&self) -> f64 {
+        self.slots.iter().map(|s| s.expected_available).sum()
+    }
+}
+
+/// Greedy-allocator diagnostics accumulated over one GOP.
+///
+/// Aggregation happens at fixed per-GOP granularity (not per window)
+/// so that floating-point summation order — and therefore the final
+/// result, bit for bit — is independent of how the run was cut into
+/// windows.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct GopGreedy {
+    /// Sum of greedy objective values over this GOP's greedy slots.
+    pub obj_sum: f64,
+    /// Sum of eq. (23) upper bounds over the same slots.
+    pub eq23_sum: f64,
+    /// Number of slots in this GOP that ran the greedy allocator.
+    pub slots: u64,
+}
+
+/// The output of one GOP-aligned slot window (see `run_window`).
+#[derive(Debug, Clone)]
+pub(crate) struct WindowOutput {
+    /// First GOP (inclusive) this window covered.
+    pub gop_start: u32,
+    /// Completed-GOP PSNRs, `[user][gop - gop_start]`.
+    pub gop_psnr: Vec<Vec<f64>>,
+    /// Per-GOP greedy diagnostics, `[gop - gop_start]`.
+    pub greedy: Vec<GopGreedy>,
+    /// Per-slot records (empty when the trace mode is off).
+    pub records: Vec<SlotRecord>,
+}
+
 /// Runs one complete simulation (`cfg.gops` GOPs) of `scheme` on
-/// `scenario`, deterministically derived from `(seeds, run_index)`.
+/// `scenario`, deterministically derived from `(seeds, run_index)`,
+/// recording per-slot state per the [`TraceMode`].
+///
+/// This is the single entry point behind both the production and the
+/// traced paths (the deprecated [`run_once`] / [`run_traced`] wrappers
+/// forward here), and the serial reference for sharded execution: a
+/// sharded run is the same `plan_spectrum` → `run_window` →
+/// `stitch` pipeline with more than one window.
 ///
 /// # Panics
 ///
 /// Panics if the configuration is invalid (probabilities out of range,
 /// zero channels) — configs come from [`SimConfig`] whose constructors
 /// validate, so this indicates a hand-built config bug.
+pub fn run(
+    scenario: &Scenario,
+    cfg: &SimConfig,
+    scheme: Scheme,
+    seeds: &SeedSequence,
+    run_index: u64,
+    mode: TraceMode,
+) -> RunOutput {
+    let run_seeds = seeds.child("run", run_index);
+    let plan = plan_spectrum(scenario, cfg, &run_seeds);
+    let window = run_window(scenario, cfg, scheme, &run_seeds, &plan, 0, cfg.gops, mode);
+    stitch(cfg, &plan, vec![window], mode)
+}
+
+/// Runs one complete simulation of `scheme`, returning only the
+/// aggregate result.
+#[deprecated(note = "use `engine::run(..., TraceMode::Off)` and read `.result`")]
 pub fn run_once(
     scenario: &Scenario,
     cfg: &SimConfig,
@@ -33,13 +193,12 @@ pub fn run_once(
     seeds: &SeedSequence,
     run_index: u64,
 ) -> RunResult {
-    run_impl(scenario, cfg, scheme, seeds, run_index, None)
+    run(scenario, cfg, scheme, seeds, run_index, TraceMode::Off).result
 }
 
 /// As [`run_once`], additionally recording a full per-slot
-/// [`SimTrace`] (posteriors, access decisions, allocations, deliveries,
-/// GOP completions). Costs memory proportional to slots × users; meant
-/// for inspection and visualization, not large sweeps.
+/// [`SimTrace`].
+#[deprecated(note = "use `engine::run(..., TraceMode::Full)` and read `.trace`")]
 pub fn run_traced(
     scenario: &Scenario,
     cfg: &SimConfig,
@@ -47,60 +206,31 @@ pub fn run_traced(
     seeds: &SeedSequence,
     run_index: u64,
 ) -> (RunResult, SimTrace) {
-    let mut trace = SimTrace::new();
-    let result = run_impl(scenario, cfg, scheme, seeds, run_index, Some(&mut trace));
-    (result, trace)
+    let out = run(scenario, cfg, scheme, seeds, run_index, TraceMode::Full);
+    (out.result, out.trace.expect("Full mode records a trace"))
 }
 
-fn run_impl(
+/// The serial spectrum prologue: steps the primary network, senses,
+/// fuses, and decides access for every slot of the run, consuming the
+/// run-level RNG streams ([`fcr_spectrum::streams::spectrum_streams`])
+/// in exactly the draw order of the pre-sharding engine.
+pub(crate) fn plan_spectrum(
     scenario: &Scenario,
     cfg: &SimConfig,
-    scheme: Scheme,
-    seeds: &SeedSequence,
-    run_index: u64,
-    mut trace: Option<&mut SimTrace>,
-) -> RunResult {
-    let run_seeds = seeds.child("run", run_index);
-    let mut primary_rng = run_seeds.stream("primary", 0);
-    let mut sensing_rng = run_seeds.stream("sensing", 0);
-    let mut access_rng = run_seeds.stream("access", 0);
-    let mut fading_rng = run_seeds.stream("fading", 0);
-    let mut loss_rng = run_seeds.stream("loss", 0);
-
+    run_seeds: &SeedSequence,
+) -> SpectrumPlan {
+    let mut streams = spectrum_streams(run_seeds);
     let chain = cfg.markov().expect("valid markov config");
     let sensor = cfg.sensor().expect("valid sensor config");
     let policy = cfg.access_policy().expect("valid access config");
-    let mut primary = PrimaryNetwork::homogeneous(cfg.num_channels, chain, &mut primary_rng);
+    let mut primary = PrimaryNetwork::homogeneous(cfg.num_channels, chain, &mut streams.primary);
     let eta = chain.utilization();
-
-    let mut sessions: Vec<VideoSession> = scenario
-        .users
-        .iter()
-        .map(|u| {
-            VideoSession::new(
-                u.sequence.model_for(cfg.scalability),
-                fcr_video::gop::GopConfig::new(u.sequence.gop().frames(), cfg.deadline)
-                    .expect("deadline > 0"),
-            )
-        })
-        .collect();
-    let caps: Vec<f64> = scenario
-        .users
-        .iter()
-        .map(|u| u.sequence.max_psnr_for(cfg.scalability).db())
-        .collect();
-
-    let mut collisions = 0u64;
-    let mut channel_slots = 0u64;
-    let mut g_sum = 0.0;
-    let mut greedy_obj_sum = 0.0;
-    let mut eq23_sum = 0.0;
-    let mut greedy_slots = 0u64;
     // Per-channel busy beliefs (used only in belief-tracking mode).
     let mut beliefs = vec![eta; cfg.num_channels];
 
+    let mut slots = Vec::with_capacity(cfg.total_slots() as usize);
     for slot in 0..cfg.total_slots() {
-        primary.step(&mut primary_rng);
+        primary.step(&mut streams.primary);
 
         // --- Sensing + fusion (Section III-B). ---
         let busy_priors: Vec<f64> = match cfg.prior_mode {
@@ -121,7 +251,7 @@ fn run_impl(
             &sensor,
             &busy_priors,
             &user_targets,
-            &mut sensing_rng,
+            &mut streams.sensing,
         );
         for (belief, p_avail) in beliefs.iter_mut().zip(&posteriors) {
             *belief = 1.0 - p_avail;
@@ -131,7 +261,7 @@ fn run_impl(
         let first = cfg.first_observation_only.then_some(first_obs.as_slice());
         let outcome = match cfg.access_mode {
             crate::config::AccessMode::Probabilistic => {
-                AccessOutcome::decide_all(policy, &posteriors, first, &mut access_rng)
+                AccessOutcome::decide_all(policy, &posteriors, first, &mut streams.access)
             }
             crate::config::AccessMode::Threshold => AccessOutcome::decide_all_threshold(
                 cfg.threshold_policy().expect("valid gamma"),
@@ -139,137 +269,243 @@ fn run_impl(
                 first,
             ),
         };
-        channel_slots += cfg.num_channels as u64;
-        for (id, _) in outcome.available() {
-            if primary.state(*id).is_busy() {
-                collisions += 1;
-            }
-        }
-        g_sum += outcome.expected_available();
+        slots.push(SlotPlan {
+            true_idle: primary.states().iter().map(|s| s.is_idle()).collect(),
+            posteriors,
+            available: outcome.available().to_vec(),
+            expected_available: outcome.expected_available(),
+        });
+    }
+    SpectrumPlan { slots }
+}
 
-        // --- Per-slot link qualities (Section III-D). ---
-        let user_states: Vec<UserState> = scenario
-            .users
-            .iter()
-            .zip(&sessions)
-            .map(|(u, session)| {
-                let mbs_q = u.mbs_link.draw_slot(&mut fading_rng);
-                let fbs_q = u.fbs_link.draw_slot(&mut fading_rng);
-                let model = session.model();
-                UserState::new(
-                    session.current_psnr().db(),
-                    u.fbs,
-                    model.slot_increment(cfg.b0_rate(), cfg.deadline).db(),
-                    model.slot_increment(cfg.b1_rate(), cfg.deadline).db(),
-                    mbs_q.success_probability(),
-                    fbs_q.success_probability(),
-                )
-                .expect("engine-built user state is valid")
-            })
-            .collect();
+/// Runs allocation + transmission for the GOP-aligned window
+/// `[gop_start, gop_start + gop_count)` against a shared
+/// `SpectrumPlan`. Fading/loss draws come from per-GOP substreams,
+/// and video sessions reset at GOP deadlines, so the output is
+/// independent of how the run was partitioned into windows.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_window(
+    scenario: &Scenario,
+    cfg: &SimConfig,
+    scheme: Scheme,
+    run_seeds: &SeedSequence,
+    plan: &SpectrumPlan,
+    gop_start: u32,
+    gop_count: u32,
+    mode: TraceMode,
+) -> WindowOutput {
+    let mut sessions: Vec<VideoSession> = scenario
+        .users
+        .iter()
+        .map(|u| {
+            VideoSession::new(
+                u.sequence.model_for(cfg.scalability),
+                fcr_video::gop::GopConfig::new(u.sequence.gop().frames(), cfg.deadline)
+                    .expect("deadline > 0"),
+            )
+        })
+        .collect();
+    let caps: Vec<f64> = scenario
+        .users
+        .iter()
+        .map(|u| u.sequence.max_psnr_for(cfg.scalability).db())
+        .collect();
 
-        // --- Allocation (Section IV). ---
-        let weights: Vec<f64> = outcome.available().iter().map(|(_, w)| *w).collect();
-        let decision = decide_slot(
-            scheme,
-            &user_states,
-            &scenario.graph,
-            &weights,
-            outcome.expected_available(),
-        );
-        if let Some(greedy) = &decision.greedy {
-            greedy_obj_sum += greedy.q_value();
-            eq23_sum += greedy.upper_bound();
-            greedy_slots += 1;
-        }
+    let t = u64::from(cfg.deadline);
+    let mut gop_psnr: Vec<Vec<f64>> = vec![Vec::with_capacity(gop_count as usize); caps.len()];
+    let mut greedy = Vec::with_capacity(gop_count as usize);
+    let mut records = Vec::new();
 
-        // --- Transmission realization + PSNR crediting. ---
-        let video_span = fcr_telemetry::Span::enter(fcr_telemetry::Phase::VideoCredit);
-        let realized_g = realized_channels(scenario, &outcome, &decision.assignment, &primary);
-        let mut delivered_db = vec![0.0; user_states.len()];
-        for (j, user) in user_states.iter().enumerate() {
-            let a = decision.allocation.user(j);
-            if a.rho() <= 0.0 {
-                continue;
-            }
-            let (success_p, increment) = match a.mode {
-                Mode::Mbs => (user.success_mbs(), a.rho_mbs * user.r_mbs()),
-                Mode::Fbs => (
-                    user.success_fbs(),
-                    a.rho_fbs * realized_g[user.fbs().0] * user.r_fbs(),
-                ),
-            };
-            if increment > 0.0 && bernoulli(&mut loss_rng, success_p) {
-                // Cap at the stream's full-quality ceiling: a GOP has
-                // finitely many enhancement bits.
-                let headroom = (caps[j] - sessions[j].current_psnr().db()).max(0.0);
-                let credited = increment.min(headroom);
-                delivered_db[j] = credited;
-                sessions[j].credit(Psnr::new(credited).expect("nonnegative"));
-            }
-        }
+    for gop in gop_start..gop_start + gop_count {
+        let mut streams = gop_streams(run_seeds, u64::from(gop));
+        let mut gop_greedy = GopGreedy::default();
+        for slot_in_gop in 0..t {
+            let slot = u64::from(gop) * t + slot_in_gop;
+            let sp = &plan.slots[slot as usize];
 
-        // --- GOP accounting. ---
-        let mut completed_gop_db = Vec::with_capacity(sessions.len());
-        for session in &mut sessions {
-            completed_gop_db.push(session.end_slot().map(|p| p.db()));
-        }
-        drop(video_span);
-
-        if let Some(trace) = trace.as_deref_mut() {
-            let slot_collisions = outcome
-                .available()
+            // --- Per-slot link qualities (Section III-D). ---
+            let user_states: Vec<UserState> = scenario
+                .users
                 .iter()
-                .filter(|(id, _)| primary.state(*id).is_busy())
-                .count();
-            // Traced mode only: run the dual-decomposition solver
-            // (Tables I/II) on this slot's problem so the per-slot
-            // convergence behaviour is observable. The solver is
-            // deterministic and consumes no RNG, so the simulation
-            // results are bit-identical with or without tracing.
-            let dual_problem = match &decision.assignment {
-                Some(assignment) => fcr_core::interfering::InterferingProblem::new(
-                    user_states.clone(),
-                    scenario.graph.clone(),
-                    weights.clone(),
-                )
-                .expect("engine-built states are valid")
-                .problem_for(assignment),
-                None => SlotProblem::new(
-                    user_states.clone(),
-                    vec![outcome.expected_available(); scenario.num_fbss()],
-                )
-                .expect("engine-built states are valid"),
-            };
-            let dual = fcr_core::dual::DualSolver::default().solve(&dual_problem);
-            trace.push(crate::trace::SlotRecord {
-                slot,
-                true_idle: primary.states().iter().map(|s| s.is_idle()).collect(),
-                posteriors,
-                accessed: outcome.available().iter().map(|(id, _)| id.0).collect(),
-                expected_available: outcome.expected_available(),
-                collisions: slot_collisions,
-                allocation: decision.allocation.clone(),
-                realized_g,
-                delivered_db,
-                completed_gop_db,
-                dual_iterations: dual.iterations(),
-                dual_converged: dual.converged(),
-            });
+                .zip(&sessions)
+                .map(|(u, session)| {
+                    let mbs_q = u.mbs_link.draw_slot(&mut streams.fading);
+                    let fbs_q = u.fbs_link.draw_slot(&mut streams.fading);
+                    let model = session.model();
+                    UserState::new(
+                        session.current_psnr().db(),
+                        u.fbs,
+                        model.slot_increment(cfg.b0_rate(), cfg.deadline).db(),
+                        model.slot_increment(cfg.b1_rate(), cfg.deadline).db(),
+                        mbs_q.success_probability(),
+                        fbs_q.success_probability(),
+                    )
+                    .expect("engine-built user state is valid")
+                })
+                .collect();
+
+            // --- Allocation (Section IV). ---
+            let weights: Vec<f64> = sp.available.iter().map(|(_, w)| *w).collect();
+            let decision = decide_slot(
+                scheme,
+                &user_states,
+                &scenario.graph,
+                &weights,
+                sp.expected_available,
+            );
+            if let Some(g) = &decision.greedy {
+                gop_greedy.obj_sum += g.q_value();
+                gop_greedy.eq23_sum += g.upper_bound();
+                gop_greedy.slots += 1;
+            }
+
+            // --- Transmission realization + PSNR crediting. ---
+            let video_span = fcr_telemetry::Span::enter(fcr_telemetry::Phase::VideoCredit);
+            let realized_g = realized_channels(scenario, sp, &decision.assignment);
+            let mut delivered_db = vec![0.0; user_states.len()];
+            for (j, user) in user_states.iter().enumerate() {
+                let a = decision.allocation.user(j);
+                if a.rho() <= 0.0 {
+                    continue;
+                }
+                let (success_p, increment) = match a.mode {
+                    Mode::Mbs => (user.success_mbs(), a.rho_mbs * user.r_mbs()),
+                    Mode::Fbs => (
+                        user.success_fbs(),
+                        a.rho_fbs * realized_g[user.fbs().0] * user.r_fbs(),
+                    ),
+                };
+                if increment > 0.0 && bernoulli(&mut streams.loss, success_p) {
+                    // Cap at the stream's full-quality ceiling: a GOP
+                    // has finitely many enhancement bits.
+                    let headroom = (caps[j] - sessions[j].current_psnr().db()).max(0.0);
+                    let credited = increment.min(headroom);
+                    delivered_db[j] = credited;
+                    sessions[j].credit(Psnr::new(credited).expect("nonnegative"));
+                }
+            }
+
+            // --- GOP accounting. ---
+            let mut completed_gop_db = Vec::with_capacity(sessions.len());
+            for (j, session) in sessions.iter_mut().enumerate() {
+                let completed = session.end_slot().map(|p| p.db());
+                if let Some(db) = completed {
+                    gop_psnr[j].push(db);
+                }
+                completed_gop_db.push(completed);
+            }
+            drop(video_span);
+
+            if mode.records() {
+                // Full mode only: run the dual-decomposition solver
+                // (Tables I/II) on this slot's problem so the per-slot
+                // convergence behaviour is observable. The solver is
+                // deterministic and consumes no RNG, so the simulation
+                // results are bit-identical with or without it.
+                let (dual_iterations, dual_converged) = if mode == TraceMode::Full {
+                    let dual_problem = match &decision.assignment {
+                        Some(assignment) => fcr_core::interfering::InterferingProblem::new(
+                            user_states.clone(),
+                            scenario.graph.clone(),
+                            weights.clone(),
+                        )
+                        .expect("engine-built states are valid")
+                        .problem_for(assignment),
+                        None => SlotProblem::new(
+                            user_states.clone(),
+                            vec![sp.expected_available; scenario.num_fbss()],
+                        )
+                        .expect("engine-built states are valid"),
+                    };
+                    let dual = fcr_core::dual::DualSolver::default().solve(&dual_problem);
+                    (dual.iterations(), dual.converged())
+                } else {
+                    (0, false)
+                };
+                records.push(SlotRecord {
+                    slot,
+                    true_idle: sp.true_idle.clone(),
+                    posteriors: sp.posteriors.clone(),
+                    accessed: sp.available.iter().map(|(id, _)| id.0).collect(),
+                    expected_available: sp.expected_available,
+                    collisions: sp.collisions(),
+                    allocation: decision.allocation.clone(),
+                    realized_g,
+                    delivered_db,
+                    completed_gop_db,
+                    dual_iterations,
+                    dual_converged,
+                });
+            }
+        }
+        greedy.push(gop_greedy);
+    }
+
+    WindowOutput {
+        gop_start,
+        gop_psnr,
+        greedy,
+        records,
+    }
+}
+
+/// Merges window outputs (any GOP-aligned partition of the run) with
+/// the plan's scheme-independent aggregates into the final
+/// [`RunOutput`]. Windows are stitched in GOP order, so sharded and
+/// serial execution produce byte-for-byte the same result and trace.
+pub(crate) fn stitch(
+    cfg: &SimConfig,
+    plan: &SpectrumPlan,
+    mut windows: Vec<WindowOutput>,
+    mode: TraceMode,
+) -> RunOutput {
+    windows.sort_by_key(|w| w.gop_start);
+    let num_users = windows.first().map_or(0, |w| w.gop_psnr.len());
+
+    // All floating-point accumulation below walks per-GOP values in
+    // GOP order, one at a time — the summation order is therefore the
+    // same for every GOP-aligned partition, keeping sharded results
+    // bit-identical to serial ones.
+    let mut greedy_obj_sum = 0.0;
+    let mut eq23_sum = 0.0;
+    let mut greedy_slots = 0u64;
+    let mut per_user_sum = vec![0.0f64; num_users];
+    let mut per_user_gops = vec![0u64; num_users];
+    let mut trace = mode.records().then(SimTrace::new);
+    for w in windows {
+        for g in &w.greedy {
+            greedy_obj_sum += g.obj_sum;
+            eq23_sum += g.eq23_sum;
+            greedy_slots += g.slots;
+        }
+        for (j, history) in w.gop_psnr.iter().enumerate() {
+            for db in history {
+                per_user_sum[j] += db;
+            }
+            per_user_gops[j] += history.len() as u64;
+        }
+        if let Some(trace) = trace.as_mut() {
+            for record in w.records {
+                trace.push(record);
+            }
         }
     }
 
-    let per_user_psnr = sessions
+    let per_user_psnr = per_user_sum
         .iter()
-        .map(|s| s.mean_gop_psnr().map_or(0.0, |p| p.db()))
+        .zip(&per_user_gops)
+        .map(|(sum, n)| if *n == 0 { 0.0 } else { sum / *n as f64 })
         .collect();
-    RunResult {
+    let channel_slots = cfg.total_slots() * cfg.num_channels as u64;
+    let result = RunResult {
         per_user_psnr,
-        collision_rate: collisions as f64 / channel_slots as f64,
-        mean_expected_available: g_sum / cfg.total_slots() as f64,
+        collision_rate: plan.total_collisions() as f64 / channel_slots as f64,
+        mean_expected_available: plan.g_sum() / cfg.total_slots() as f64,
         mean_greedy_objective: (greedy_slots > 0).then(|| greedy_obj_sum / greedy_slots as f64),
         mean_eq23_bound: (greedy_slots > 0).then(|| eq23_sum / greedy_slots as f64),
-    }
+    };
+    RunOutput { result, trace }
 }
 
 /// Builds the per-slot problem the allocator sees in a representative
@@ -404,17 +640,18 @@ fn sense_all_channels(
 
 /// Counts, per FBS, how many of its accessed channels are *actually*
 /// idle — the realized (not expected) channel count that scales
-/// delivered video bits.
-fn realized_channels(
+/// delivered video bits. Reads the slot's plan (truth + accessed
+/// channels) instead of the live primary network, so shards can
+/// compute it from the shared prologue.
+pub(crate) fn realized_channels(
     scenario: &Scenario,
-    outcome: &AccessOutcome,
+    sp: &SlotPlan,
     assignment: &Option<fcr_core::interfering::ChannelAssignment>,
-    primary: &PrimaryNetwork,
 ) -> Vec<f64> {
     let n = scenario.num_fbss();
     let mut realized = vec![0.0; n];
-    for (pos, (id, _)) in outcome.available().iter().enumerate() {
-        if primary.state(*id).is_busy() {
+    for (pos, (id, _)) in sp.available.iter().enumerate() {
+        if !sp.true_idle[id.0] {
             continue; // collision: the channel delivers nothing.
         }
         match assignment {
@@ -446,6 +683,17 @@ fn bernoulli(rng: &mut StdRng, p: f64) -> bool {
 mod tests {
     use super::*;
 
+    /// Production-mode run (tests only need the aggregate result).
+    fn run_off(
+        scenario: &Scenario,
+        cfg: &SimConfig,
+        scheme: Scheme,
+        seeds: &SeedSequence,
+        run_index: u64,
+    ) -> RunResult {
+        run(scenario, cfg, scheme, seeds, run_index, TraceMode::Off).result
+    }
+
     fn quick_cfg() -> SimConfig {
         SimConfig {
             gops: 4,
@@ -458,10 +706,10 @@ mod tests {
         let cfg = quick_cfg();
         let scenario = Scenario::single_fbs(&cfg);
         let seeds = SeedSequence::new(99);
-        let a = run_once(&scenario, &cfg, Scheme::Proposed, &seeds, 0);
-        let b = run_once(&scenario, &cfg, Scheme::Proposed, &seeds, 0);
+        let a = run_off(&scenario, &cfg, Scheme::Proposed, &seeds, 0);
+        let b = run_off(&scenario, &cfg, Scheme::Proposed, &seeds, 0);
         assert_eq!(a, b);
-        let c = run_once(&scenario, &cfg, Scheme::Proposed, &seeds, 1);
+        let c = run_off(&scenario, &cfg, Scheme::Proposed, &seeds, 1);
         assert_ne!(a, c, "different run index, different randomness");
     }
 
@@ -469,7 +717,7 @@ mod tests {
     fn psnrs_land_in_the_papers_plot_range() {
         let cfg = quick_cfg();
         let scenario = Scenario::single_fbs(&cfg);
-        let r = run_once(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(1), 0);
+        let r = run_off(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(1), 0);
         for (j, p) in r.per_user_psnr.iter().enumerate() {
             assert!(
                 (25.0..48.0).contains(p),
@@ -486,7 +734,7 @@ mod tests {
         };
         let scenario = Scenario::single_fbs(&cfg);
         for scheme in [Scheme::Proposed, Scheme::Heuristic1] {
-            let r = run_once(&scenario, &cfg, scheme, &SeedSequence::new(5), 0);
+            let r = run_off(&scenario, &cfg, scheme, &SeedSequence::new(5), 0);
             assert!(
                 r.collision_rate <= cfg.gamma + 0.03,
                 "{scheme}: collision rate {} exceeds γ = {}",
@@ -505,7 +753,7 @@ mod tests {
             ..SimConfig::default()
         };
         let scenario = Scenario::single_fbs(&cfg);
-        let r = run_once(
+        let r = run_off(
             &scenario,
             &cfg,
             Scheme::Heuristic2,
@@ -528,7 +776,7 @@ mod tests {
         let seeds = SeedSequence::new(2024);
         let mean = |scheme| {
             (0..4)
-                .map(|r| run_once(&scenario, &cfg, scheme, &seeds, r).mean_psnr())
+                .map(|r| run_off(&scenario, &cfg, scheme, &seeds, r).mean_psnr())
                 .sum::<f64>()
                 / 4.0
         };
@@ -546,7 +794,7 @@ mod tests {
             ..SimConfig::default()
         };
         let scenario = Scenario::interfering_fig5(&cfg);
-        let r = run_once(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(7), 0);
+        let r = run_off(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(7), 0);
         let q = r.mean_greedy_objective.expect("proposed records Q");
         let ub = r.mean_eq23_bound.expect("proposed records the bound");
         assert!(ub >= q - 1e-9, "eq.(23) bound {ub} below Q {q}");
@@ -557,7 +805,7 @@ mod tests {
     fn heuristics_do_not_record_greedy_diagnostics() {
         let cfg = quick_cfg();
         let scenario = Scenario::interfering_fig5(&cfg);
-        let r = run_once(
+        let r = run_off(
             &scenario,
             &cfg,
             Scheme::Heuristic1,
@@ -596,8 +844,8 @@ mod tests {
             ..SimConfig::default()
         };
         let scenario = Scenario::single_fbs(&small);
-        let g4 = run_once(&scenario, &small, Scheme::Proposed, &seeds, 0).mean_expected_available;
-        let g12 = run_once(&scenario, &large, Scheme::Proposed, &seeds, 0).mean_expected_available;
+        let g4 = run_off(&scenario, &small, Scheme::Proposed, &seeds, 0).mean_expected_available;
+        let g12 = run_off(&scenario, &large, Scheme::Proposed, &seeds, 0).mean_expected_available;
         assert!(
             g12 > g4,
             "G with 12 channels ({g12}) should exceed 4 ({g4})"
@@ -609,8 +857,16 @@ mod tests {
         let cfg = quick_cfg();
         let scenario = Scenario::single_fbs(&cfg);
         let seeds = SeedSequence::new(21);
-        let plain = run_once(&scenario, &cfg, Scheme::Proposed, &seeds, 0);
-        let (traced, trace) = run_traced(&scenario, &cfg, Scheme::Proposed, &seeds, 0);
+        let plain = run_off(&scenario, &cfg, Scheme::Proposed, &seeds, 0);
+        let out = run(
+            &scenario,
+            &cfg,
+            Scheme::Proposed,
+            &seeds,
+            0,
+            TraceMode::Full,
+        );
+        let (traced, trace) = (out.result, out.trace.expect("Full mode traces"));
         assert_eq!(plain, traced, "tracing must not perturb the simulation");
         assert_eq!(trace.len() as u64, cfg.total_slots());
         // Collision tally agrees with the aggregate rate.
@@ -643,7 +899,7 @@ mod tests {
             ..SimConfig::default()
         };
         let scenario = Scenario::single_fbs(&cfg);
-        let r = run_once(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(8), 0);
+        let r = run_off(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(8), 0);
         assert!(
             r.collision_rate <= cfg.gamma + 0.03,
             "rate {}",
@@ -655,7 +911,7 @@ mod tests {
             prior_mode: crate::config::PriorMode::Stationary,
             ..cfg
         };
-        let r2 = run_once(
+        let r2 = run_off(
             &scenario,
             &stationary,
             Scheme::Proposed,
@@ -677,8 +933,8 @@ mod tests {
         };
         let scenario = Scenario::single_fbs(&base);
         let seeds = SeedSequence::new(12);
-        let prob = run_once(&scenario, &base, Scheme::Proposed, &seeds, 0);
-        let thresh = run_once(&scenario, &hard, Scheme::Proposed, &seeds, 0);
+        let prob = run_off(&scenario, &base, Scheme::Proposed, &seeds, 0);
+        let thresh = run_off(&scenario, &hard, Scheme::Proposed, &seeds, 0);
         assert!(thresh.collision_rate <= base.gamma + 0.02);
         assert!(
             thresh.mean_expected_available <= prob.mean_expected_available + 1e-9,
@@ -722,7 +978,7 @@ mod tests {
         };
         let scenario = Scenario::single_fbs(&cfg);
         let seeds = SeedSequence::new(19);
-        let active = run_once(&scenario, &cfg, Scheme::Proposed, &seeds, 0);
+        let active = run_off(&scenario, &cfg, Scheme::Proposed, &seeds, 0);
         assert!(active.collision_rate <= cfg.gamma + 0.03);
         assert!(active.mean_psnr() > 25.0);
         // It actually changes the sample path vs. round-robin.
@@ -730,7 +986,7 @@ mod tests {
             sensing_strategy: SensingStrategy::RoundRobin,
             ..cfg
         };
-        let rr = run_once(&scenario, &rr_cfg, Scheme::Proposed, &seeds, 0);
+        let rr = run_off(&scenario, &rr_cfg, Scheme::Proposed, &seeds, 0);
         assert_ne!(active, rr);
     }
 
@@ -750,7 +1006,7 @@ mod tests {
         let mean = |cfg: &SimConfig| {
             let scenario = Scenario::single_fbs(cfg);
             (0..3)
-                .map(|r| run_once(&scenario, cfg, Scheme::Proposed, &seeds, r).mean_psnr())
+                .map(|r| run_off(&scenario, cfg, Scheme::Proposed, &seeds, r).mean_psnr())
                 .sum::<f64>()
                 / 3.0
         };
@@ -767,6 +1023,109 @@ mod tests {
     }
 
     #[test]
+    fn gop_windows_stitch_bit_identical_to_serial() {
+        // The engine-level core of the sharding guarantee: running the
+        // same plan through 1-, 2-, and 3-GOP windows stitches to
+        // byte-for-byte the serial RunOutput, trace included. (The
+        // integration suite covers more shapes and the packet engine.)
+        let cfg = quick_cfg(); // 4 GOPs
+        let seeds = SeedSequence::new(31);
+        for scenario in [Scenario::single_fbs(&cfg), Scenario::interfering_fig5(&cfg)] {
+            let serial = run(
+                &scenario,
+                &cfg,
+                Scheme::Proposed,
+                &seeds,
+                0,
+                TraceMode::Full,
+            );
+            let run_seeds = seeds.child("run", 0);
+            let plan = plan_spectrum(&scenario, &cfg, &run_seeds);
+            for window_gops in [1u32, 2, 3] {
+                let mut windows = Vec::new();
+                let mut start = 0;
+                while start < cfg.gops {
+                    let count = window_gops.min(cfg.gops - start);
+                    windows.push(run_window(
+                        &scenario,
+                        &cfg,
+                        Scheme::Proposed,
+                        &run_seeds,
+                        &plan,
+                        start,
+                        count,
+                        TraceMode::Full,
+                    ));
+                    start += count;
+                }
+                let stitched = stitch(&cfg, &plan, windows, TraceMode::Full);
+                assert_eq!(serial, stitched, "window size {window_gops}");
+            }
+        }
+    }
+
+    #[test]
+    fn slots_mode_records_without_the_dual_solve() {
+        let cfg = quick_cfg();
+        let scenario = Scenario::single_fbs(&cfg);
+        let seeds = SeedSequence::new(13);
+        let full = run(
+            &scenario,
+            &cfg,
+            Scheme::Proposed,
+            &seeds,
+            0,
+            TraceMode::Full,
+        );
+        let slots = run(
+            &scenario,
+            &cfg,
+            Scheme::Proposed,
+            &seeds,
+            0,
+            TraceMode::Slots,
+        );
+        let off = run(&scenario, &cfg, Scheme::Proposed, &seeds, 0, TraceMode::Off);
+        assert_eq!(full.result, slots.result);
+        assert_eq!(slots.result, off.result);
+        assert!(off.trace.is_none());
+        let full_trace = full.trace.expect("full traces");
+        let slots_trace = slots.trace.expect("slots traces");
+        assert_eq!(full_trace.len(), slots_trace.len());
+        assert!(full_trace.records().iter().all(|r| r.dual_iterations > 0));
+        assert!(slots_trace.records().iter().all(|r| r.dual_iterations == 0));
+        // Everything except the diagnostic solver columns agrees.
+        for (f, s) in full_trace.records().iter().zip(slots_trace.records()) {
+            assert_eq!(f.allocation, s.allocation);
+            assert_eq!(f.delivered_db, s.delivered_db);
+            assert_eq!(f.posteriors, s.posteriors);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_merged_entry_point() {
+        let cfg = quick_cfg();
+        let scenario = Scenario::single_fbs(&cfg);
+        let seeds = SeedSequence::new(77);
+        let merged = run(
+            &scenario,
+            &cfg,
+            Scheme::Proposed,
+            &seeds,
+            0,
+            TraceMode::Full,
+        );
+        assert_eq!(
+            run_once(&scenario, &cfg, Scheme::Proposed, &seeds, 0),
+            merged.result
+        );
+        let (traced, trace) = run_traced(&scenario, &cfg, Scheme::Proposed, &seeds, 0);
+        assert_eq!(traced, merged.result);
+        assert_eq!(Some(trace), merged.trace);
+    }
+
+    #[test]
     fn first_observation_mode_runs() {
         let cfg = SimConfig {
             gops: 2,
@@ -774,7 +1133,7 @@ mod tests {
             ..SimConfig::default()
         };
         let scenario = Scenario::single_fbs(&cfg);
-        let r = run_once(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(4), 0);
+        let r = run_off(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(4), 0);
         assert!(r.mean_expected_available > 0.0);
     }
 }

@@ -28,9 +28,10 @@
 //! [`packet_engine`] (the NAL-unit-granular validation mode),
 //! [`metrics`] (per-run results), [`report`] (table rendering),
 //! [`pool`] (typed simulation jobs on the process-wide
-//! [`fcr_runtime`] worker pool), and [`runner`] (multi-run experiments
-//! with 95% confidence intervals and common random numbers, parallel
-//! across runs on the shared pool).
+//! [`fcr_runtime`] worker pool), [`session`] (the builder-style
+//! [`session::SimSession`] entry point that shards each run into
+//! GOP-aligned slot windows on the elastic pool), and [`runner`]
+//! (the deprecated multi-run API, now thin shims over the session).
 //!
 //! # Examples
 //!
@@ -43,9 +44,16 @@
 //!
 //! let cfg = SimConfig { gops: 2, ..SimConfig::default() };
 //! let scenario = Scenario::single_fbs(&cfg);
-//! let result = engine::run_once(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(7), 0);
-//! assert_eq!(result.per_user_psnr.len(), 3);
-//! assert!(result.collision_rate <= cfg.gamma + 0.05);
+//! let out = engine::run(
+//!     &scenario,
+//!     &cfg,
+//!     Scheme::Proposed,
+//!     &SeedSequence::new(7),
+//!     0,
+//!     engine::TraceMode::Off,
+//! );
+//! assert_eq!(out.result.per_user_psnr.len(), 3);
+//! assert!(out.result.collision_rate <= cfg.gamma + 0.05);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -60,14 +68,19 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod scheme;
+pub mod session;
 pub mod trace;
 
 pub use config::SimConfig;
-pub use engine::run_once;
+pub use engine::{run, RunOutput, TraceMode};
+#[allow(deprecated)]
+pub use engine::{run_once, run_traced};
 pub use metrics::RunResult;
 pub use packet_engine::{run_packet_level, PacketRunResult};
 pub use pool::SimJob;
+#[allow(deprecated)]
 pub use runner::Experiment;
 pub use scenario::{Scenario, UserSpec};
 pub use scheme::Scheme;
+pub use session::{PacketSessionResult, SessionResult, SimSession};
 pub use trace::{SimTrace, SlotRecord};

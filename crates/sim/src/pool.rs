@@ -12,14 +12,14 @@
 //! A [`SimJob`] carries everything a run depends on — scenario,
 //! config, scheme, master seed, run index — and derives its RNG
 //! streams from `SeedSequence::new(master_seed)` exactly like the
-//! serial [`run_once`] path. Combined with the runtime returning batch
+//! serial [`crate::engine::run`] path. Combined with the runtime returning batch
 //! results in submission order, pooled execution is **bit-identical**
 //! to a serial loop regardless of worker count or scheduling, and the
 //! common-random-numbers property across schemes is preserved
 //! (verified by `tests/determinism.rs`).
 
 use crate::config::SimConfig;
-use crate::engine::run_once;
+use crate::engine::{run, TraceMode};
 use crate::metrics::RunResult;
 use crate::scenario::Scenario;
 use crate::scheme::Scheme;
@@ -32,6 +32,9 @@ use std::sync::{Arc, OnceLock};
 pub const SLOTS_COUNTER: &str = "slots_simulated";
 /// Name of the domain counter tracking per-slot allocator invocations.
 pub const SOLVER_COUNTER: &str = "solver_invocations";
+/// Name of the domain counter tracking executed intra-run shard jobs
+/// (GOP-aligned slot windows scheduled by [`crate::session::SimSession`]).
+pub const SHARDS_COUNTER: &str = "shards_executed";
 
 /// One simulation run, fully described: `(scenario, config, scheme,
 /// master seed, run index) → RunResult`.
@@ -55,13 +58,15 @@ impl SimJob {
     /// serial path because the seed derivation matches
     /// [`crate::runner::Experiment::run_scheme`]'s contract.
     pub fn execute(&self) -> RunResult {
-        run_once(
+        run(
             &self.scenario,
             &self.config,
             self.scheme,
             &SeedSequence::new(self.master_seed),
             self.run_index,
+            TraceMode::Off,
         )
+        .result
     }
 }
 

@@ -116,6 +116,20 @@ pub fn runtime_metrics_table(snapshot: &MetricsSnapshot) -> String {
     for (name, value) in &snapshot.counters {
         let _ = writeln!(out, "  {name:<20} {value:>12}");
     }
+    // Intra-run sharding: how the session cut runs into slot-window
+    // jobs (the counters are registered on first sharded session).
+    if let (Some(shards), Some(slots)) = (
+        snapshot.counter(crate::pool::SHARDS_COUNTER),
+        snapshot.counter(crate::pool::SLOTS_COUNTER),
+    ) {
+        if shards > 0 {
+            let _ = writeln!(
+                out,
+                "  shard stats: {shards} shards executed, {:.1} slots/shard",
+                slots as f64 / shards as f64,
+            );
+        }
+    }
     let wall = &snapshot.job_wall_time;
     let _ = writeln!(
         out,
@@ -218,6 +232,29 @@ pub fn telemetry_table(snapshot: &TelemetrySnapshot) -> String {
             mean_ratio,
         );
     }
+    if !snapshot.shards.is_empty() {
+        let _ = writeln!(
+            out,
+            "shards: {} executed, mean wall {:.2} ms{}",
+            snapshot.shards.len(),
+            snapshot.mean_shard_wall_ns().unwrap_or(0.0) / 1e6,
+            if snapshot.dropped_shards > 0 {
+                format!(" ({} dropped)", snapshot.dropped_shards)
+            } else {
+                String::new()
+            },
+        );
+    }
+    for r in &snapshot.resizes {
+        let _ = writeln!(
+            out,
+            "  pool resize {} -> {} (queue {}, util {:.0}%)",
+            r.from,
+            r.to,
+            r.queue_depth,
+            100.0 * r.utilization,
+        );
+    }
     for (name, value) in &snapshot.counters {
         let _ = writeln!(out, "  {name:<24} {value:>12}");
     }
@@ -291,22 +328,22 @@ mod tests {
         use crate::config::SimConfig;
         use crate::pool::{self, SLOTS_COUNTER};
         use crate::scenario::Scenario;
-        use std::sync::Arc;
+        use crate::session::SimSession;
+        use fcr_runtime::ShardPolicy;
 
-        // Push at least one real job through the shared pool so every
-        // section of the table has data.
+        // Push at least one real sharded run through the shared pool so
+        // every section of the table (including shard stats) has data.
         let config = SimConfig {
             gops: 2,
             ..SimConfig::default()
         };
-        let outcomes = pool::execute_all(vec![crate::pool::SimJob {
-            scenario: Arc::new(Scenario::single_fbs(&config)),
-            config,
-            scheme: Scheme::Proposed,
-            master_seed: 7,
-            run_index: 0,
-        }]);
-        assert!(outcomes[0].is_ok());
+        let result = SimSession::new(Scenario::single_fbs(&config))
+            .config(config)
+            .runs(1)
+            .seed(7)
+            .shards(ShardPolicy::Windows(1))
+            .run(Scheme::Proposed);
+        assert!(result.outcomes()[0].is_ok());
         let snap = pool::snapshot();
         let out = runtime_metrics_table(&snap);
         assert!(out.contains("runtime pool ("), "header rendered:\n{out}");
@@ -318,6 +355,8 @@ mod tests {
             "jobs/sec",
             SLOTS_COUNTER,
             "solver_invocations",
+            "shard stats:",
+            "slots/shard",
             "job wall time:",
         ] {
             assert!(out.contains(label), "{label} rendered:\n{out}");
@@ -355,6 +394,19 @@ mod tests {
             gap_terms: vec![0.3, 0.2],
         });
         sink.incr("greedy.inner_solves", 12);
+        sink.record_shard(fcr_telemetry::ShardRecord {
+            run: 0,
+            window: 0,
+            gop_start: 0,
+            gops: 2,
+            wall_ns: 2_000_000,
+        });
+        sink.record_resize(fcr_telemetry::ResizeEvent {
+            from: 1,
+            to: 2,
+            queue_depth: 3,
+            utilization: 0.9,
+        });
         let out = telemetry_table(&sink.snapshot());
         for needle in [
             "phase",
@@ -367,6 +419,8 @@ mod tests {
             "dual solver: 1 solves",
             "greedy (Table III): 1 runs",
             "greedy.inner_solves",
+            "shards: 1 executed, mean wall 2.00 ms",
+            "pool resize 1 -> 2 (queue 3, util 90%)",
         ] {
             assert!(out.contains(needle), "{needle} rendered:\n{out}");
         }

@@ -1,25 +1,23 @@
-//! Multi-run experiments: the paper's "each point is the average of 10
-//! simulation runs" with 95% confidence intervals, parallel across
-//! runs on the process-wide [`crate::pool`] runtime.
+//! The deprecated multi-run experiment API, kept as thin shims over
+//! [`crate::session::SimSession`].
 //!
-//! The seed's per-run `std::thread::scope` spawning (unbounded: a
-//! 40-point sweep × 4 schemes × 10 runs would have peaked at hundreds
-//! of live threads) is gone; every run is a [`SimJob`] on the shared
-//! fixed-size pool, so total process concurrency is capped by the
-//! worker count regardless of experiment shape. A panicking run is
-//! carried as an error value ([`JobError`]) instead of aborting the
-//! experiment.
+//! [`Experiment`] and [`sweep`] were the original batch entry points;
+//! PR 3 replaced them with the builder-style session (which additionally
+//! shards *within* runs on the elastic pool). Every shim delegates to
+//! the session, so results stay **bit-identical** to both the old
+//! per-run pooled path and the serial [`crate::engine::run`] loop —
+//! determinism depends only on seeds, never on batching.
 
 use crate::config::SimConfig;
 use crate::metrics::{RunResult, SchemeSummary};
-use crate::pool::{self, SimJob};
 use crate::scenario::Scenario;
 use crate::scheme::Scheme;
+use crate::session::SimSession;
 use fcr_runtime::JobError;
 use fcr_stats::series::Series;
-use std::sync::Arc;
 
 /// A repeated-runs experiment of several schemes on one scenario.
+#[deprecated(since = "0.1.0", note = "use `SimSession` instead")]
 #[derive(Debug, Clone, PartialEq)]
 pub struct Experiment {
     scenario: Scenario,
@@ -28,8 +26,10 @@ pub struct Experiment {
     master_seed: u64,
 }
 
+#[allow(deprecated)]
 impl Experiment {
     /// Creates an experiment with the paper's 10 runs.
+    #[deprecated(since = "0.1.0", note = "use `SimSession::new` instead")]
     pub fn new(scenario: Scenario, config: SimConfig, master_seed: u64) -> Self {
         Self {
             scenario,
@@ -60,18 +60,13 @@ impl Experiment {
         &self.scenario
     }
 
-    /// The jobs this experiment submits for one scheme, in run order.
-    fn jobs(&self, scheme: Scheme) -> Vec<SimJob> {
-        let scenario = Arc::new(self.scenario.clone());
-        (0..self.runs)
-            .map(|run_index| SimJob {
-                scenario: Arc::clone(&scenario),
-                config: self.config,
-                scheme,
-                master_seed: self.master_seed,
-                run_index,
-            })
-            .collect()
+    /// The equivalent session: same scenario, config, run count, and
+    /// seed, so results match the historical behaviour bit for bit.
+    fn session(&self) -> SimSession {
+        SimSession::new(self.scenario.clone())
+            .config(self.config)
+            .runs(self.runs)
+            .seed(self.master_seed)
     }
 
     /// Executes all runs of one scheme on the shared pool, returning
@@ -83,10 +78,16 @@ impl Experiment {
     /// fading sample paths are **identical across schemes** (common
     /// random numbers — the comparison noise the paper's figures would
     /// otherwise carry is removed). Pooled execution is bit-identical
-    /// to calling [`crate::engine::run_once`] serially with the same
+    /// to calling [`crate::engine::run`] serially with the same
     /// seeds.
+    #[deprecated(since = "0.1.0", note = "use `SimSession::run` instead")]
     pub fn try_run_scheme(&self, scheme: Scheme) -> Vec<Result<RunResult, JobError>> {
-        pool::execute_all(self.jobs(scheme))
+        self.session()
+            .run(scheme)
+            .into_outcomes()
+            .into_iter()
+            .map(|outcome| outcome.map(|out| out.result))
+            .collect()
     }
 
     /// Executes all runs of one scheme, in parallel across runs,
@@ -97,31 +98,21 @@ impl Experiment {
     /// Panics if **every** run failed — there is nothing to average.
     /// Use [`Experiment::try_run_scheme`] to inspect individual
     /// failures.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SimSession::run` + `SessionResult::results` instead"
+    )]
     pub fn run_scheme(&self, scheme: Scheme) -> Vec<RunResult> {
-        let outcomes = self.try_run_scheme(scheme);
-        let total = outcomes.len();
-        let results: Vec<RunResult> = outcomes
-            .into_iter()
-            .enumerate()
-            .filter_map(|(run, outcome)| match outcome {
-                Ok(result) => Some(result),
-                Err(err) => {
-                    eprintln!("run {run} of {} failed: {err}", scheme.name());
-                    None
-                }
-            })
-            .collect();
-        assert!(
-            !results.is_empty(),
-            "all {total} runs of {} failed",
-            scheme.name()
-        );
-        results
+        self.session().run(scheme).results()
     }
 
     /// Runs a scheme and aggregates (mean ± 95% CI).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SimSession::run` + `SessionResult::summary` instead"
+    )]
     pub fn summarize(&self, scheme: Scheme) -> SchemeSummary {
-        SchemeSummary::from_runs(&self.run_scheme(scheme))
+        self.session().run(scheme).summary()
     }
 }
 
@@ -130,12 +121,14 @@ impl Experiment {
 /// Y-PSNR samples at every x (the exact layout of Figs. 4(b), 4(c),
 /// 6(a), 6(b), 6(c)).
 ///
-/// Every `(point, scheme, run)` triple becomes one [`SimJob`] in a
-/// single batch on the shared pool, so the whole sweep parallelizes
-/// across everything at once while results regroup deterministically
-/// in submission order. Failed runs are dropped from their sample set
-/// (reported on stderr); a point whose runs *all* fail contributes an
-/// empty sample set.
+/// Deprecated shim over [`SimSession::sweep`]; failed runs are dropped
+/// from their sample set (reported on stderr), and a point whose runs
+/// *all* fail contributes an empty sample set.
+///
+/// # Panics
+///
+/// Panics if `runs` is zero.
+#[deprecated(since = "0.1.0", note = "use `SimSession::sweep` instead")]
 pub fn sweep(
     points: &[(f64, SimConfig, Scenario)],
     schemes: &[Scheme],
@@ -143,51 +136,23 @@ pub fn sweep(
     master_seed: u64,
 ) -> Vec<Series> {
     assert!(runs > 0, "need at least one run");
-    // One flat batch, nested submission order: point-major, then
-    // scheme, then run — mirrored exactly when regrouping below.
-    let mut jobs = Vec::with_capacity(points.len() * schemes.len() * runs as usize);
-    for (_, cfg, scenario) in points {
-        let scenario = Arc::new(scenario.clone());
-        for &scheme in schemes {
-            for run_index in 0..runs {
-                jobs.push(SimJob {
-                    scenario: Arc::clone(&scenario),
-                    config: *cfg,
-                    scheme,
-                    master_seed,
-                    run_index,
-                });
-            }
-        }
-    }
-    let mut outcomes = pool::execute_all(jobs).into_iter();
-    let mut series: Vec<Series> = schemes.iter().map(|s| Series::new(s.name())).collect();
-    for (x, _, _) in points {
-        for (scheme, out) in schemes.iter().zip(series.iter_mut()) {
-            let samples: Vec<f64> = (0..runs)
-                .filter_map(
-                    |run| match outcomes.next().expect("one outcome per submitted job") {
-                        Ok(result) => Some(result.mean_psnr()),
-                        Err(err) => {
-                            eprintln!(
-                                "sweep point x={x}: run {run} of {} failed: {err}",
-                                scheme.name()
-                            );
-                            None
-                        }
-                    },
-                )
-                .collect();
-            out.push(*x, samples);
-        }
-    }
-    series
+    let Some((_, cfg, scenario)) = points.first() else {
+        return schemes.iter().map(|s| Series::new(s.name())).collect();
+    };
+    // The template session carries runs/seed; its scenario/config are
+    // superseded point by point.
+    SimSession::new(scenario.clone())
+        .config(*cfg)
+        .runs(runs)
+        .seed(master_seed)
+        .sweep(points, schemes)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::engine::run_once;
+    use crate::engine::{run, TraceMode};
     use fcr_stats::rng::SeedSequence;
 
     fn quick() -> Experiment {
@@ -213,7 +178,17 @@ mod tests {
         let pooled = e.run_scheme(Scheme::Heuristic2);
         let seeds = SeedSequence::new(77);
         let serial: Vec<RunResult> = (0..3)
-            .map(|run| run_once(e.scenario(), e.config(), Scheme::Heuristic2, &seeds, run))
+            .map(|r| {
+                run(
+                    e.scenario(),
+                    e.config(),
+                    Scheme::Heuristic2,
+                    &seeds,
+                    r,
+                    TraceMode::Off,
+                )
+                .result
+            })
             .collect();
         assert_eq!(pooled, serial, "pool must be bit-identical to serial");
     }
@@ -260,6 +235,14 @@ mod tests {
         let cfg = SimConfig::default();
         let points = vec![(1.0, cfg, Scenario::single_fbs(&cfg))];
         let _ = sweep(&points, &[Scheme::Proposed], 0, 5);
+    }
+
+    #[test]
+    fn empty_point_sweep_yields_empty_series() {
+        let series = sweep(&[], &[Scheme::Proposed, Scheme::Heuristic1], 2, 5);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].len(), 0);
+        assert_eq!(series[1].len(), 0);
     }
 
     #[test]

@@ -346,13 +346,15 @@ mod tests {
         let topo = fcr_net::scenarios::single_fbs(3);
         let scenario =
             Scenario::from_topology(&topo, &Sequence::PAPER_TRIO, &RadioParams::default(), &cfg);
-        let r = crate::engine::run_once(
+        let r = crate::engine::run(
             &scenario,
             &cfg,
             crate::scheme::Scheme::Proposed,
             &fcr_stats::rng::SeedSequence::new(3),
             0,
-        );
+            crate::engine::TraceMode::Off,
+        )
+        .result;
         assert_eq!(r.per_user_psnr.len(), 3);
         assert!(r.mean_psnr() > 20.0);
     }

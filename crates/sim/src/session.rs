@@ -1,0 +1,702 @@
+//! `SimSession` — the unified builder-style entry point for running
+//! simulations, serial or sharded, fluid or packet-level.
+//!
+//! One type replaces the old `Experiment::run_scheme` /
+//! `try_run_scheme` / `summarize` / free-function `sweep` sprawl:
+//!
+//! ```
+//! use fcr_sim::config::SimConfig;
+//! use fcr_sim::scenario::Scenario;
+//! use fcr_sim::scheme::Scheme;
+//! use fcr_sim::session::SimSession;
+//!
+//! let cfg = SimConfig { gops: 2, ..SimConfig::default() };
+//! let result = SimSession::new(Scenario::single_fbs(&cfg))
+//!     .config(cfg)
+//!     .seed(7)
+//!     .runs(3)
+//!     .run(Scheme::Proposed);
+//! assert_eq!(result.results().len(), 3);
+//! assert!(result.summary().overall.mean() > 20.0);
+//! ```
+//!
+//! # Intra-run sharding
+//!
+//! A session cuts every run into GOP-aligned slot windows per its
+//! [`ShardPolicy`] ([`SimSession::shards`], falling back to
+//! [`SimConfig::shard`]) and schedules each window as one job on the
+//! process-wide worker pool — so even a *single* long run parallelizes
+//! across workers. The RNG handoff is deterministic (run-level
+//! spectrum streams + per-`(run, gop)` fading/loss substreams, see
+//! `fcr_spectrum::streams`), which makes sharded output **bit-identical
+//! to serial** for every policy; `tests/determinism.rs` pins this for
+//! both the fluid and the packet engine.
+//!
+//! Before each batch the session lets the elastic pool autoscale
+//! within its configured bounds (queue-depth and utilization driven)
+//! and records any resize, plus one [`fcr_telemetry::ShardRecord`] per
+//! executed window, into the global telemetry sink.
+
+use crate::config::SimConfig;
+use crate::engine::{self, RunOutput, SpectrumPlan, TraceMode, WindowOutput};
+use crate::metrics::{RunResult, SchemeSummary};
+use crate::packet_engine::{self, PacketRunResult, PacketWindowOutput};
+use crate::pool::{self, SHARDS_COUNTER, SLOTS_COUNTER, SOLVER_COUNTER};
+use crate::scenario::Scenario;
+use crate::scheme::Scheme;
+use crate::trace::SimTrace;
+use fcr_runtime::{JobOutcome, ShardPolicy};
+use fcr_stats::rng::SeedSequence;
+use fcr_stats::series::Series;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Builder-style handle for running one scenario several times.
+///
+/// Defaults: the paper's 10 runs, master seed 0, the config's
+/// [`SimConfig::shard`] policy, and [`TraceMode::Off`].
+#[derive(Debug, Clone)]
+pub struct SimSession {
+    scenario: Arc<Scenario>,
+    config: SimConfig,
+    runs: u64,
+    master_seed: u64,
+    shards: Option<ShardPolicy>,
+    trace: TraceMode,
+}
+
+impl SimSession {
+    /// Creates a session over `scenario` with the default
+    /// [`SimConfig`], the paper's 10 runs, and master seed 0.
+    pub fn new(scenario: Scenario) -> Self {
+        Self {
+            scenario: Arc::new(scenario),
+            config: SimConfig::default(),
+            runs: 10,
+            master_seed: 0,
+            shards: None,
+            trace: TraceMode::Off,
+        }
+    }
+
+    /// Sets the simulation parameters (builder style).
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the master seed. Each run `r` derives its streams from
+    /// `(seed, r)`, never from scheduling order.
+    pub fn seed(mut self, master_seed: u64) -> Self {
+        self.master_seed = master_seed;
+        self
+    }
+
+    /// Overrides the number of runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is zero.
+    pub fn runs(mut self, runs: u64) -> Self {
+        assert!(runs > 0, "need at least one run");
+        self.runs = runs;
+        self
+    }
+
+    /// Overrides the shard policy (otherwise [`SimConfig::shard`] is
+    /// used). Sharding never changes results, only scheduling.
+    pub fn shards(mut self, policy: ShardPolicy) -> Self {
+        self.shards = Some(policy);
+        self
+    }
+
+    /// Sets how much per-slot state each run records
+    /// ([`TraceMode::Off`] by default).
+    pub fn trace(mut self, mode: TraceMode) -> Self {
+        self.trace = mode;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config_ref(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The scenario in use.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The shard policy the session will resolve against the pool.
+    pub fn shard_policy(&self) -> ShardPolicy {
+        self.shards.unwrap_or(self.config.shard)
+    }
+
+    /// Executes all runs of `scheme` (fluid engine), sharded across
+    /// the process-wide pool, returning per-run outcomes in run order.
+    ///
+    /// Seeds are derived per `(run, gop)`, so sample paths are
+    /// identical across schemes (common random numbers) and results
+    /// are bit-identical to the serial [`crate::engine::run`] path for
+    /// every shard policy and worker count.
+    pub fn run(&self, scheme: Scheme) -> SessionResult {
+        let seeds = SeedSequence::new(self.master_seed);
+        let runtime = pool::shared();
+        if let Some(event) = runtime.autoscale() {
+            fcr_telemetry::record_resize(event);
+        }
+        let total_gops = u64::from(self.config.gops);
+        let window_gops = self
+            .shard_policy()
+            .window_gops(total_gops, runtime.active_workers());
+        let windows_per_run = total_gops.div_ceil(window_gops);
+        let mode = self.trace;
+
+        // Serial spectrum prologue, once per run (cheap and
+        // scheme-independent); every shard of the run shares the plan.
+        let plans: Vec<Arc<SpectrumPlan>> = (0..self.runs)
+            .map(|r| {
+                Arc::new(engine::plan_spectrum(
+                    &self.scenario,
+                    &self.config,
+                    &seeds.child("run", r),
+                ))
+            })
+            .collect();
+
+        // One flat batch, run-major then window order — regrouped below
+        // in exactly this order.
+        let mut jobs = Vec::with_capacity((self.runs * windows_per_run) as usize);
+        for r in 0..self.runs {
+            let run_seeds = seeds.child("run", r);
+            for w in 0..windows_per_run {
+                let gop_start = w * window_gops;
+                let gops = window_gops.min(total_gops - gop_start) as u32;
+                jobs.push(WindowJob {
+                    scenario: Arc::clone(&self.scenario),
+                    config: self.config,
+                    scheme,
+                    run_seeds,
+                    plan: Arc::clone(&plans[r as usize]),
+                    run: r,
+                    window: w,
+                    gop_start: gop_start as u32,
+                    gops,
+                    mode,
+                });
+            }
+        }
+        let window_outcomes = execute_windows(jobs, |job| job.execute());
+
+        let mut iter = window_outcomes.into_iter();
+        let outcomes = (0..self.runs)
+            .map(|r| {
+                let mut windows = Vec::with_capacity(windows_per_run as usize);
+                let mut failure = None;
+                for _ in 0..windows_per_run {
+                    match iter.next().expect("one outcome per submitted window") {
+                        Ok(w) => windows.push(w),
+                        Err(e) => failure = Some(e),
+                    }
+                }
+                match failure {
+                    Some(e) => Err(e),
+                    None => Ok(engine::stitch(
+                        &self.config,
+                        &plans[r as usize],
+                        windows,
+                        mode,
+                    )),
+                }
+            })
+            .collect();
+        SessionResult { scheme, outcomes }
+    }
+
+    /// Executes all runs of `scheme` through the packet-level engine
+    /// (NAL-unit-granular delivery), sharded like [`SimSession::run`];
+    /// bit-identical to the serial
+    /// [`crate::packet_engine::run_packet_level`].
+    pub fn run_packet(&self, scheme: Scheme) -> PacketSessionResult {
+        let seeds = SeedSequence::new(self.master_seed);
+        let runtime = pool::shared();
+        if let Some(event) = runtime.autoscale() {
+            fcr_telemetry::record_resize(event);
+        }
+        let total_gops = u64::from(self.config.gops);
+        let window_gops = self
+            .shard_policy()
+            .window_gops(total_gops, runtime.active_workers());
+        let windows_per_run = total_gops.div_ceil(window_gops);
+
+        let plans: Vec<Arc<SpectrumPlan>> = (0..self.runs)
+            .map(|r| {
+                Arc::new(packet_engine::plan_packet(
+                    &self.scenario,
+                    &self.config,
+                    &seeds.child("packet-run", r),
+                ))
+            })
+            .collect();
+
+        let mut jobs = Vec::with_capacity((self.runs * windows_per_run) as usize);
+        for r in 0..self.runs {
+            let run_seeds = seeds.child("packet-run", r);
+            for w in 0..windows_per_run {
+                let gop_start = w * window_gops;
+                let gops = window_gops.min(total_gops - gop_start) as u32;
+                jobs.push(PacketWindowJob {
+                    scenario: Arc::clone(&self.scenario),
+                    config: self.config,
+                    scheme,
+                    run_seeds,
+                    plan: Arc::clone(&plans[r as usize]),
+                    run: r,
+                    window: w,
+                    gop_start: gop_start as u32,
+                    gops,
+                });
+            }
+        }
+        let window_outcomes = execute_windows(jobs, |job| job.execute());
+
+        let num_users = self.scenario.num_users();
+        let mut iter = window_outcomes.into_iter();
+        let outcomes = (0..self.runs)
+            .map(|_| {
+                let mut windows = Vec::with_capacity(windows_per_run as usize);
+                let mut failure = None;
+                for _ in 0..windows_per_run {
+                    match iter.next().expect("one outcome per submitted window") {
+                        Ok(w) => windows.push(w),
+                        Err(e) => failure = Some(e),
+                    }
+                }
+                match failure {
+                    Some(e) => Err(e),
+                    None => Ok(packet_engine::stitch_packet(windows, num_users)),
+                }
+            })
+            .collect();
+        PacketSessionResult { scheme, outcomes }
+    }
+
+    /// Sweeps a parameter: for each `(x, config, scenario)` point,
+    /// runs all `schemes` with this session's seed / run count / shard
+    /// policy and returns one [`Series`] per scheme with the mean
+    /// Y-PSNR samples at every x (the layout of Figs. 4(b), 4(c),
+    /// 6(a)–6(c)). The session's own scenario/config act only as the
+    /// template; each point supplies its own.
+    pub fn sweep(&self, points: &[(f64, SimConfig, Scenario)], schemes: &[Scheme]) -> Vec<Series> {
+        let mut series: Vec<Series> = schemes.iter().map(|s| Series::new(s.name())).collect();
+        for (x, cfg, scenario) in points {
+            let session = SimSession {
+                scenario: Arc::new(scenario.clone()),
+                config: *cfg,
+                runs: self.runs,
+                master_seed: self.master_seed,
+                shards: self.shards,
+                trace: TraceMode::Off,
+            };
+            for (scheme, out) in schemes.iter().zip(series.iter_mut()) {
+                let samples: Vec<f64> = session
+                    .run(*scheme)
+                    .outcomes()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(run, outcome)| match outcome {
+                        Ok(out) => Some(out.result.mean_psnr()),
+                        Err(err) => {
+                            eprintln!(
+                                "sweep point x={x}: run {run} of {} failed: {err}",
+                                scheme.name()
+                            );
+                            None
+                        }
+                    })
+                    .collect();
+                out.push(*x, samples);
+            }
+        }
+        series
+    }
+}
+
+/// Submits window jobs as one flat batch on the shared pool, with
+/// per-shard telemetry and the domain counters every window feeds.
+fn execute_windows<J, T>(
+    jobs: Vec<J>,
+    execute: impl Fn(&J) -> T + Copy + Send + Sync + 'static,
+) -> Vec<JobOutcome<T>>
+where
+    J: ShardJob + Send + 'static,
+    T: Send + 'static,
+{
+    let runtime = pool::shared();
+    let slots = runtime.metrics().counter(SLOTS_COUNTER);
+    let solves = runtime.metrics().counter(SOLVER_COUNTER);
+    let shards = runtime.metrics().counter(SHARDS_COUNTER);
+    runtime.run_batch(jobs.into_iter().map(|job| {
+        let slots = Arc::clone(&slots);
+        let solves = Arc::clone(&solves);
+        let shards = Arc::clone(&shards);
+        move || {
+            use std::sync::atomic::Ordering;
+            let started = Instant::now();
+            let out = execute(&job);
+            let record = job.record(started.elapsed().as_nanos() as u64);
+            // One channel-allocation solve happens per simulated slot.
+            slots.fetch_add(record.gops * job.slots_per_gop(), Ordering::Relaxed);
+            solves.fetch_add(record.gops * job.slots_per_gop(), Ordering::Relaxed);
+            shards.fetch_add(1, Ordering::Relaxed);
+            fcr_telemetry::record_shard(record);
+            out
+        }
+    }))
+}
+
+/// The bookkeeping interface shared by fluid and packet window jobs.
+trait ShardJob {
+    fn record(&self, wall_ns: u64) -> fcr_telemetry::ShardRecord;
+    fn slots_per_gop(&self) -> u64;
+}
+
+/// One GOP-aligned fluid-engine window of one run, fully described.
+struct WindowJob {
+    scenario: Arc<Scenario>,
+    config: SimConfig,
+    scheme: Scheme,
+    run_seeds: SeedSequence,
+    plan: Arc<SpectrumPlan>,
+    run: u64,
+    window: u64,
+    gop_start: u32,
+    gops: u32,
+    mode: TraceMode,
+}
+
+impl WindowJob {
+    fn execute(&self) -> WindowOutput {
+        engine::run_window(
+            &self.scenario,
+            &self.config,
+            self.scheme,
+            &self.run_seeds,
+            &self.plan,
+            self.gop_start,
+            self.gops,
+            self.mode,
+        )
+    }
+}
+
+impl ShardJob for WindowJob {
+    fn record(&self, wall_ns: u64) -> fcr_telemetry::ShardRecord {
+        fcr_telemetry::ShardRecord {
+            run: self.run,
+            window: self.window,
+            gop_start: u64::from(self.gop_start),
+            gops: u64::from(self.gops),
+            wall_ns,
+        }
+    }
+
+    fn slots_per_gop(&self) -> u64 {
+        u64::from(self.config.deadline)
+    }
+}
+
+/// One GOP-aligned packet-engine window of one run.
+struct PacketWindowJob {
+    scenario: Arc<Scenario>,
+    config: SimConfig,
+    scheme: Scheme,
+    run_seeds: SeedSequence,
+    plan: Arc<SpectrumPlan>,
+    run: u64,
+    window: u64,
+    gop_start: u32,
+    gops: u32,
+}
+
+impl PacketWindowJob {
+    fn execute(&self) -> PacketWindowOutput {
+        packet_engine::run_packet_window(
+            &self.scenario,
+            &self.config,
+            self.scheme,
+            &self.run_seeds,
+            &self.plan,
+            self.gop_start,
+            self.gops,
+        )
+    }
+}
+
+impl ShardJob for PacketWindowJob {
+    fn record(&self, wall_ns: u64) -> fcr_telemetry::ShardRecord {
+        fcr_telemetry::ShardRecord {
+            run: self.run,
+            window: self.window,
+            gop_start: u64::from(self.gop_start),
+            gops: u64::from(self.gops),
+            wall_ns,
+        }
+    }
+
+    fn slots_per_gop(&self) -> u64 {
+        u64::from(self.config.deadline)
+    }
+}
+
+/// Per-run outcomes of one [`SimSession::run`] invocation.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    scheme: Scheme,
+    outcomes: Vec<JobOutcome<RunOutput>>,
+}
+
+impl SessionResult {
+    /// The scheme that produced these outcomes.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Per-run outcomes in run order; a run whose shard panicked
+    /// yields `Err(JobError::Panicked(..))` in its slot.
+    pub fn outcomes(&self) -> &[JobOutcome<RunOutput>] {
+        &self.outcomes
+    }
+
+    /// Consumes the result into its per-run outcomes.
+    pub fn into_outcomes(self) -> Vec<JobOutcome<RunOutput>> {
+        self.outcomes
+    }
+
+    /// The successful per-run results, in run order; failed runs are
+    /// reported on stderr and dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if **every** run failed — there is nothing to average.
+    /// Use [`SessionResult::outcomes`] to inspect individual failures.
+    pub fn results(&self) -> Vec<RunResult> {
+        let total = self.outcomes.len();
+        let results: Vec<RunResult> = self
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(run, outcome)| match outcome {
+                Ok(out) => Some(out.result.clone()),
+                Err(err) => {
+                    eprintln!("run {run} of {} failed: {err}", self.scheme.name());
+                    None
+                }
+            })
+            .collect();
+        assert!(
+            !results.is_empty(),
+            "all {total} runs of {} failed",
+            self.scheme.name()
+        );
+        results
+    }
+
+    /// The per-run traces, in run order (empty unless the session ran
+    /// with a recording [`TraceMode`]).
+    pub fn traces(&self) -> Vec<&SimTrace> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.as_ref().ok().and_then(|out| out.trace.as_ref()))
+            .collect()
+    }
+
+    /// Aggregates the successful runs (mean ± 95% CI).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every run failed (see [`SessionResult::results`]).
+    pub fn summary(&self) -> SchemeSummary {
+        SchemeSummary::from_runs(&self.results())
+    }
+}
+
+/// Per-run outcomes of one [`SimSession::run_packet`] invocation.
+#[derive(Debug, Clone)]
+pub struct PacketSessionResult {
+    scheme: Scheme,
+    outcomes: Vec<JobOutcome<PacketRunResult>>,
+}
+
+impl PacketSessionResult {
+    /// The scheme that produced these outcomes.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Per-run outcomes in run order.
+    pub fn outcomes(&self) -> &[JobOutcome<PacketRunResult>] {
+        &self.outcomes
+    }
+
+    /// Consumes the result into its per-run outcomes.
+    pub fn into_outcomes(self) -> Vec<JobOutcome<PacketRunResult>> {
+        self.outcomes
+    }
+
+    /// The successful per-run results, in run order; failed runs are
+    /// reported on stderr and dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if **every** run failed.
+    pub fn results(&self) -> Vec<PacketRunResult> {
+        let total = self.outcomes.len();
+        let results: Vec<PacketRunResult> = self
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(run, outcome)| match outcome {
+                Ok(r) => Some(r.clone()),
+                Err(err) => {
+                    eprintln!("packet run {run} of {} failed: {err}", self.scheme.name());
+                    None
+                }
+            })
+            .collect();
+        assert!(
+            !results.is_empty(),
+            "all {total} packet runs of {} failed",
+            self.scheme.name()
+        );
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use crate::packet_engine::run_packet_level;
+
+    fn quick() -> SimSession {
+        let cfg = SimConfig {
+            gops: 4,
+            ..SimConfig::default()
+        };
+        SimSession::new(Scenario::single_fbs(&cfg))
+            .config(cfg)
+            .seed(77)
+            .runs(3)
+    }
+
+    #[test]
+    fn session_is_deterministic_and_bit_identical_to_serial() {
+        let s = quick();
+        let seeds = SeedSequence::new(77);
+        for policy in [
+            ShardPolicy::Auto,
+            ShardPolicy::WholeRun,
+            ShardPolicy::Windows(1),
+            ShardPolicy::Windows(3),
+        ] {
+            let result = s.clone().shards(policy).run(Scheme::Proposed);
+            let runs = result.results();
+            assert_eq!(runs.len(), 3, "{policy:?}");
+            for (r, got) in runs.iter().enumerate() {
+                let want = run(
+                    s.scenario(),
+                    s.config_ref(),
+                    Scheme::Proposed,
+                    &seeds,
+                    r as u64,
+                    TraceMode::Off,
+                )
+                .result;
+                assert_eq!(*got, want, "{policy:?} run {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_traces_stitch_identically() {
+        let s = quick().trace(TraceMode::Slots);
+        let serial = s
+            .clone()
+            .shards(ShardPolicy::WholeRun)
+            .run(Scheme::Proposed);
+        let sharded = s
+            .clone()
+            .shards(ShardPolicy::Windows(1))
+            .run(Scheme::Proposed);
+        assert_eq!(serial.traces().len(), 3);
+        for (a, b) in serial.traces().iter().zip(sharded.traces()) {
+            assert_eq!(*a, b, "stitched trace differs from serial");
+        }
+    }
+
+    #[test]
+    fn packet_session_matches_serial_packet_engine() {
+        let s = quick();
+        let seeds = SeedSequence::new(77);
+        for policy in [ShardPolicy::WholeRun, ShardPolicy::Windows(1)] {
+            let result = s.clone().shards(policy).run_packet(Scheme::Heuristic1);
+            let runs = result.results();
+            assert_eq!(runs.len(), 3);
+            for (r, got) in runs.iter().enumerate() {
+                let want = run_packet_level(
+                    s.scenario(),
+                    s.config_ref(),
+                    Scheme::Heuristic1,
+                    &seeds,
+                    r as u64,
+                );
+                assert_eq!(*got, want, "{policy:?} run {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn session_feeds_shard_counter() {
+        let before = pool::snapshot().counter(SHARDS_COUNTER).unwrap_or(0);
+        let s = quick().shards(ShardPolicy::Windows(2)); // 4 GOPs → 2 windows/run
+        let _ = s.run(Scheme::Heuristic2);
+        let after = pool::snapshot()
+            .counter(SHARDS_COUNTER)
+            .expect("registered");
+        assert_eq!(after - before, 3 * 2, "3 runs × 2 windows");
+    }
+
+    #[test]
+    fn sweep_produces_aligned_series() {
+        let base = SimConfig {
+            gops: 2,
+            ..SimConfig::default()
+        };
+        let points: Vec<(f64, SimConfig, Scenario)> = [4usize, 6]
+            .iter()
+            .map(|m| {
+                let cfg = SimConfig {
+                    num_channels: *m,
+                    ..base
+                };
+                (*m as f64, cfg, Scenario::single_fbs(&cfg))
+            })
+            .collect();
+        let series = SimSession::new(Scenario::single_fbs(&base))
+            .config(base)
+            .seed(5)
+            .runs(2)
+            .sweep(&points, &[Scheme::Proposed, Scheme::Heuristic1]);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].name(), "Proposed scheme");
+        assert_eq!(series[0].len(), 2);
+        assert_eq!(series[1].len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_panics() {
+        let _ = quick().runs(0);
+    }
+}

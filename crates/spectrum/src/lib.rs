@@ -49,6 +49,7 @@ pub mod fusion;
 pub mod markov;
 pub mod primary;
 pub mod sensing;
+pub mod streams;
 
 mod error;
 
@@ -62,3 +63,4 @@ pub use fusion::AvailabilityPosterior;
 pub use markov::{ChannelState, TwoStateMarkov};
 pub use primary::{ChannelId, PrimaryNetwork};
 pub use sensing::{Observation, SensorProfile};
+pub use streams::{gop_streams, spectrum_streams, GopStreams, SpectrumStreams};

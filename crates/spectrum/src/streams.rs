@@ -1,0 +1,132 @@
+//! Deterministic RNG-substream derivation for sharded simulation runs.
+//!
+//! The engine's per-slot pipeline consumes five independent RNG
+//! streams. For intra-run sharding (splitting one run into per-GOP
+//! slot windows scheduled in parallel) the streams must be derivable
+//! at a **fixed granularity that does not depend on how the run is
+//! partitioned** — otherwise different window sizes would consume
+//! different sample paths and sharded results could not be
+//! bit-identical to serial ones.
+//!
+//! The handoff scheme is therefore two-level:
+//!
+//! * **Run-level streams** ([`spectrum_streams`]): the primary-user
+//!   Markov chain, sensing observations, and access decisions evolve
+//!   sequentially across the whole run (the chain carries state from
+//!   slot to slot). They are consumed by the serial *spectrum
+//!   prologue* that every shard shares, so they stay per-run streams —
+//!   exactly the streams the pre-sharding engine used, draw for draw.
+//! * **Per-GOP streams** ([`gop_streams`]): link fading and packet
+//!   loss are consumed *inside* slot windows. Each GOP `g` of run `r`
+//!   derives them from `(master_seed, "run"/r, "gop"/g)`, so any
+//!   GOP-aligned window can reconstruct its draws without knowing how
+//!   many draws earlier windows made. (Loss draws are
+//!   allocation-dependent in number; per-GOP derivation plus
+//!   GOP-aligned windows make that safe.)
+
+use fcr_stats::rng::SeedSequence;
+use rand::rngs::StdRng;
+
+/// The run-level streams consumed by the serial spectrum prologue
+/// (sensing → fusion → access), in the order the engine draws from
+/// them.
+#[derive(Debug)]
+pub struct SpectrumStreams {
+    /// Primary-user Markov chain: initialization + one step per slot.
+    pub primary: StdRng,
+    /// Sensing observations: one draw per observation per channel per
+    /// slot.
+    pub sensing: StdRng,
+    /// Opportunistic access decisions: per-slot draws (probabilistic
+    /// mode only).
+    pub access: StdRng,
+}
+
+/// Derives the run-level spectrum streams from an already-derived
+/// per-run seed sequence (`seeds.child("run", r)` or
+/// `seeds.child("packet-run", r)`).
+pub fn spectrum_streams(run_seeds: &SeedSequence) -> SpectrumStreams {
+    SpectrumStreams {
+        primary: run_seeds.stream("primary", 0),
+        sensing: run_seeds.stream("sensing", 0),
+        access: run_seeds.stream("access", 0),
+    }
+}
+
+/// The per-GOP streams consumed inside a slot window.
+#[derive(Debug)]
+pub struct GopStreams {
+    /// Block-fading link qualities: two draws per user per slot.
+    pub fading: StdRng,
+    /// Transmission losses: a variable, allocation-dependent number of
+    /// Bernoulli draws per slot.
+    pub loss: StdRng,
+}
+
+/// Derives the streams for GOP `gop` of a run from its per-run seed
+/// sequence. Every shard of the run derives the same streams for the
+/// same GOP, regardless of window size.
+pub fn gop_streams(run_seeds: &SeedSequence, gop: u64) -> GopStreams {
+    let gop_seeds = run_seeds.child("gop", gop);
+    GopStreams {
+        fading: gop_seeds.stream("fading", 0),
+        loss: gop_seeds.stream("loss", 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    fn draws(rng: &mut StdRng, n: usize) -> Vec<u64> {
+        (0..n).map(|_| rng.random::<u64>()).collect()
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let run = SeedSequence::new(42).child("run", 3);
+        let mut a = spectrum_streams(&run);
+        let mut b = spectrum_streams(&run);
+        assert_eq!(draws(&mut a.primary, 8), draws(&mut b.primary, 8));
+        assert_eq!(draws(&mut a.sensing, 8), draws(&mut b.sensing, 8));
+        let mut ga = gop_streams(&run, 5);
+        let mut gb = gop_streams(&run, 5);
+        assert_eq!(draws(&mut ga.fading, 8), draws(&mut gb.fading, 8));
+        assert_eq!(draws(&mut ga.loss, 8), draws(&mut gb.loss, 8));
+    }
+
+    #[test]
+    fn streams_are_pairwise_distinct() {
+        let run = SeedSequence::new(42).child("run", 0);
+        let mut s = spectrum_streams(&run);
+        let mut g0 = gop_streams(&run, 0);
+        let mut g1 = gop_streams(&run, 1);
+        let heads = [
+            draws(&mut s.primary, 4),
+            draws(&mut s.sensing, 4),
+            draws(&mut s.access, 4),
+            draws(&mut g0.fading, 4),
+            draws(&mut g0.loss, 4),
+            draws(&mut g1.fading, 4),
+            draws(&mut g1.loss, 4),
+        ];
+        for i in 0..heads.len() {
+            for j in (i + 1)..heads.len() {
+                assert_ne!(heads[i], heads[j], "streams {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn gop_streams_are_independent_of_run_level_consumption() {
+        // A shard that never touches the run-level streams still
+        // derives the same per-GOP draws.
+        let run = SeedSequence::new(7).child("run", 1);
+        let mut consumed = spectrum_streams(&run);
+        let _ = draws(&mut consumed.primary, 100);
+        let mut a = gop_streams(&run, 2);
+        let mut b = gop_streams(&SeedSequence::new(7).child("run", 1), 2);
+        assert_eq!(draws(&mut a.fading, 16), draws(&mut b.fading, 16));
+    }
+}

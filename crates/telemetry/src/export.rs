@@ -11,6 +11,8 @@
 //! | `solve` | dual solve | `iterations`, `converged`, `residual`, `lambda` |
 //! | `greedy` | greedy allocation | `steps`, `gain`, `upper_bound_gain`, `gap`, `optimality_ratio`, `gap_terms` |
 //! | `counter` | named counter | `name`, `value` |
+//! | `shard` | executed intra-run shard | `run`, `window`, `gop_start`, `gops`, `wall_ns` |
+//! | `resize` | elastic-pool resize | `from`, `to`, `queue_depth`, `utilization` |
 //! | `worker` | pool worker | `index`, `busy_ns`, `lifetime_ns`, `jobs`, `steals`, `utilization` |
 //! | `pool` | runtime snapshot | `workers`, `jobs_submitted`, `jobs_completed`, `jobs_failed`, `jobs_stolen` |
 
@@ -76,6 +78,23 @@ pub fn to_jsonl(snapshot: &TelemetrySnapshot, runtime: Option<&MetricsSnapshot>)
         );
         push_f64_array(&mut out, &g.gap_terms);
         out.push_str("]}\n");
+    }
+    for s in &snapshot.shards {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"shard\",\"run\":{},\"window\":{},\"gop_start\":{},\"gops\":{},\"wall_ns\":{}}}",
+            s.run, s.window, s.gop_start, s.gops, s.wall_ns,
+        );
+    }
+    for r in &snapshot.resizes {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"resize\",\"from\":{},\"to\":{},\"queue_depth\":{},\"utilization\":{}}}",
+            r.from,
+            r.to,
+            r.queue_depth,
+            num(r.utilization),
+        );
     }
     for (name, value) in &snapshot.counters {
         let _ = write!(out, "{{\"type\":\"counter\",\"name\":");
@@ -168,6 +187,19 @@ mod tests {
             gap_terms: vec![0.5],
         });
         sink.incr("greedy.inner_solves", 9);
+        sink.record_shard(crate::ShardRecord {
+            run: 1,
+            window: 2,
+            gop_start: 10,
+            gops: 5,
+            wall_ns: 1_234,
+        });
+        sink.record_resize(crate::ResizeEvent {
+            from: 1,
+            to: 2,
+            queue_depth: 7,
+            utilization: 0.5,
+        });
         sink.snapshot()
     }
 
@@ -188,6 +220,12 @@ mod tests {
         assert!(out.contains("\"optimality_ratio\":0.75"));
         assert!(out.contains("\"type\":\"counter\""));
         assert!(out.contains("\"greedy.inner_solves\""));
+        assert!(out.contains(
+            "{\"type\":\"shard\",\"run\":1,\"window\":2,\"gop_start\":10,\"gops\":5,\"wall_ns\":1234}"
+        ));
+        assert!(out.contains(
+            "{\"type\":\"resize\",\"from\":1,\"to\":2,\"queue_depth\":7,\"utilization\":0.5}"
+        ));
         // No worker lines without a runtime snapshot.
         assert!(!out.contains("\"type\":\"worker\""));
     }
@@ -223,6 +261,7 @@ mod tests {
         let rt = fcr_runtime::Runtime::with_config(fcr_runtime::RuntimeConfig {
             workers: 2,
             queue_capacity: 4,
+            ..fcr_runtime::RuntimeConfig::default()
         });
         let outcomes = rt.run_batch((0u64..8).map(|i| move || i));
         assert!(outcomes.iter().all(Result::is_ok));

@@ -60,8 +60,9 @@ mod sink;
 mod span;
 
 pub use export::to_jsonl;
+pub use fcr_runtime::ResizeEvent;
 pub use phase::Phase;
-pub use record::{GreedyRecord, SolveRecord};
+pub use record::{GreedyRecord, ShardRecord, SolveRecord};
 pub use sink::{PhaseSnapshot, TelemetrySink, TelemetrySnapshot, MAX_RECORDS};
 pub use span::{current_depth, Span};
 
@@ -117,6 +118,22 @@ pub fn record_solve(record: SolveRecord) {
 pub fn record_greedy(record: GreedyRecord) {
     if is_enabled() {
         global().record_greedy(record);
+    }
+}
+
+/// Records one executed intra-run shard into the global sink; no-op
+/// when telemetry is disabled.
+pub fn record_shard(record: ShardRecord) {
+    if is_enabled() {
+        global().record_shard(record);
+    }
+}
+
+/// Records one elastic-pool resize event into the global sink; no-op
+/// when telemetry is disabled.
+pub fn record_resize(event: ResizeEvent) {
+    if is_enabled() {
+        global().record_resize(event);
     }
 }
 

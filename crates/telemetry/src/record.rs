@@ -20,6 +20,24 @@ pub struct SolveRecord {
     pub lambda: Vec<f64>,
 }
 
+/// One executed intra-run shard: a GOP-aligned slot window of one
+/// simulation run scheduled as an independent job on the worker pool.
+/// Recorded by `fcr-sim`'s session layer so shard granularity and
+/// balance are observable in exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardRecord {
+    /// Run index within the session.
+    pub run: u64,
+    /// Window index within the run (0-based, in GOP order).
+    pub window: u64,
+    /// First GOP (inclusive) the shard covered.
+    pub gop_start: u64,
+    /// Number of GOPs in the shard.
+    pub gops: u64,
+    /// Wall time the shard took on its worker (ns).
+    pub wall_ns: u64,
+}
+
 /// One greedy channel allocation (Table III) with the eq.-(23)
 /// bookkeeping, so the per-run optimality-gap bound is observable.
 #[derive(Debug, Clone, PartialEq)]

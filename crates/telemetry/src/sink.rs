@@ -6,9 +6,9 @@
 //! from any thread mid-flight.
 
 use crate::phase::Phase;
-use crate::record::{GreedyRecord, SolveRecord};
+use crate::record::{GreedyRecord, ShardRecord, SolveRecord};
 use fcr_runtime::histogram::AtomicHistogram;
-use fcr_runtime::HistogramSnapshot;
+use fcr_runtime::{HistogramSnapshot, ResizeEvent};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -88,6 +88,9 @@ pub struct TelemetrySink {
     dropped_solves: AtomicU64,
     greedy: Mutex<Vec<GreedyRecord>>,
     dropped_greedy: AtomicU64,
+    shards: Mutex<Vec<ShardRecord>>,
+    dropped_shards: AtomicU64,
+    resizes: Mutex<Vec<ResizeEvent>>,
     counters: Mutex<BTreeMap<String, u64>>,
 }
 
@@ -126,6 +129,24 @@ impl TelemetrySink {
         }
     }
 
+    /// Appends one executed-shard record (an intra-run slot window run
+    /// as a pool job), capped like [`TelemetrySink::record_solve`].
+    pub fn record_shard(&self, record: ShardRecord) {
+        let mut shards = lock(&self.shards);
+        if shards.len() < MAX_RECORDS {
+            shards.push(record);
+        } else {
+            drop(shards);
+            self.dropped_shards.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Appends one elastic-pool resize event (resizes are rare — a few
+    /// per batch at most — so they are stored uncapped).
+    pub fn record_resize(&self, event: ResizeEvent) {
+        lock(&self.resizes).push(event);
+    }
+
     /// Adds `n` to the named counter (registered on first use).
     pub fn incr(&self, name: &str, n: u64) {
         let mut counters = lock(&self.counters);
@@ -143,6 +164,9 @@ impl TelemetrySink {
             dropped_solves: self.dropped_solves.load(Ordering::Relaxed),
             greedy: lock(&self.greedy).clone(),
             dropped_greedy: self.dropped_greedy.load(Ordering::Relaxed),
+            shards: lock(&self.shards).clone(),
+            dropped_shards: self.dropped_shards.load(Ordering::Relaxed),
+            resizes: lock(&self.resizes).clone(),
             counters: lock(&self.counters)
                 .iter()
                 .map(|(k, v)| (k.clone(), *v))
@@ -160,6 +184,9 @@ impl TelemetrySink {
         self.dropped_solves.store(0, Ordering::Relaxed);
         lock(&self.greedy).clear();
         self.dropped_greedy.store(0, Ordering::Relaxed);
+        lock(&self.shards).clear();
+        self.dropped_shards.store(0, Ordering::Relaxed);
+        lock(&self.resizes).clear();
         lock(&self.counters).clear();
     }
 }
@@ -183,6 +210,12 @@ pub struct TelemetrySnapshot {
     pub greedy: Vec<GreedyRecord>,
     /// Greedy records dropped past [`MAX_RECORDS`].
     pub dropped_greedy: u64,
+    /// Executed-shard records, in completion order.
+    pub shards: Vec<ShardRecord>,
+    /// Shard records dropped past [`MAX_RECORDS`].
+    pub dropped_shards: u64,
+    /// Elastic-pool resize events, in decision order.
+    pub resizes: Vec<ResizeEvent>,
     /// Named counters, sorted by name.
     pub counters: Vec<(String, u64)>,
 }
@@ -218,6 +251,16 @@ impl TelemetrySnapshot {
         }
         let total: usize = self.solves.iter().map(|s| s.iterations).sum();
         Some(total as f64 / self.solves.len() as f64)
+    }
+
+    /// Mean wall time per executed shard in nanoseconds (`None` when no
+    /// shards were recorded).
+    pub fn mean_shard_wall_ns(&self) -> Option<f64> {
+        if self.shards.is_empty() {
+            return None;
+        }
+        let total: u64 = self.shards.iter().map(|s| s.wall_ns).sum();
+        Some(total as f64 / self.shards.len() as f64)
     }
 }
 
@@ -281,10 +324,45 @@ mod tests {
     fn snap_is_empty(s: &TelemetrySnapshot) -> bool {
         s.solves.is_empty()
             && s.greedy.is_empty()
+            && s.shards.is_empty()
+            && s.resizes.is_empty()
             && s.counters.is_empty()
             && s.phases.iter().all(|(_, p)| p.count == 0)
             && s.convergence_rate().is_none()
             && s.mean_iterations().is_none()
+            && s.mean_shard_wall_ns().is_none()
+    }
+
+    #[test]
+    fn shard_and_resize_records_accumulate_and_reset() {
+        let sink = TelemetrySink::new();
+        sink.record_shard(ShardRecord {
+            run: 0,
+            window: 0,
+            gop_start: 0,
+            gops: 5,
+            wall_ns: 1_000,
+        });
+        sink.record_shard(ShardRecord {
+            run: 0,
+            window: 1,
+            gop_start: 5,
+            gops: 5,
+            wall_ns: 3_000,
+        });
+        sink.record_resize(ResizeEvent {
+            from: 2,
+            to: 4,
+            queue_depth: 9,
+            utilization: 0.9,
+        });
+        let snap = sink.snapshot();
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.mean_shard_wall_ns(), Some(2_000.0));
+        assert_eq!(snap.resizes.len(), 1);
+        assert_eq!(snap.resizes[0].to, 4);
+        sink.reset();
+        assert!(snap_is_empty(&sink.snapshot()));
     }
 
     #[test]

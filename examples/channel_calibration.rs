@@ -56,8 +56,8 @@ fn main() {
     };
     cfg.validate().expect("fitted config is valid");
     let scenario = Scenario::single_fbs(&cfg);
-    let experiment = Experiment::new(scenario, cfg, 405).runs(4);
-    let summary = experiment.summarize(Scheme::Proposed);
+    let session = SimSession::new(scenario).config(cfg).runs(4).seed(405);
+    let summary = session.run(Scheme::Proposed).summary();
     println!();
     println!(
         "Proposed scheme on the fitted band: {:.2} ± {:.2} dB Y-PSNR, collisions {:.4} ≤ γ = {}",

@@ -1,14 +1,14 @@
 //! Validate the fluid rate–PSNR abstraction (the paper's eq. (9)
 //! formulation) against NAL-unit-granular delivery: same sensing,
-//! access, fading, and allocation pipeline, two transmission models.
+//! access, fading, and allocation pipeline, two transmission models —
+//! both executed as sharded [`SimSession`]s on the elastic pool.
 //!
 //! ```text
 //! cargo run --release --example fluid_vs_packet
 //! ```
 
 use fcr::prelude::*;
-use fcr::sim::engine::run_once;
-use fcr::sim::packet_engine::run_packet_level;
+use fcr::sim::packet_engine::PacketRunResult;
 
 fn main() {
     let cfg = SimConfig {
@@ -16,19 +16,24 @@ fn main() {
         ..SimConfig::default()
     };
     let scenario = Scenario::single_fbs(&cfg);
-    let seeds = SeedSequence::new(42);
     let runs = 5;
+    let session = SimSession::new(scenario).config(cfg).runs(runs).seed(42);
 
+    let mut detail: Option<PacketRunResult> = None;
     println!("Scheme             fluid Y-PSNR   packet Y-PSNR   gap");
     for scheme in Scheme::PAPER_TRIO {
-        let fluid = (0..runs)
-            .map(|r| run_once(&scenario, &cfg, scheme, &seeds, r).mean_psnr())
+        let fluid = session
+            .run(scheme)
+            .results()
+            .iter()
+            .map(RunResult::mean_psnr)
             .sum::<f64>()
             / runs as f64;
-        let packet = (0..runs)
-            .map(|r| run_packet_level(&scenario, &cfg, scheme, &seeds, r).mean_psnr())
-            .sum::<f64>()
-            / runs as f64;
+        let packets = session.run_packet(scheme).results();
+        let packet = packets.iter().map(PacketRunResult::mean_psnr).sum::<f64>() / runs as f64;
+        if scheme == Scheme::Proposed {
+            detail = packets.into_iter().next();
+        }
         println!(
             "{:<18} {:>12.2} {:>15.2} {:>5.2}",
             scheme.name(),
@@ -39,7 +44,7 @@ fn main() {
     }
 
     println!();
-    let detail = run_packet_level(&scenario, &cfg, Scheme::Proposed, &seeds, 0);
+    let detail = detail.expect("proposed scheme ran");
     println!(
         "Packet-level detail (proposed, run 0): {} units delivered, {} expired at deadlines,\n\
          {} retransmissions, {} GOP base-layer outages.",

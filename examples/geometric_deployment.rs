@@ -49,11 +49,11 @@ fn main() {
         );
     }
 
-    let experiment = Experiment::new(scenario, cfg, 99).runs(4);
+    let session = SimSession::new(scenario).config(cfg).runs(4).seed(99);
     println!();
     println!("Scheme             mean Y-PSNR     collisions");
     for scheme in Scheme::PAPER_TRIO {
-        let s = experiment.summarize(scheme);
+        let s = session.run(scheme).summary();
         println!(
             "{:<18} {:>6.2} ± {:<5.2}  {:>8.4}",
             scheme.name(),

@@ -70,10 +70,10 @@ fn main() {
     println!();
 
     // --- Full simulation, all four series of Fig. 6. ---
-    let experiment = Experiment::new(scenario, cfg, 7).runs(5);
+    let session = SimSession::new(scenario).config(cfg).runs(5).seed(7);
     println!("Scheme             mean Y-PSNR");
     for scheme in Scheme::WITH_BOUND {
-        let s = experiment.summarize(scheme);
+        let s = session.run(scheme).summary();
         println!(
             "{:<18} {:>6.2} ± {:.2}",
             scheme.name(),

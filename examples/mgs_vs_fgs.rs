@@ -9,8 +9,7 @@
 //! ```
 
 use fcr::prelude::*;
-use fcr::sim::engine::run_once;
-use fcr::sim::packet_engine::run_packet_level;
+use fcr::sim::packet_engine::PacketRunResult;
 use fcr::video::sequences::Scalability;
 
 fn main() {
@@ -30,9 +29,9 @@ fn main() {
     }
     println!();
 
-    // End-to-end: same network, same scheme, two codecs.
+    // End-to-end: same network, same scheme, two codecs — each codec
+    // one sharded session on the shared pool.
     let runs = 5;
-    let seeds = SeedSequence::new(33);
     let mut rows = Vec::new();
     for scalability in [Scalability::Mgs, Scalability::Fgs] {
         let cfg = SimConfig {
@@ -40,13 +39,22 @@ fn main() {
             scalability,
             ..SimConfig::default()
         };
-        let scenario = Scenario::single_fbs(&cfg);
-        let fluid = (0..runs)
-            .map(|r| run_once(&scenario, &cfg, Scheme::Proposed, &seeds, r).mean_psnr())
+        let session = SimSession::new(Scenario::single_fbs(&cfg))
+            .config(cfg)
+            .runs(runs)
+            .seed(33);
+        let fluid = session
+            .run(Scheme::Proposed)
+            .results()
+            .iter()
+            .map(RunResult::mean_psnr)
             .sum::<f64>()
             / runs as f64;
-        let packet = (0..runs)
-            .map(|r| run_packet_level(&scenario, &cfg, Scheme::Proposed, &seeds, r).mean_psnr())
+        let packet = session
+            .run_packet(Scheme::Proposed)
+            .results()
+            .iter()
+            .map(PacketRunResult::mean_psnr)
             .sum::<f64>()
             / runs as f64;
         rows.push((scalability, fluid, packet));

@@ -17,12 +17,14 @@ fn main() {
     };
 
     // One FBS, three CR users streaming Bus / Mobile / Harbor (CIF).
+    // Each run is sharded into GOP-aligned slot windows on the shared
+    // elastic pool — bit-identical to a serial loop.
     let scenario = Scenario::single_fbs(&cfg);
-    let experiment = Experiment::new(scenario, cfg, 42).runs(5);
+    let session = SimSession::new(scenario).config(cfg).runs(5).seed(42);
 
     println!("Scheme             mean Y-PSNR     collisions   Jain");
     for scheme in Scheme::PAPER_TRIO {
-        let summary = experiment.summarize(scheme);
+        let summary = session.run(scheme).summary();
         println!(
             "{:<18} {:>6.2} ± {:<5.2}  {:>8.4}    {:.4}",
             scheme.name(),
@@ -36,6 +38,6 @@ fn main() {
     println!(
         "The proposed scheme should lead in mean quality while keeping the\n\
          collision rate under γ = {}.",
-        experiment.config().gamma
+        session.config_ref().gamma
     );
 }

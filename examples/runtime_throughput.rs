@@ -4,24 +4,43 @@
 //!
 //! ```text
 //! cargo run --release --example runtime_throughput -- --jobs 64 --gops 4
+//! cargo run --release --example runtime_throughput -- --shards --jobs 8 --gops 12
 //! ```
 //!
-//! Every job is a full [`SimJob`] (one simulation run of the paper's
-//! baseline single-FBS scenario); the batch is large enough to keep
-//! every worker busy, and the snapshot printed at the end shows the
-//! pool-level counters (submitted/completed/failed/stolen), the
-//! wall-time histogram, and the domain counters (`slots_simulated`,
-//! `solver_invocations`).
+//! Two modes:
+//!
+//! - **default** — every job is a full [`SimJob`] (one simulation run
+//!   of the paper's baseline single-FBS scenario); the batch is large
+//!   enough to keep every worker busy, and the snapshot printed at the
+//!   end shows the pool-level counters
+//!   (submitted/completed/failed/stolen), the wall-time histogram, and
+//!   the domain counters (`slots_simulated`, `solver_invocations`).
+//! - **`--shards`** — intra-run sharding benchmark: the same runs are
+//!   executed first serially on one thread, then as a sharded
+//!   [`SimSession`] (GOP-aligned slot windows on the elastic pool).
+//!   The PSNR sums must be **bit-identical**; on a multi-core box the
+//!   sharded pass must also be faster. Shard stats land in the runtime
+//!   metrics table and the telemetry JSONL printed at the end.
 
 use fcr::prelude::*;
-use fcr::sim::pool::{self, SLOTS_COUNTER};
+use fcr::sim::engine;
+use fcr::sim::pool::{self, SHARDS_COUNTER, SLOTS_COUNTER};
 use fcr::sim::report::runtime_metrics_table;
 use std::sync::Arc;
 use std::time::Instant;
 
-fn parse_args() -> (u64, u32) {
-    let mut jobs = 64u64;
-    let mut gops = 4u32;
+struct Args {
+    jobs: u64,
+    gops: u32,
+    shards: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args_out = Args {
+        jobs: 64,
+        gops: 4,
+        shards: false,
+    };
     fn grab<T: std::str::FromStr>(name: &str, value: Option<String>) -> T {
         value
             .and_then(|v| v.parse().ok())
@@ -30,17 +49,21 @@ fn parse_args() -> (u64, u32) {
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
-            "--jobs" => jobs = grab("--jobs", args.next()),
-            "--gops" => gops = grab("--gops", args.next()),
-            other => panic!("unknown flag {other}; use --jobs N --gops N"),
+            "--jobs" => args_out.jobs = grab("--jobs", args.next()),
+            "--gops" => args_out.gops = grab("--gops", args.next()),
+            "--shards" => args_out.shards = true,
+            other => panic!("unknown flag {other}; use [--shards] --jobs N --gops N"),
         }
     }
-    assert!(jobs > 0 && gops > 0, "--jobs and --gops must be positive");
-    (jobs, gops)
+    assert!(
+        args_out.jobs > 0 && args_out.gops > 0,
+        "--jobs and --gops must be positive"
+    );
+    args_out
 }
 
-fn main() {
-    let (jobs, gops) = parse_args();
+/// Default mode: one [`SimJob`] per run, whole runs as pool jobs.
+fn run_batch_mode(jobs: u64, gops: u32) {
     let config = SimConfig {
         gops,
         ..SimConfig::default()
@@ -87,4 +110,111 @@ fn main() {
         Some(slots),
         "every simulated slot is accounted for"
     );
+}
+
+/// `--shards` mode: serial baseline vs. sharded session, bit-identical
+/// PSNR sums, speedup on multi-core machines.
+fn run_shards_mode(runs: u64, gops: u32) {
+    fcr::telemetry::enable();
+    fcr::telemetry::reset();
+
+    let config = SimConfig {
+        gops,
+        ..SimConfig::default()
+    };
+    let scenario = Scenario::single_fbs(&config);
+    let seeds = SeedSequence::new(2011);
+
+    // Serial baseline on the calling thread: the ground truth both for
+    // wall time and for bit-level output.
+    let started = Instant::now();
+    let serial: Vec<RunResult> = (0..runs)
+        .map(|r| {
+            engine::run(
+                &scenario,
+                &config,
+                Scheme::Proposed,
+                &seeds,
+                r,
+                TraceMode::Off,
+            )
+            .result
+        })
+        .collect();
+    let serial_elapsed = started.elapsed();
+    let serial_psnr_sum: f64 = serial.iter().map(RunResult::mean_psnr).sum();
+
+    // Sharded session: same runs cut into GOP-aligned slot windows on
+    // the elastic pool.
+    let session = SimSession::new(scenario)
+        .config(config)
+        .runs(runs)
+        .seed(2011)
+        .shards(ShardPolicy::Auto);
+    let started = Instant::now();
+    let sharded = session.run(Scheme::Proposed).results();
+    let sharded_elapsed = started.elapsed();
+    let sharded_psnr_sum: f64 = sharded.iter().map(RunResult::mean_psnr).sum();
+
+    let workers = pool::shared().workers();
+    let speedup = serial_elapsed.as_secs_f64() / sharded_elapsed.as_secs_f64();
+    println!(
+        "{runs} runs x {gops} GOPs, policy {:?}, {workers} workers:",
+        session.shard_policy(),
+    );
+    println!("  serial   {serial_elapsed:>10.2?}  PSNR sum {serial_psnr_sum:.12}");
+    println!("  sharded  {sharded_elapsed:>10.2?}  PSNR sum {sharded_psnr_sum:.12}");
+    println!("  speedup  {speedup:>9.2}x");
+
+    assert_eq!(sharded, serial, "sharded output is bit-identical to serial");
+    assert!(
+        sharded_psnr_sum.to_bits() == serial_psnr_sum.to_bits(),
+        "PSNR sums differ at the bit level: {serial_psnr_sum} vs {sharded_psnr_sum}"
+    );
+    if workers >= 2 {
+        assert!(
+            speedup > 1.0,
+            "sharding must beat serial on {workers} workers (got {speedup:.2}x)"
+        );
+    }
+    println!("  bit-identical: yes");
+    println!();
+
+    let snapshot = pool::snapshot();
+    print!("{}", runtime_metrics_table(&snapshot));
+    assert!(
+        snapshot.counter(SHARDS_COUNTER).unwrap_or(0) > 0,
+        "sharded session feeds the shard counter"
+    );
+    println!();
+
+    // Telemetry JSONL: shard + pool lines for downstream tooling.
+    let telemetry = fcr::telemetry::global().snapshot();
+    let jsonl = fcr::telemetry::to_jsonl(&telemetry, Some(&snapshot));
+    let shard_lines = jsonl
+        .lines()
+        .filter(|l| l.contains("\"type\":\"shard\""))
+        .count();
+    println!(
+        "telemetry JSONL: {} lines, {shard_lines} shard records; first shard lines:",
+        jsonl.lines().count()
+    );
+    for line in jsonl
+        .lines()
+        .filter(|l| l.contains("\"type\":\"shard\""))
+        .take(4)
+    {
+        println!("  {line}");
+    }
+    assert!(shard_lines > 0, "shard records exported to JSONL");
+    fcr::telemetry::disable();
+}
+
+fn main() {
+    let args = parse_args();
+    if args.shards {
+        run_shards_mode(args.jobs, args.gops);
+    } else {
+        run_batch_mode(args.jobs, args.gops);
+    }
 }

@@ -59,8 +59,8 @@ fn main() {
         }
         .with_sensing_errors(eps, delta);
         let scenario = Scenario::interfering_fig5(&cfg);
-        let experiment = Experiment::new(scenario, cfg, 11).runs(3);
-        let s = experiment.summarize(Scheme::Proposed);
+        let session = SimSession::new(scenario).config(cfg).runs(3).seed(11);
+        let s = session.run(Scheme::Proposed).summary();
         println!(
             "  ε = {eps:.2}, δ = {delta:.2}  →  {:.2} ± {:.2} dB (collisions {:.3} ≤ γ = {})",
             s.overall.mean(),

@@ -8,7 +8,7 @@
 //! ```
 
 use fcr::prelude::*;
-use fcr::sim::engine::run_traced;
+use fcr::sim::engine::run;
 
 fn main() {
     let cfg = SimConfig {
@@ -16,13 +16,16 @@ fn main() {
         ..SimConfig::default()
     };
     let scenario = Scenario::single_fbs(&cfg);
-    let (result, trace) = run_traced(
+    let out = run(
         &scenario,
         &cfg,
         Scheme::Proposed,
         &SeedSequence::new(2011),
         0,
+        TraceMode::Full,
     );
+    let result = out.result;
+    let trace = out.trace.expect("TraceMode::Full records every slot");
 
     println!(
         "One GOP ({} slots), single FBS, three streams:",

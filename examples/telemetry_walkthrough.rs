@@ -29,8 +29,11 @@ fn main() {
         ..SimConfig::default()
     };
     let scenario = Scenario::interfering_fig5(&cfg);
-    let experiment = Experiment::new(scenario.clone(), cfg, 2011).runs(3);
-    let summary = experiment.summarize(Scheme::Proposed);
+    let session = SimSession::new(scenario.clone())
+        .config(cfg)
+        .runs(3)
+        .seed(2011);
+    let summary = session.run(Scheme::Proposed).summary();
     println!(
         "Proposed scheme on the Fig. 5 topology: {:.2} ± {:.2} dB mean Y-PSNR",
         summary.overall.mean(),

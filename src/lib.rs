@@ -20,22 +20,27 @@
 //! | [`core`] | the allocation algorithms and bounds (the paper's contribution) |
 //! | [`runtime`] | the sharded worker-pool scheduling runtime with live metrics |
 //! | [`telemetry`] | span tracing, solver convergence capture, JSONL export |
-//! | [`sim`] | the slot-level simulator and experiment runner |
+//! | [`sim`] | the slot-level simulator and sharded simulation sessions |
 //!
 //! # Quick start
 //!
-//! Run the paper's Fig. 3 setup for a couple of GOPs:
+//! Run the paper's Fig. 3 setup for a couple of GOPs — three runs,
+//! sharded across the elastic worker pool, bit-identical to a serial
+//! loop:
 //!
 //! ```
 //! use fcr::prelude::*;
 //!
 //! let cfg = SimConfig { gops: 2, ..SimConfig::default() };
-//! let scenario = Scenario::single_fbs(&cfg);
-//! let result = fcr::sim::engine::run_once(
-//!     &scenario, &cfg, Scheme::Proposed, &SeedSequence::new(42), 0,
-//! );
-//! assert!(result.mean_psnr() > 25.0);
-//! assert!(result.collision_rate <= cfg.gamma + 0.05);
+//! let summary = SimSession::new(Scenario::single_fbs(&cfg))
+//!     .config(cfg)
+//!     .runs(3)
+//!     .seed(42)
+//!     .shards(ShardPolicy::Auto)
+//!     .run(Scheme::Proposed)
+//!     .summary();
+//! assert!(summary.overall.mean() > 25.0);
+//! assert!(summary.collision.mean() <= cfg.gamma + 0.05);
 //! ```
 //!
 //! See `examples/` for runnable end-to-end programs and the
@@ -64,13 +69,19 @@ pub mod prelude {
     pub use fcr_core::waterfill::WaterfillingSolver;
     pub use fcr_net::interference::InterferenceGraph;
     pub use fcr_net::node::{FbsId, UserId};
-    pub use fcr_runtime::{JobError, JobOutcome, MetricsSnapshot, Runtime, RuntimeConfig};
+    pub use fcr_runtime::{
+        JobError, JobOutcome, MetricsSnapshot, ResizeEvent, Runtime, RuntimeConfig, ShardPolicy,
+    };
     pub use fcr_sim::config::SimConfig;
-    pub use fcr_sim::metrics::RunResult;
+    pub use fcr_sim::engine::{RunOutput, TraceMode};
+    pub use fcr_sim::metrics::{RunResult, SchemeSummary};
     pub use fcr_sim::pool::SimJob;
+    #[allow(deprecated)]
     pub use fcr_sim::runner::Experiment;
     pub use fcr_sim::scenario::Scenario;
     pub use fcr_sim::scheme::Scheme;
+    pub use fcr_sim::session::{PacketSessionResult, SessionResult, SimSession};
+    pub use fcr_sim::trace::{SimTrace, SlotRecord};
     pub use fcr_spectrum::access::AccessPolicy;
     pub use fcr_spectrum::fusion::AvailabilityPosterior;
     pub use fcr_spectrum::markov::TwoStateMarkov;

@@ -1,19 +1,37 @@
 //! Reproducibility guarantees: every published number must be exactly
-//! re-derivable from the master seed, independent of thread scheduling
-//! and of which schemes ran before.
+//! re-derivable from the master seed, independent of thread scheduling,
+//! of which schemes ran before, and of how runs are sharded into slot
+//! windows.
 
 use fcr::prelude::*;
-use fcr::sim::engine::run_once;
+use fcr::sim::engine::run;
+use fcr::sim::packet_engine::{run_packet_level, PacketRunResult};
+
+/// Serial ground truth for one fluid run.
+fn serial_run(
+    scenario: &Scenario,
+    cfg: &SimConfig,
+    scheme: Scheme,
+    seeds: &SeedSequence,
+    run_index: u64,
+) -> RunResult {
+    run(scenario, cfg, scheme, seeds, run_index, TraceMode::Off).result
+}
 
 #[test]
-fn whole_experiments_are_bit_for_bit_reproducible() {
+fn whole_sessions_are_bit_for_bit_reproducible() {
     let cfg = SimConfig {
         gops: 3,
         ..SimConfig::default()
     };
-    let make = || Experiment::new(Scenario::single_fbs(&cfg), cfg, 123).runs(4);
-    let a = make().run_scheme(Scheme::Proposed);
-    let b = make().run_scheme(Scheme::Proposed);
+    let make = || {
+        SimSession::new(Scenario::single_fbs(&cfg))
+            .config(cfg)
+            .runs(4)
+            .seed(123)
+    };
+    let a = make().run(Scheme::Proposed).results();
+    let b = make().run(Scheme::Proposed).results();
     assert_eq!(a, b);
 }
 
@@ -27,10 +45,13 @@ fn runs_are_independent_of_execution_order() {
     };
     let scenario = Scenario::single_fbs(&cfg);
     let seeds = SeedSequence::new(55);
-    let solo = run_once(&scenario, &cfg, Scheme::Proposed, &seeds, 2);
-    let batch = Experiment::new(scenario, cfg, 55)
+    let solo = serial_run(&scenario, &cfg, Scheme::Proposed, &seeds, 2);
+    let batch = SimSession::new(scenario)
+        .config(cfg)
         .runs(4)
-        .run_scheme(Scheme::Proposed);
+        .seed(55)
+        .run(Scheme::Proposed)
+        .results();
     assert_eq!(solo, batch[2]);
 }
 
@@ -46,13 +67,13 @@ fn scheme_under_test_does_not_perturb_the_environment() {
     };
     let scenario = Scenario::interfering_fig5(&cfg);
     let seeds = SeedSequence::new(77);
-    for run in 0..3 {
-        let a = run_once(&scenario, &cfg, Scheme::Proposed, &seeds, run);
-        let b = run_once(&scenario, &cfg, Scheme::Heuristic2, &seeds, run);
-        assert_eq!(a.collision_rate, b.collision_rate, "run {run}");
+    for run_index in 0..3 {
+        let a = serial_run(&scenario, &cfg, Scheme::Proposed, &seeds, run_index);
+        let b = serial_run(&scenario, &cfg, Scheme::Heuristic2, &seeds, run_index);
+        assert_eq!(a.collision_rate, b.collision_rate, "run {run_index}");
         assert_eq!(
             a.mean_expected_available, b.mean_expected_available,
-            "run {run}"
+            "run {run_index}"
         );
     }
 }
@@ -64,37 +85,143 @@ fn different_master_seeds_give_different_sample_paths() {
         ..SimConfig::default()
     };
     let scenario = Scenario::single_fbs(&cfg);
-    let a = run_once(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(1), 0);
-    let b = run_once(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(2), 0);
+    let seeds1 = SeedSequence::new(1);
+    let seeds2 = SeedSequence::new(2);
+    let a = serial_run(&scenario, &cfg, Scheme::Proposed, &seeds1, 0);
+    let b = serial_run(&scenario, &cfg, Scheme::Proposed, &seeds2, 0);
     assert_ne!(a, b);
 }
 
 #[test]
-fn pooled_execution_matches_serial_run_once_for_all_schemes() {
+fn pooled_execution_matches_serial_for_all_schemes() {
     // The worker pool must be invisible in the numbers: for every
-    // scheme, Experiment::run_scheme (pooled) is bit-identical to a
-    // serial run_once loop with the same seed derivation, regardless
+    // scheme, SimSession::run (pooled, sharded) is bit-identical to a
+    // serial engine::run loop with the same seed derivation, regardless
     // of worker count or scheduling.
     let cfg = SimConfig {
         gops: 3,
         ..SimConfig::default()
     };
     let scenario = Scenario::single_fbs(&cfg);
-    let experiment = Experiment::new(scenario.clone(), cfg, 2011).runs(4);
+    let session = SimSession::new(scenario.clone())
+        .config(cfg)
+        .runs(4)
+        .seed(2011);
     let seeds = SeedSequence::new(2011);
     for scheme in Scheme::WITH_BOUND {
-        let pooled = experiment.run_scheme(scheme);
+        let pooled = session.run(scheme).results();
         let serial: Vec<RunResult> = (0..4)
-            .map(|run| run_once(&scenario, &cfg, scheme, &seeds, run))
+            .map(|r| serial_run(&scenario, &cfg, scheme, &seeds, r))
             .collect();
         assert_eq!(pooled, serial, "{} diverged under the pool", scheme.name());
     }
 }
 
 #[test]
+fn shard_policies_are_bit_identical_for_fluid_and_packet_engines() {
+    // The tentpole property: cutting a run into GOP-aligned slot
+    // windows — any window size, including sizes that do not divide
+    // the GOP count — must not change a single bit of either engine's
+    // output. 7 GOPs exercises uneven windows (7 = 3 + 3 + 1).
+    let cfg = SimConfig {
+        gops: 7,
+        ..SimConfig::default()
+    };
+    let scenario = Scenario::single_fbs(&cfg);
+    let seeds = SeedSequence::new(4040);
+    let runs = 2u64;
+    let serial_fluid: Vec<RunResult> = (0..runs)
+        .map(|r| serial_run(&scenario, &cfg, Scheme::Proposed, &seeds, r))
+        .collect();
+    let serial_packet: Vec<PacketRunResult> = (0..runs)
+        .map(|r| run_packet_level(&scenario, &cfg, Scheme::Proposed, &seeds, r))
+        .collect();
+
+    let session = SimSession::new(scenario).config(cfg).runs(runs).seed(4040);
+    for policy in [
+        ShardPolicy::WholeRun,
+        ShardPolicy::Auto,
+        ShardPolicy::Windows(1),
+        ShardPolicy::Windows(3),
+        ShardPolicy::Windows(7),
+    ] {
+        let sharded = session.clone().shards(policy);
+        assert_eq!(
+            sharded.run(Scheme::Proposed).results(),
+            serial_fluid,
+            "fluid engine diverged under {policy:?}"
+        );
+        assert_eq!(
+            sharded.run_packet(Scheme::Proposed).results(),
+            serial_packet,
+            "packet engine diverged under {policy:?}"
+        );
+    }
+}
+
+#[test]
+fn interfering_topology_shards_bit_identically() {
+    // Same property on the interfering Fig. 5 topology, where the
+    // greedy channel allocator runs every slot.
+    let cfg = SimConfig {
+        gops: 4,
+        ..SimConfig::default()
+    };
+    let scenario = Scenario::interfering_fig5(&cfg);
+    let seeds = SeedSequence::new(616);
+    let serial: Vec<RunResult> = (0..2)
+        .map(|r| serial_run(&scenario, &cfg, Scheme::Proposed, &seeds, r))
+        .collect();
+    let sharded = SimSession::new(scenario)
+        .config(cfg)
+        .runs(2)
+        .seed(616)
+        .shards(ShardPolicy::Windows(1))
+        .run(Scheme::Proposed)
+        .results();
+    assert_eq!(sharded, serial);
+}
+
+#[test]
+fn sharded_traces_stitch_identically_to_serial() {
+    // Slot traces recorded inside windows must stitch back into
+    // exactly the serial trace (same records, same order).
+    let cfg = SimConfig {
+        gops: 4,
+        ..SimConfig::default()
+    };
+    let scenario = Scenario::single_fbs(&cfg);
+    let seeds = SeedSequence::new(321);
+    let serial = run(
+        &scenario,
+        &cfg,
+        Scheme::Proposed,
+        &seeds,
+        0,
+        TraceMode::Slots,
+    );
+    let result = SimSession::new(scenario)
+        .config(cfg)
+        .runs(1)
+        .seed(321)
+        .shards(ShardPolicy::Windows(1))
+        .trace(TraceMode::Slots)
+        .run(Scheme::Proposed);
+    let traces = result.traces();
+    assert_eq!(traces.len(), 1);
+    assert_eq!(
+        traces[0],
+        serial.trace.as_ref().expect("serial trace recorded"),
+        "stitched trace diverged from serial"
+    );
+    assert_eq!(result.results()[0], serial.result);
+}
+
+#[test]
 fn pooled_sweep_matches_serial_computation() {
-    // The single-batch sweep (all point × scheme × run jobs submitted
-    // at once) must reproduce the fully serial nested-loop numbers.
+    // The session sweep (all point × scheme × run × window jobs
+    // submitted at once) must reproduce the fully serial nested-loop
+    // numbers.
     let base = SimConfig {
         gops: 2,
         ..SimConfig::default()
@@ -112,14 +239,18 @@ fn pooled_sweep_matches_serial_computation() {
     let schemes = [Scheme::Proposed, Scheme::Heuristic1];
     let runs = 3u64;
     let master_seed = 9090u64;
-    let swept = fcr::sim::runner::sweep(&points, &schemes, runs, master_seed);
+    let swept = SimSession::new(points[0].2.clone())
+        .config(points[0].1)
+        .runs(runs)
+        .seed(master_seed)
+        .sweep(&points, &schemes);
 
     for (i, scheme) in schemes.iter().enumerate() {
         assert_eq!(swept[i].name(), scheme.name());
         for (j, (x, cfg, scenario)) in points.iter().enumerate() {
             let seeds = SeedSequence::new(master_seed);
             let serial: Vec<f64> = (0..runs)
-                .map(|run| run_once(scenario, cfg, *scheme, &seeds, run).mean_psnr())
+                .map(|r| serial_run(scenario, cfg, *scheme, &seeds, r).mean_psnr())
                 .collect();
             let point = swept[i].iter().nth(j).expect("one point per x");
             assert_eq!(point.x, *x);

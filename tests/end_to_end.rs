@@ -3,7 +3,7 @@
 //! accounting, across all schemes and both scenarios.
 
 use fcr::prelude::*;
-use fcr::sim::engine::run_once;
+use fcr::sim::engine::run;
 
 fn cfg(gops: u32) -> SimConfig {
     SimConfig {
@@ -18,7 +18,7 @@ fn every_scheme_produces_valid_results_on_both_scenarios() {
     let seeds = SeedSequence::new(100);
     for scenario in [Scenario::single_fbs(&cfg), Scenario::interfering_fig5(&cfg)] {
         for scheme in Scheme::WITH_BOUND {
-            let r = run_once(&scenario, &cfg, scheme, &seeds, 0);
+            let r = run(&scenario, &cfg, scheme, &seeds, 0, TraceMode::Off).result;
             assert_eq!(r.per_user_psnr.len(), scenario.num_users(), "{scheme}");
             for (j, p) in r.per_user_psnr.iter().enumerate() {
                 let alpha = scenario.users[j].sequence.model().alpha().db();
@@ -46,7 +46,7 @@ fn collision_rate_stays_under_gamma_for_all_schemes() {
     let seeds = SeedSequence::new(200);
     let scenario = Scenario::single_fbs(&cfg);
     for scheme in Scheme::PAPER_TRIO {
-        let r = run_once(&scenario, &cfg, scheme, &seeds, 0);
+        let r = run(&scenario, &cfg, scheme, &seeds, 0, TraceMode::Off).result;
         assert!(
             r.collision_rate <= cfg.gamma + 0.03,
             "{scheme}: {} > γ + slack",
@@ -63,7 +63,8 @@ fn gamma_zero_means_almost_no_collisions() {
         ..SimConfig::default()
     };
     let scenario = Scenario::single_fbs(&cfg);
-    let r = run_once(&scenario, &cfg, Scheme::Proposed, &SeedSequence::new(1), 0);
+    let seeds = SeedSequence::new(1);
+    let r = run(&scenario, &cfg, Scheme::Proposed, &seeds, 0, TraceMode::Off).result;
     // γ = 0 blocks every channel whose posterior is not certain-idle;
     // with noisy sensors posteriors are never exactly 1, so nothing is
     // accessed and nothing collides.
@@ -83,7 +84,11 @@ fn perfect_sensing_gives_more_quality_than_noisy_sensing() {
     let scenario = Scenario::single_fbs(&noisy);
     let mean = |c: &SimConfig| {
         (0..4)
-            .map(|r| run_once(&scenario, c, Scheme::Proposed, &seeds, r).mean_psnr())
+            .map(|r| {
+                run(&scenario, c, Scheme::Proposed, &seeds, r, TraceMode::Off)
+                    .result
+                    .mean_psnr()
+            })
             .sum::<f64>()
             / 4.0
     };
@@ -101,7 +106,11 @@ fn idle_spectrum_beats_busy_spectrum() {
     let scenario = Scenario::single_fbs(&quiet);
     let mean = |c: &SimConfig| {
         (0..4)
-            .map(|r| run_once(&scenario, c, Scheme::Proposed, &seeds, r).mean_psnr())
+            .map(|r| {
+                run(&scenario, c, Scheme::Proposed, &seeds, r, TraceMode::Off)
+                    .result
+                    .mean_psnr()
+            })
             .sum::<f64>()
             / 4.0
     };
@@ -116,8 +125,19 @@ fn upper_bound_scheme_dominates_proposed_in_interfering_scenario() {
     let mut ub_total = 0.0;
     let mut proposed_total = 0.0;
     for r in 0..3 {
-        ub_total += run_once(&scenario, &cfg, Scheme::UpperBound, &seeds, r).mean_psnr();
-        proposed_total += run_once(&scenario, &cfg, Scheme::Proposed, &seeds, r).mean_psnr();
+        ub_total += run(
+            &scenario,
+            &cfg,
+            Scheme::UpperBound,
+            &seeds,
+            r,
+            TraceMode::Off,
+        )
+        .result
+        .mean_psnr();
+        proposed_total += run(&scenario, &cfg, Scheme::Proposed, &seeds, r, TraceMode::Off)
+            .result
+            .mean_psnr();
     }
     // Exhaustively-optimal channel allocation can only help; allow a
     // sliver of realization noise.
@@ -131,25 +151,23 @@ fn upper_bound_scheme_dominates_proposed_in_interfering_scenario() {
 fn eq23_bound_dominates_greedy_objective_every_slot_on_average() {
     let cfg = cfg(6);
     let scenario = Scenario::interfering_fig5(&cfg);
-    let r = run_once(
-        &scenario,
-        &cfg,
-        Scheme::Proposed,
-        &SeedSequence::new(600),
-        0,
-    );
+    let seeds = SeedSequence::new(600);
+    let r = run(&scenario, &cfg, Scheme::Proposed, &seeds, 0, TraceMode::Off).result;
     let q = r.mean_greedy_objective.expect("recorded");
     let ub = r.mean_eq23_bound.expect("recorded");
     assert!(ub >= q, "eq.(23) bound {ub} below greedy objective {q}");
 }
 
 #[test]
-fn experiment_summaries_match_manual_aggregation() {
+fn session_summaries_match_manual_aggregation() {
     let cfg = cfg(3);
     let scenario = Scenario::single_fbs(&cfg);
-    let experiment = Experiment::new(scenario.clone(), cfg, 700).runs(4);
-    let runs = experiment.run_scheme(Scheme::Proposed);
-    let summary = experiment.summarize(Scheme::Proposed);
+    let session = SimSession::new(scenario.clone())
+        .config(cfg)
+        .runs(4)
+        .seed(700);
+    let runs = session.run(Scheme::Proposed).results();
+    let summary = session.run(Scheme::Proposed).summary();
     let manual_mean = runs.iter().map(RunResult::mean_psnr).sum::<f64>() / runs.len() as f64;
     assert!((summary.overall.mean() - manual_mean).abs() < 1e-9);
 }

@@ -3,7 +3,20 @@
 //! where the bound sits. Full-scale numbers live in EXPERIMENTS.md.
 
 use fcr::prelude::*;
-use fcr::sim::runner::sweep;
+
+/// Session-based sweep with the module's run count and seed.
+fn sweep(
+    points: &[(f64, SimConfig, Scenario)],
+    schemes: &[Scheme],
+    runs: u64,
+    seed: u64,
+) -> Vec<fcr::stats::series::Series> {
+    SimSession::new(points[0].2.clone())
+        .config(points[0].1)
+        .runs(runs)
+        .seed(seed)
+        .sweep(points, schemes)
+}
 
 const RUNS: u64 = 3;
 const GOPS: u32 = 6;
@@ -19,16 +32,19 @@ fn base() -> SimConfig {
 #[test]
 fn fig3_proposed_wins_the_single_fbs_mean() {
     let cfg = base();
-    let e = Experiment::new(Scenario::single_fbs(&cfg), cfg, SEED).runs(RUNS);
-    let proposed = e.summarize(Scheme::Proposed).overall.mean();
-    let h1 = e.summarize(Scheme::Heuristic1).overall.mean();
-    let h2 = e.summarize(Scheme::Heuristic2).overall.mean();
+    let e = SimSession::new(Scenario::single_fbs(&cfg))
+        .config(cfg)
+        .runs(RUNS)
+        .seed(SEED);
+    let proposed = e.run(Scheme::Proposed).summary().overall.mean();
+    let h1 = e.run(Scheme::Heuristic1).summary().overall.mean();
+    let h2 = e.run(Scheme::Heuristic2).summary().overall.mean();
     assert!(proposed > h1, "proposed {proposed} vs H1 {h1}");
     assert!(proposed > h2, "proposed {proposed} vs H2 {h2}");
     // "Well balanced among the three users": better fairness than the
     // winner-takes-the-slot heuristic.
-    let jain_p = e.summarize(Scheme::Proposed).jain;
-    let jain_h2 = e.summarize(Scheme::Heuristic2).jain;
+    let jain_p = e.run(Scheme::Proposed).summary().jain;
+    let jain_h2 = e.run(Scheme::Heuristic2).summary().jain;
     assert!(jain_p > jain_h2, "Jain proposed {jain_p} vs H2 {jain_h2}");
 }
 

@@ -8,7 +8,7 @@ use fcr::core::greedy::GreedyAllocator;
 use fcr::core::interfering::InterferingProblem;
 use fcr::core::multistage::{decomposition_gap, dp_value, MultistageInstance, TinyUser};
 use fcr::prelude::*;
-use fcr::sim::engine::run_once;
+use fcr::sim::engine::run;
 
 /// Lemma 1 / strong duality: the distributed algorithm's value matches
 /// the centralized optimum (zero duality gap in practice).
@@ -130,7 +130,7 @@ fn claim_collision_bound_on_the_fig1_network() {
     assert_eq!(scenario.graph.max_degree(), 1);
     let seeds = SeedSequence::new(2026);
     for scheme in Scheme::WITH_BOUND {
-        let r = run_once(&scenario, &cfg, scheme, &seeds, 0);
+        let r = run(&scenario, &cfg, scheme, &seeds, 0, TraceMode::Off).result;
         assert!(
             r.collision_rate <= cfg.gamma + 0.03,
             "{scheme}: {}",
@@ -152,7 +152,11 @@ fn claim_proposed_wins_on_the_fig1_network() {
     let seeds = SeedSequence::new(2027);
     let mean = |scheme| {
         (0..3)
-            .map(|r| run_once(&scenario, &cfg, scheme, &seeds, r).mean_psnr())
+            .map(|r| {
+                run(&scenario, &cfg, scheme, &seeds, r, TraceMode::Off)
+                    .result
+                    .mean_psnr()
+            })
             .sum::<f64>()
             / 3.0
     };

@@ -53,9 +53,12 @@ fn injected_panic_is_contained_and_the_shared_pool_survives() {
     // The same pool still runs real experiments afterwards: no
     // poisoning, no lost workers.
     let cfg = quick_config();
-    let results = Experiment::new(Scenario::single_fbs(&cfg), cfg, 31)
+    let results = SimSession::new(Scenario::single_fbs(&cfg))
+        .config(cfg)
         .runs(3)
-        .run_scheme(Scheme::Proposed);
+        .seed(31)
+        .run(Scheme::Proposed)
+        .results();
     assert_eq!(results.len(), 3);
     assert!(results.iter().all(|r| r.mean_psnr() > 20.0));
 }
@@ -99,9 +102,12 @@ fn snapshot_exposes_the_advertised_counter_set() {
     // The acceptance bar: at least five counters/histograms visible in
     // one mid-flight snapshot, renderable as a table.
     let cfg = quick_config();
-    let _ = Experiment::new(Scenario::single_fbs(&cfg), cfg, 5)
+    let _ = SimSession::new(Scenario::single_fbs(&cfg))
+        .config(cfg)
         .runs(2)
-        .run_scheme(Scheme::UpperBound);
+        .seed(5)
+        .run(Scheme::UpperBound)
+        .results();
     let snap = pool::snapshot();
     assert!(snap.jobs_submitted >= 2);
     assert!(snap.jobs_completed >= 2);
@@ -112,4 +118,72 @@ fn snapshot_exposes_the_advertised_counter_set() {
     let table = fcr::sim::report::runtime_metrics_table(&snap);
     assert!(table.contains("jobs completed"));
     assert!(table.contains(SLOTS_COUNTER));
+}
+
+#[test]
+fn elastic_resizes_never_drop_or_reorder_queued_jobs() {
+    // A dedicated elastic pool (not the shared one): grow and shrink
+    // while batches of shard-sized jobs are queued, and require every
+    // batch to come back complete and in submission order.
+    let rt = Runtime::with_config(RuntimeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        min_workers: 1,
+        max_workers: 4,
+        ..RuntimeConfig::default()
+    });
+    for (round, target) in [(0u64, 4usize), (1, 2), (2, 3), (3, 1)] {
+        let reached = rt.resize(target);
+        assert!(
+            (rt.min_workers()..=rt.max_workers()).contains(&reached),
+            "resize target {target} landed at {reached}"
+        );
+        assert_eq!(rt.active_workers(), reached);
+        let outcomes = rt.run_batch((0..64u64).map(move |i| {
+            move || {
+                // Busy-ish payload so jobs overlap resizes.
+                let mut acc = round * 1_000 + i;
+                for _ in 0..100 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                (i, acc)
+            }
+        }));
+        assert_eq!(outcomes.len(), 64, "round {round}: no dropped jobs");
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let (idx, _) = outcome.as_ref().expect("no panics");
+            assert_eq!(*idx, i as u64, "round {round}: order preserved");
+        }
+    }
+    let snap = rt.snapshot();
+    assert_eq!(snap.jobs_submitted, 4 * 64);
+    assert_eq!(snap.jobs_completed, 4 * 64);
+    assert_eq!(snap.jobs_failed, 0);
+}
+
+#[test]
+fn sharded_sessions_survive_pool_resizes_bit_identically() {
+    // Resizing the *shared* pool between sharded sessions must not
+    // change a single bit of the results (the public acceptance angle
+    // of the elastic-pool property above).
+    let _gate = exclusive();
+    let cfg = SimConfig {
+        gops: 4,
+        ..SimConfig::default()
+    };
+    let session = SimSession::new(Scenario::single_fbs(&cfg))
+        .config(cfg)
+        .runs(2)
+        .seed(808)
+        .shards(ShardPolicy::Windows(1));
+    let baseline = session.run(Scheme::Proposed).results();
+    let pool = pool::shared();
+    for target in [pool.max_workers(), pool.min_workers(), pool.max_workers()] {
+        pool.resize(target);
+        assert_eq!(
+            session.run(Scheme::Proposed).results(),
+            baseline,
+            "results changed after resize to {target}"
+        );
+    }
 }

@@ -12,7 +12,7 @@
 //! returning.
 
 use fcr::prelude::*;
-use fcr::sim::engine::{run_once, run_traced};
+use fcr::sim::engine::run;
 use std::sync::Mutex;
 
 /// Serializes tests that flip the global telemetry switch.
@@ -38,13 +38,13 @@ fn results_are_bit_identical_with_telemetry_on_and_off() {
     for scenario in [Scenario::single_fbs(&cfg), Scenario::interfering_fig5(&cfg)] {
         fcr::telemetry::disable();
         let off: Vec<RunResult> = (0..2)
-            .map(|r| run_once(&scenario, &cfg, Scheme::Proposed, &seeds, r))
+            .map(|r| run(&scenario, &cfg, Scheme::Proposed, &seeds, r, TraceMode::Off).result)
             .collect();
 
         fcr::telemetry::enable();
         fcr::telemetry::reset();
         let on: Vec<RunResult> = (0..2)
-            .map(|r| run_once(&scenario, &cfg, Scheme::Proposed, &seeds, r))
+            .map(|r| run(&scenario, &cfg, Scheme::Proposed, &seeds, r, TraceMode::Off).result)
             .collect();
         let snap = fcr::telemetry::global().snapshot();
         fcr::telemetry::disable();
@@ -67,8 +67,16 @@ fn traced_runs_match_production_runs_with_telemetry_enabled() {
     };
     let scenario = Scenario::single_fbs(&cfg);
     let seeds = SeedSequence::new(99);
-    let plain = run_once(&scenario, &cfg, Scheme::Proposed, &seeds, 0);
-    let (traced, trace) = run_traced(&scenario, &cfg, Scheme::Proposed, &seeds, 0);
+    let plain = run(&scenario, &cfg, Scheme::Proposed, &seeds, 0, TraceMode::Off).result;
+    let out = run(
+        &scenario,
+        &cfg,
+        Scheme::Proposed,
+        &seeds,
+        0,
+        TraceMode::Full,
+    );
+    let (traced, trace) = (out.result, out.trace.expect("Full mode records"));
     fcr::telemetry::disable();
 
     assert_eq!(plain, traced, "tracing must not perturb the run");
@@ -90,8 +98,11 @@ fn pooled_runner_spans_from_many_workers_all_land() {
     // Several runs through the shared pool: spans race in from every
     // worker thread at once.
     let runs: u64 = 6;
-    let experiment = Experiment::new(Scenario::single_fbs(&cfg), cfg, 55).runs(runs);
-    let results = experiment.run_scheme(Scheme::Proposed);
+    let session = SimSession::new(Scenario::single_fbs(&cfg))
+        .config(cfg)
+        .runs(runs)
+        .seed(55);
+    let results = session.run(Scheme::Proposed).results();
     assert_eq!(results.len() as u64, runs);
     let snap = fcr::telemetry::global().snapshot();
     fcr::telemetry::disable();
@@ -123,8 +134,12 @@ fn jsonl_export_of_a_real_run_is_complete() {
     };
     // Interfering topology so greedy records appear, driven through
     // the pool so worker lines appear.
-    let experiment = Experiment::new(Scenario::interfering_fig5(&cfg), cfg, 31).runs(2);
-    let _ = experiment.run_scheme(Scheme::Proposed);
+    let session = SimSession::new(Scenario::interfering_fig5(&cfg))
+        .config(cfg)
+        .runs(2)
+        .seed(31)
+        .shards(ShardPolicy::Windows(1));
+    let _ = session.run(Scheme::Proposed).results();
     let snap = fcr::telemetry::global().snapshot();
     let pool = fcr::sim::pool::snapshot();
     fcr::telemetry::disable();
@@ -148,6 +163,10 @@ fn jsonl_export_of_a_real_run_is_complete() {
         "one worker line per pool worker"
     );
     assert!(jsonl.contains("\"type\":\"pool\""));
+    assert!(
+        jsonl.contains("\"type\":\"shard\""),
+        "shard records exported for a sharded session"
+    );
     // Theorem 2's floor holds on every exported greedy record.
     let floor = 1.0 / (1.0 + 2.0); // Fig. 5 path graph: D_max = 2.
     for g in &snap.greedy {
