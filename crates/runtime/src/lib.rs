@@ -16,9 +16,20 @@
 //!   [`RuntimeConfig`]). Workers never exceed the configured
 //!   `max_workers` ceiling — a hard concurrency cap regardless of how
 //!   many jobs are submitted — and the active count can grow/shrink
-//!   between batches ([`Runtime::resize`] / [`Runtime::autoscale`])
-//!   within `[min_workers, max_workers]`, driven by queue depth and
-//!   per-worker utilization.
+//!   ([`Runtime::resize`] / [`Runtime::autoscale`] / the always-on
+//!   background loop started by [`Runtime::start_autoscaler`] or
+//!   [`RuntimeConfig::autoscale`]) within `[min_workers,
+//!   max_workers]`, driven by queue depth and per-worker utilization
+//!   (in-flight jobs included, so long shards never read as idle).
+//!   Loop steps respect an [`AutoscaleConfig`] cooldown so a grow is
+//!   never immediately undone by a shrink; every applied step is a
+//!   [`ResizeEvent`] tagged with its [`ResizeTrigger`] provenance.
+//! * **[`Priority`]** — jobs carry a service class
+//!   ([`PriorityClass::Urgent`] / `Normal` / `Bulk`) plus an optional
+//!   absolute deadline; each queue shard keeps one deque per class,
+//!   EDF-ordered within the class, and pop/steal both take the
+//!   highest-class earliest-deadline job first. Priorities change
+//!   execution order only — results stay bit-identical.
 //! * **[`ShardPolicy`]** — how shard-aware callers (`fcr-sim`) cut a
 //!   long multi-GOP run into independently schedulable slot-window
 //!   jobs; the policy only groups work, never changes RNG draws, so
@@ -82,11 +93,13 @@ pub mod histogram;
 pub mod job;
 pub mod metrics;
 pub mod pool;
+pub mod priority;
 pub(crate) mod queue;
 pub mod shard;
 
 pub use histogram::HistogramSnapshot;
 pub use job::{JobError, JobHandle, JobOutcome};
 pub use metrics::{MetricsRegistry, MetricsSnapshot, WorkerSnapshot};
-pub use pool::{RejectedJob, Runtime, RuntimeConfig};
-pub use shard::{ResizeEvent, ShardPolicy};
+pub use pool::{AutoscaleConfig, RejectedJob, Runtime, RuntimeConfig};
+pub use priority::{Priority, PriorityClass};
+pub use shard::{ResizeEvent, ResizeTrigger, ShardPolicy};

@@ -1,17 +1,42 @@
-//! The elastic worker pool: sharded submission, work stealing,
-//! blocking and non-blocking backpressure, panic containment,
-//! between-batch grow/shrink within configured bounds, and graceful
-//! shutdown.
+//! The elastic worker pool: priority-aware sharded submission, work
+//! stealing, blocking and non-blocking backpressure, panic
+//! containment, manual and always-on background autoscaling within
+//! configured bounds, and graceful shutdown.
 
 use crate::job::{panic_message, CompletionSlot, JobError, JobHandle, JobOutcome, Task};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::priority::Priority;
 use crate::queue::Shard;
-use crate::shard::{ResizeEvent, ShardPolicy};
+use crate::shard::{ResizeEvent, ResizeTrigger, ShardPolicy};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Tuning for the always-on background autoscaler loop
+/// ([`Runtime::start_autoscaler`], or [`RuntimeConfig::autoscale`] to
+/// start it with the pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoscaleConfig {
+    /// How often the loop samples the pool and takes one
+    /// [`Runtime::autoscale`]-style step.
+    pub interval: Duration,
+    /// Hysteresis: after **any** resize, loop-triggered steps are
+    /// suppressed for this long, so a grow can't be immediately undone
+    /// by a shrink (and vice versa). Manual [`Runtime::autoscale`] /
+    /// [`Runtime::resize`] calls are never throttled.
+    pub cooldown: Duration,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        AutoscaleConfig {
+            interval: Duration::from_millis(20),
+            cooldown: Duration::from_millis(200),
+        }
+    }
+}
 
 /// Sizing knobs for a [`Runtime`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +58,11 @@ pub struct RuntimeConfig {
     /// Default intra-run sharding policy for shard-aware callers
     /// (`fcr-sim` reads this when a `SimConfig` does not override it).
     pub shard: ShardPolicy,
+    /// When `Some`, the pool starts its background autoscaler thread
+    /// at construction (equivalent to calling
+    /// [`Runtime::start_autoscaler`] immediately). `None` (the
+    /// default) keeps sizing fully manual.
+    pub autoscale: Option<AutoscaleConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -46,6 +76,7 @@ impl Default for RuntimeConfig {
             min_workers: 1,
             max_workers: workers,
             shard: ShardPolicy::Auto,
+            autoscale: None,
         }
     }
 }
@@ -55,6 +86,16 @@ struct PoolState {
     /// per-shard lengths, so workers can park on one condvar).
     queued: usize,
     shutdown: bool,
+}
+
+/// Baselines for delta-utilization readings between autoscale steps,
+/// plus the hysteresis timestamp for the background loop.
+struct AutoscaleState {
+    last_busy_ns: u64,
+    last_at: Instant,
+    /// When the most recent resize (manual or loop) was applied;
+    /// loop-triggered steps within the cooldown are skipped.
+    last_resize_at: Option<Instant>,
 }
 
 struct Shared {
@@ -68,6 +109,21 @@ struct Shared {
     work_available: Condvar,
     /// Signalled on dequeue; blocked submitters park here.
     space_available: Condvar,
+    /// Worker slots, indexed by shard. `None` = never started or
+    /// joined; a `Some` at index ≥ active is a retired thread whose
+    /// handle is reclaimed lazily on the next grow (or at shutdown).
+    workers: Mutex<Vec<Option<JoinHandle<()>>>>,
+    min_workers: usize,
+    max_workers: usize,
+    autoscale_state: Mutex<AutoscaleState>,
+    /// Named counter `pool.resizes` (also visible in snapshots).
+    resizes: Arc<AtomicU64>,
+    /// Loop-triggered resize events awaiting collection by
+    /// [`Runtime::drain_resize_events`].
+    pending_resizes: Mutex<Vec<ResizeEvent>>,
+    /// Background autoscaler control: `true` asks the loop to exit.
+    scaler_stop: Mutex<bool>,
+    scaler_cv: Condvar,
 }
 
 impl Shared {
@@ -83,11 +139,16 @@ impl Shared {
         let mut st = self.state.lock().expect("pool state poisoned");
         st.queued = st.queued.saturating_sub(1);
         drop(st);
-        self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        // Saturating: an unpaired decrement must skew the gauge by at
+        // most one, never wrap it to u64::MAX.
+        self.metrics.dec_queue_depth();
         self.space_available.notify_one();
     }
 
     /// Pops from the worker's own shard, else steals from a sibling.
+    /// Both paths take the highest-class earliest-deadline job first
+    /// (the shard enforces it), so mixed-priority workloads reorder
+    /// identically no matter who drains a shard.
     fn take_task(&self, worker: usize) -> Option<Task> {
         if let Some(task) = self.shards[worker].pop() {
             self.note_dequeued();
@@ -105,6 +166,121 @@ impl Shared {
         }
         None
     }
+
+    /// Sets the active worker count to `target`, clamped to
+    /// `[min_workers, max_workers]`; returns the applied count. See
+    /// [`Runtime::resize`] for the full contract.
+    fn resize_to(self: &Arc<Self>, target: usize) -> usize {
+        let target = target.clamp(self.min_workers, self.max_workers);
+        let mut slots = self.workers.lock().expect("pool workers poisoned");
+        if slots.is_empty() {
+            // Already shut down.
+            return self.active.load(Ordering::Acquire);
+        }
+        let current = self.active.load(Ordering::Acquire);
+        if target == current {
+            return current;
+        }
+        if target < current {
+            // Retire the tail workers; they exit on their next idle
+            // check. Handles stay in their slots for lazy reclaiming.
+            self.active.store(target, Ordering::Release);
+            self.work_available.notify_all();
+        } else {
+            // Reclaim retired threads *before* raising `active`: with
+            // `active` still below their index they are guaranteed to
+            // exit, so the join terminates.
+            for slot in slots.iter_mut().take(target).skip(current) {
+                if let Some(handle) = slot.take() {
+                    self.work_available.notify_all();
+                    let _ = handle.join();
+                }
+            }
+            self.active.store(target, Ordering::Release);
+            for (index, slot) in slots.iter_mut().enumerate().take(target).skip(current) {
+                *slot = Some(spawn_worker(self, index));
+            }
+            self.work_available.notify_all();
+        }
+        self.metrics.set_active_workers(target);
+        self.resizes.fetch_add(1, Ordering::Relaxed);
+        // Start the loop's cooldown window: the next loop-triggered
+        // step must not immediately undo this one.
+        self.autoscale_state
+            .lock()
+            .expect("autoscale state poisoned")
+            .last_resize_at = Some(Instant::now());
+        target
+    }
+
+    /// One adaptive sizing step. `cooldown` is `Some` only for
+    /// loop-triggered steps (manual calls are never throttled).
+    fn autoscale_step(
+        self: &Arc<Self>,
+        trigger: ResizeTrigger,
+        cooldown: Option<Duration>,
+    ) -> Option<ResizeEvent> {
+        let active = self.active.load(Ordering::Acquire);
+        if active == 0 {
+            return None;
+        }
+        if let Some(cooldown) = cooldown {
+            let st = self
+                .autoscale_state
+                .lock()
+                .expect("autoscale state poisoned");
+            if let Some(last) = st.last_resize_at {
+                if last.elapsed() < cooldown {
+                    // Hysteresis: too soon after the previous resize.
+                    // Baselines stay untouched so the next reading
+                    // still covers the full window.
+                    return None;
+                }
+            }
+        }
+        let queue_depth = self.metrics.queue_depth.load(Ordering::Relaxed);
+        // In-flight-aware busy signal: long-running jobs count while
+        // they run, so a busy pool never reads as idle and gets
+        // shrunk out from under its own workload.
+        let busy_ns = self.metrics.busy_ns_estimate();
+        let utilization = {
+            let mut st = self
+                .autoscale_state
+                .lock()
+                .expect("autoscale state poisoned");
+            let now = Instant::now();
+            let dt = now.duration_since(st.last_at).as_nanos() as f64;
+            let dbusy = busy_ns.saturating_sub(st.last_busy_ns) as f64;
+            st.last_busy_ns = busy_ns;
+            st.last_at = now;
+            if dt <= 0.0 {
+                0.0
+            } else {
+                (dbusy / (dt * active as f64)).clamp(0.0, 1.0)
+            }
+        };
+        let target = if queue_depth > active as u64 && active < self.max_workers {
+            (active * 2).min(self.max_workers)
+        } else if queue_depth == 0 && utilization < 0.25 && active > self.min_workers {
+            (active / 2).max(self.min_workers)
+        } else {
+            active
+        };
+        if target == active {
+            return None;
+        }
+        let to = self.resize_to(target);
+        if to == active {
+            return None;
+        }
+        Some(ResizeEvent {
+            from: active,
+            to,
+            queue_depth,
+            utilization,
+            trigger,
+        })
+    }
 }
 
 fn worker_loop(shared: Arc<Shared>, index: usize) {
@@ -119,7 +295,9 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
             // The task wrapper contains its own catch_unwind and
             // in-flight accounting; it never unwinds into the worker
             // loop. Busy time is attributed to this worker for the
-            // utilization metrics.
+            // utilization metrics, and the start is stamped so the
+            // autoscaler sees the job while it runs.
+            shared.metrics.note_worker_start(index);
             let start = Instant::now();
             task();
             shared.metrics.record_worker_job(index, start.elapsed());
@@ -128,7 +306,14 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         let mut st = shared.state.lock().expect("pool state poisoned");
         loop {
             if index >= shared.active.load(Ordering::Acquire) {
-                return; // retired while parked
+                // Retired while parked. The notify that woke us may
+                // have been meant for an active worker — pass it
+                // along instead of swallowing it, or a queued job
+                // could sit until an incidental steal.
+                if st.queued > 0 {
+                    shared.work_available.notify_one();
+                }
+                return;
             }
             if st.queued > 0 {
                 break; // rescan the shards
@@ -147,6 +332,35 @@ fn spawn_worker(shared: &Arc<Shared>, index: usize) -> JoinHandle<()> {
         .name(format!("fcr-runtime-{index}"))
         .spawn(move || worker_loop(shared, index))
         .expect("spawning runtime worker failed")
+}
+
+/// The background autoscaler: one [`Shared::autoscale_step`] per
+/// interval, stopping promptly when asked via the condvar.
+fn scaler_loop(shared: Arc<Shared>, config: AutoscaleConfig) {
+    let interval = config.interval.max(Duration::from_micros(100));
+    let mut stop = shared.scaler_stop.lock().expect("scaler control poisoned");
+    loop {
+        if *stop {
+            return;
+        }
+        let (guard, _timeout) = shared
+            .scaler_cv
+            .wait_timeout(stop, interval)
+            .expect("scaler control poisoned");
+        stop = guard;
+        if *stop {
+            return;
+        }
+        drop(stop);
+        if let Some(event) = shared.autoscale_step(ResizeTrigger::Loop, Some(config.cooldown)) {
+            shared
+                .pending_resizes
+                .lock()
+                .expect("resize buffer poisoned")
+                .push(event);
+        }
+        stop = shared.scaler_stop.lock().expect("scaler control poisoned");
+    }
 }
 
 /// Wraps a user closure into a queue [`Task`] plus the [`JobHandle`]
@@ -175,18 +389,22 @@ where
 }
 
 /// A job bounced by [`Runtime::try_spawn`] because every shard was
-/// full. Holds both the (unexecuted) work and its handle; the caller
-/// decides whether to retry ([`Runtime::try_resubmit`]), block
-/// ([`Runtime::resubmit`]), or absorb the backpressure on its own
-/// thread ([`RejectedJob::run_inline`]).
+/// full. Holds the (unexecuted) work, the priority it was submitted
+/// under, and its handle; the caller decides whether to retry
+/// ([`Runtime::try_resubmit`]), block ([`Runtime::resubmit`]), or
+/// absorb the backpressure on its own thread
+/// ([`RejectedJob::run_inline`]).
 pub struct RejectedJob<T> {
+    priority: Priority,
     task: Task,
     handle: JobHandle<T>,
 }
 
 impl<T> std::fmt::Debug for RejectedJob<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RejectedJob").finish_non_exhaustive()
+        f.debug_struct("RejectedJob")
+            .field("priority", &self.priority)
+            .finish_non_exhaustive()
     }
 }
 
@@ -197,37 +415,30 @@ impl<T> RejectedJob<T> {
         (self.task)();
         self.handle.join()
     }
-}
 
-/// Baselines for delta-utilization readings between
-/// [`Runtime::autoscale`] calls.
-struct AutoscaleState {
-    last_busy_ns: u64,
-    last_at: Instant,
+    /// The priority the job was originally submitted under (reused on
+    /// resubmission).
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
 }
 
 /// An elastic sharded worker pool. See the crate docs for the full
 /// architecture story.
 pub struct Runtime {
     shared: Arc<Shared>,
-    /// Worker slots, indexed by shard. `None` = never started or
-    /// joined; a `Some` at index ≥ active is a retired thread whose
-    /// handle is reclaimed lazily on the next grow (or at shutdown).
-    workers: Mutex<Vec<Option<JoinHandle<()>>>>,
     next_shard: AtomicUsize,
-    min_workers: usize,
-    max_workers: usize,
     shard_policy: ShardPolicy,
-    autoscale_state: Mutex<AutoscaleState>,
-    /// Named counter `pool.resizes` (also visible in snapshots).
-    resizes: Arc<AtomicU64>,
+    /// Background autoscaler thread, if running.
+    scaler: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runtime")
             .field("active_workers", &self.active_workers())
-            .field("max_workers", &self.max_workers)
+            .field("max_workers", &self.shared.max_workers)
+            .field("autoscaler_running", &self.autoscaler_running())
             .finish_non_exhaustive()
     }
 }
@@ -271,24 +482,35 @@ impl Runtime {
             active: AtomicUsize::new(config.workers),
             work_available: Condvar::new(),
             space_available: Condvar::new(),
-        });
-        let mut workers: Vec<Option<JoinHandle<()>>> = (0..max_workers).map(|_| None).collect();
-        for (index, slot) in workers.iter_mut().enumerate().take(config.workers) {
-            *slot = Some(spawn_worker(&shared, index));
-        }
-        Runtime {
-            shared,
-            workers: Mutex::new(workers),
-            next_shard: AtomicUsize::new(0),
+            workers: Mutex::new((0..max_workers).map(|_| None).collect()),
             min_workers,
             max_workers,
-            shard_policy: config.shard,
             autoscale_state: Mutex::new(AutoscaleState {
                 last_busy_ns: 0,
                 last_at: Instant::now(),
+                last_resize_at: None,
             }),
             resizes,
+            pending_resizes: Mutex::new(Vec::new()),
+            scaler_stop: Mutex::new(false),
+            scaler_cv: Condvar::new(),
+        });
+        {
+            let mut slots = shared.workers.lock().expect("pool workers poisoned");
+            for (index, slot) in slots.iter_mut().enumerate().take(config.workers) {
+                *slot = Some(spawn_worker(&shared, index));
+            }
         }
+        let runtime = Runtime {
+            shared,
+            next_shard: AtomicUsize::new(0),
+            shard_policy: config.shard,
+            scaler: Mutex::new(None),
+        };
+        if let Some(autoscale) = config.autoscale {
+            runtime.start_autoscaler(autoscale);
+        }
+        runtime
     }
 
     /// The current **active** worker count (elastic; see
@@ -304,12 +526,12 @@ impl Runtime {
 
     /// The elastic floor.
     pub fn min_workers(&self) -> usize {
-        self.min_workers
+        self.shared.min_workers
     }
 
     /// The elastic ceiling (= shard count).
     pub fn max_workers(&self) -> usize {
-        self.max_workers
+        self.shared.max_workers
     }
 
     /// The default intra-run sharding policy this pool was configured
@@ -328,91 +550,85 @@ impl Runtime {
     /// retired thread occupying the slot (joining it), then spawns a
     /// fresh worker. Resizing a shut-down pool is a no-op.
     pub fn resize(&self, target: usize) -> usize {
-        let target = target.clamp(self.min_workers, self.max_workers);
-        let mut slots = self.workers.lock().expect("pool workers poisoned");
-        if slots.is_empty() {
-            // Already shut down.
-            return self.active_workers();
-        }
-        let current = self.shared.active.load(Ordering::Acquire);
-        if target == current {
-            return current;
-        }
-        if target < current {
-            // Retire the tail workers; they exit on their next idle
-            // check. Handles stay in their slots for lazy reclaiming.
-            self.shared.active.store(target, Ordering::Release);
-            self.shared.work_available.notify_all();
-        } else {
-            // Reclaim retired threads *before* raising `active`: with
-            // `active` still below their index they are guaranteed to
-            // exit, so the join terminates.
-            for slot in slots.iter_mut().take(target).skip(current) {
-                if let Some(handle) = slot.take() {
-                    self.shared.work_available.notify_all();
-                    let _ = handle.join();
-                }
-            }
-            self.shared.active.store(target, Ordering::Release);
-            for (index, slot) in slots.iter_mut().enumerate().take(target).skip(current) {
-                *slot = Some(spawn_worker(&self.shared, index));
-            }
-            self.shared.work_available.notify_all();
-        }
-        self.shared.metrics.set_active_workers(target);
-        self.resizes.fetch_add(1, Ordering::Relaxed);
-        target
+        self.shared.resize_to(target)
     }
 
-    /// One adaptive sizing step, meant to run **between batches**:
-    /// grows the pool (one doubling) when the queue backlog exceeds
-    /// one job per active worker, shrinks it (one halving) when the
-    /// queue is empty and mean per-worker utilization since the last
-    /// call is below 25%. Returns the applied [`ResizeEvent`], or
-    /// `None` when the size is already right.
+    /// One **manual** adaptive sizing step (never throttled by the
+    /// autoscaler cooldown): grows the pool (one doubling) when the
+    /// queue backlog exceeds one job per active worker, shrinks it
+    /// (one halving) when the queue is empty and mean per-worker
+    /// utilization since the last step is below 25%. In-flight jobs
+    /// count toward utilization, so a pool running long shards is
+    /// never mistaken for idle. Returns the applied [`ResizeEvent`]
+    /// (with [`ResizeTrigger::Manual`]), or `None` when the size is
+    /// already right.
     pub fn autoscale(&self) -> Option<ResizeEvent> {
-        let active = self.active_workers();
-        if active == 0 {
-            return None;
+        self.shared.autoscale_step(ResizeTrigger::Manual, None)
+    }
+
+    /// Starts the always-on background autoscaler: a dedicated thread
+    /// taking one [`Runtime::autoscale`]-style step per
+    /// `config.interval`, with `config.cooldown` hysteresis after any
+    /// resize. Loop-applied [`ResizeEvent`]s (tagged
+    /// [`ResizeTrigger::Loop`]) are buffered for
+    /// [`Runtime::drain_resize_events`]. Returns `false` (and does
+    /// nothing) if the loop is already running.
+    pub fn start_autoscaler(&self, config: AutoscaleConfig) -> bool {
+        let mut scaler = self.scaler.lock().expect("scaler slot poisoned");
+        if scaler.is_some() {
+            return false;
         }
-        let queue_depth = self.shared.metrics.queue_depth.load(Ordering::Relaxed);
-        let busy_ns = self.shared.metrics.total_busy_ns();
-        let utilization = {
-            let mut st = self
-                .autoscale_state
+        *self
+            .shared
+            .scaler_stop
+            .lock()
+            .expect("scaler control poisoned") = false;
+        let shared = Arc::clone(&self.shared);
+        *scaler = Some(
+            std::thread::Builder::new()
+                .name("fcr-autoscaler".into())
+                .spawn(move || scaler_loop(shared, config))
+                .expect("spawning autoscaler failed"),
+        );
+        true
+    }
+
+    /// Stops the background autoscaler and joins its thread. Returns
+    /// `false` if it was not running. Also called by
+    /// [`Runtime::shutdown`] **before** worker teardown, so no resize
+    /// can race the final joins.
+    pub fn stop_autoscaler(&self) -> bool {
+        let handle = self.scaler.lock().expect("scaler slot poisoned").take();
+        let Some(handle) = handle else {
+            return false;
+        };
+        *self
+            .shared
+            .scaler_stop
+            .lock()
+            .expect("scaler control poisoned") = true;
+        self.shared.scaler_cv.notify_all();
+        let _ = handle.join();
+        true
+    }
+
+    /// Whether the background autoscaler thread is currently running.
+    pub fn autoscaler_running(&self) -> bool {
+        self.scaler.lock().expect("scaler slot poisoned").is_some()
+    }
+
+    /// Takes (and clears) the resize events applied by the background
+    /// autoscaler since the last drain. Manual
+    /// [`Runtime::autoscale`] steps return their event directly and
+    /// are **not** buffered here.
+    pub fn drain_resize_events(&self) -> Vec<ResizeEvent> {
+        std::mem::take(
+            &mut *self
+                .shared
+                .pending_resizes
                 .lock()
-                .expect("autoscale state poisoned");
-            let now = Instant::now();
-            let dt = now.duration_since(st.last_at).as_nanos() as f64;
-            let dbusy = busy_ns.saturating_sub(st.last_busy_ns) as f64;
-            st.last_busy_ns = busy_ns;
-            st.last_at = now;
-            if dt <= 0.0 {
-                0.0
-            } else {
-                (dbusy / (dt * active as f64)).clamp(0.0, 1.0)
-            }
-        };
-        let target = if queue_depth > active as u64 && active < self.max_workers {
-            (active * 2).min(self.max_workers)
-        } else if queue_depth == 0 && utilization < 0.25 && active > self.min_workers {
-            (active / 2).max(self.min_workers)
-        } else {
-            active
-        };
-        if target == active {
-            return None;
-        }
-        let to = self.resize(target);
-        if to == active {
-            return None;
-        }
-        Some(ResizeEvent {
-            from: active,
-            to,
-            queue_depth,
-            utilization,
-        })
+                .expect("resize buffer poisoned"),
+        )
     }
 
     /// The live metrics registry (for registering domain counters).
@@ -436,7 +652,7 @@ impl Runtime {
     /// One round-robin pass over the **active** shards; hands the task
     /// back when everything is full. (Shards of retired workers still
     /// drain via stealing but receive no new work.)
-    fn try_enqueue(&self, task: Task) -> Result<(), Task> {
+    fn try_enqueue(&self, priority: Priority, task: Task) -> Result<(), Task> {
         let n = self
             .shared
             .active
@@ -445,13 +661,22 @@ impl Runtime {
         let start = self.next_shard.fetch_add(1, Ordering::Relaxed);
         let mut task = task;
         for offset in 0..n {
-            match self.shared.shards[(start + offset) % n].try_push(task) {
+            let index = (start + offset) % n;
+            match self.shared.shards[index].try_push(priority, task) {
                 Ok(()) => {
                     self.shared
                         .metrics
                         .jobs_submitted
                         .fetch_add(1, Ordering::Relaxed);
                     self.shared.note_enqueued();
+                    // A concurrent shrink may have retired this shard's
+                    // owner between the `active` load above and the
+                    // push. Re-check and kick *every* worker so a
+                    // survivor steals the job promptly instead of it
+                    // waiting for an incidental steal.
+                    if index >= self.shared.active.load(Ordering::Acquire) {
+                        self.shared.work_available.notify_all();
+                    }
                     return Ok(());
                 }
                 Err(bounced) => task = bounced,
@@ -460,14 +685,14 @@ impl Runtime {
         Err(task)
     }
 
-    fn submit_blocking(&self, task: Task) {
+    fn submit_blocking(&self, priority: Priority, task: Task) {
         let mut task = task;
         loop {
             assert!(
                 !self.is_shut_down(),
                 "cannot submit jobs to a runtime after shutdown"
             );
-            match self.try_enqueue(task) {
+            match self.try_enqueue(priority, task) {
                 Ok(()) => return,
                 Err(bounced) => {
                     task = bounced;
@@ -486,9 +711,9 @@ impl Runtime {
         }
     }
 
-    /// Submits a job, **blocking** the caller while every shard is
-    /// full (backpressure). Returns a handle to `join` for the
-    /// outcome.
+    /// Submits a job at [`Priority::normal`], **blocking** the caller
+    /// while every shard is full (backpressure). Returns a handle to
+    /// `join` for the outcome.
     ///
     /// # Panics
     ///
@@ -498,77 +723,142 @@ impl Runtime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        let (task, handle) = package(Arc::clone(&self.shared.metrics), f);
-        self.submit_blocking(task);
-        handle
+        self.spawn_with(Priority::default(), f)
     }
 
-    /// Submits a job without blocking: when every shard is full the
-    /// job comes back as a [`RejectedJob`] (and `jobs_rejected` is
-    /// counted), letting the caller choose its own backpressure
-    /// policy.
-    pub fn try_spawn<T, F>(&self, f: F) -> Result<JobHandle<T>, RejectedJob<T>>
+    /// Like [`Runtime::spawn`], under an explicit [`Priority`]:
+    /// workers dequeue the highest class first and
+    /// earliest-deadline-first within a class. Priorities change
+    /// **only execution order**, never job results.
+    pub fn spawn_with<T, F>(&self, priority: Priority, f: F) -> JobHandle<T>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
         let (task, handle) = package(Arc::clone(&self.shared.metrics), f);
-        match self.try_enqueue(task) {
+        self.submit_blocking(priority, task);
+        handle
+    }
+
+    /// Submits a job at [`Priority::normal`] without blocking: when
+    /// every shard is full the job comes back as a [`RejectedJob`]
+    /// (and `jobs_rejected` is counted), letting the caller choose its
+    /// own backpressure policy.
+    pub fn try_spawn<T, F>(&self, f: F) -> Result<JobHandle<T>, RejectedJob<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.try_spawn_with(Priority::default(), f)
+    }
+
+    /// Like [`Runtime::try_spawn`], under an explicit [`Priority`].
+    pub fn try_spawn_with<T, F>(
+        &self,
+        priority: Priority,
+        f: F,
+    ) -> Result<JobHandle<T>, RejectedJob<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (task, handle) = package(Arc::clone(&self.shared.metrics), f);
+        match self.try_enqueue(priority, task) {
             Ok(()) => Ok(handle),
             Err(task) => {
                 self.shared
                     .metrics
                     .jobs_rejected
                     .fetch_add(1, Ordering::Relaxed);
-                Err(RejectedJob { task, handle })
+                Err(RejectedJob {
+                    priority,
+                    task,
+                    handle,
+                })
             }
         }
     }
 
-    /// Retries a previously rejected job without blocking.
+    /// Retries a previously rejected job (at its original priority)
+    /// without blocking.
     pub fn try_resubmit<T>(
         &self,
         rejected: RejectedJob<T>,
     ) -> Result<JobHandle<T>, RejectedJob<T>> {
-        let RejectedJob { task, handle } = rejected;
-        match self.try_enqueue(task) {
+        let RejectedJob {
+            priority,
+            task,
+            handle,
+        } = rejected;
+        match self.try_enqueue(priority, task) {
             Ok(()) => Ok(handle),
             Err(task) => {
                 self.shared
                     .metrics
                     .jobs_rejected
                     .fetch_add(1, Ordering::Relaxed);
-                Err(RejectedJob { task, handle })
+                Err(RejectedJob {
+                    priority,
+                    task,
+                    handle,
+                })
             }
         }
     }
 
-    /// Resubmits a previously rejected job, blocking until it fits.
+    /// Resubmits a previously rejected job (at its original
+    /// priority), blocking until it fits.
     pub fn resubmit<T>(&self, rejected: RejectedJob<T>) -> JobHandle<T> {
-        let RejectedJob { task, handle } = rejected;
-        self.submit_blocking(task);
+        let RejectedJob {
+            priority,
+            task,
+            handle,
+        } = rejected;
+        self.submit_blocking(priority, task);
         handle
     }
 
-    /// Submits every job of a batch (blocking on backpressure) and
-    /// returns their outcomes **in submission order** — the property
-    /// that makes pooled sweeps bit-identical to serial loops.
+    /// Submits every job of a batch at [`Priority::normal`] (blocking
+    /// on backpressure) and returns their outcomes **in submission
+    /// order** — the property that makes pooled sweeps bit-identical
+    /// to serial loops.
     pub fn run_batch<T, F, I>(&self, jobs: I) -> Vec<JobOutcome<T>>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
         I: IntoIterator<Item = F>,
     {
-        let handles: Vec<JobHandle<T>> = jobs.into_iter().map(|f| self.spawn(f)).collect();
+        self.run_batch_with(Priority::default(), jobs)
+    }
+
+    /// Like [`Runtime::run_batch`], submitting every job of the batch
+    /// under one explicit [`Priority`]. Outcomes still arrive in
+    /// submission order regardless of the execution order the
+    /// priority induces.
+    pub fn run_batch_with<T, F, I>(&self, priority: Priority, jobs: I) -> Vec<JobOutcome<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+        I: IntoIterator<Item = F>,
+    {
+        let handles: Vec<JobHandle<T>> = jobs
+            .into_iter()
+            .map(|f| self.spawn_with(priority, f))
+            .collect();
         handles.into_iter().map(JobHandle::join).collect()
     }
 
-    /// Graceful shutdown: every already-queued job still runs, then
-    /// the workers exit and are joined (including any threads retired
-    /// earlier by a shrink). Also invoked on drop. Further submissions
-    /// panic.
+    /// Graceful shutdown: the background autoscaler (if running) is
+    /// stopped and joined first, then every already-queued job still
+    /// runs, then the workers exit and are joined (including any
+    /// threads retired earlier by a shrink). Also invoked on drop.
+    /// Further submissions panic.
     pub fn shutdown(&mut self) {
-        let workers = std::mem::take(&mut *self.workers.lock().expect("pool workers poisoned"));
+        // Stop the scaler BEFORE worker teardown: a resize racing the
+        // joins below could spawn workers into slots already taken.
+        self.stop_autoscaler();
+        let workers =
+            std::mem::take(&mut *self.shared.workers.lock().expect("pool workers poisoned"));
         if workers.is_empty() {
             return; // already shut down
         }
@@ -661,10 +951,11 @@ mod tests {
         // Fill the single queue slot.
         let queued = rt.try_spawn(|| 1).expect("one slot free");
         // Pool saturated: the next submission bounces.
-        let rejected = match rt.try_spawn(|| 2) {
+        let rejected = match rt.try_spawn_with(Priority::urgent(), || 2) {
             Err(r) => r,
             Ok(_) => panic!("expected rejection from a saturated pool"),
         };
+        assert_eq!(rejected.priority(), Priority::urgent());
         assert!(rt.snapshot().jobs_rejected >= 1);
         // The caller can absorb the backpressure inline...
         assert_eq!(rejected.run_inline(), Ok(2));
@@ -855,6 +1146,40 @@ mod tests {
     }
 
     #[test]
+    fn shrink_under_concurrent_submission_never_strands_jobs() {
+        // Regression (stale-shard routing): a submission that loads
+        // `active`, then races a shrink, could land its job on a
+        // retired worker's shard where it waited for an incidental
+        // steal — stalling the batch join. The re-check in
+        // `try_enqueue` plus retiring workers passing wakeups along
+        // must keep every batch bounded.
+        let rt = Runtime::with_config(RuntimeConfig {
+            workers: 4,
+            queue_capacity: 16,
+            min_workers: 1,
+            max_workers: 4,
+            ..RuntimeConfig::default()
+        });
+        std::thread::scope(|scope| {
+            let resizer = scope.spawn(|| {
+                for _ in 0..300 {
+                    rt.resize(1);
+                    rt.resize(4);
+                }
+                rt.resize(1);
+            });
+            for round in 0..60u64 {
+                let base = round * 20;
+                let outcomes = rt.run_batch((base..base + 20).map(|i| move || i));
+                let values: Vec<u64> = outcomes.into_iter().map(Result::unwrap).collect();
+                assert_eq!(values, (base..base + 20).collect::<Vec<_>>());
+            }
+            resizer.join().expect("resizer thread");
+        });
+        assert_eq!(rt.snapshot().queue_depth, 0);
+    }
+
+    #[test]
     fn autoscale_grows_on_backlog_and_shrinks_when_idle() {
         let rt = Runtime::with_config(RuntimeConfig {
             workers: 1,
@@ -876,13 +1201,15 @@ mod tests {
         assert_eq!(event.from, 1);
         assert_eq!(event.to, 2);
         assert!(event.queue_depth > 1);
+        assert_eq!(event.trigger, ResizeTrigger::Manual);
         release_tx.send(()).unwrap();
         assert_eq!(blocker.join(), Ok(()));
         for h in handles {
             assert!(h.join().is_ok());
         }
         // Let the utilization window go quiet, then autoscale drains
-        // back down one halving at a time.
+        // back down one halving at a time. (Manual steps ignore the
+        // loop cooldown, so back-to-back calls work.)
         std::thread::sleep(Duration::from_millis(25));
         let event = rt.autoscale().expect("idle pool must shrink");
         assert_eq!(event.from, 2);
@@ -894,6 +1221,196 @@ mod tests {
         assert!(rt.autoscale().is_none());
         // The shrunken pool still works.
         assert_eq!(rt.spawn(|| 7).join(), Ok(7));
+    }
+
+    #[test]
+    fn long_running_job_does_not_read_as_idle() {
+        // Regression (utilization accounting): `busy_ns` only advances
+        // on job *completion*, so a pool running one long job used to
+        // read ~0% utilization mid-job and get halved. In-flight
+        // elapsed time must count toward the window.
+        let rt = Runtime::with_config(RuntimeConfig {
+            workers: 2,
+            queue_capacity: 8,
+            min_workers: 1,
+            max_workers: 2,
+            ..RuntimeConfig::default()
+        });
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let blocker = rt.spawn(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        });
+        started_rx.recv().unwrap();
+        // Empty queue + one worker busy the whole window: utilization
+        // ≈ 0.5 ≥ 25%, so the pool must NOT shrink.
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(
+            rt.autoscale().is_none(),
+            "busy pool shrank mid-job: long-running work read as idle"
+        );
+        assert_eq!(rt.active_workers(), 2);
+        release_tx.send(()).unwrap();
+        assert_eq!(blocker.join(), Ok(()));
+    }
+
+    #[test]
+    fn background_autoscaler_grows_under_backlog_and_buffers_loop_events() {
+        let rt = Runtime::with_config(RuntimeConfig {
+            workers: 1,
+            queue_capacity: 256,
+            min_workers: 1,
+            max_workers: 4,
+            autoscale: Some(AutoscaleConfig {
+                interval: Duration::from_millis(5),
+                cooldown: Duration::from_millis(5),
+            }),
+            ..RuntimeConfig::default()
+        });
+        assert!(rt.autoscaler_running());
+        assert!(
+            !rt.start_autoscaler(AutoscaleConfig::default()),
+            "second start is a no-op"
+        );
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let blocker = rt.spawn(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        });
+        started_rx.recv().unwrap();
+        let handles: Vec<_> = (0..16u64).map(|i| rt.spawn(move || i)).collect();
+        // The loop must notice the backlog on its own — no manual
+        // autoscale() call here.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while rt.active_workers() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            rt.active_workers() >= 2,
+            "autoscaler loop never grew the pool"
+        );
+        release_tx.send(()).unwrap();
+        assert_eq!(blocker.join(), Ok(()));
+        for h in handles {
+            assert!(h.join().is_ok());
+        }
+        assert!(rt.stop_autoscaler());
+        assert!(!rt.stop_autoscaler(), "second stop is a no-op");
+        assert!(!rt.autoscaler_running());
+        let events = rt.drain_resize_events();
+        assert!(!events.is_empty(), "loop resizes must be buffered");
+        for event in &events {
+            assert_eq!(event.trigger, ResizeTrigger::Loop);
+        }
+        assert_eq!(events[0].from, 1);
+        assert!(events[0].to >= 2);
+        assert!(events[0].queue_depth > 1);
+        // The drain is destructive.
+        assert!(rt.drain_resize_events().is_empty());
+    }
+
+    #[test]
+    fn autoscaler_loop_converges_without_thrashing_on_steady_work() {
+        // Property-ish: a steady workload (shallow queue, busy
+        // workers) must keep the loop quiet — the cooldown alone
+        // bounds resizes to ≤ 2 over the window, and the signals
+        // should not trigger even that many.
+        let rt = Runtime::with_config(RuntimeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            min_workers: 1,
+            max_workers: 4,
+            autoscale: Some(AutoscaleConfig {
+                interval: Duration::from_millis(5),
+                cooldown: Duration::from_millis(200),
+            }),
+            ..RuntimeConfig::default()
+        });
+        let before = rt.snapshot().counter("pool.resizes").unwrap_or(0);
+        let t0 = Instant::now();
+        while t0.elapsed() < Duration::from_millis(350) {
+            // Two jobs on two workers: queue depth never exceeds the
+            // active count (no grow signal), and the spinning keeps
+            // utilization well above the shrink threshold.
+            let outcomes = rt.run_batch((0..2u64).map(|i| {
+                move || {
+                    let t = Instant::now();
+                    while t.elapsed() < Duration::from_micros(300) {
+                        std::hint::spin_loop();
+                    }
+                    i
+                }
+            }));
+            assert!(outcomes.iter().all(Result::is_ok));
+        }
+        let resizes = rt.snapshot().counter("pool.resizes").unwrap_or(0) - before;
+        assert!(
+            resizes <= 2,
+            "autoscaler thrashed: {resizes} resizes on a steady workload"
+        );
+    }
+
+    #[test]
+    fn urgent_jobs_complete_before_queued_bulk_on_one_worker() {
+        let rt = small(1, 64);
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        // Park the lone worker so the queue builds up.
+        let blocker = rt.spawn(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        });
+        started_rx.recv().unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        // Submit Bulk FIRST, then Urgent: dequeue must still run every
+        // Urgent job before any Bulk one.
+        for class in ["bulk", "urgent"] {
+            for i in 0..5u32 {
+                let log = Arc::clone(&log);
+                let priority = match class {
+                    "urgent" => Priority::urgent(),
+                    _ => Priority::bulk(),
+                };
+                handles.push(rt.spawn_with(priority, move || {
+                    log.lock().unwrap().push((class, i));
+                }));
+            }
+        }
+        release_tx.send(()).unwrap();
+        assert_eq!(blocker.join(), Ok(()));
+        for h in handles {
+            assert_eq!(h.join(), Ok(()));
+        }
+        let log = log.lock().unwrap();
+        assert_eq!(log.len(), 10);
+        let first_bulk = log
+            .iter()
+            .position(|(c, _)| *c == "bulk")
+            .expect("bulk jobs ran");
+        let last_urgent = log
+            .iter()
+            .rposition(|(c, _)| *c == "urgent")
+            .expect("urgent jobs ran");
+        assert!(
+            last_urgent < first_bulk,
+            "a bulk job ran before the urgent queue drained: {log:?}"
+        );
+        // FIFO within each class.
+        let urgents: Vec<u32> = log
+            .iter()
+            .filter(|(c, _)| *c == "urgent")
+            .map(|&(_, i)| i)
+            .collect();
+        let bulks: Vec<u32> = log
+            .iter()
+            .filter(|(c, _)| *c == "bulk")
+            .map(|&(_, i)| i)
+            .collect();
+        assert_eq!(urgents, vec![0, 1, 2, 3, 4]);
+        assert_eq!(bulks, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
@@ -910,6 +1427,27 @@ mod tests {
         rt.shutdown();
         // Resizing after shutdown is a harmless no-op.
         assert_eq!(rt.resize(3), rt.active_workers());
+    }
+
+    #[test]
+    fn shutdown_stops_the_autoscaler_first() {
+        let mut rt = Runtime::with_config(RuntimeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            min_workers: 1,
+            max_workers: 2,
+            autoscale: Some(AutoscaleConfig {
+                interval: Duration::from_millis(1),
+                cooldown: Duration::from_millis(1),
+            }),
+            ..RuntimeConfig::default()
+        });
+        assert!(rt.autoscaler_running());
+        assert_eq!(rt.spawn(|| 42).join(), Ok(42));
+        rt.shutdown();
+        assert!(!rt.autoscaler_running());
+        // Idempotent with the scaler involved, too.
+        rt.shutdown();
     }
 
     #[test]

@@ -1,18 +1,54 @@
-//! Sharded bounded job queues.
+//! Sharded bounded priority queues.
 //!
-//! Each worker owns one [`Shard`]: a bounded FIFO. The owner pops from
-//! the **front**; idle siblings steal from the **back**, which keeps
-//! the owner working on the oldest (most latency-sensitive) jobs while
-//! thieves take the freshest ones — the classic deque discipline.
+//! Each worker owns one [`Shard`]: a bounded queue holding one small
+//! deque per [`PriorityClass`], ordered earliest-deadline-first (EDF)
+//! within the class (deadline-less jobs keep FIFO submission order
+//! behind every deadlined sibling). The owner's pop and siblings'
+//! steals follow the same discipline — highest class first, earliest
+//! deadline first inside it — so a mixed Urgent/Bulk workload reorders
+//! identically no matter which worker drains a shard.
 
 use crate::job::Task;
+use crate::priority::{Priority, PriorityClass};
 use std::collections::VecDeque;
 use std::sync::Mutex;
+use std::time::Instant;
 
-/// One bounded job queue, owned by a single worker but stealable by
-/// the rest of the pool.
+/// One queued job: its EDF key plus the work itself. `seq` is the
+/// shard-local admission number breaking deadline ties FIFO.
+struct Entry {
+    deadline: Option<Instant>,
+    seq: u64,
+    task: Task,
+}
+
+impl Entry {
+    /// EDF ordering inside one class: earlier deadlines first, then
+    /// admission order; deadline-less entries sort after every
+    /// deadlined one.
+    fn precedes(&self, other: &Entry) -> bool {
+        match (self.deadline, other.deadline) {
+            (Some(a), Some(b)) => (a, self.seq) < (b, other.seq),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => self.seq < other.seq,
+        }
+    }
+}
+
+struct ShardInner {
+    /// One EDF deque per class, indexed by [`PriorityClass::rank`].
+    classes: [VecDeque<Entry>; PriorityClass::COUNT],
+    /// Total queued entries across the classes (bounded by capacity).
+    len: usize,
+    /// Next admission number.
+    next_seq: u64,
+}
+
+/// One bounded priority queue, owned by a single worker but stealable
+/// by the rest of the pool.
 pub(crate) struct Shard {
-    jobs: Mutex<VecDeque<Task>>,
+    inner: Mutex<ShardInner>,
     capacity: usize,
 }
 
@@ -20,35 +56,66 @@ impl Shard {
     pub(crate) fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "shard capacity must be positive");
         Shard {
-            jobs: Mutex::new(VecDeque::with_capacity(capacity)),
+            inner: Mutex::new(ShardInner {
+                classes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                len: 0,
+                next_seq: 0,
+            }),
             capacity,
         }
     }
 
-    /// Enqueues `task` unless the shard is at capacity, in which case
-    /// the task is handed back (backpressure).
-    pub(crate) fn try_push(&self, task: Task) -> Result<(), Task> {
-        let mut jobs = self.jobs.lock().expect("shard poisoned");
-        if jobs.len() >= self.capacity {
+    /// Enqueues `task` under `priority` unless the shard is at
+    /// capacity (summed over all classes), in which case the task is
+    /// handed back (backpressure).
+    pub(crate) fn try_push(&self, priority: Priority, task: Task) -> Result<(), Task> {
+        let mut inner = self.inner.lock().expect("shard poisoned");
+        if inner.len >= self.capacity {
             return Err(task);
         }
-        jobs.push_back(task);
+        let entry = Entry {
+            deadline: priority.deadline,
+            seq: inner.next_seq,
+            task,
+        };
+        inner.next_seq += 1;
+        let queue = &mut inner.classes[priority.class.rank()];
+        // EDF insertion point. Deadline-less entries carry the largest
+        // admission number, so they always land at the back — pushing
+        // without a deadline stays O(1) FIFO.
+        let at = queue.partition_point(|existing| existing.precedes(&entry));
+        queue.insert(at, entry);
+        inner.len += 1;
         Ok(())
     }
 
-    /// Owner-side pop (FIFO front).
-    pub(crate) fn pop(&self) -> Option<Task> {
-        self.jobs.lock().expect("shard poisoned").pop_front()
+    /// Takes the highest-class earliest-deadline job, if any.
+    fn take(&self) -> Option<Task> {
+        let mut inner = self.inner.lock().expect("shard poisoned");
+        for rank in 0..PriorityClass::COUNT {
+            if let Some(entry) = inner.classes[rank].pop_front() {
+                inner.len -= 1;
+                return Some(entry.task);
+            }
+        }
+        None
     }
 
-    /// Thief-side pop (back of the deque).
+    /// Owner-side pop: highest class first, EDF inside the class.
+    pub(crate) fn pop(&self) -> Option<Task> {
+        self.take()
+    }
+
+    /// Thief-side pop. Same discipline as [`Shard::pop`]: a steal must
+    /// not demote an Urgent job behind a Bulk one just because a
+    /// different worker drained the shard.
     pub(crate) fn steal(&self) -> Option<Task> {
-        self.jobs.lock().expect("shard poisoned").pop_back()
+        self.take()
     }
 
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
-        self.jobs.lock().expect("shard poisoned").len()
+        self.inner.lock().expect("shard poisoned").len
     }
 }
 
@@ -65,34 +132,115 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU32, Ordering};
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn noop() -> Task {
         Box::new(|| {})
     }
 
+    /// A task that appends `tag` to a shared order log when executed.
+    fn tagged(log: &Arc<Mutex<Vec<u32>>>, tag: u32) -> Task {
+        let log = Arc::clone(log);
+        Box::new(move || log.lock().unwrap().push(tag))
+    }
+
+    /// `try_push` asserting admission (`Task` isn't `Debug`, so plain
+    /// `unwrap` doesn't compile).
+    fn push(shard: &Shard, priority: Priority, task: Task) {
+        assert!(shard.try_push(priority, task).is_ok(), "shard full");
+    }
+
     #[test]
-    fn bounded_push_and_fifo_pop() {
+    fn bounded_push_and_fifo_pop_within_a_class() {
         let order = Arc::new(AtomicU32::new(0));
         let shard = Shard::new(2);
         for tag in [10u32, 20] {
             let order = Arc::clone(&order);
             assert!(shard
-                .try_push(Box::new(move || {
-                    order.store(tag, Ordering::SeqCst);
-                }))
+                .try_push(
+                    Priority::normal(),
+                    Box::new(move || {
+                        order.store(tag, Ordering::SeqCst);
+                    })
+                )
                 .is_ok());
         }
         // Full: the task comes back.
-        assert!(shard.try_push(noop()).is_err());
+        assert!(shard.try_push(Priority::normal(), noop()).is_err());
         assert_eq!(shard.len(), 2);
-        // FIFO from the front.
+        // FIFO within the class, for both pop and steal.
         shard.pop().expect("first")();
         assert_eq!(order.load(Ordering::SeqCst), 10);
-        // Steal takes the back (the freshest job).
         shard.steal().expect("second")();
         assert_eq!(order.load(Ordering::SeqCst), 20);
         assert!(shard.pop().is_none());
         assert!(shard.steal().is_none());
+    }
+
+    #[test]
+    fn classes_dequeue_urgent_before_normal_before_bulk() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let shard = Shard::new(16);
+        // Submit in the *worst* order: bulk, normal, urgent.
+        push(&shard, Priority::bulk(), tagged(&log, 3));
+        push(&shard, Priority::normal(), tagged(&log, 2));
+        push(&shard, Priority::urgent(), tagged(&log, 1));
+        push(&shard, Priority::bulk(), tagged(&log, 4));
+        while let Some(task) = shard.pop() {
+            task();
+        }
+        assert_eq!(*log.lock().unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(shard.len(), 0);
+    }
+
+    #[test]
+    fn edf_orders_within_a_class_and_capacity_spans_classes() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let shard = Shard::new(4);
+        let base = Instant::now();
+        let at = |ms: u64| base + Duration::from_millis(ms);
+        // Out-of-order deadlines plus one deadline-less straggler.
+        push(
+            &shard,
+            Priority::normal().with_deadline(at(300)),
+            tagged(&log, 30),
+        );
+        push(&shard, Priority::normal(), tagged(&log, 99));
+        push(
+            &shard,
+            Priority::normal().with_deadline(at(100)),
+            tagged(&log, 10),
+        );
+        push(
+            &shard,
+            Priority::normal().with_deadline(at(200)),
+            tagged(&log, 20),
+        );
+        // Capacity counts across classes: a 5th push bounces even in a
+        // different (higher) class.
+        assert!(shard.try_push(Priority::urgent(), noop()).is_err());
+        // Steals follow the same EDF order as pops.
+        shard.steal().expect("edf head")();
+        while let Some(task) = shard.pop() {
+            task();
+        }
+        assert_eq!(*log.lock().unwrap(), vec![10, 20, 30, 99]);
+    }
+
+    #[test]
+    fn urgent_deadlines_beat_urgent_without() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let shard = Shard::new(8);
+        push(&shard, Priority::urgent(), tagged(&log, 2));
+        push(
+            &shard,
+            Priority::urgent().with_deadline(Instant::now()),
+            tagged(&log, 1),
+        );
+        while let Some(task) = shard.pop() {
+            task();
+        }
+        assert_eq!(*log.lock().unwrap(), vec![1, 2]);
     }
 
     #[test]

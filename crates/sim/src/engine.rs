@@ -159,8 +159,7 @@ pub(crate) struct WindowOutput {
 /// recording per-slot state per the [`TraceMode`].
 ///
 /// This is the single entry point behind both the production and the
-/// traced paths (the deprecated [`run_once`] / [`run_traced`] wrappers
-/// forward here), and the serial reference for sharded execution: a
+/// traced paths, and the serial reference for sharded execution: a
 /// sharded run is the same `plan_spectrum` → `run_window` →
 /// `stitch` pipeline with more than one window.
 ///
@@ -181,33 +180,6 @@ pub fn run(
     let plan = plan_spectrum(scenario, cfg, &run_seeds);
     let window = run_window(scenario, cfg, scheme, &run_seeds, &plan, 0, cfg.gops, mode);
     stitch(cfg, &plan, vec![window], mode)
-}
-
-/// Runs one complete simulation of `scheme`, returning only the
-/// aggregate result.
-#[deprecated(note = "use `engine::run(..., TraceMode::Off)` and read `.result`")]
-pub fn run_once(
-    scenario: &Scenario,
-    cfg: &SimConfig,
-    scheme: Scheme,
-    seeds: &SeedSequence,
-    run_index: u64,
-) -> RunResult {
-    run(scenario, cfg, scheme, seeds, run_index, TraceMode::Off).result
-}
-
-/// As [`run_once`], additionally recording a full per-slot
-/// [`SimTrace`].
-#[deprecated(note = "use `engine::run(..., TraceMode::Full)` and read `.trace`")]
-pub fn run_traced(
-    scenario: &Scenario,
-    cfg: &SimConfig,
-    scheme: Scheme,
-    seeds: &SeedSequence,
-    run_index: u64,
-) -> (RunResult, SimTrace) {
-    let out = run(scenario, cfg, scheme, seeds, run_index, TraceMode::Full);
-    (out.result, out.trace.expect("Full mode records a trace"))
 }
 
 /// The serial spectrum prologue: steps the primary network, senses,
@@ -1100,29 +1072,6 @@ mod tests {
             assert_eq!(f.delivered_db, s.delivered_db);
             assert_eq!(f.posteriors, s.posteriors);
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_merged_entry_point() {
-        let cfg = quick_cfg();
-        let scenario = Scenario::single_fbs(&cfg);
-        let seeds = SeedSequence::new(77);
-        let merged = run(
-            &scenario,
-            &cfg,
-            Scheme::Proposed,
-            &seeds,
-            0,
-            TraceMode::Full,
-        );
-        assert_eq!(
-            run_once(&scenario, &cfg, Scheme::Proposed, &seeds, 0),
-            merged.result
-        );
-        let (traced, trace) = run_traced(&scenario, &cfg, Scheme::Proposed, &seeds, 0);
-        assert_eq!(traced, merged.result);
-        assert_eq!(Some(trace), merged.trace);
     }
 
     #[test]

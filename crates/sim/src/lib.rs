@@ -28,10 +28,10 @@
 //! [`packet_engine`] (the NAL-unit-granular validation mode),
 //! [`metrics`] (per-run results), [`report`] (table rendering),
 //! [`pool`] (typed simulation jobs on the process-wide
-//! [`fcr_runtime`] worker pool), [`session`] (the builder-style
+//! [`fcr_runtime`] worker pool), and [`session`] (the builder-style
 //! [`session::SimSession`] entry point that shards each run into
-//! GOP-aligned slot windows on the elastic pool), and [`runner`]
-//! (the deprecated multi-run API, now thin shims over the session).
+//! GOP-aligned slot windows on the elastic pool and can tag a whole
+//! session with a scheduling [`fcr_runtime::Priority`]).
 //!
 //! # Examples
 //!
@@ -65,7 +65,6 @@ pub mod metrics;
 pub mod packet_engine;
 pub mod pool;
 pub mod report;
-pub mod runner;
 pub mod scenario;
 pub mod scheme;
 pub mod session;
@@ -73,13 +72,9 @@ pub mod trace;
 
 pub use config::SimConfig;
 pub use engine::{run, RunOutput, TraceMode};
-#[allow(deprecated)]
-pub use engine::{run_once, run_traced};
 pub use metrics::RunResult;
 pub use packet_engine::{run_packet_level, PacketRunResult};
 pub use pool::SimJob;
-#[allow(deprecated)]
-pub use runner::Experiment;
 pub use scenario::{Scenario, UserSpec};
 pub use scheme::Scheme;
 pub use session::{PacketSessionResult, SessionResult, SimSession};

@@ -1,11 +1,14 @@
 //! The process-wide simulation pool: typed [`SimJob`]s executed on the
 //! shared [`fcr_runtime::Runtime`].
 //!
-//! Every multi-run code path ([`crate::runner::Experiment::run_scheme`]
-//! and [`crate::runner::sweep`]) routes through this module, so the
-//! whole process shares **one** fixed-size worker pool — a hard
-//! concurrency cap, replacing the seed's unbounded per-run thread
-//! spawning.
+//! Every multi-run code path ([`crate::session::SimSession`] and the
+//! batch helpers here) routes through this module, so the whole
+//! process shares **one** elastic worker pool — a hard concurrency
+//! cap, replacing the seed's unbounded per-run thread spawning. The
+//! shared pool runs the always-on background autoscaler
+//! ([`fcr_runtime::AutoscaleConfig`]) so it sizes itself to the
+//! workload without callers doing anything; resizes never change
+//! results, only parallelism.
 //!
 //! # Determinism
 //!
@@ -23,7 +26,7 @@ use crate::engine::{run, TraceMode};
 use crate::metrics::RunResult;
 use crate::scenario::Scenario;
 use crate::scheme::Scheme;
-use fcr_runtime::{JobOutcome, MetricsSnapshot, Runtime};
+use fcr_runtime::{AutoscaleConfig, JobOutcome, MetricsSnapshot, Runtime, RuntimeConfig};
 use fcr_stats::rng::SeedSequence;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
@@ -56,7 +59,7 @@ pub struct SimJob {
 impl SimJob {
     /// Executes the run on the calling thread — byte-identical to the
     /// serial path because the seed derivation matches
-    /// [`crate::runner::Experiment::run_scheme`]'s contract.
+    /// [`crate::session::SimSession::run`]'s contract.
     pub fn execute(&self) -> RunResult {
         run(
             &self.scenario,
@@ -72,10 +75,17 @@ impl SimJob {
 
 /// The process-wide runtime, built on first use and shared by every
 /// experiment in the process. Sized by
-/// [`std::thread::available_parallelism`].
+/// [`std::thread::available_parallelism`], with the always-on
+/// background autoscaler started (self-managing between `min_workers`
+/// and the parallelism ceiling; a no-op on 1-core hosts).
 pub fn shared() -> &'static Runtime {
     static POOL: OnceLock<Runtime> = OnceLock::new();
-    POOL.get_or_init(Runtime::new)
+    POOL.get_or_init(|| {
+        Runtime::with_config(RuntimeConfig {
+            autoscale: Some(AutoscaleConfig::default()),
+            ..RuntimeConfig::default()
+        })
+    })
 }
 
 /// A live snapshot of the shared pool's metrics (jobs, queue depth,
@@ -147,5 +157,9 @@ mod tests {
         let b = shared() as *const Runtime;
         assert_eq!(a, b);
         assert!(shared().workers() >= 1);
+        assert!(
+            shared().autoscaler_running(),
+            "shared pool must be self-managing"
+        );
     }
 }

@@ -248,9 +248,10 @@ pub fn telemetry_table(snapshot: &TelemetrySnapshot) -> String {
     for r in &snapshot.resizes {
         let _ = writeln!(
             out,
-            "  pool resize {} -> {} (queue {}, util {:.0}%)",
+            "  pool resize {} -> {} [{}] (queue {}, util {:.0}%)",
             r.from,
             r.to,
+            r.trigger.name(),
             r.queue_depth,
             100.0 * r.utilization,
         );
@@ -406,6 +407,7 @@ mod tests {
             to: 2,
             queue_depth: 3,
             utilization: 0.9,
+            trigger: fcr_telemetry::ResizeTrigger::Loop,
         });
         let out = telemetry_table(&sink.snapshot());
         for needle in [
@@ -420,7 +422,7 @@ mod tests {
             "greedy (Table III): 1 runs",
             "greedy.inner_solves",
             "shards: 1 executed, mean wall 2.00 ms",
-            "pool resize 1 -> 2 (queue 3, util 90%)",
+            "pool resize 1 -> 2 [loop] (queue 3, util 90%)",
         ] {
             assert!(out.contains(needle), "{needle} rendered:\n{out}");
         }

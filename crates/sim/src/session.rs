@@ -32,10 +32,22 @@
 //! to serial** for every policy; `tests/determinism.rs` pins this for
 //! both the fluid and the packet engine.
 //!
-//! Before each batch the session lets the elastic pool autoscale
-//! within its configured bounds (queue-depth and utilization driven)
-//! and records any resize, plus one [`fcr_telemetry::ShardRecord`] per
+//! Before each batch the session lets the elastic pool take one
+//! manual autoscale step within its configured bounds (queue-depth and
+//! utilization driven; the shared pool additionally runs an always-on
+//! background autoscaler) and records every resize — manual and
+//! loop-triggered alike — plus one [`fcr_telemetry::ShardRecord`] per
 //! executed window, into the global telemetry sink.
+//!
+//! # Priorities
+//!
+//! [`SimSession::priority`] tags every window job of the session with
+//! a [`Priority`] (service class Urgent/Normal/Bulk plus optional EDF
+//! deadline). Priorities steer only *which queued job a worker takes
+//! next* — an interactive trace run submitted Urgent overtakes a
+//! queued Bulk sweep — while results stay bit-identical because every
+//! RNG stream is derived from `(master seed, run, gop)`, never from
+//! execution order (`tests/determinism.rs` pins this).
 
 use crate::config::SimConfig;
 use crate::engine::{self, RunOutput, SpectrumPlan, TraceMode, WindowOutput};
@@ -45,7 +57,7 @@ use crate::pool::{self, SHARDS_COUNTER, SLOTS_COUNTER, SOLVER_COUNTER};
 use crate::scenario::Scenario;
 use crate::scheme::Scheme;
 use crate::trace::SimTrace;
-use fcr_runtime::{JobOutcome, ShardPolicy};
+use fcr_runtime::{JobOutcome, Priority, ShardPolicy};
 use fcr_stats::rng::SeedSequence;
 use fcr_stats::series::Series;
 use std::sync::Arc;
@@ -63,6 +75,7 @@ pub struct SimSession {
     master_seed: u64,
     shards: Option<ShardPolicy>,
     trace: TraceMode,
+    priority: Priority,
 }
 
 impl SimSession {
@@ -76,6 +89,7 @@ impl SimSession {
             master_seed: 0,
             shards: None,
             trace: TraceMode::Off,
+            priority: Priority::default(),
         }
     }
 
@@ -117,6 +131,19 @@ impl SimSession {
         self
     }
 
+    /// Sets the scheduling [`Priority`] every window job of this
+    /// session is submitted under ([`Priority::normal`] by default).
+    /// Changes execution order only — never results.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// The scheduling priority in use.
+    pub fn priority_ref(&self) -> Priority {
+        self.priority
+    }
+
     /// The configuration in use.
     pub fn config_ref(&self) -> &SimConfig {
         &self.config
@@ -142,9 +169,7 @@ impl SimSession {
     pub fn run(&self, scheme: Scheme) -> SessionResult {
         let seeds = SeedSequence::new(self.master_seed);
         let runtime = pool::shared();
-        if let Some(event) = runtime.autoscale() {
-            fcr_telemetry::record_resize(event);
-        }
+        record_pool_resizes(runtime);
         let total_gops = u64::from(self.config.gops);
         let window_gops = self
             .shard_policy()
@@ -186,7 +211,7 @@ impl SimSession {
                 });
             }
         }
-        let window_outcomes = execute_windows(jobs, |job| job.execute());
+        let window_outcomes = execute_windows(self.priority, jobs, |job| job.execute());
 
         let mut iter = window_outcomes.into_iter();
         let outcomes = (0..self.runs)
@@ -220,9 +245,7 @@ impl SimSession {
     pub fn run_packet(&self, scheme: Scheme) -> PacketSessionResult {
         let seeds = SeedSequence::new(self.master_seed);
         let runtime = pool::shared();
-        if let Some(event) = runtime.autoscale() {
-            fcr_telemetry::record_resize(event);
-        }
+        record_pool_resizes(runtime);
         let total_gops = u64::from(self.config.gops);
         let window_gops = self
             .shard_policy()
@@ -258,7 +281,7 @@ impl SimSession {
                 });
             }
         }
-        let window_outcomes = execute_windows(jobs, |job| job.execute());
+        let window_outcomes = execute_windows(self.priority, jobs, |job| job.execute());
 
         let num_users = self.scenario.num_users();
         let mut iter = window_outcomes.into_iter();
@@ -297,6 +320,7 @@ impl SimSession {
                 master_seed: self.master_seed,
                 shards: self.shards,
                 trace: TraceMode::Off,
+                priority: self.priority,
             };
             for (scheme, out) in schemes.iter().zip(series.iter_mut()) {
                 let samples: Vec<f64> = session
@@ -322,9 +346,23 @@ impl SimSession {
     }
 }
 
-/// Submits window jobs as one flat batch on the shared pool, with
-/// per-shard telemetry and the domain counters every window feeds.
+/// One manual elastic step before the batch, then a flush of every
+/// buffered loop-triggered resize, all into the telemetry sink — so a
+/// JSONL export shows the full sizing history with provenance.
+fn record_pool_resizes(runtime: &fcr_runtime::Runtime) {
+    if let Some(event) = runtime.autoscale() {
+        fcr_telemetry::record_resize(event);
+    }
+    for event in runtime.drain_resize_events() {
+        fcr_telemetry::record_resize(event);
+    }
+}
+
+/// Submits window jobs as one flat batch on the shared pool under the
+/// session's priority, with per-shard telemetry and the domain
+/// counters every window feeds.
 fn execute_windows<J, T>(
+    priority: Priority,
     jobs: Vec<J>,
     execute: impl Fn(&J) -> T + Copy + Send + Sync + 'static,
 ) -> Vec<JobOutcome<T>>
@@ -336,23 +374,26 @@ where
     let slots = runtime.metrics().counter(SLOTS_COUNTER);
     let solves = runtime.metrics().counter(SOLVER_COUNTER);
     let shards = runtime.metrics().counter(SHARDS_COUNTER);
-    runtime.run_batch(jobs.into_iter().map(|job| {
-        let slots = Arc::clone(&slots);
-        let solves = Arc::clone(&solves);
-        let shards = Arc::clone(&shards);
-        move || {
-            use std::sync::atomic::Ordering;
-            let started = Instant::now();
-            let out = execute(&job);
-            let record = job.record(started.elapsed().as_nanos() as u64);
-            // One channel-allocation solve happens per simulated slot.
-            slots.fetch_add(record.gops * job.slots_per_gop(), Ordering::Relaxed);
-            solves.fetch_add(record.gops * job.slots_per_gop(), Ordering::Relaxed);
-            shards.fetch_add(1, Ordering::Relaxed);
-            fcr_telemetry::record_shard(record);
-            out
-        }
-    }))
+    runtime.run_batch_with(
+        priority,
+        jobs.into_iter().map(|job| {
+            let slots = Arc::clone(&slots);
+            let solves = Arc::clone(&solves);
+            let shards = Arc::clone(&shards);
+            move || {
+                use std::sync::atomic::Ordering;
+                let started = Instant::now();
+                let out = execute(&job);
+                let record = job.record(started.elapsed().as_nanos() as u64);
+                // One channel-allocation solve happens per simulated slot.
+                slots.fetch_add(record.gops * job.slots_per_gop(), Ordering::Relaxed);
+                solves.fetch_add(record.gops * job.slots_per_gop(), Ordering::Relaxed);
+                shards.fetch_add(1, Ordering::Relaxed);
+                fcr_telemetry::record_shard(record);
+                out
+            }
+        }),
+    )
 }
 
 /// The bookkeeping interface shared by fluid and packet window jobs.
@@ -692,6 +733,28 @@ mod tests {
         assert_eq!(series[0].name(), "Proposed scheme");
         assert_eq!(series[0].len(), 2);
         assert_eq!(series[1].len(), 2);
+    }
+
+    #[test]
+    fn priority_changes_order_never_results() {
+        let s = quick();
+        let normal = s.run(Scheme::Proposed).results();
+        let urgent = s
+            .clone()
+            .priority(Priority::urgent())
+            .run(Scheme::Proposed)
+            .results();
+        let bulk_deadline = s
+            .clone()
+            .priority(Priority::bulk().deadline_in(std::time::Duration::from_millis(5)))
+            .run(Scheme::Proposed)
+            .results();
+        assert_eq!(normal, urgent, "urgent reordering changed results");
+        assert_eq!(normal, bulk_deadline, "bulk+EDF reordering changed results");
+        assert_eq!(
+            s.clone().priority(Priority::urgent()).priority_ref(),
+            Priority::urgent()
+        );
     }
 
     #[test]

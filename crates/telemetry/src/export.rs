@@ -12,7 +12,7 @@
 //! | `greedy` | greedy allocation | `steps`, `gain`, `upper_bound_gain`, `gap`, `optimality_ratio`, `gap_terms` |
 //! | `counter` | named counter | `name`, `value` |
 //! | `shard` | executed intra-run shard | `run`, `window`, `gop_start`, `gops`, `wall_ns` |
-//! | `resize` | elastic-pool resize | `from`, `to`, `queue_depth`, `utilization` |
+//! | `resize` | elastic-pool resize | `from`, `to`, `queue_depth`, `utilization`, `trigger` (`manual`/`loop`) |
 //! | `worker` | pool worker | `index`, `busy_ns`, `lifetime_ns`, `jobs`, `steals`, `utilization` |
 //! | `pool` | runtime snapshot | `workers`, `jobs_submitted`, `jobs_completed`, `jobs_failed`, `jobs_stolen` |
 
@@ -89,11 +89,12 @@ pub fn to_jsonl(snapshot: &TelemetrySnapshot, runtime: Option<&MetricsSnapshot>)
     for r in &snapshot.resizes {
         let _ = writeln!(
             out,
-            "{{\"type\":\"resize\",\"from\":{},\"to\":{},\"queue_depth\":{},\"utilization\":{}}}",
+            "{{\"type\":\"resize\",\"from\":{},\"to\":{},\"queue_depth\":{},\"utilization\":{},\"trigger\":\"{}\"}}",
             r.from,
             r.to,
             r.queue_depth,
             num(r.utilization),
+            r.trigger.name(),
         );
     }
     for (name, value) in &snapshot.counters {
@@ -199,6 +200,7 @@ mod tests {
             to: 2,
             queue_depth: 7,
             utilization: 0.5,
+            trigger: crate::ResizeTrigger::Loop,
         });
         sink.snapshot()
     }
@@ -224,7 +226,7 @@ mod tests {
             "{\"type\":\"shard\",\"run\":1,\"window\":2,\"gop_start\":10,\"gops\":5,\"wall_ns\":1234}"
         ));
         assert!(out.contains(
-            "{\"type\":\"resize\",\"from\":1,\"to\":2,\"queue_depth\":7,\"utilization\":0.5}"
+            "{\"type\":\"resize\",\"from\":1,\"to\":2,\"queue_depth\":7,\"utilization\":0.5,\"trigger\":\"loop\"}"
         ));
         // No worker lines without a runtime snapshot.
         assert!(!out.contains("\"type\":\"worker\""));

@@ -60,7 +60,7 @@ mod sink;
 mod span;
 
 pub use export::to_jsonl;
-pub use fcr_runtime::ResizeEvent;
+pub use fcr_runtime::{ResizeEvent, ResizeTrigger};
 pub use phase::Phase;
 pub use record::{GreedyRecord, ShardRecord, SolveRecord};
 pub use sink::{PhaseSnapshot, TelemetrySink, TelemetrySnapshot, MAX_RECORDS};

@@ -198,7 +198,11 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 /// A point-in-time copy of a [`TelemetrySink`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Not `PartialEq`: [`ResizeEvent`] carries an `f64` utilization
+/// measurement and deliberately opts out of float equality; tests
+/// compare the fields of interest directly.
+#[derive(Debug, Clone)]
 pub struct TelemetrySnapshot {
     /// Per-phase timing statistics, in pipeline order.
     pub phases: Vec<(Phase, PhaseSnapshot)>,
@@ -355,12 +359,17 @@ mod tests {
             to: 4,
             queue_depth: 9,
             utilization: 0.9,
+            trigger: fcr_runtime::ResizeTrigger::Manual,
         });
         let snap = sink.snapshot();
         assert_eq!(snap.shards.len(), 2);
         assert_eq!(snap.mean_shard_wall_ns(), Some(2_000.0));
         assert_eq!(snap.resizes.len(), 1);
+        // Field-wise comparison: ResizeEvent has no PartialEq (f64).
+        assert_eq!(snap.resizes[0].from, 2);
         assert_eq!(snap.resizes[0].to, 4);
+        assert_eq!(snap.resizes[0].queue_depth, 9);
+        assert_eq!(snap.resizes[0].trigger, fcr_runtime::ResizeTrigger::Manual);
         sink.reset();
         assert!(snap_is_empty(&sink.snapshot()));
     }

@@ -70,14 +70,13 @@ pub mod prelude {
     pub use fcr_net::interference::InterferenceGraph;
     pub use fcr_net::node::{FbsId, UserId};
     pub use fcr_runtime::{
-        JobError, JobOutcome, MetricsSnapshot, ResizeEvent, Runtime, RuntimeConfig, ShardPolicy,
+        AutoscaleConfig, JobError, JobOutcome, MetricsSnapshot, Priority, PriorityClass,
+        ResizeEvent, ResizeTrigger, Runtime, RuntimeConfig, ShardPolicy,
     };
     pub use fcr_sim::config::SimConfig;
     pub use fcr_sim::engine::{RunOutput, TraceMode};
     pub use fcr_sim::metrics::{RunResult, SchemeSummary};
     pub use fcr_sim::pool::SimJob;
-    #[allow(deprecated)]
-    pub use fcr_sim::runner::Experiment;
     pub use fcr_sim::scenario::Scenario;
     pub use fcr_sim::scheme::Scheme;
     pub use fcr_sim::session::{PacketSessionResult, SessionResult, SimSession};
