@@ -60,6 +60,13 @@ impl ExhaustiveAllocator {
         Self::default()
     }
 
+    /// Creates an allocator with a custom inner solver configuration
+    /// (e.g. [`WaterfillingSolver::exact_up_to`] so the brute-force
+    /// search scores every assignment with exact inner optima).
+    pub fn with_solver(solver: WaterfillingSolver) -> Self {
+        Self { solver }
+    }
+
     /// Number of assignments the search will evaluate, or `None` on
     /// overflow — call before [`Self::allocate`] to check tractability.
     pub fn search_size(problem: &InterferingProblem) -> Option<u64> {

@@ -34,6 +34,15 @@ pub struct WaterfillingSolver {
     pub max_rounds: usize,
     /// Bisection iterations per fill (60 reaches f64 precision).
     pub bisection_iters: usize,
+    /// When `num_users ≤ exhaustive_modes_up_to` (internally capped at
+    /// 20), [`Self::solve`] skips the heuristic mode iteration and
+    /// brute-forces every `2^n` Theorem-1 mode vector with one exact
+    /// fill each, making the returned allocation the global optimum up
+    /// to bisection precision. `0` (the default) disables the exact
+    /// path; conformance tests enable it on tiny instances so that
+    /// none of their assertions hinge on the heuristic mode search
+    /// (which carries no optimality guarantee).
+    pub exhaustive_modes_up_to: usize,
 }
 
 impl Default for WaterfillingSolver {
@@ -41,6 +50,7 @@ impl Default for WaterfillingSolver {
         Self {
             max_rounds: 16,
             bisection_iters: 60,
+            exhaustive_modes_up_to: 0,
         }
     }
 }
@@ -54,11 +64,27 @@ impl WaterfillingSolver {
         Self::default()
     }
 
+    /// A solver that is *exact* on problems with at most `limit` users:
+    /// [`Self::solve`] brute-forces all `2^n` Theorem-1 mode vectors
+    /// there (one exact water-fill each), and falls back to the default
+    /// heuristic path on anything larger. Cost is `2^n` fills per
+    /// evaluation, so keep `limit` small.
+    pub fn exact_up_to(limit: usize) -> Self {
+        Self {
+            exhaustive_modes_up_to: limit,
+            ..Self::default()
+        }
+    }
+
     /// Solves the slot problem: returns a feasible allocation maximizing
     /// objective (12)/(17) (global optimum of the convex program up to
     /// mode local-search, which the cross-validation tests confirm
-    /// reaches the dual solver's value).
+    /// reaches the dual solver's value; exactly global when the
+    /// [`Self::exact_up_to`] path applies).
     pub fn solve(&self, problem: &SlotProblem) -> Allocation {
+        if problem.num_users() <= self.exhaustive_modes_up_to.min(20) {
+            return self.solve_exact_modes(problem);
+        }
         // Myopic initial modes: compare each branch's solo value.
         let mut modes: Vec<Mode> = problem
             .users()
@@ -107,6 +133,32 @@ impl WaterfillingSolver {
         }
 
         self.polish(problem, best)
+    }
+
+    /// Global optimum by enumeration: every `2^n` binary mode vector of
+    /// Theorem 1, each filled exactly, best objective wins. Only called
+    /// for `n ≤ min(exhaustive_modes_up_to, 20)`, so the loop is cheap.
+    fn solve_exact_modes(&self, problem: &SlotProblem) -> Allocation {
+        let n = problem.num_users();
+        let mut best: Option<(f64, Allocation)> = None;
+        for bits in 0..(1u32 << n) {
+            let modes: Vec<Mode> = (0..n)
+                .map(|j| {
+                    if bits >> j & 1 == 1 {
+                        Mode::Fbs
+                    } else {
+                        Mode::Mbs
+                    }
+                })
+                .collect();
+            let candidate = self.fill_given_modes(problem, &modes);
+            let value = problem.objective(&candidate);
+            if best.as_ref().is_none_or(|(b, _)| value > *b) {
+                best = Some((value, candidate));
+            }
+        }
+        best.expect("at least the all-MBS mode vector was evaluated")
+            .1
     }
 
     /// Local search over mode vectors starting from `allocation`: single
@@ -428,6 +480,48 @@ mod tests {
             SlotProblem::single_fbs(vec![user(36.0, 0.0, 0.9), user(28.0, 0.0, 0.9)], 3.0).unwrap();
         let alloc = WaterfillingSolver::new().solve(&p);
         assert!(alloc.user(1).rho() > alloc.user(0).rho());
+    }
+
+    #[test]
+    fn exact_mode_search_matches_the_heuristic_on_easy_instances() {
+        // On the paper-like instance the heuristic already finds the
+        // optimum; the exact path must agree and stay feasible.
+        let p = paper_like_problem();
+        let heuristic = WaterfillingSolver::new().solve(&p);
+        let exact = WaterfillingSolver::exact_up_to(3).solve(&p);
+        assert!(p.is_feasible(&exact, 1e-9));
+        assert!((p.objective(&exact) - p.objective(&heuristic)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_path_only_engages_below_its_limit() {
+        // limit 2 < 3 users ⇒ the heuristic path runs; identical config
+        // apart from the limit must reproduce the default solve.
+        let p = paper_like_problem();
+        let a = WaterfillingSolver::exact_up_to(2).solve(&p);
+        let b = WaterfillingSolver::new().solve(&p);
+        assert_eq!(p.objective(&a).to_bits(), p.objective(&b).to_bits());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The exact enumeration can never lose to the heuristic mode
+        /// search — on any generated instance small enough to engage it.
+        #[test]
+        fn exact_mode_search_never_loses_to_the_heuristic(
+            ws in proptest::collection::vec(5.0..50.0f64, 1..4),
+            g in 0.0..6.0f64,
+            s0 in 0.05..=1.0f64,
+            s1 in 0.05..=1.0f64,
+        ) {
+            let users: Vec<UserState> = ws.iter().map(|w| user(*w, s0, s1)).collect();
+            let p = SlotProblem::single_fbs(users, g).unwrap();
+            let exact = WaterfillingSolver::exact_up_to(3).solve(&p);
+            let heuristic = WaterfillingSolver::new().solve(&p);
+            prop_assert!(p.is_feasible(&exact, 1e-9));
+            prop_assert!(p.objective(&exact) >= p.objective(&heuristic) - 1e-12);
+        }
     }
 
     proptest! {

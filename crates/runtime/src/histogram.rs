@@ -7,7 +7,10 @@ use std::time::Duration;
 
 /// Number of buckets: bucket `i` counts durations in
 /// `[2^(i-1), 2^i) µs` (bucket 0 is `< 1 µs`), with the last bucket
-/// collecting everything above `2^(BUCKETS-2) µs` (~134 s).
+/// collecting everything at or above `2^(BUCKETS-2) µs` = 2^26 µs
+/// (~67 s). A value exactly on a power-of-two edge lands in the
+/// bucket whose *inclusive lower* bound it is — upper bounds are
+/// exclusive throughout.
 pub(crate) const BUCKETS: usize = 28;
 
 /// Concurrent histogram of durations.
@@ -128,6 +131,26 @@ impl HistogramSnapshot {
     pub fn occupied_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets.iter().copied().filter(|(_, c)| *c > 0)
     }
+
+    /// Folds `other` into `self`: counts and sums add, min/max widen,
+    /// buckets merge element-wise. Both sides come from the same
+    /// [`AtomicHistogram`] layout, so the bucket bounds always line
+    /// up; merging an empty snapshot (in either direction) is the
+    /// identity.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        debug_assert_eq!(self.buckets.len(), other.buckets.len());
+        self.count += other.count;
+        self.sum_micros = self.sum_micros.saturating_add(other.sum_micros);
+        self.min_micros = match (self.min_micros, other.min_micros) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max_micros = self.max_micros.max(other.max_micros);
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            debug_assert_eq!(mine.0, theirs.0, "bucket bounds must line up");
+            mine.1 += theirs.1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -187,5 +210,83 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.buckets.last().unwrap().1, 1);
         assert_eq!(s.buckets.last().unwrap().0, u64::MAX);
+    }
+
+    #[test]
+    fn exact_bucket_edges_fall_on_their_inclusive_lower_bound() {
+        // Bucket i covers [2^(i-1), 2^i) µs, upper bound exclusive:
+        // a value of exactly 2^k µs must land in bucket k+1 (the
+        // bucket whose lower bound it is), while 2^k - 1 stays in
+        // bucket k. Sweep every edge representable in the table.
+        for k in 0..(BUCKETS - 2) as u32 {
+            let edge = 1u64 << k;
+            let h = AtomicHistogram::new();
+            h.record(Duration::from_micros(edge));
+            if edge > 1 {
+                h.record(Duration::from_micros(edge - 1));
+            }
+            let s = h.snapshot();
+            let above = (k as usize + 1).min(BUCKETS - 1);
+            assert_eq!(s.buckets[above].1, 1, "2^{k} µs must open bucket {above}");
+            if edge > 1 {
+                assert_eq!(
+                    s.buckets[k as usize].1, 1,
+                    "2^{k}-1 µs must close bucket {k}"
+                );
+            }
+            // The exclusive upper bound of the edge's bucket must be
+            // strictly above the edge itself.
+            assert!(s.buckets[above].0 > edge);
+        }
+    }
+
+    #[test]
+    fn zero_and_max_are_representable() {
+        let h = AtomicHistogram::new();
+        h.record(Duration::ZERO);
+        // Durations whose microsecond count overflows u64 saturate
+        // into the open-ended last bucket instead of wrapping.
+        h.record(Duration::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0].1, 1);
+        assert_eq!(s.buckets[BUCKETS - 1].1, 1);
+        assert_eq!(s.min_micros, Some(0));
+        assert_eq!(s.max_micros, u64::MAX);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn merge_is_elementwise_and_empty_is_identity() {
+        let a = AtomicHistogram::new();
+        a.record(Duration::from_micros(4)); // bucket 3
+        a.record(Duration::from_micros(100)); // bucket 7
+        let b = AtomicHistogram::new();
+        b.record(Duration::from_micros(4)); // bucket 3
+        b.record(Duration::from_micros(2)); // bucket 2
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.sum_micros, 110);
+        assert_eq!(merged.min_micros, Some(2));
+        assert_eq!(merged.max_micros, 100);
+        assert_eq!(merged.buckets[3].1, 2);
+        assert_eq!(merged.buckets[2].1, 1);
+        assert_eq!(merged.buckets[7].1, 1);
+
+        // Empty is the identity on both sides.
+        let empty = AtomicHistogram::new().snapshot();
+        let before = merged.clone();
+        merged.merge(&empty);
+        assert_eq!(merged, before);
+        let mut from_empty = AtomicHistogram::new().snapshot();
+        from_empty.merge(&before);
+        assert_eq!(from_empty, before);
+
+        // Merging two empties stays empty (min stays None).
+        let mut e1 = AtomicHistogram::new().snapshot();
+        e1.merge(&AtomicHistogram::new().snapshot());
+        assert_eq!(e1.count, 0);
+        assert_eq!(e1.min_micros, None);
     }
 }

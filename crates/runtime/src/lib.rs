@@ -47,6 +47,13 @@
 //!   survives and the pool keeps draining.
 //! * **Graceful shutdown** — [`Runtime::shutdown`] (also run on drop)
 //!   finishes every queued job before joining the workers.
+//! * **Deterministic fault injection** — a test pool built via
+//!   [`Runtime::with_faults`] replays a seeded [`FaultPlan`] (chaos
+//!   panic jobs, worker execution delays, forced resize storms) at
+//!   exact submission/execution indices, so `fcr-testkit` can prove
+//!   zero job loss/duplication and bit-identical results under
+//!   adversarial schedules. Production pools carry no plan and pay
+//!   one `Option` branch per seam.
 //! * **Live metrics** — an atomic [`MetricsRegistry`]
 //!   (jobs submitted / completed / failed / stolen / rejected, queue
 //!   depth, in-flight gauge, wall-time histogram, plus named domain
@@ -89,6 +96,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod fault;
 pub mod histogram;
 pub mod job;
 pub mod metrics;
@@ -97,6 +105,7 @@ pub mod priority;
 pub(crate) mod queue;
 pub mod shard;
 
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultReport, FaultSpec};
 pub use histogram::HistogramSnapshot;
 pub use job::{JobError, JobHandle, JobOutcome};
 pub use metrics::{MetricsRegistry, MetricsSnapshot, WorkerSnapshot};

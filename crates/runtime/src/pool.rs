@@ -3,6 +3,7 @@
 //! containment, manual and always-on background autoscaling within
 //! configured bounds, and graceful shutdown.
 
+use crate::fault::{FaultPlan, FaultReport, SubmissionFault};
 use crate::job::{panic_message, CompletionSlot, JobError, JobHandle, JobOutcome, Task};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::priority::Priority;
@@ -124,6 +125,9 @@ struct Shared {
     /// Background autoscaler control: `true` asks the loop to exit.
     scaler_stop: Mutex<bool>,
     scaler_cv: Condvar,
+    /// Deterministic fault schedule ([`Runtime::with_faults`]); `None`
+    /// on production pools — the hooks below reduce to one branch.
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl Shared {
@@ -292,6 +296,14 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
             return;
         }
         if let Some(task) = shared.take_task(index) {
+            // Fault seam: a scheduled execution delay stalls this
+            // worker *before* it runs the task, perturbing steal and
+            // completion interleavings without touching any result.
+            if let Some(plan) = shared.fault.as_deref() {
+                if let Some(delay) = plan.next_execution_delay() {
+                    std::thread::sleep(delay);
+                }
+            }
             // The task wrapper contains its own catch_unwind and
             // in-flight accounting; it never unwinds into the worker
             // loop. Busy time is attributed to this worker for the
@@ -463,6 +475,19 @@ impl Runtime {
     ///
     /// Panics if `workers` or `queue_capacity` is zero.
     pub fn with_config(config: RuntimeConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// A pool that replays the given deterministic [`FaultPlan`]
+    /// (chaos panics, execution delays, forced resizes — see the
+    /// [`fault`](crate::fault) module docs) while otherwise behaving
+    /// exactly like [`Runtime::with_config`]. Intended for test
+    /// harnesses; injected faults never alter user-job results.
+    pub fn with_faults(config: RuntimeConfig, plan: FaultPlan) -> Self {
+        Self::build(config, Some(Arc::new(plan)))
+    }
+
+    fn build(config: RuntimeConfig, fault: Option<Arc<FaultPlan>>) -> Self {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.queue_capacity > 0, "need positive queue capacity");
         let min_workers = config.min_workers.clamp(1, config.workers);
@@ -494,6 +519,7 @@ impl Runtime {
             pending_resizes: Mutex::new(Vec::new()),
             scaler_stop: Mutex::new(false),
             scaler_cv: Condvar::new(),
+            fault,
         });
         {
             let mut slots = shared.workers.lock().expect("pool workers poisoned");
@@ -636,6 +662,43 @@ impl Runtime {
         &self.shared.metrics
     }
 
+    /// Progress of the injected [`FaultPlan`], or `None` when this
+    /// pool was built without one ([`Runtime::with_config`]).
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.shared.fault.as_deref().map(FaultPlan::report)
+    }
+
+    /// Fires any faults scheduled at the current user-submission
+    /// index. Chaos panics travel the full normal path (enqueue,
+    /// steal, execute, `catch_unwind`) as independent jobs; forced
+    /// resizes go through [`Shared::resize_to`] so they are
+    /// indistinguishable from autoscaler storms.
+    fn fire_submission_faults(&self) {
+        let Some(plan) = self.shared.fault.clone() else {
+            return;
+        };
+        for fault in plan.take_submission_faults() {
+            match fault {
+                SubmissionFault::Panic => {
+                    let (task, handle) = package::<(), _>(Arc::clone(&self.shared.metrics), || {
+                        panic!("fcr-testkit: injected chaos panic")
+                    });
+                    // Straight to the queue (not spawn_with) so a
+                    // chaos job cannot recursively trigger faults.
+                    self.submit_blocking(Priority::default(), task);
+                    plan.note_panic_injected();
+                    // Nobody joins a chaos job; dropping the handle is
+                    // fine — the completion slot absorbs the outcome.
+                    drop(handle);
+                }
+                SubmissionFault::Resize(target) => {
+                    self.shared.resize_to(target);
+                    plan.note_resize_injected();
+                }
+            }
+        }
+    }
+
     /// A point-in-time copy of the metrics, safe mid-flight.
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
@@ -735,6 +798,7 @@ impl Runtime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        self.fire_submission_faults();
         let (task, handle) = package(Arc::clone(&self.shared.metrics), f);
         self.submit_blocking(priority, task);
         handle
@@ -762,6 +826,7 @@ impl Runtime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        self.fire_submission_faults();
         let (task, handle) = package(Arc::clone(&self.shared.metrics), f);
         match self.try_enqueue(priority, task) {
             Ok(()) => Ok(handle),

@@ -226,10 +226,15 @@ pub fn telemetry_table(snapshot: &TelemetrySnapshot) -> String {
         let _ = writeln!(
             out,
             "greedy (Table III): {} runs, mean eq.(23) gap {:.3} dB, \
-             mean guaranteed ratio {:.3}",
+             mean guaranteed ratio {:.3}{}",
             snapshot.greedy.len(),
             mean_gap,
             mean_ratio,
+            if snapshot.dropped_greedy > 0 {
+                format!(" ({} dropped)", snapshot.dropped_greedy)
+            } else {
+                String::new()
+            },
         );
     }
     if !snapshot.shards.is_empty() {
@@ -258,6 +263,19 @@ pub fn telemetry_table(snapshot: &TelemetrySnapshot) -> String {
     }
     for (name, value) in &snapshot.counters {
         let _ = writeln!(out, "  {name:<24} {value:>12}");
+    }
+    if snapshot.records_dropped() > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: {} telemetry records dropped past the {}-record cap \
+             (solves {}, greedy {}, shards {}); per-record channels are \
+             truncated, aggregates remain complete",
+            snapshot.records_dropped(),
+            fcr_telemetry::MAX_RECORDS,
+            snapshot.dropped_solves,
+            snapshot.dropped_greedy,
+            snapshot.dropped_shards,
+        );
     }
     out
 }
@@ -429,6 +447,36 @@ mod tests {
         assert!(
             out.contains("100.0% converged"),
             "convergence rate rendered:\n{out}"
+        );
+        assert!(
+            !out.contains("records dropped"),
+            "no drop warning below the cap:\n{out}"
+        );
+    }
+
+    #[test]
+    fn telemetry_table_warns_when_records_were_dropped() {
+        use fcr_telemetry::{GreedyRecord, TelemetrySink, MAX_RECORDS};
+
+        let sink = TelemetrySink::new();
+        for _ in 0..MAX_RECORDS + 5 {
+            sink.record_greedy(GreedyRecord {
+                steps: 1,
+                gain: 0.5,
+                upper_bound_gain: 1.0,
+                gap_terms: vec![0.5],
+            });
+        }
+        let snap = sink.snapshot();
+        assert_eq!(snap.records_dropped(), 5);
+        let out = telemetry_table(&snap);
+        assert!(
+            out.contains("(5 dropped)"),
+            "greedy line shows its drop count:\n{out}"
+        );
+        assert!(
+            out.contains("WARNING: 5 telemetry records dropped"),
+            "cap overflow is loud:\n{out}"
         );
     }
 }

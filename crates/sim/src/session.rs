@@ -57,7 +57,7 @@ use crate::pool::{self, SHARDS_COUNTER, SLOTS_COUNTER, SOLVER_COUNTER};
 use crate::scenario::Scenario;
 use crate::scheme::Scheme;
 use crate::trace::SimTrace;
-use fcr_runtime::{JobOutcome, Priority, ShardPolicy};
+use fcr_runtime::{JobOutcome, Priority, Runtime, ShardPolicy};
 use fcr_stats::rng::SeedSequence;
 use fcr_stats::series::Series;
 use std::sync::Arc;
@@ -76,6 +76,7 @@ pub struct SimSession {
     shards: Option<ShardPolicy>,
     trace: TraceMode,
     priority: Priority,
+    runtime: Option<Arc<Runtime>>,
 }
 
 impl SimSession {
@@ -90,6 +91,7 @@ impl SimSession {
             shards: None,
             trace: TraceMode::Off,
             priority: Priority::default(),
+            runtime: None,
         }
     }
 
@@ -144,6 +146,26 @@ impl SimSession {
         self.priority
     }
 
+    /// Runs this session's window jobs on a **dedicated** runtime
+    /// instead of the process-wide shared pool. The seam `fcr-testkit`
+    /// uses to drive sessions through fault-injected pools
+    /// ([`fcr_runtime::Runtime::with_faults`]); results are
+    /// bit-identical on any pool because every RNG stream derives from
+    /// `(master seed, run, gop)`, never from the executing runtime.
+    pub fn on_runtime(mut self, runtime: Arc<Runtime>) -> Self {
+        self.runtime = Some(runtime);
+        self
+    }
+
+    /// The runtime this session submits to: the [`Self::on_runtime`]
+    /// override, or the process-wide shared pool.
+    fn pool(&self) -> &Runtime {
+        match &self.runtime {
+            Some(rt) => rt,
+            None => pool::shared(),
+        }
+    }
+
     /// The configuration in use.
     pub fn config_ref(&self) -> &SimConfig {
         &self.config
@@ -168,7 +190,7 @@ impl SimSession {
     /// every shard policy and worker count.
     pub fn run(&self, scheme: Scheme) -> SessionResult {
         let seeds = SeedSequence::new(self.master_seed);
-        let runtime = pool::shared();
+        let runtime = self.pool();
         record_pool_resizes(runtime);
         let total_gops = u64::from(self.config.gops);
         let window_gops = self
@@ -211,7 +233,7 @@ impl SimSession {
                 });
             }
         }
-        let window_outcomes = execute_windows(self.priority, jobs, |job| job.execute());
+        let window_outcomes = execute_windows(runtime, self.priority, jobs, |job| job.execute());
 
         let mut iter = window_outcomes.into_iter();
         let outcomes = (0..self.runs)
@@ -244,7 +266,7 @@ impl SimSession {
     /// [`crate::packet_engine::run_packet_level`].
     pub fn run_packet(&self, scheme: Scheme) -> PacketSessionResult {
         let seeds = SeedSequence::new(self.master_seed);
-        let runtime = pool::shared();
+        let runtime = self.pool();
         record_pool_resizes(runtime);
         let total_gops = u64::from(self.config.gops);
         let window_gops = self
@@ -281,7 +303,7 @@ impl SimSession {
                 });
             }
         }
-        let window_outcomes = execute_windows(self.priority, jobs, |job| job.execute());
+        let window_outcomes = execute_windows(runtime, self.priority, jobs, |job| job.execute());
 
         let num_users = self.scenario.num_users();
         let mut iter = window_outcomes.into_iter();
@@ -321,6 +343,7 @@ impl SimSession {
                 shards: self.shards,
                 trace: TraceMode::Off,
                 priority: self.priority,
+                runtime: self.runtime.clone(),
             };
             for (scheme, out) in schemes.iter().zip(series.iter_mut()) {
                 let samples: Vec<f64> = session
@@ -362,6 +385,7 @@ fn record_pool_resizes(runtime: &fcr_runtime::Runtime) {
 /// session's priority, with per-shard telemetry and the domain
 /// counters every window feeds.
 fn execute_windows<J, T>(
+    runtime: &Runtime,
     priority: Priority,
     jobs: Vec<J>,
     execute: impl Fn(&J) -> T + Copy + Send + Sync + 'static,
@@ -370,7 +394,6 @@ where
     J: ShardJob + Send + 'static,
     T: Send + 'static,
 {
-    let runtime = pool::shared();
     let slots = runtime.metrics().counter(SLOTS_COUNTER);
     let solves = runtime.metrics().counter(SOLVER_COUNTER);
     let shards = runtime.metrics().counter(SHARDS_COUNTER);

@@ -409,6 +409,21 @@ mod tests {
         assert!(AvailabilityPosterior::batch(2.0, &[]).is_err());
     }
 
+    /// ε/δ operating points the property suites sweep: the paper's
+    /// baseline (0.3, 0.3) and the asymmetric fig.-4 trade-off points
+    /// (0.2, 0.48) / (0.48, 0.2), padded with corner-ish profiles.
+    /// Every entry satisfies ε + δ < 1 (better than chance), the
+    /// regime the monotonicity property is stated in.
+    const SENSING_GRID: &[(f64, f64)] = &[
+        (0.3, 0.3),
+        (0.2, 0.48),
+        (0.48, 0.2),
+        (0.1, 0.1),
+        (0.05, 0.45),
+        (0.45, 0.05),
+        (0.25, 0.25),
+    ];
+
     proptest! {
         #[test]
         fn posterior_is_always_a_probability(
@@ -462,6 +477,65 @@ mod tests {
                 prop_assert!(cur >= last - 1e-12);
                 last = cur;
             }
+        }
+
+        #[test]
+        fn posterior_is_monotone_in_the_number_of_idle_reports(
+            grid_idx in 0usize..7,
+            eta in 0.05..0.95f64,
+            total in 1usize..25,
+        ) {
+            // Across the ε/δ grid (paper operating points included):
+            // with L fixed, P^A as a function of the *count* of idle
+            // reports among the L must be non-decreasing and bounded in
+            // [0, 1]; and since eq. (2) is a product, the order of the
+            // reports must not matter.
+            let (eps, delta) = SENSING_GRID[grid_idx];
+            let s = SensorProfile::new(eps, delta).unwrap();
+            let mut last: Option<f64> = None;
+            for idle in 0..=total {
+                let forward: Vec<_> = (0..total)
+                    .map(|i| {
+                        let o = if i < idle { Observation::Idle } else { Observation::Busy };
+                        (s, o)
+                    })
+                    .collect();
+                let p = AvailabilityPosterior::batch(eta, &forward).unwrap();
+                prop_assert!((0.0..=1.0).contains(&p), "posterior {p} out of range");
+                let mut reversed = forward.clone();
+                reversed.reverse();
+                let q = AvailabilityPosterior::batch(eta, &reversed).unwrap();
+                prop_assert!((p - q).abs() < 1e-9, "order dependence: {p} vs {q}");
+                if let Some(prev) = last {
+                    prop_assert!(
+                        p >= prev - 1e-12,
+                        "ε={eps} δ={delta} η={eta}: {idle}/{total} idle gave {p} < {prev}"
+                    );
+                }
+                last = Some(p);
+            }
+        }
+
+        #[test]
+        fn degenerate_priors_absorb_any_evidence(
+            grid_idx in 0usize..7,
+            obs_bits in proptest::collection::vec(proptest::bool::ANY, 0..40),
+        ) {
+            // η ∈ {0, 1} is absorbing under any imperfect sensor: no
+            // finite evidence can move a certain prior (the likelihood
+            // ratios are finite, the prior log-odds are not).
+            let (eps, delta) = SENSING_GRID[grid_idx];
+            let s = SensorProfile::new(eps, delta).unwrap();
+            let mut certainly_busy = AvailabilityPosterior::new(1.0).unwrap();
+            let mut certainly_idle = AvailabilityPosterior::new(0.0).unwrap();
+            for b in &obs_bits {
+                let o = if *b { Observation::Busy } else { Observation::Idle };
+                certainly_busy.update(&s, o);
+                certainly_idle.update(&s, o);
+            }
+            prop_assert_eq!(certainly_busy.probability(), 0.0);
+            prop_assert_eq!(certainly_idle.probability(), 1.0);
+            prop_assert_eq!(certainly_busy.observations(), obs_bits.len());
         }
     }
 }

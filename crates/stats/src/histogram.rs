@@ -128,6 +128,34 @@ impl Histogram {
         self.bins.iter().position(|c| *c == max)
     }
 
+    /// Folds `other` into `self`: bins, underflow, and overflow add
+    /// element-wise. Merging an empty histogram is the identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both histograms cover the same `[lo,
+    /// hi)` range with the same bin count — merging mismatched
+    /// layouts would silently misattribute counts.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), String> {
+        if self.lo != other.lo || self.hi != other.hi || self.bins.len() != other.bins.len() {
+            return Err(format!(
+                "histogram layouts differ: [{}, {}) x {} vs [{}, {}) x {}",
+                self.lo,
+                self.hi,
+                self.bins.len(),
+                other.lo,
+                other.hi,
+                other.bins.len()
+            ));
+        }
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            *mine += theirs;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        Ok(())
+    }
+
     /// Renders an ASCII bar chart, one row per bin.
     pub fn render(&self, width: usize) -> String {
         let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
@@ -204,6 +232,65 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_panics() {
         Histogram::new(0.0, 1.0, 1).unwrap().record(f64::NAN);
+    }
+
+    #[test]
+    fn bucket_edges_zero_width_bins_and_extremes() {
+        // A value exactly on every interior bin edge lands in the bin
+        // whose inclusive lower bound it is (upper bounds exclusive).
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for edge in [0.0, 2.0, 4.0, 6.0, 8.0] {
+            h.record(edge);
+        }
+        for i in 0..5 {
+            assert_eq!(h.count(i), 1, "edge of bin {i}");
+        }
+        // hi itself is exclusive: it must overflow, not wrap to the
+        // last bin.
+        h.record(10.0);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(4), 1);
+        // The largest representable value below hi stays in-range.
+        let just_below = f64::from_bits(10.0_f64.to_bits() - 1);
+        h.record(just_below);
+        assert_eq!(h.count(4), 2);
+        // Extremes: ±infinity are finite-checked only at construction;
+        // record() routes them to the out-of-range counters.
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 9);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_rejects_mismatched_layouts() {
+        let mut a = Histogram::new(0.0, 10.0, 5).unwrap();
+        let mut b = Histogram::new(0.0, 10.0, 5).unwrap();
+        a.record(1.0);
+        a.record(-1.0);
+        b.record(1.5);
+        b.record(11.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 4);
+
+        // Merge of an empty histogram is the identity.
+        let before = a.clone();
+        a.merge(&Histogram::new(0.0, 10.0, 5).unwrap()).unwrap();
+        assert_eq!(a, before);
+        let mut empty = Histogram::new(0.0, 10.0, 5).unwrap();
+        empty.merge(&before).unwrap();
+        assert_eq!(empty, before);
+
+        // Mismatched layouts are rejected, leaving self untouched.
+        let other_range = Histogram::new(0.0, 20.0, 5).unwrap();
+        let other_bins = Histogram::new(0.0, 10.0, 4).unwrap();
+        assert!(a.merge(&other_range).is_err());
+        assert!(a.merge(&other_bins).is_err());
+        assert_eq!(a, before);
     }
 
     #[test]

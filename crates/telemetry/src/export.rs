@@ -6,7 +6,7 @@
 //!
 //! | `type` | one line per | fields |
 //! |---|---|---|
-//! | `meta` | export | `dropped_solves`, `dropped_greedy` |
+//! | `meta` | export | `dropped_solves`, `dropped_greedy`, `dropped_shards`, `records_dropped` |
 //! | `phase` | pipeline phase | `phase`, `count`, `total_ns`, `mean_ns`, `max_ns`, `buckets_us` |
 //! | `solve` | dual solve | `iterations`, `converged`, `residual`, `lambda` |
 //! | `greedy` | greedy allocation | `steps`, `gain`, `upper_bound_gain`, `gap`, `optimality_ratio`, `gap_terms` |
@@ -26,8 +26,11 @@ pub fn to_jsonl(snapshot: &TelemetrySnapshot, runtime: Option<&MetricsSnapshot>)
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{{\"type\":\"meta\",\"dropped_solves\":{},\"dropped_greedy\":{}}}",
-        snapshot.dropped_solves, snapshot.dropped_greedy
+        "{{\"type\":\"meta\",\"dropped_solves\":{},\"dropped_greedy\":{},\"dropped_shards\":{},\"records_dropped\":{}}}",
+        snapshot.dropped_solves,
+        snapshot.dropped_greedy,
+        snapshot.dropped_shards,
+        snapshot.records_dropped()
     );
     for (phase, p) in &snapshot.phases {
         let _ = write!(
@@ -271,6 +274,48 @@ mod tests {
         assert_eq!(out.matches("\"type\":\"worker\"").count(), 2);
         assert!(out.contains("\"type\":\"pool\""));
         assert!(out.contains("\"utilization\":"));
+    }
+
+    #[test]
+    fn overflowing_the_record_cap_is_loud_in_the_meta_line() {
+        // Push past MAX_RECORDS on every channel and verify the drops
+        // surface — individually and as the records_dropped total — in
+        // the JSONL meta line instead of vanishing.
+        let sink = TelemetrySink::new();
+        for _ in 0..crate::MAX_RECORDS + 2 {
+            sink.record_solve(SolveRecord {
+                iterations: 1,
+                converged: true,
+                residual: 0.0,
+                lambda: Vec::new(),
+            });
+        }
+        for _ in 0..crate::MAX_RECORDS + 1 {
+            sink.record_greedy(GreedyRecord {
+                steps: 0,
+                gain: 0.0,
+                upper_bound_gain: 0.0,
+                gap_terms: Vec::new(),
+            });
+        }
+        for _ in 0..crate::MAX_RECORDS + 4 {
+            sink.record_shard(crate::ShardRecord {
+                run: 0,
+                window: 0,
+                gop_start: 0,
+                gops: 1,
+                wall_ns: 1,
+            });
+        }
+        let snap = sink.snapshot();
+        assert_eq!(snap.records_dropped(), 7);
+        let out = to_jsonl(&snap, None);
+        let meta = out.lines().next().unwrap();
+        assert_eq!(
+            meta,
+            "{\"type\":\"meta\",\"dropped_solves\":2,\"dropped_greedy\":1,\
+             \"dropped_shards\":4,\"records_dropped\":7}"
+        );
     }
 
     #[test]

@@ -257,6 +257,16 @@ impl TelemetrySnapshot {
         Some(total as f64 / self.solves.len() as f64)
     }
 
+    /// Total records of **any** kind dropped past [`MAX_RECORDS`]
+    /// (solves + greedy + shards). Non-zero means the capture window
+    /// outgrew the cap and the per-record channels are truncated; the
+    /// aggregate phase/counter statistics remain complete. Surfaced in
+    /// the JSONL `meta` line and in `telemetry_table`, so capped
+    /// captures are never silent.
+    pub fn records_dropped(&self) -> u64 {
+        self.dropped_solves + self.dropped_greedy + self.dropped_shards
+    }
+
     /// Mean wall time per executed shard in nanoseconds (`None` when no
     /// shards were recorded).
     pub fn mean_shard_wall_ns(&self) -> Option<f64> {
@@ -388,5 +398,6 @@ mod tests {
         let snap = sink.snapshot();
         assert_eq!(snap.solves.len(), MAX_RECORDS);
         assert_eq!(snap.dropped_solves, 3);
+        assert_eq!(snap.records_dropped(), 3);
     }
 }

@@ -1,0 +1,131 @@
+//! Bounded fault-injection soak: loops the chaos harness under fresh
+//! seeds for a wall-clock budget and fails loudly (with the replay
+//! seed) on the first invariance violation.
+//!
+//! ```text
+//! cargo run --release -p fcr-testkit --bin soak -- --seconds 30 [--seed N]
+//! ```
+//!
+//! Each iteration derives a base seed from the iteration counter,
+//! expands the standard chaos corpus (panic / delay / resize / mixed
+//! storms), and verifies the full fault-invariance contract on both
+//! engines. CI runs this for 30 s as a smoke test; longer budgets are
+//! an overnight chaos run.
+
+use fcr_sim::config::SimConfig;
+use fcr_sim::{Scenario, Scheme};
+use fcr_testkit::faults::{standard_cases, verify_fluid_under_faults, verify_packet_under_faults};
+use fcr_testkit::seeds::case_seed;
+use std::time::{Duration, Instant};
+
+fn parse_args() -> (Duration, u64) {
+    let mut seconds = 30u64;
+    let mut seed = fcr_testkit::CI_SEED;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seconds" => {
+                seconds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seconds expects an integer"));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed expects an integer"));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: soak [--seconds N] [--seed N]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    (Duration::from_secs(seconds), seed)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("soak: {msg}");
+    std::process::exit(2);
+}
+
+/// Keeps the default panic hook for *real* panics but silences the
+/// injected chaos panics, which would otherwise flood stderr with
+/// thousands of expected backtraces.
+fn install_quiet_hook() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg_is_chaos = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("injected chaos panic"))
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("injected chaos panic"))
+            })
+            .unwrap_or(false);
+        if !msg_is_chaos {
+            default_hook(info);
+        }
+    }));
+}
+
+fn main() {
+    install_quiet_hook();
+    let (budget, base) = parse_args();
+    let cfg = SimConfig {
+        gops: 4,
+        deadline: 4,
+        num_channels: 4,
+        ..SimConfig::default()
+    };
+    let scenario = Scenario::single_fbs(&cfg);
+    let runs = 3u64; // 3 runs x 4 GOPs = 12 window jobs, matching FaultSpec::jobs.
+
+    let start = Instant::now();
+    let mut iterations = 0u64;
+    let mut faults_fired = 0u64;
+    println!(
+        "soak: base seed {base}, budget {}s, workload {} window jobs/engine/case",
+        budget.as_secs(),
+        runs * u64::from(cfg.gops),
+    );
+    while start.elapsed() < budget {
+        let iter_seed = case_seed("soak", base.wrapping_add(iterations));
+        for case in standard_cases(iter_seed) {
+            let v = verify_fluid_under_faults(
+                &case,
+                &cfg,
+                &scenario,
+                Scheme::Proposed,
+                iter_seed,
+                runs,
+            );
+            faults_fired += v.report.total_injected();
+            let v = verify_packet_under_faults(
+                &case,
+                &cfg,
+                &scenario,
+                Scheme::Proposed,
+                iter_seed,
+                runs,
+            );
+            faults_fired += v.report.total_injected();
+        }
+        iterations += 1;
+        if iterations.is_multiple_of(5) {
+            println!(
+                "soak: {iterations} iterations, {faults_fired} faults fired, {:.1}s elapsed",
+                start.elapsed().as_secs_f64()
+            );
+        }
+    }
+    assert!(iterations > 0, "soak budget too small to run one iteration");
+    println!(
+        "soak: PASS — {iterations} iterations, {faults_fired} faults fired, all invariants held \
+         (replay any case with --seed {base})"
+    );
+}

@@ -1,0 +1,219 @@
+//! Proptest strategies that produce random **but valid** domain
+//! objects.
+//!
+//! Every strategy here upholds the constructor contracts of the type
+//! it generates (probabilities in `[0, 1]`, ε + δ < 1, positive
+//! weights, FBS indices inside the interference graph, …), so the
+//! property suites that consume them test *paper invariants* — never
+//! "the constructor rejected garbage". Ranges are chosen to bracket
+//! the paper's Section-V operating points and then some.
+
+use fcr_core::{InterferingProblem, SlotProblem, UserState};
+use fcr_net::{FbsId, InterferenceGraph};
+use fcr_sim::config::SimConfig;
+use fcr_video::{MgsRateModel, Psnr};
+use proptest::prelude::*;
+
+/// (ε, δ) sensing operating points: the three the paper plots in
+/// Figs. 3–4 first, then harsher and milder corners. Every pair keeps
+/// ε + δ < 1, i.e. the sensor stays informative.
+pub const SENSING_GRID: &[(f64, f64)] = &[
+    (0.3, 0.3),
+    (0.2, 0.48),
+    (0.48, 0.2),
+    (0.1, 0.1),
+    (0.05, 0.45),
+    (0.45, 0.05),
+    (0.25, 0.25),
+];
+
+/// Draws one (false-alarm ε, miss-detection δ) pair from
+/// [`SENSING_GRID`].
+pub fn arb_sensing_point() -> impl Strategy<Value = (f64, f64)> {
+    (0usize..SENSING_GRID.len()).prop_map(|i| SENSING_GRID[i])
+}
+
+/// Random small-but-valid [`SimConfig`]s: 2–6 licensed channels,
+/// Markov dynamics away from the absorbing corners, γ in the paper's
+/// collision-tolerance band, (ε, δ) from [`SENSING_GRID`], and short
+/// horizons (1–3 GOPs) so property suites stay fast.
+///
+/// Everything generated satisfies `SimConfig::validate`.
+pub fn arb_sim_config() -> impl Strategy<Value = SimConfig> {
+    (
+        (2usize..=6, 0.05..0.9f64, 0.05..0.9f64, 0.05..0.45f64),
+        (0usize..SENSING_GRID.len(), 2u32..=5, 1u32..=3),
+    )
+        .prop_map(
+            |((num_channels, p01, p10, gamma), (grid, deadline, gops))| {
+                let (epsilon, delta) = SENSING_GRID[grid];
+                SimConfig {
+                    num_channels,
+                    p01,
+                    p10,
+                    gamma,
+                    epsilon,
+                    delta,
+                    deadline,
+                    gops,
+                    ..SimConfig::default()
+                }
+            },
+        )
+}
+
+/// Random interference graphs on 2–3 FBSs (the exhaustive-search
+/// regime): each of the `(i, j)` pairs is an edge with probability ½.
+pub fn arb_interference_graph() -> impl Strategy<Value = InterferenceGraph> {
+    (
+        2usize..=3,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(n, e01, e02, e12)| {
+            let mut edges = Vec::new();
+            for (on, a, b) in [(e01, 0, 1), (e02, 0, 2), (e12, 1, 2)] {
+                if on && a < n && b < n {
+                    edges.push((FbsId(a), FbsId(b)));
+                }
+            }
+            InterferenceGraph::new(n, &edges)
+        })
+}
+
+/// Random MGS rate–distortion curves bracketing Table IV: full-quality
+/// PSNR α in 28–38 dB, R-D slope β in 4–40 dB/Mbps.
+pub fn arb_rd_curve() -> impl Strategy<Value = MgsRateModel> {
+    (28.0..38.0f64, 4.0..40.0f64).prop_map(|(alpha, beta)| {
+        MgsRateModel::new(Psnr::new(alpha).expect("alpha nonnegative"), beta)
+            .expect("generated R-D curve valid")
+    })
+}
+
+/// One random user's raw parameters: `(w, s_mbs, s_fbs)`.
+///
+/// The femtocell link is always strictly better than the macrocell
+/// link (`s_fbs ≥ s_mbs + 0.15`) — the operating regime of Section II,
+/// where offloading onto a leased channel actually pays. Without that
+/// separation a generated instance can make FBS channels worthless, in
+/// which case every allocation gain collapses into the inner solver's
+/// noise floor and the Theorem-2 / eq.-(23) comparisons measure noise
+/// rather than the paper's bounds.
+fn arb_user_params() -> impl Strategy<Value = (f64, f64, f64)> {
+    (25.0..35.0f64, 0.2..0.65f64, 0.15..0.3f64)
+        .prop_map(|(w, s_mbs, uplift)| (w, s_mbs, (s_mbs + uplift).min(0.95)))
+}
+
+/// Random interfering channel-allocation problems small enough for
+/// [`fcr_core::ExhaustiveAllocator`]: a 2–3-FBS graph from
+/// [`arb_interference_graph`], one user per FBS, and 2–4 available
+/// channels with availability weights in `[0.4, 0.95)`.
+pub fn arb_interfering_problem() -> impl Strategy<Value = InterferingProblem> {
+    (
+        arb_interference_graph(),
+        (arb_user_params(), arb_user_params(), arb_user_params()),
+        proptest::collection::vec(0.4..0.95f64, 2..=4),
+    )
+        .prop_map(|(graph, (u0, u1, u2), weights)| {
+            let users: Vec<UserState> = [u0, u1, u2]
+                .iter()
+                .take(graph.num_vertices())
+                .enumerate()
+                .map(|(i, &(w, s_mbs, s_fbs))| {
+                    UserState::new(w, FbsId(i), 0.72, 0.72, s_mbs, s_fbs)
+                        .expect("generated user valid")
+                })
+                .collect();
+            InterferingProblem::new(users, graph, weights).expect("generated problem valid")
+        })
+}
+
+/// Random single-slot time-share problems for the dual/KKT
+/// cross-checks: 1–4 users over 1–2 FBSs, rates in `[0.1, 1.5)` Mb/s
+/// per slot, success probabilities in `[0.1, 1.0)`, and expected
+/// idle-channel counts `g` in `[0.2, 6.0)`.
+pub fn arb_slot_problem() -> impl Strategy<Value = SlotProblem> {
+    let user = || {
+        (
+            (20.0..45.0f64, 0.1..1.5f64, 0.1..1.5f64),
+            (0.1..1.0f64, 0.1..1.0f64, proptest::bool::ANY),
+        )
+    };
+    (
+        (user(), user(), user(), user()),
+        1usize..=4,
+        1usize..=2,
+        (0.2..6.0f64, 0.2..6.0f64),
+    )
+        .prop_map(|(users, count, num_fbss, (g0, g1))| {
+            let raw = [users.0, users.1, users.2, users.3];
+            let users: Vec<UserState> = raw
+                .iter()
+                .take(count)
+                .map(|&((w, r_mbs, r_fbs), (s_mbs, s_fbs, second))| {
+                    let fbs = if num_fbss == 2 && second { 1 } else { 0 };
+                    UserState::new(w, FbsId(fbs), r_mbs, r_fbs, s_mbs, s_fbs)
+                        .expect("generated user valid")
+                })
+                .collect();
+            let g = [g0, g1][..num_fbss].to_vec();
+            SlotProblem::new(users, g).expect("generated slot problem valid")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn sensing_points_keep_the_sensor_informative((eps, delta) in arb_sensing_point()) {
+            prop_assert!(eps + delta < 1.0);
+            prop_assert!(eps > 0.0 && delta > 0.0);
+        }
+
+        #[test]
+        fn generated_configs_validate(cfg in arb_sim_config()) {
+            prop_assert!(cfg.validate().is_ok(), "invalid config: {:?}", cfg.validate());
+        }
+
+        #[test]
+        fn generated_graphs_have_bounded_degree(graph in arb_interference_graph()) {
+            prop_assert!(graph.num_vertices() >= 2 && graph.num_vertices() <= 3);
+            prop_assert!(graph.max_degree() < graph.num_vertices());
+        }
+
+        #[test]
+        fn generated_rd_curves_are_monotone_and_invertible(
+            model in arb_rd_curve(),
+            r in 0.0..4.0f64,
+        ) {
+            // Eq. (9): quality grows linearly in rate above the base α…
+            let lo = model.psnr(fcr_video::Mbps::new(r).unwrap());
+            let hi = model.psnr(fcr_video::Mbps::new(r + 0.5).unwrap());
+            prop_assert!(hi.db() > lo.db());
+            prop_assert!(lo.db() >= model.alpha().db());
+            // …and rate_for inverts it exactly (up to rounding).
+            let back = model.rate_for(lo).value();
+            prop_assert!((back - r).abs() <= 1e-9 * r.max(1.0));
+        }
+
+        #[test]
+        fn generated_problems_admit_their_constructors(
+            p in arb_interfering_problem(),
+            sp in arb_slot_problem(),
+        ) {
+            prop_assert!(p.num_fbss() >= 2);
+            prop_assert!(p.num_channels() >= 2);
+            // The Section-II offload regime: leased FBS channels beat
+            // the macrocell link for every generated user.
+            for u in p.users() {
+                prop_assert!(u.success_fbs() >= u.success_mbs() + 0.15 - 1e-12);
+            }
+            prop_assert!(sp.num_users() >= 1);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Golden-trace conformance: canonical JSONL renderings of the
+//! paper-figure scenarios, checked byte-for-byte against files under
+//! `crates/testkit/goldens/`.
+//!
+//! The renderer prints every `f64` with Rust's `{}` formatting —
+//! shortest round-trip representation, which is deterministic across
+//! runs, worker pools, and shard policies (the engine itself is
+//! bit-deterministic per `(run, gop)` stream). Any numeric drift in
+//! the pipeline therefore shows up as a one-line golden diff.
+//!
+//! Workflow:
+//!
+//! * normal runs: [`check_or_regen`] compares the freshly rendered
+//!   content with the stored golden and reports the first mismatching
+//!   line on failure;
+//! * after an *intentional* change to simulated numbers: re-run with
+//!   `FCR_REGEN_GOLDENS=1`, review the diff, commit the new goldens.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use fcr_runtime::ShardPolicy;
+use fcr_sim::{
+    config::SimConfig, PacketRunResult, RunResult, Scenario, Scheme, SimSession, TraceMode,
+};
+
+/// Environment variable that switches [`check_or_regen`] from
+/// *compare* to *rewrite* mode.
+pub const REGEN_ENV: &str = "FCR_REGEN_GOLDENS";
+
+/// Outcome of a golden check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoldenStatus {
+    /// The rendered content matched the stored golden byte for byte.
+    Matched,
+    /// `FCR_REGEN_GOLDENS` was set and the golden file was rewritten.
+    Regenerated,
+}
+
+/// Formats one `f64` for a golden line: Rust's shortest-roundtrip
+/// `{}` representation, with `-0` normalized to `0` so sign-of-zero
+/// noise can never enter a golden.
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{x}")
+    }
+}
+
+fn fmt_f64_slice(xs: &[f64]) -> String {
+    let mut s = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&fmt_f64(*x));
+    }
+    s.push(']');
+    s
+}
+
+/// Renders one fluid-engine [`RunResult`] as a JSONL line.
+pub fn run_line(scenario: &str, scheme: Scheme, run: usize, r: &RunResult) -> String {
+    format!(
+        "{{\"type\":\"run\",\"scenario\":\"{scenario}\",\"scheme\":\"{scheme:?}\",\"run\":{run},\
+         \"psnr\":{},\"mean\":{},\"collision_rate\":{},\"mean_expected_available\":{}}}",
+        fmt_f64_slice(&r.per_user_psnr),
+        fmt_f64(r.mean_psnr()),
+        fmt_f64(r.collision_rate),
+        fmt_f64(r.mean_expected_available),
+    )
+}
+
+/// Renders one packet-engine [`PacketRunResult`] as a JSONL line.
+pub fn packet_line(scenario: &str, scheme: Scheme, run: usize, r: &PacketRunResult) -> String {
+    format!(
+        "{{\"type\":\"packet_run\",\"scenario\":\"{scenario}\",\"scheme\":\"{scheme:?}\",\
+         \"run\":{run},\"psnr\":{},\"delivered\":{},\"expired\":{},\"retx\":{},\
+         \"base_losses\":{}}}",
+        fmt_f64_slice(&r.per_user_psnr),
+        r.delivered_units,
+        r.expired_units,
+        r.retransmissions,
+        r.base_layer_losses,
+    )
+}
+
+/// Renders a fluid scenario (all schemes, all runs, plus per-slot
+/// lines for the *first* run of each scheme) as a JSONL document.
+pub fn render_fluid(
+    name: &str,
+    cfg: &SimConfig,
+    scenario: &Scenario,
+    schemes: &[Scheme],
+    runs: u64,
+    master_seed: u64,
+    shards: ShardPolicy,
+) -> String {
+    let mut out = String::new();
+    let session = SimSession::new(scenario.clone())
+        .config(*cfg)
+        .seed(master_seed)
+        .runs(runs)
+        .shards(shards)
+        .trace(TraceMode::Slots);
+    for &scheme in schemes {
+        let result = session.run(scheme);
+        for (run, r) in result.results().iter().enumerate() {
+            out.push_str(&run_line(name, scheme, run, r));
+            out.push('\n');
+        }
+        if let Some(trace) = result.traces().first() {
+            for rec in trace.records() {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"slot\",\"scenario\":\"{name}\",\"scheme\":\"{scheme:?}\",\
+                     \"slot\":{},\"posteriors\":{},\"accessed\":{:?},\"expected_available\":{},\
+                     \"collisions\":{},\"delivered_db\":{}}}",
+                    rec.slot,
+                    fmt_f64_slice(&rec.posteriors),
+                    rec.accessed,
+                    fmt_f64(rec.expected_available),
+                    rec.collisions,
+                    fmt_f64_slice(&rec.delivered_db),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders a packet-level scenario (all schemes, all runs) as a JSONL
+/// document.
+pub fn render_packet(
+    name: &str,
+    cfg: &SimConfig,
+    scenario: &Scenario,
+    schemes: &[Scheme],
+    runs: u64,
+    master_seed: u64,
+    shards: ShardPolicy,
+) -> String {
+    let mut out = String::new();
+    let session = SimSession::new(scenario.clone())
+        .config(*cfg)
+        .seed(master_seed)
+        .runs(runs)
+        .shards(shards);
+    for &scheme in schemes {
+        let result = session.run_packet(scheme);
+        for (run, r) in result.results().iter().enumerate() {
+            out.push_str(&packet_line(name, scheme, run, r));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The fig-3 golden: the paper's baseline single-FBS scenario (fluid
+/// engine, traced), short horizon so the golden stays reviewable.
+pub fn fig3_golden(shards: ShardPolicy) -> String {
+    let cfg = SimConfig {
+        gops: 3,
+        ..SimConfig::default()
+    };
+    let scenario = Scenario::single_fbs(&cfg);
+    render_fluid(
+        "fig3",
+        &cfg,
+        &scenario,
+        &[Scheme::Proposed],
+        2,
+        0xf163,
+        shards,
+    )
+}
+
+/// The fig-3 packet-level golden: same scenario on the NAL-unit
+/// engine.
+pub fn fig3_packet_golden(shards: ShardPolicy) -> String {
+    let cfg = SimConfig {
+        gops: 3,
+        ..SimConfig::default()
+    };
+    let scenario = Scenario::single_fbs(&cfg);
+    render_packet(
+        "fig3",
+        &cfg,
+        &scenario,
+        &[Scheme::Proposed, Scheme::Heuristic1],
+        2,
+        0xf163,
+        shards,
+    )
+}
+
+/// The fig-4 golden: the baseline scenario across the paper's three
+/// (ε, δ) sensing operating points.
+pub fn fig4_golden(shards: ShardPolicy) -> String {
+    let mut out = String::new();
+    for &(eps, delta) in &[(0.3, 0.3), (0.2, 0.48), (0.48, 0.2)] {
+        let cfg = SimConfig {
+            gops: 2,
+            ..SimConfig::default()
+        }
+        .with_sensing_errors(eps, delta);
+        let scenario = Scenario::single_fbs(&cfg);
+        let name = format!("fig4/eps{eps}-delta{delta}");
+        out.push_str(&render_fluid(
+            &name,
+            &cfg,
+            &scenario,
+            &[Scheme::Proposed],
+            1,
+            0xf164,
+            shards,
+        ));
+    }
+    out
+}
+
+/// The fig-6 golden: the interfering three-FBS path scenario of Fig. 5,
+/// fluid and packet engines, proposed scheme vs heuristic 1.
+pub fn fig6_golden(shards: ShardPolicy) -> String {
+    let cfg = SimConfig {
+        gops: 2,
+        ..SimConfig::default()
+    };
+    let scenario = Scenario::interfering_fig5(&cfg);
+    let mut out = render_fluid(
+        "fig6",
+        &cfg,
+        &scenario,
+        &[Scheme::Proposed, Scheme::Heuristic1],
+        2,
+        0xf166,
+        shards,
+    );
+    out.push_str(&render_packet(
+        "fig6",
+        &cfg,
+        &scenario,
+        &[Scheme::Proposed, Scheme::Heuristic1],
+        2,
+        0xf166,
+        shards,
+    ));
+    out
+}
+
+/// Absolute path of the stored golden named `name`.
+pub fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("goldens")
+        .join(format!("{name}.jsonl"))
+}
+
+/// Compares `content` with the stored golden `name`, or rewrites the
+/// golden when [`REGEN_ENV`] is set.
+///
+/// On mismatch the error pinpoints the first differing line of each
+/// side, plus the command that regenerates the goldens.
+pub fn check_or_regen(name: &str, content: &str) -> Result<GoldenStatus, String> {
+    let path = golden_path(name);
+    if std::env::var_os(REGEN_ENV).is_some() {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
+        }
+        std::fs::write(&path, content).map_err(|e| format!("writing {path:?}: {e}"))?;
+        return Ok(GoldenStatus::Regenerated);
+    }
+    let stored = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "golden {path:?} unreadable ({e}); generate it with \
+             `FCR_REGEN_GOLDENS=1 cargo test -p fcr-testkit --test golden_conformance`"
+        )
+    })?;
+    if stored == content {
+        return Ok(GoldenStatus::Matched);
+    }
+    let mismatch = stored
+        .lines()
+        .zip(content.lines())
+        .enumerate()
+        .find(|(_, (a, b))| a != b);
+    let detail = match mismatch {
+        Some((i, (want, got))) => {
+            format!(
+                "first mismatch at line {}:\n  golden: {want}\n  fresh:  {got}",
+                i + 1
+            )
+        }
+        None => format!(
+            "line counts differ: golden has {}, fresh render has {}",
+            stored.lines().count(),
+            content.lines().count()
+        ),
+    };
+    Err(format!(
+        "golden {name} drifted ({detail})\nif the change is intentional, regenerate with \
+         `FCR_REGEN_GOLDENS=1 cargo test -p fcr-testkit --test golden_conformance` and review \
+         the diff"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_formatting_is_shortest_roundtrip_and_normalizes_negative_zero() {
+        assert_eq!(fmt_f64(0.25), "0.25");
+        assert_eq!(fmt_f64(-0.0), "0");
+        assert_eq!(fmt_f64(1.0 / 3.0), format!("{}", 1.0f64 / 3.0));
+        let x: f64 = fmt_f64(0.1 + 0.2).parse().unwrap();
+        assert_eq!(x.to_bits(), (0.1f64 + 0.2).to_bits());
+    }
+
+    #[test]
+    fn slice_formatting_is_compact_json() {
+        assert_eq!(fmt_f64_slice(&[]), "[]");
+        assert_eq!(fmt_f64_slice(&[1.5, 0.0, 2.0]), "[1.5,0,2]");
+    }
+
+    #[test]
+    fn missing_golden_reports_the_regeneration_command() {
+        let err = check_or_regen("no-such-golden", "x\n").unwrap_err();
+        assert!(err.contains("FCR_REGEN_GOLDENS=1"), "{err}");
+    }
+}

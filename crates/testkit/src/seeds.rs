@@ -1,0 +1,66 @@
+//! Seed discipline: every randomized suite in this crate derives its
+//! cases from an explicit `u64` that is printed on failure, so any
+//! red run can be replayed with `PROPTEST_SEED=<seed>` (property
+//! suites) or by passing the printed seed back to the harness (fault
+//! suites, soak binary).
+
+/// The pinned seed CI runs first, before the randomized pass.
+///
+/// The value spells the paper's venue date (ICDCS 2011-06-11) and is
+/// otherwise arbitrary; what matters is that the same corpus of cases
+/// runs on every push.
+pub const CI_SEED: u64 = 20_110_611;
+
+/// The splitmix64 step — the same generator `fcr_runtime::FaultPlan`
+/// uses to expand a seed into a fault schedule, re-exported here so
+/// harnesses and the soak binary derive per-iteration seeds from one
+/// well-known stream.
+///
+/// Advances `state` and returns the next output. Splitmix64 is an
+/// equidistributed bijection on `u64`, so distinct iteration indices
+/// can never collapse onto one seed.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed for case number `case` of the named suite.
+///
+/// The suite name is folded in FNV-style so `("faults", 3)` and
+/// ("golden", 3)` land in unrelated parts of the sequence.
+pub fn case_seed(suite: &str, case: u64) -> u64 {
+    let mut state = 0xcbf2_9ce4_8422_2325u64;
+    for b in suite.bytes() {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(0x1000_0000_01b3);
+    }
+    state ^= case;
+    splitmix64(&mut state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_advances_state() {
+        let mut a = 7;
+        let mut b = 7;
+        assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        assert_eq!(a, b);
+        assert_ne!(splitmix64(&mut a), {
+            let mut c = 7;
+            splitmix64(&mut c)
+        });
+    }
+
+    #[test]
+    fn case_seeds_differ_across_suites_and_cases() {
+        assert_ne!(case_seed("faults", 0), case_seed("faults", 1));
+        assert_ne!(case_seed("faults", 0), case_seed("golden", 0));
+        assert_eq!(case_seed("soak", 5), case_seed("soak", 5));
+    }
+}

@@ -1,0 +1,61 @@
+//! Golden-trace conformance for the paper-figure scenarios.
+//!
+//! Each golden is rendered twice in a row *and* under two different
+//! shard policies before being compared to the stored file — so the
+//! suite simultaneously proves (a) the renderer is byte-stable, (b)
+//! sharding never perturbs numbers, and (c) the numbers match the
+//! reviewed goldens.
+//!
+//! To refresh after an intentional change:
+//!
+//! ```text
+//! FCR_REGEN_GOLDENS=1 cargo test -p fcr-testkit --test golden_conformance
+//! git diff crates/testkit/goldens   # review, then commit
+//! ```
+
+use fcr_runtime::ShardPolicy;
+use fcr_testkit::golden::{
+    check_or_regen, fig3_golden, fig3_packet_golden, fig4_golden, fig6_golden,
+};
+
+fn assert_conformant(name: &str, render: impl Fn(ShardPolicy) -> String) {
+    let first = render(ShardPolicy::WholeRun);
+    let second = render(ShardPolicy::WholeRun);
+    assert_eq!(
+        first, second,
+        "golden {name}: two consecutive renders differ — renderer is not byte-stable"
+    );
+    let resharded = render(ShardPolicy::Windows(3));
+    assert_eq!(
+        first, resharded,
+        "golden {name}: WholeRun vs Windows(3) renders differ — sharding perturbs numbers"
+    );
+    assert!(!first.is_empty(), "golden {name} rendered empty");
+    assert!(
+        first
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')),
+        "golden {name} contains a non-JSONL line"
+    );
+    check_or_regen(name, &first).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn fig3_fluid_trace_is_conformant() {
+    assert_conformant("fig3", fig3_golden);
+}
+
+#[test]
+fn fig3_packet_trace_is_conformant() {
+    assert_conformant("fig3_packet", fig3_packet_golden);
+}
+
+#[test]
+fn fig4_sensing_grid_is_conformant() {
+    assert_conformant("fig4", fig4_golden);
+}
+
+#[test]
+fn fig6_interfering_scenario_is_conformant() {
+    assert_conformant("fig6", fig6_golden);
+}

@@ -1,0 +1,195 @@
+//! Property suites over generated scenarios: the paper's invariants
+//! must hold on *every* random-but-valid input, not just the Section-V
+//! operating points.
+//!
+//! All suites draw from the deterministic vendored proptest runner;
+//! a failing case prints its `PROPTEST_SEED` for exact replay.
+
+use fcr_core::{
+    bounds, kkt, DualConfig, DualSolver, ExhaustiveAllocator, GreedyAllocator, WaterfillingSolver,
+};
+use fcr_runtime::ShardPolicy;
+use fcr_sim::{Scenario, Scheme, SimSession, TraceMode};
+use fcr_spectrum::AccessPolicy;
+use fcr_telemetry::GreedyRecord;
+use fcr_testkit::generators::{
+    arb_interfering_problem, arb_sensing_point, arb_sim_config, arb_slot_problem, SENSING_GRID,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Eq. (7): under the collision-bounded access rule the expected
+    /// collision probability never exceeds γ, at any posterior and any
+    /// γ the generator emits.
+    #[test]
+    fn access_rule_respects_the_collision_budget(
+        gamma in 0.05..0.45f64,
+        p in 0.0..=1.0f64,
+        (eps, delta) in arb_sensing_point(),
+    ) {
+        let policy = AccessPolicy::new(gamma).expect("valid gamma");
+        let q = policy.access_probability(p);
+        prop_assert!((0.0..=1.0).contains(&q));
+        prop_assert!(policy.expected_collision(p) <= gamma + 1e-12);
+        // The sensing point only shifts *which* posteriors occur, never
+        // the budget; spot-check the paper grid too.
+        let _ = (eps, delta);
+        for &(e, d) in SENSING_GRID {
+            prop_assert!(e + d < 1.0);
+        }
+    }
+
+    /// Tables I/II: on random small instances the dual solution is
+    /// primal-feasible (Σ time shares ≤ 1 per base station) and, when
+    /// converged, consistent with the KKT conditions at its prices.
+    #[test]
+    fn dual_solutions_are_feasible_and_kkt_consistent(problem in arb_slot_problem()) {
+        let solution = DualSolver::new(DualConfig::default()).solve(&problem);
+        prop_assert!(
+            problem.is_feasible(solution.allocation(), 1e-6),
+            "dual allocation violates the time-share simplex"
+        );
+        let report = kkt::verify(&problem, solution.allocation(), solution.lambda());
+        if solution.converged() {
+            prop_assert!(
+                report.worst() < 0.35,
+                "converged solve far from KKT: worst residual {}",
+                report.worst()
+            );
+        }
+        // The reported objective must match re-evaluating the primal.
+        let direct = problem.objective(solution.allocation());
+        prop_assert!((direct - solution.objective()).abs() <= 1e-9 * direct.abs().max(1.0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Table III vs brute force on random ≤3-FBS graphs: the greedy
+    /// gain satisfies Theorem 2's floor *and* the eq.-(23) per-run
+    /// bound — up to the measured re-optimization slack of DESIGN §7,
+    /// deviation 6 — and the telemetry bookkeeping agrees with both.
+    #[test]
+    fn greedy_matches_the_paper_bounds_against_exhaustive(
+        problem in arb_interfering_problem(),
+    ) {
+        // Score every assignment with the exact-mode solver (≤3 users
+        // ⇒ ≤8 exact water-fills per evaluation) so no assertion below
+        // hinges on the heuristic mode search.
+        let solver = WaterfillingSolver::exact_up_to(3);
+        let greedy = GreedyAllocator::with_solver(solver).allocate(&problem);
+        let opt = ExhaustiveAllocator::with_solver(solver).allocate(&problem);
+        let d_max = problem.graph().max_degree();
+
+        // Exhaustive enumerates every maximal-independent-set
+        // assignment — including the greedy's, whose per-channel holder
+        // sets are maximal — and scores each with the same exact
+        // solver, so greedy ≤ opt is deterministic, not approximate.
+        prop_assert!(greedy.q_value() <= opt.q_value() + 1e-9);
+
+        // The paper proves Theorem 2 and eq. (23) assuming channel
+        // increments are submodular. This repo's Q re-solves the whole
+        // mode/share program at every assignment (DESIGN §7,
+        // deviation 6), and the shared MBS budget couples FBSs: a user
+        // offloading to one femtocell frees macrocell budget, which can
+        // *raise* a later channel's marginal value — a mildly
+        // supermodular effect outside the proofs of Lemmas 5–8.
+        // Measured over 300 k generated instances (see the
+        // `noise_sweep` example) the worst overshoot is 7.5 %
+        // (Theorem 2) and 15 % (eq. 23) of the optimal gain, so the
+        // suite asserts the paper bounds with twice that slack; the
+        // pinned Section-V instances satisfy them exactly (fcr-core's
+        // own tests).
+        let t2_slack = 0.15 * opt.gain().max(0.0);
+        prop_assert!(
+            bounds::satisfies_theorem2(greedy.gain(), opt.gain(), d_max, t2_slack),
+            "Theorem 2 violated beyond the re-optimization slack: greedy {} vs optimal {} at D_max {}",
+            greedy.gain(),
+            opt.gain(),
+            d_max
+        );
+        // Eq. (23): the per-run bound dominates the true optimum.
+        prop_assert!(
+            greedy.upper_bound() >= opt.q_value() - 0.30 * opt.gain().max(0.0),
+            "eq. (23) bound {} below exhaustive optimum {} beyond the re-optimization slack",
+            greedy.upper_bound(),
+            opt.q_value()
+        );
+
+        // The same numbers, through the telemetry record the engine
+        // emits for every slot (see fcr-core::greedy).
+        let steps = greedy.steps();
+        let record = GreedyRecord {
+            steps: steps.len(),
+            gain: steps.iter().map(|s| s.delta).sum(),
+            upper_bound_gain: bounds::per_run_upper_bound(
+                &steps.iter().map(|s| (s.delta, s.degree)).collect::<Vec<_>>(),
+            ),
+            gap_terms: steps.iter().map(|s| s.degree as f64 * s.delta).collect(),
+        };
+        prop_assert!(record.gap() >= -1e-12, "negative eq.-(23) slack");
+        prop_assert!(
+            record.optimality_ratio() >= bounds::worst_case_fraction(d_max) - 1e-9,
+            "optimality ratio {} under the Theorem-2 floor {}",
+            record.optimality_ratio(),
+            bounds::worst_case_fraction(d_max)
+        );
+        prop_assert!(
+            (record.upper_bound_gain - (record.gain + record.gap())).abs() <= 1e-9,
+            "eq.-(23) bookkeeping drifted"
+        );
+    }
+}
+
+proptest! {
+    // Whole-session cases are expensive; a handful per run suffices
+    // because the generator re-randomizes every CI pass.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// End to end on generated configs: posteriors stay probabilities,
+    /// expected availability stays below the channel count, PSNRs stay
+    /// finite and nonnegative, and the sharded session is
+    /// bit-deterministic — rerunning and resharding both reproduce the
+    /// exact same numbers.
+    #[test]
+    fn generated_scenarios_uphold_the_pipeline_invariants(cfg in arb_sim_config()) {
+        let scenario = Scenario::single_fbs(&cfg);
+        let session = SimSession::new(scenario.clone())
+            .config(cfg)
+            .seed(0xabad1dea)
+            .runs(2)
+            .shards(ShardPolicy::WholeRun)
+            .trace(TraceMode::Slots);
+        let first = session.run(Scheme::Proposed);
+
+        for trace in first.traces() {
+            for rec in trace.records() {
+                for &p in &rec.posteriors {
+                    prop_assert!((0.0..=1.0).contains(&p), "posterior {p} outside [0,1]");
+                }
+                prop_assert!(rec.expected_available <= cfg.num_channels as f64 + 1e-9);
+                prop_assert!(rec.collisions <= cfg.num_channels);
+            }
+        }
+        for r in first.results() {
+            for &psnr in &r.per_user_psnr {
+                prop_assert!(psnr.is_finite() && psnr >= 0.0);
+            }
+            prop_assert!((0.0..=1.0).contains(&r.collision_rate));
+        }
+
+        // Determinism: same seed, same numbers — bit for bit — under a
+        // different shard policy and a fresh session.
+        let resharded = SimSession::new(scenario)
+            .config(cfg)
+            .seed(0xabad1dea)
+            .runs(2)
+            .shards(ShardPolicy::Windows(2))
+            .trace(TraceMode::Slots)
+            .run(Scheme::Proposed);
+        prop_assert_eq!(first.results(), resharded.results());
+    }
+}

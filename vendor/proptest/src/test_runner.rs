@@ -32,6 +32,7 @@ impl ProptestConfig {
 pub struct TestRunner {
     config: ProptestConfig,
     rng: TestRng,
+    seed: u64,
 }
 
 impl TestRunner {
@@ -45,7 +46,14 @@ impl TestRunner {
         TestRunner {
             config,
             rng: TestRng::seed_from_u64(seed),
+            seed,
         }
+    }
+
+    /// The seed this runner was constructed with. Failure output
+    /// embeds it so any run is replayable via `PROPTEST_SEED`.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Runs `test` on `config.cases` sampled inputs, reporting the
@@ -64,10 +72,12 @@ impl TestRunner {
             }));
             if let Err(payload) = outcome {
                 eprintln!(
-                    "proptest stand-in: case {}/{} failed for input {} (no shrinking)",
+                    "proptest stand-in: case {}/{} failed for input {} (no shrinking); \
+                     replay with PROPTEST_SEED={}",
                     case + 1,
                     self.config.cases,
-                    rendered
+                    rendered,
+                    self.seed
                 );
                 std::panic::resume_unwind(payload);
             }
