@@ -132,6 +132,31 @@ impl HistogramSnapshot {
         self.buckets.iter().copied().filter(|(_, c)| *c > 0)
     }
 
+    /// Estimates the `q`-quantile (`q ∈ [0, 1]`) in microseconds from
+    /// the bucket counts, or `None` when the histogram is empty.
+    ///
+    /// The estimate is the exclusive upper bound of the bucket the
+    /// quantile rank falls in, clamped to the observed `max_micros` —
+    /// i.e. a conservative (never under-reporting) figure with
+    /// power-of-two resolution, which is what the benchmark emitter
+    /// wants for p50/p99 latency lines.
+    pub fn percentile_micros(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based: ceil(q * count), at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (upper, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return Some((*upper).min(self.max_micros));
+            }
+        }
+        Some(self.max_micros)
+    }
+
     /// Folds `other` into `self`: counts and sums add, min/max widen,
     /// buckets merge element-wise. Both sides come from the same
     /// [`AtomicHistogram`] layout, so the bucket bounds always line
@@ -253,6 +278,33 @@ mod tests {
         assert_eq!(s.min_micros, Some(0));
         assert_eq!(s.max_micros, u64::MAX);
         assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn percentiles_are_conservative_and_ordered() {
+        let h = AtomicHistogram::new();
+        assert_eq!(h.snapshot().percentile_micros(0.5), None);
+        // 90 fast samples, 10 slow ones.
+        for _ in 0..90 {
+            h.record(Duration::from_micros(3)); // bucket 2, upper 4
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(900)); // bucket 10, upper 1024
+        }
+        let s = h.snapshot();
+        let p50 = s.percentile_micros(0.50).unwrap();
+        let p99 = s.percentile_micros(0.99).unwrap();
+        // p50 lands in the fast bucket, p99 in the slow one; the upper
+        // bound never under-reports and is clamped to the observed max.
+        assert_eq!(p50, 4);
+        assert_eq!(p99, 900);
+        assert!(p50 <= p99);
+        assert_eq!(s.percentile_micros(0.0).unwrap(), 4);
+        assert_eq!(s.percentile_micros(1.0).unwrap(), 900);
+        // A single sample: every quantile is (clamped to) that sample.
+        let one = AtomicHistogram::new();
+        one.record(Duration::from_micros(7));
+        assert_eq!(one.snapshot().percentile_micros(0.99), Some(7));
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! The polled in-process service snapshot and its JSON rendering.
+
+use crate::service::Counts;
+use fcr_runtime::HistogramSnapshot;
+
+/// A point-in-time copy of the service's counters and gauges — the
+/// in-process twin of the `/metrics` endpoint's `serve` line.
+///
+/// The accounting identity `admitted == active + completed + retired +
+/// shed` holds in every snapshot taken between steps (and is asserted
+/// inside every step).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSnapshot {
+    /// Service slot clock.
+    pub slot: u64,
+    /// Slot steps executed.
+    pub steps: u64,
+    /// Sessions admitted since start.
+    pub admitted: u64,
+    /// Sessions currently active.
+    pub active: usize,
+    /// Retired/shed sessions whose in-flight jobs are still draining.
+    pub draining: usize,
+    /// Sessions that ran to completion.
+    pub completed: u64,
+    /// Sessions retired by the caller.
+    pub retired: u64,
+    /// Sessions the degradation ladder shed (terminal, loud).
+    pub shed: u64,
+    /// Admissions rejected at the concurrency watermark.
+    pub rejected_capacity: u64,
+    /// Admissions rejected over the MBS budget.
+    pub rejected_budget: u64,
+    /// Window jobs completed.
+    pub windows_completed: u64,
+    /// Window jobs lost to worker panics and resubmitted.
+    pub windows_retried: u64,
+    /// Window submissions deferred by pool backpressure (ladder
+    /// stage 1).
+    pub deferrals: u64,
+    /// Enhancement runs shed under overload (ladder stage 2).
+    pub enhancement_runs_shed: u64,
+    /// Sessions that completed degraded (some enhancement shed).
+    pub degraded_sessions: u64,
+    /// Completed-session outputs dropped past the buffer cap (the
+    /// completion *count* stays exact).
+    pub completed_dropped: u64,
+    /// MBS unit time-share currently committed (eq. (12) left side).
+    pub mbs_in_use: f64,
+    /// The configured admission budget.
+    pub mbs_budget: f64,
+    /// Window jobs pending (queued in sessions + in flight).
+    pub pending: u64,
+    /// Completed sessions currently buffered for collection.
+    pub completed_buffered: usize,
+    /// p50 of the per-step wall time (µs), if any steps ran.
+    pub step_p50_us: Option<u64>,
+    /// p99 of the per-step wall time (µs), if any steps ran.
+    pub step_p99_us: Option<u64>,
+}
+
+impl ServiceSnapshot {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn collect(
+        counts: &Counts,
+        slot: u64,
+        active: usize,
+        draining: usize,
+        mbs_in_use: f64,
+        mbs_budget: f64,
+        pending: u64,
+        completed_buffered: usize,
+        step_wall: &HistogramSnapshot,
+    ) -> Self {
+        ServiceSnapshot {
+            slot,
+            steps: counts.steps,
+            admitted: counts.admitted,
+            active,
+            draining,
+            completed: counts.completed,
+            retired: counts.retired,
+            shed: counts.shed,
+            rejected_capacity: counts.rejected_capacity,
+            rejected_budget: counts.rejected_budget,
+            windows_completed: counts.windows_completed,
+            windows_retried: counts.windows_retried,
+            deferrals: counts.deferrals,
+            enhancement_runs_shed: counts.enhancement_runs_shed,
+            degraded_sessions: counts.degraded_sessions,
+            completed_dropped: counts.completed_dropped,
+            mbs_in_use,
+            mbs_budget,
+            pending,
+            completed_buffered,
+            step_p50_us: step_wall.percentile_micros(0.50),
+            step_p99_us: step_wall.percentile_micros(0.99),
+        }
+    }
+
+    /// `true` when the accounting identity holds.
+    pub fn accounting_holds(&self) -> bool {
+        self.admitted == self.active as u64 + self.completed + self.retired + self.shed
+    }
+
+    /// Renders the snapshot as one self-contained JSONL line
+    /// (`"type":"serve"`), the head of the `/metrics` body.
+    pub fn to_json_line(&self) -> String {
+        let opt = |v: Option<u64>| v.map_or("null".to_string(), |v| v.to_string());
+        format!(
+            "{{\"type\":\"serve\",\"slot\":{},\"steps\":{},\"admitted\":{},\"active\":{},\
+             \"draining\":{},\"completed\":{},\"retired\":{},\"shed\":{},\
+             \"rejected_capacity\":{},\"rejected_budget\":{},\"windows_completed\":{},\
+             \"windows_retried\":{},\"deferrals\":{},\"enhancement_runs_shed\":{},\
+             \"degraded_sessions\":{},\"completed_dropped\":{},\"mbs_in_use\":{},\
+             \"mbs_budget\":{},\"pending\":{},\"completed_buffered\":{},\
+             \"step_p50_us\":{},\"step_p99_us\":{},\"accounting_holds\":{}}}",
+            self.slot,
+            self.steps,
+            self.admitted,
+            self.active,
+            self.draining,
+            self.completed,
+            self.retired,
+            self.shed,
+            self.rejected_capacity,
+            self.rejected_budget,
+            self.windows_completed,
+            self.windows_retried,
+            self.deferrals,
+            self.enhancement_runs_shed,
+            self.degraded_sessions,
+            self.completed_dropped,
+            json_num(self.mbs_in_use),
+            json_num(self.mbs_budget),
+            self.pending,
+            self.completed_buffered,
+            opt(self.step_p50_us),
+            opt(self.step_p99_us),
+            self.accounting_holds(),
+        )
+    }
+}
+
+/// A JSON number: plain decimal for finite values, `null` otherwise.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServiceSnapshot {
+        ServiceSnapshot {
+            slot: 10,
+            steps: 10,
+            admitted: 5,
+            active: 1,
+            draining: 0,
+            completed: 2,
+            retired: 1,
+            shed: 1,
+            rejected_capacity: 0,
+            rejected_budget: 3,
+            windows_completed: 40,
+            windows_retried: 2,
+            deferrals: 7,
+            enhancement_runs_shed: 1,
+            degraded_sessions: 1,
+            completed_dropped: 0,
+            mbs_in_use: 0.25,
+            mbs_budget: 1.0,
+            pending: 4,
+            completed_buffered: 2,
+            step_p50_us: Some(12),
+            step_p99_us: Some(90),
+        }
+    }
+
+    #[test]
+    fn json_line_is_balanced_and_self_describing() {
+        let line = sample().to_json_line();
+        assert!(line.starts_with("{\"type\":\"serve\""), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+        assert!(line.contains("\"accounting_holds\":true"));
+        assert!(line.contains("\"mbs_in_use\":0.25"));
+        assert!(line.contains("\"step_p99_us\":90"));
+        let braces: i64 = line
+            .chars()
+            .map(|c| match c {
+                '{' => 1,
+                '}' => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(braces, 0, "unbalanced: {line}");
+    }
+
+    #[test]
+    fn accounting_identity_is_checked() {
+        let mut snap = sample();
+        assert!(snap.accounting_holds());
+        snap.shed = 0;
+        assert!(!snap.accounting_holds());
+        assert!(snap.to_json_line().contains("\"accounting_holds\":false"));
+    }
+
+    #[test]
+    fn missing_percentiles_render_null() {
+        let mut snap = sample();
+        snap.step_p50_us = None;
+        snap.step_p99_us = None;
+        let line = snap.to_json_line();
+        assert!(line.contains("\"step_p50_us\":null"));
+        assert!(line.contains("\"step_p99_us\":null"));
+    }
+}

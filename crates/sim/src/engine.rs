@@ -142,7 +142,7 @@ pub(crate) struct GopGreedy {
 }
 
 /// The output of one GOP-aligned slot window (see `run_window`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct WindowOutput {
     /// First GOP (inclusive) this window covered.
     pub gop_start: u32,

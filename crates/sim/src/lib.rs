@@ -68,6 +68,7 @@ pub mod report;
 pub mod scenario;
 pub mod scheme;
 pub mod session;
+pub mod stream;
 pub mod trace;
 
 pub use config::SimConfig;
@@ -78,4 +79,5 @@ pub use pool::SimJob;
 pub use scenario::{Scenario, UserSpec};
 pub use scheme::Scheme;
 pub use session::{PacketSessionResult, SessionResult, SimSession};
+pub use stream::{CompletedWindow, RunStream, ShardCounters, WindowTask};
 pub use trace::{SimTrace, SlotRecord};

@@ -6,19 +6,97 @@
 //!
 //! | `type` | one line per | fields |
 //! |---|---|---|
-//! | `meta` | export | `dropped_solves`, `dropped_greedy`, `dropped_shards`, `records_dropped` |
+//! | `meta` | export | `dropped_solves`, `dropped_greedy`, `dropped_shards`, `dropped_spans`, `records_dropped` |
 //! | `phase` | pipeline phase | `phase`, `count`, `total_ns`, `mean_ns`, `max_ns`, `buckets_us` |
 //! | `solve` | dual solve | `iterations`, `converged`, `residual`, `lambda` |
 //! | `greedy` | greedy allocation | `steps`, `gain`, `upper_bound_gain`, `gap`, `optimality_ratio`, `gap_terms` |
 //! | `counter` | named counter | `name`, `value` |
 //! | `shard` | executed intra-run shard | `run`, `window`, `gop_start`, `gops`, `wall_ns` |
+//! | `span` | span event (opt-in) | `id`, `parent` (`null` for roots), `phase`, `wall_ns` |
 //! | `resize` | elastic-pool resize | `from`, `to`, `queue_depth`, `utilization`, `trigger` (`manual`/`loop`) |
 //! | `worker` | pool worker | `index`, `busy_ns`, `lifetime_ns`, `jobs`, `steals`, `utilization` |
 //! | `pool` | runtime snapshot | `workers`, `jobs_submitted`, `jobs_completed`, `jobs_failed`, `jobs_stolen` |
+//!
+//! The per-record renderers below are shared between the batch
+//! [`to_jsonl`] export and the sink's live stream writer
+//! ([`crate::TelemetrySink::attach_stream`]), so a tailed stream and a
+//! final export never disagree on the line format.
 
+use crate::record::{GreedyRecord, ShardRecord, SolveRecord, SpanRecord};
 use crate::sink::TelemetrySnapshot;
-use fcr_runtime::MetricsSnapshot;
+use fcr_runtime::{MetricsSnapshot, ResizeEvent};
 use std::fmt::Write as _;
+
+/// The JSONL line (no trailing newline) for one dual-solve record.
+pub(crate) fn solve_line(s: &SolveRecord) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"type\":\"solve\",\"iterations\":{},\"converged\":{},\"residual\":{},\"lambda\":[",
+        s.iterations,
+        s.converged,
+        num(s.residual)
+    );
+    push_f64_array(&mut out, &s.lambda);
+    out.push_str("]}");
+    out
+}
+
+/// The JSONL line (no trailing newline) for one greedy-allocation
+/// record.
+pub(crate) fn greedy_line(g: &GreedyRecord) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"type\":\"greedy\",\"steps\":{},\"gain\":{},\"upper_bound_gain\":{},\"gap\":{},\"optimality_ratio\":{},\"gap_terms\":[",
+        g.steps,
+        num(g.gain),
+        num(g.upper_bound_gain),
+        num(g.gap()),
+        num(g.optimality_ratio()),
+    );
+    push_f64_array(&mut out, &g.gap_terms);
+    out.push_str("]}");
+    out
+}
+
+/// The JSONL line (no trailing newline) for one executed-shard record.
+pub(crate) fn shard_line(s: &ShardRecord) -> String {
+    format!(
+        "{{\"type\":\"shard\",\"run\":{},\"window\":{},\"gop_start\":{},\"gops\":{},\"wall_ns\":{}}}",
+        s.run, s.window, s.gop_start, s.gops, s.wall_ns,
+    )
+}
+
+/// The JSONL line (no trailing newline) for one span event.
+pub(crate) fn span_line(s: &SpanRecord) -> String {
+    let mut out = format!("{{\"type\":\"span\",\"id\":{},\"parent\":", s.id);
+    match s.parent {
+        Some(p) => {
+            let _ = write!(out, "{p}");
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(
+        out,
+        ",\"phase\":\"{}\",\"wall_ns\":{}}}",
+        s.phase.name(),
+        s.wall_ns
+    );
+    out
+}
+
+/// The JSONL line (no trailing newline) for one pool-resize event.
+pub(crate) fn resize_line(r: &ResizeEvent) -> String {
+    format!(
+        "{{\"type\":\"resize\",\"from\":{},\"to\":{},\"queue_depth\":{},\"utilization\":{},\"trigger\":\"{}\"}}",
+        r.from,
+        r.to,
+        r.queue_depth,
+        num(r.utilization),
+        r.trigger.name(),
+    )
+}
 
 /// Renders `snapshot` as JSONL; when `runtime` is given, per-worker
 /// utilization and a pool summary line are appended.
@@ -26,10 +104,11 @@ pub fn to_jsonl(snapshot: &TelemetrySnapshot, runtime: Option<&MetricsSnapshot>)
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{{\"type\":\"meta\",\"dropped_solves\":{},\"dropped_greedy\":{},\"dropped_shards\":{},\"records_dropped\":{}}}",
+        "{{\"type\":\"meta\",\"dropped_solves\":{},\"dropped_greedy\":{},\"dropped_shards\":{},\"dropped_spans\":{},\"records_dropped\":{}}}",
         snapshot.dropped_solves,
         snapshot.dropped_greedy,
         snapshot.dropped_shards,
+        snapshot.dropped_spans,
         snapshot.records_dropped()
     );
     for (phase, p) in &snapshot.phases {
@@ -59,46 +138,24 @@ pub fn to_jsonl(snapshot: &TelemetrySnapshot, runtime: Option<&MetricsSnapshot>)
         out.push_str("]}\n");
     }
     for s in &snapshot.solves {
-        let _ = write!(
-            out,
-            "{{\"type\":\"solve\",\"iterations\":{},\"converged\":{},\"residual\":{},\"lambda\":[",
-            s.iterations,
-            s.converged,
-            num(s.residual)
-        );
-        push_f64_array(&mut out, &s.lambda);
-        out.push_str("]}\n");
+        out.push_str(&solve_line(s));
+        out.push('\n');
     }
     for g in &snapshot.greedy {
-        let _ = write!(
-            out,
-            "{{\"type\":\"greedy\",\"steps\":{},\"gain\":{},\"upper_bound_gain\":{},\"gap\":{},\"optimality_ratio\":{},\"gap_terms\":[",
-            g.steps,
-            num(g.gain),
-            num(g.upper_bound_gain),
-            num(g.gap()),
-            num(g.optimality_ratio()),
-        );
-        push_f64_array(&mut out, &g.gap_terms);
-        out.push_str("]}\n");
+        out.push_str(&greedy_line(g));
+        out.push('\n');
     }
     for s in &snapshot.shards {
-        let _ = writeln!(
-            out,
-            "{{\"type\":\"shard\",\"run\":{},\"window\":{},\"gop_start\":{},\"gops\":{},\"wall_ns\":{}}}",
-            s.run, s.window, s.gop_start, s.gops, s.wall_ns,
-        );
+        out.push_str(&shard_line(s));
+        out.push('\n');
+    }
+    for s in &snapshot.spans {
+        out.push_str(&span_line(s));
+        out.push('\n');
     }
     for r in &snapshot.resizes {
-        let _ = writeln!(
-            out,
-            "{{\"type\":\"resize\",\"from\":{},\"to\":{},\"queue_depth\":{},\"utilization\":{},\"trigger\":\"{}\"}}",
-            r.from,
-            r.to,
-            r.queue_depth,
-            num(r.utilization),
-            r.trigger.name(),
-        );
+        out.push_str(&resize_line(r));
+        out.push('\n');
     }
     for (name, value) in &snapshot.counters {
         let _ = write!(out, "{{\"type\":\"counter\",\"name\":");
@@ -314,8 +371,39 @@ mod tests {
         assert_eq!(
             meta,
             "{\"type\":\"meta\",\"dropped_solves\":2,\"dropped_greedy\":1,\
-             \"dropped_shards\":4,\"records_dropped\":7}"
+             \"dropped_shards\":4,\"dropped_spans\":0,\"records_dropped\":7}"
         );
+    }
+
+    #[test]
+    fn span_lines_render_parent_edges() {
+        let root = crate::SpanRecord {
+            id: 1,
+            parent: None,
+            phase: Phase::Solver,
+            wall_ns: 500,
+        };
+        let child = crate::SpanRecord {
+            id: 2,
+            parent: Some(1),
+            phase: Phase::GreedyAlloc,
+            wall_ns: 120,
+        };
+        assert_eq!(
+            span_line(&root),
+            "{\"type\":\"span\",\"id\":1,\"parent\":null,\"phase\":\"solver\",\"wall_ns\":500}"
+        );
+        assert_eq!(
+            span_line(&child),
+            "{\"type\":\"span\",\"id\":2,\"parent\":1,\"phase\":\"greedy_alloc\",\"wall_ns\":120}"
+        );
+        let sink = TelemetrySink::new();
+        sink.record_span_event(root);
+        sink.record_span_event(child);
+        let out = to_jsonl(&sink.snapshot(), None);
+        assert!(out.contains("\"type\":\"span\""), "{out}");
+        assert!(out.contains("\"parent\":null"), "{out}");
+        assert!(out.contains("\"parent\":1"), "{out}");
     }
 
     #[test]

@@ -62,7 +62,7 @@ mod span;
 pub use export::to_jsonl;
 pub use fcr_runtime::{ResizeEvent, ResizeTrigger};
 pub use phase::Phase;
-pub use record::{GreedyRecord, ShardRecord, SolveRecord};
+pub use record::{GreedyRecord, ShardRecord, SolveRecord, SpanRecord};
 pub use sink::{PhaseSnapshot, TelemetrySink, TelemetrySnapshot, MAX_RECORDS};
 pub use span::{current_depth, Span};
 
@@ -73,6 +73,12 @@ use std::sync::OnceLock;
 /// gates *whether* observations are made, and the sink's own atomics
 /// order the data.
 static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Opt-in flag for per-event span records with parent/child edges
+/// (beyond the always-on per-phase aggregates). Separate from
+/// [`ENABLED`] because event capture allocates a record per span and
+/// is priced for sampled always-on use, not hot batch loops.
+static SPAN_EVENTS: AtomicBool = AtomicBool::new(false);
 
 static GLOBAL: OnceLock<TelemetrySink> = OnceLock::new();
 
@@ -103,6 +109,59 @@ pub fn global() -> &'static TelemetrySink {
 /// unchanged).
 pub fn reset() {
     global().reset();
+}
+
+/// Turns per-event span records (with parent/child edges) on or off
+/// process-wide. Requires [`enable`] as well: span events are a
+/// refinement of span timing, not a replacement.
+pub fn set_span_events(on: bool) {
+    SPAN_EVENTS.store(on, Ordering::Relaxed);
+}
+
+/// `true` when individual span events (with parent edges) are being
+/// captured.
+#[inline]
+pub fn span_events_enabled() -> bool {
+    SPAN_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Sets keep-1-in-`every` sampling on the global sink's per-record
+/// channels (see [`TelemetrySink::set_sampling`]).
+pub fn set_sampling(every: u64) {
+    global().set_sampling(every);
+}
+
+/// Attaches a live JSONL stream to the global sink: every retained
+/// record is rendered and flushed per line (see
+/// [`TelemetrySink::attach_stream`]).
+pub fn attach_stream(writer: Box<dyn std::io::Write + Send>) {
+    global().attach_stream(writer);
+}
+
+/// Creates (truncating) `path` and attaches it as the global live
+/// JSONL stream — the one-call setup for `tail -f`-able telemetry.
+pub fn attach_stream_path(path: &std::path::Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    global().attach_stream(Box::new(file));
+    Ok(())
+}
+
+/// Flushes the global sink's attached stream, if any (writes are
+/// already flushed per record; this forces the handoff explicitly).
+pub fn flush() {
+    global().flush();
+}
+
+/// Flushes and drops the global sink's attached stream, if any.
+pub fn detach_stream() {
+    global().detach_stream();
+}
+
+/// Takes everything the global sink aggregated so far and resets it in
+/// one step (see [`TelemetrySink::drain`]) — the periodic-delta
+/// primitive for long-running services.
+pub fn drain() -> TelemetrySnapshot {
+    global().drain()
 }
 
 /// Records one dual-decomposition solve into the global sink; no-op
@@ -211,6 +270,40 @@ mod tests {
             snap.phase(Phase::Solver).total_ns,
             snap.phase(Phase::GreedyAlloc).total_ns
         );
+        reset();
+        disable();
+    }
+
+    #[test]
+    fn span_events_capture_parent_child_edges() {
+        let _g = serial();
+        enable();
+        set_span_events(true);
+        reset();
+        {
+            let _outer = Span::enter(Phase::Solver);
+            {
+                let _inner = Span::enter(Phase::GreedyAlloc);
+            }
+            let _sibling = Span::enter(Phase::GreedyAlloc);
+        }
+        set_span_events(false);
+        // Events flag off: this span times but emits no event record.
+        {
+            let _untracked = Span::enter(Phase::Sensing);
+        }
+        let snap = global().snapshot();
+        assert_eq!(snap.spans.len(), 3, "{:?}", snap.spans);
+        assert_eq!(snap.phase(Phase::Sensing).count, 1);
+        // Drop order: inner, sibling, outer.
+        let (inner, sibling, outer) = (&snap.spans[0], &snap.spans[1], &snap.spans[2]);
+        assert_eq!(inner.phase, Phase::GreedyAlloc);
+        assert_eq!(sibling.phase, Phase::GreedyAlloc);
+        assert_eq!(outer.phase, Phase::Solver);
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(sibling.parent, Some(outer.id));
+        assert_ne!(inner.id, sibling.id);
         reset();
         disable();
     }

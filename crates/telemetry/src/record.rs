@@ -38,6 +38,26 @@ pub struct ShardRecord {
     pub wall_ns: u64,
 }
 
+/// One completed span occurrence with its parent/child edge — the
+/// per-event counterpart of the aggregated per-phase timings.
+///
+/// Only recorded when span events are switched on
+/// ([`crate::set_span_events`]); the id is unique per process and the
+/// parent id (if any) is the span that was open on the same thread
+/// when this one was entered, so an export reconstructs the phase
+/// tree: sensing → fusion → access nested under a solver span, etc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanRecord {
+    /// Process-unique span id (allocation order, starts at 1).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// The pipeline phase the span measured.
+    pub phase: crate::Phase,
+    /// Wall time of the span (ns).
+    pub wall_ns: u64,
+}
+
 /// One greedy channel allocation (Table III) with the eq.-(23)
 /// bookkeeping, so the per-run optimality-gap bound is observable.
 #[derive(Debug, Clone, PartialEq)]

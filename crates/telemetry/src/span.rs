@@ -1,7 +1,9 @@
 //! The RAII span guard and its thread-local nesting tracker.
 
 use crate::phase::Phase;
-use std::cell::Cell;
+use crate::record::SpanRecord;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 thread_local! {
@@ -9,7 +11,16 @@ thread_local! {
     /// "subscriber" half of the design: depth is tracked locally, the
     /// timings land in the process-wide sink).
     static DEPTH: Cell<usize> = const { Cell::new(0) };
+
+    /// Ids of the open event-recording spans on this thread, innermost
+    /// last. Only maintained while span events are enabled; the top of
+    /// the stack is the parent of the next span entered here.
+    static ID_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }
+
+/// Process-wide span-id allocator (ids start at 1; 0 marks "no event
+/// recorded" inside the guard).
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
 /// An RAII timing span over one pipeline phase.
 ///
@@ -18,6 +29,13 @@ thread_local! {
 /// Spans nest freely ([`current_depth`] observes the nesting); a child
 /// span's time is *also* contained in its parent's, exactly like any
 /// tracing system's inclusive timings.
+///
+/// When span events are additionally enabled
+/// ([`crate::set_span_events`]), dropping the guard also emits a
+/// [`SpanRecord`] carrying a process-unique id and the id of the
+/// enclosing span on the same thread, so exports can reconstruct the
+/// parent/child phase tree. A span must be dropped on the thread that
+/// entered it for the edge to be attributed correctly.
 ///
 /// When telemetry is disabled (the default) `enter` is one relaxed
 /// atomic load and no clock is read — near-zero overhead on hot paths.
@@ -40,6 +58,10 @@ pub struct Span {
     phase: Phase,
     /// `None` when telemetry was disabled at entry: the drop is free.
     start: Option<Instant>,
+    /// Non-zero iff span events were enabled at entry.
+    id: u64,
+    /// Id of the enclosing event-recording span at entry, if any.
+    parent: Option<u64>,
 }
 
 impl Span {
@@ -48,12 +70,31 @@ impl Span {
     #[inline]
     pub fn enter(phase: Phase) -> Span {
         if !crate::is_enabled() {
-            return Span { phase, start: None };
+            return Span {
+                phase,
+                start: None,
+                id: 0,
+                parent: None,
+            };
         }
         DEPTH.with(|d| d.set(d.get() + 1));
+        let (id, parent) = if crate::span_events_enabled() {
+            let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+            let parent = ID_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                let parent = s.last().copied();
+                s.push(id);
+                parent
+            });
+            (id, parent)
+        } else {
+            (0, None)
+        };
         Span {
             phase,
             start: Some(Instant::now()),
+            id,
+            parent,
         }
     }
 
@@ -75,6 +116,24 @@ impl Drop for Span {
             let elapsed = start.elapsed();
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
             crate::global().record_span(self.phase, elapsed);
+            if self.id != 0 {
+                ID_STACK.with(|s| {
+                    let mut s = s.borrow_mut();
+                    // RAII guarantees LIFO on one thread; defend anyway
+                    // against a guard moved across threads.
+                    if s.last() == Some(&self.id) {
+                        s.pop();
+                    } else {
+                        s.retain(|&x| x != self.id);
+                    }
+                });
+                crate::global().record_span_event(SpanRecord {
+                    id: self.id,
+                    parent: self.parent,
+                    phase: self.phase,
+                    wall_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+                });
+            }
         }
     }
 }

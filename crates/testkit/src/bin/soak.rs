@@ -1,6 +1,7 @@
-//! Bounded fault-injection soak: loops the chaos harness under fresh
-//! seeds for a wall-clock budget and fails loudly (with the replay
-//! seed) on the first invariance violation.
+//! Bounded chaos soak, rebased onto `fcr-serve`: loops churn storms
+//! through the always-on service on faulted pools under fresh seeds
+//! for a wall-clock budget, and fails loudly (with the replay seed)
+//! on the first invariance violation.
 //!
 //! ```text
 //! cargo run --release -p fcr-testkit --bin soak -- --seconds 30 [--seed N]
@@ -8,14 +9,19 @@
 //!
 //! Each iteration derives a base seed from the iteration counter,
 //! expands the standard chaos corpus (panic / delay / resize / mixed
-//! storms), and verifies the full fault-invariance contract on both
-//! engines. CI runs this for 30 s as a smoke test; longer budgets are
-//! an overnight chaos run.
+//! storms), and drives every case through
+//! [`fcr_testkit::serve_storm::verify_serve_under_faults`] — session
+//! churn, exact accounting, panic containment, and bit-identity of
+//! served outputs with the batch path. The packet engine (which has
+//! no serve path) keeps its batch fault-invariance check per
+//! iteration. CI runs this for 30 s as a smoke test; longer budgets
+//! are an overnight chaos run.
 
 use fcr_sim::config::SimConfig;
 use fcr_sim::{Scenario, Scheme};
-use fcr_testkit::faults::{standard_cases, verify_fluid_under_faults, verify_packet_under_faults};
+use fcr_testkit::faults::{install_quiet_hook, standard_cases, verify_packet_under_faults};
 use fcr_testkit::seeds::case_seed;
+use fcr_testkit::serve_storm::verify_serve_under_faults;
 use std::time::{Duration, Instant};
 
 fn parse_args() -> (Duration, u64) {
@@ -51,28 +57,6 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Keeps the default panic hook for *real* panics but silences the
-/// injected chaos panics, which would otherwise flood stderr with
-/// thousands of expected backtraces.
-fn install_quiet_hook() {
-    let default_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(move |info| {
-        let msg_is_chaos = info
-            .payload()
-            .downcast_ref::<&str>()
-            .map(|s| s.contains("injected chaos panic"))
-            .or_else(|| {
-                info.payload()
-                    .downcast_ref::<String>()
-                    .map(|s| s.contains("injected chaos panic"))
-            })
-            .unwrap_or(false);
-        if !msg_is_chaos {
-            default_hook(info);
-        }
-    }));
-}
-
 fn main() {
     install_quiet_hook();
     let (budget, base) = parse_args();
@@ -83,49 +67,56 @@ fn main() {
         ..SimConfig::default()
     };
     let scenario = Scenario::single_fbs(&cfg);
-    let runs = 3u64; // 3 runs x 4 GOPs = 12 window jobs, matching FaultSpec::jobs.
+    let sessions = 6u64; // initial serve population per storm
+    let packet_runs = 3u64; // 3 runs x 4 GOPs = 12 jobs, matching FaultSpec::jobs
 
     let start = Instant::now();
     let mut iterations = 0u64;
     let mut faults_fired = 0u64;
+    let mut sessions_served = 0u64;
+    let mut outputs_verified = 0u64;
     println!(
-        "soak: base seed {base}, budget {}s, workload {} window jobs/engine/case",
+        "soak: base seed {base}, budget {}s, {} sessions/storm through fcr-serve",
         budget.as_secs(),
-        runs * u64::from(cfg.gops),
+        sessions,
     );
     while start.elapsed() < budget {
         let iter_seed = case_seed("soak", base.wrapping_add(iterations));
         for case in standard_cases(iter_seed) {
-            let v = verify_fluid_under_faults(
+            let v = verify_serve_under_faults(
                 &case,
                 &cfg,
                 &scenario,
                 Scheme::Proposed,
                 iter_seed,
-                runs,
+                sessions,
             );
             faults_fired += v.report.total_injected();
+            sessions_served += v.admitted;
+            outputs_verified += v.outputs_verified;
             let v = verify_packet_under_faults(
                 &case,
                 &cfg,
                 &scenario,
                 Scheme::Proposed,
                 iter_seed,
-                runs,
+                packet_runs,
             );
             faults_fired += v.report.total_injected();
         }
         iterations += 1;
         if iterations.is_multiple_of(5) {
             println!(
-                "soak: {iterations} iterations, {faults_fired} faults fired, {:.1}s elapsed",
+                "soak: {iterations} iterations, {faults_fired} faults fired, \
+                 {sessions_served} sessions churned, {:.1}s elapsed",
                 start.elapsed().as_secs_f64()
             );
         }
     }
     assert!(iterations > 0, "soak budget too small to run one iteration");
     println!(
-        "soak: PASS — {iterations} iterations, {faults_fired} faults fired, all invariants held \
-         (replay any case with --seed {base})"
+        "soak: PASS — {iterations} iterations, {faults_fired} faults fired, \
+         {sessions_served} sessions churned ({outputs_verified} outputs verified \
+         bit-identical), all invariants held (replay any case with --seed {base})"
     );
 }

@@ -91,6 +91,29 @@ pub fn standard_cases(base_seed: u64) -> Vec<FaultCase> {
     ]
 }
 
+/// Keeps the default panic hook for *real* panics but silences the
+/// injected chaos panics, which would otherwise flood stderr with
+/// thousands of expected backtraces. Idempotent enough for test use:
+/// installing it twice only nests the filter.
+pub fn install_quiet_hook() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg_is_chaos = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("injected chaos panic"))
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("injected chaos panic"))
+            })
+            .unwrap_or(false);
+        if !msg_is_chaos {
+            default_hook(info);
+        }
+    }));
+}
+
 /// What a verifier observed on the faulted pool.
 #[derive(Debug, Clone)]
 pub struct FaultVerdict {

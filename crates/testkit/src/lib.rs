@@ -25,9 +25,13 @@
 //!   reviewed diff, not a silent change.
 //! * [`seeds`] — the pinned CI seed and the splitmix64 stream used to
 //!   derive per-case seeds, so every failure line can be replayed.
+//! * [`serve_storm`] — the serve-path counterpart of [`faults`]:
+//!   churn storms through [`fcr_serve::Service`] on a faulted pool,
+//!   proving exact session accounting, panic containment, and
+//!   bit-identity of served outputs with the batch path.
 //!
 //! The `soak` binary (`cargo run -p fcr-testkit --bin soak --
-//! --seconds 30`) loops the fault harness under fresh seeds for a
+//! --seconds 30`) loops both chaos harnesses under fresh seeds for a
 //! bounded wall-clock budget — the CI smoke version of an overnight
 //! chaos run.
 
@@ -38,7 +42,9 @@ pub mod faults;
 pub mod generators;
 pub mod golden;
 pub mod seeds;
+pub mod serve_storm;
 
-pub use faults::{standard_cases, FaultCase, FaultVerdict};
+pub use faults::{install_quiet_hook, standard_cases, FaultCase, FaultVerdict};
 pub use golden::{check_or_regen, GoldenStatus};
 pub use seeds::{splitmix64, CI_SEED};
+pub use serve_storm::{verify_serve_under_faults, ServeStormVerdict};

@@ -21,6 +21,7 @@
 //! | [`runtime`] | the sharded worker-pool scheduling runtime with live metrics |
 //! | [`telemetry`] | span tracing, solver convergence capture, JSONL export |
 //! | [`sim`] | the slot-level simulator and sharded simulation sessions |
+//! | [`serve`] | the always-on streaming service: admission control, churn, live metrics |
 //!
 //! # Quick start
 //!
@@ -53,6 +54,7 @@
 pub use fcr_core as core;
 pub use fcr_net as net;
 pub use fcr_runtime as runtime;
+pub use fcr_serve as serve;
 pub use fcr_sim as sim;
 pub use fcr_spectrum as spectrum;
 pub use fcr_stats as stats;
@@ -72,6 +74,10 @@ pub mod prelude {
     pub use fcr_runtime::{
         AutoscaleConfig, JobError, JobOutcome, MetricsSnapshot, Priority, PriorityClass,
         ResizeEvent, ResizeTrigger, Runtime, RuntimeConfig, ShardPolicy,
+    };
+    pub use fcr_serve::{
+        AdmitOutcome, CompletedSession, MetricsServer, RejectReason, ServeConfig, Service,
+        ServiceSnapshot, SessionId, SessionSpec,
     };
     pub use fcr_sim::config::SimConfig;
     pub use fcr_sim::engine::{RunOutput, TraceMode};
