@@ -1,0 +1,212 @@
+//! The `solver` area: allocation kernels + figure pipelines.
+//!
+//! Kernels are timed in a tight loop on the canonical fixtures
+//! (`single_fbs_problem` for water-filling and the dual loop,
+//! `fig5_problem` for greedy channel assignment); the fig-3/4a/6a
+//! pipelines run through `fcr-experiments` on the shared simulation
+//! pool, with throughput read as the `slots_simulated` counter delta.
+//! Solver iteration statistics (the paper's Tables I/II quantities)
+//! come from the `SolveRecord` telemetry channel, which the dual
+//! solver feeds whenever telemetry is enabled.
+
+use crate::{fig5_problem, single_fbs_problem};
+use fcr_core::dual::{DualConfig, DualSolver};
+use fcr_core::greedy::GreedyAllocator;
+use fcr_core::waterfill::WaterfillingSolver;
+use fcr_experiments::ExperimentOpts;
+use fcr_telemetry::{peak_rss_kb, BenchEnvelope};
+use std::time::Instant;
+
+use super::Scale;
+
+/// Workload knobs for the `solver` area.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverParams {
+    /// Sizing preset (recorded in the envelope workload).
+    pub scale: Scale,
+    /// Master seed for the pipelines.
+    pub seed: u64,
+    /// Iterations of each kernel's timing loop.
+    pub kernel_reps: u64,
+    /// Simulation runs per pipeline point.
+    pub runs: u64,
+    /// GOPs per pipeline run.
+    pub gops: u32,
+    /// Also run the fig-6a utilization sweep (the interfering-FBS
+    /// pipeline with the exhaustive upper-bound series — an order of
+    /// magnitude heavier than fig-3/4a, so only the `full` preset
+    /// includes it).
+    pub sweep_pipeline: bool,
+}
+
+impl SolverParams {
+    /// The preset for `scale`.
+    pub fn at(scale: Scale, seed: u64) -> Self {
+        match scale {
+            Scale::Smoke => SolverParams {
+                scale,
+                seed,
+                kernel_reps: 50,
+                runs: 2,
+                gops: 2,
+                sweep_pipeline: false,
+            },
+            Scale::Full => SolverParams {
+                scale,
+                seed,
+                kernel_reps: 2_000,
+                runs: 10,
+                gops: 20,
+                sweep_pipeline: true,
+            },
+        }
+    }
+}
+
+/// Runs the solver area and returns its envelope.
+pub fn run(params: &SolverParams) -> BenchEnvelope {
+    let started = Instant::now();
+    fcr_telemetry::enable();
+    let _ = fcr_telemetry::drain(); // start from a clean channel
+
+    // --- Kernels. ---
+    let problem = single_fbs_problem();
+    let waterfill = WaterfillingSolver::new();
+    let t = Instant::now();
+    for _ in 0..params.kernel_reps {
+        std::hint::black_box(waterfill.solve(std::hint::black_box(&problem)));
+    }
+    let waterfill_secs = t.elapsed().as_secs_f64();
+
+    let dual = DualSolver::new(DualConfig::default());
+    let t = Instant::now();
+    for _ in 0..params.kernel_reps {
+        std::hint::black_box(dual.solve(std::hint::black_box(&problem)));
+    }
+    let dual_secs = t.elapsed().as_secs_f64();
+
+    let interfering = fig5_problem();
+    let greedy = GreedyAllocator::new();
+    let t = Instant::now();
+    for _ in 0..params.kernel_reps {
+        std::hint::black_box(greedy.allocate(std::hint::black_box(&interfering)));
+    }
+    let greedy_secs = t.elapsed().as_secs_f64();
+
+    // --- Figure pipelines on the shared simulation pool. ---
+    let opts = ExperimentOpts {
+        runs: params.runs,
+        gops: params.gops,
+        seed: params.seed,
+        csv: true,
+    };
+    let slots_before = pool_slots();
+    let t = Instant::now();
+    std::hint::black_box(fcr_experiments::fig3(&opts));
+    std::hint::black_box(fcr_experiments::fig4a(&opts));
+    if params.sweep_pipeline {
+        std::hint::black_box(fcr_experiments::fig6a(&opts));
+    }
+    let pipeline_secs = t.elapsed().as_secs_f64();
+    let pipeline_slots = pool_slots().saturating_sub(slots_before);
+
+    // --- Solver convergence statistics from the telemetry channel. ---
+    let telemetry = fcr_telemetry::drain();
+    let iterations: Vec<u64> = telemetry
+        .solves
+        .iter()
+        .map(|s| s.iterations as u64)
+        .collect();
+    let iterations_mean = if iterations.is_empty() {
+        0.0
+    } else {
+        iterations.iter().sum::<u64>() as f64 / iterations.len() as f64
+    };
+    let converged = telemetry.solves.iter().filter(|s| s.converged).count();
+    let converged_ratio = if telemetry.solves.is_empty() {
+        0.0
+    } else {
+        converged as f64 / telemetry.solves.len() as f64
+    };
+
+    let rate = |reps: u64, secs: f64| {
+        if secs > 0.0 {
+            reps as f64 / secs
+        } else {
+            0.0
+        }
+    };
+    BenchEnvelope::new("solver", params.seed)
+        .wall_seconds(started.elapsed().as_secs_f64())
+        .workload("scale", params.scale.name())
+        .workload("kernel_reps", params.kernel_reps)
+        .workload("runs", params.runs)
+        .workload("gops", u64::from(params.gops))
+        .workload("sweep_pipeline", params.sweep_pipeline)
+        .metric(
+            "waterfill_solves_per_sec",
+            rate(params.kernel_reps, waterfill_secs),
+        )
+        .metric("dual_solves_per_sec", rate(params.kernel_reps, dual_secs))
+        .metric(
+            "greedy_allocs_per_sec",
+            rate(params.kernel_reps, greedy_secs),
+        )
+        .metric("pipeline_seconds", pipeline_secs)
+        .metric("pipeline_slots", pipeline_slots)
+        .metric(
+            "pipeline_slots_per_sec",
+            if pipeline_secs > 0.0 {
+                pipeline_slots as f64 / pipeline_secs
+            } else {
+                0.0
+            },
+        )
+        .metric("solve_records", telemetry.solves.len())
+        .metric("dual_iterations_mean", iterations_mean)
+        .metric(
+            "dual_iterations_max",
+            iterations.iter().copied().max().unwrap_or(0),
+        )
+        .metric("dual_converged_ratio", converged_ratio)
+        .metric("peak_rss_kb", peak_rss_kb())
+}
+
+/// The shared simulation pool's `slots_simulated` counter.
+fn pool_slots() -> u64 {
+    fcr_sim::pool::snapshot()
+        .counter(fcr_sim::pool::SLOTS_COUNTER)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::areas::tests::telemetry_serial;
+
+    #[test]
+    fn solver_area_reports_kernels_pipelines_and_iterations() {
+        let _g = telemetry_serial();
+        let mut params = SolverParams::at(Scale::Smoke, 7);
+        params.kernel_reps = 3;
+        params.runs = 1;
+        params.gops = 2;
+        let env = run(&params);
+        assert_eq!(env.area, "solver");
+        assert_eq!(env.seed, 7);
+        assert!(env.wall_seconds > 0.0);
+        assert!(env.metric_value("waterfill_solves_per_sec").unwrap() > 0.0);
+        assert!(env.metric_value("dual_solves_per_sec").unwrap() > 0.0);
+        assert!(env.metric_value("greedy_allocs_per_sec").unwrap() > 0.0);
+        assert!(env.metric_value("pipeline_slots").unwrap() > 0.0);
+        // The dual kernel ran kernel_reps times with telemetry enabled,
+        // so the SolveRecord channel saw at least that many records.
+        assert!(env.metric_value("solve_records").unwrap() >= 3.0);
+        assert!(env.metric_value("dual_iterations_mean").unwrap() > 0.0);
+        assert!(
+            env.metric_value("dual_iterations_max").unwrap()
+                >= env.metric_value("dual_iterations_mean").unwrap()
+        );
+        assert_eq!(env.metric_value("dual_converged_ratio"), Some(1.0));
+    }
+}

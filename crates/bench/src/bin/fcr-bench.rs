@@ -1,0 +1,150 @@
+//! The standing benchmark runner and regression gate.
+//!
+//! ```text
+//! fcr-bench run  [--all | --area NAME ...] [--scale smoke|full]
+//!                [--seed N] [--out DIR]
+//! fcr-bench check [--dir DIR] [--budgets PATH]
+//! fcr-bench list
+//! ```
+//!
+//! `run` executes each requested area and writes one
+//! `BENCH_<area>.json` per area into `--out` (default `.`). `check`
+//! reads those artifacts back and diffs them against the in-tree
+//! budgets (`bench/budgets.json` by default), printing one diff-style
+//! `FAIL area/metric: measured X > budget max Y` line per violation
+//! and exiting nonzero on any. `list` prints the known areas.
+
+use fcr_bench::{check, parse_envelope, run_area, BudgetFile, Scale, ALL_AREAS};
+use std::path::{Path, PathBuf};
+
+fn die(msg: &str) -> ! {
+    eprintln!("fcr-bench: {msg}");
+    std::process::exit(2)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fcr-bench run [--all | --area NAME ...] [--scale smoke|full] [--seed N] [--out DIR]\n\
+         \x20      fcr-bench check [--dir DIR] [--budgets PATH]\n\
+         \x20      fcr-bench list"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("run") => cmd_run(args.collect()),
+        Some("check") => cmd_check(args.collect()),
+        Some("list") => {
+            for area in ALL_AREAS {
+                println!("{area}");
+            }
+        }
+        Some("--help" | "-h") | None => usage(),
+        Some(other) => die(&format!("unknown command {other:?}")),
+    }
+}
+
+fn cmd_run(args: Vec<String>) {
+    let mut areas: Vec<String> = Vec::new();
+    let mut scale = Scale::Full;
+    let mut seed = 20110620u64; // the experiments' default master seed
+    let mut out = PathBuf::from(".");
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} expects a value")))
+        };
+        match arg.as_str() {
+            "--all" => areas = ALL_AREAS.iter().map(ToString::to_string).collect(),
+            "--area" => areas.push(val("--area")),
+            "--scale" => {
+                scale = val("--scale").parse().unwrap_or_else(|e: String| die(&e));
+            }
+            "--seed" => {
+                seed = val("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed expects an integer"));
+            }
+            "--out" => out = PathBuf::from(val("--out")),
+            _ => usage(),
+        }
+    }
+    if areas.is_empty() {
+        die("nothing to run: pass --all or --area NAME");
+    }
+    std::fs::create_dir_all(&out)
+        .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", out.display())));
+    for area in &areas {
+        println!("fcr-bench: running {area} ({})...", scale.name());
+        let envelope = run_area(area, scale, seed).unwrap_or_else(|e| die(&e));
+        let path = out.join(envelope.file_name());
+        std::fs::write(&path, envelope.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+        println!(
+            "fcr-bench: {} — {:.2}s wall, {} metrics -> {}",
+            area,
+            envelope.wall_seconds,
+            envelope.metrics.len(),
+            path.display()
+        );
+    }
+}
+
+fn cmd_check(args: Vec<String>) {
+    let mut dir = PathBuf::from(".");
+    let mut budgets_path = PathBuf::from("bench/budgets.json");
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} expects a value")))
+        };
+        match arg.as_str() {
+            "--dir" => dir = PathBuf::from(val("--dir")),
+            "--budgets" => budgets_path = PathBuf::from(val("--budgets")),
+            _ => usage(),
+        }
+    }
+    let budgets = load_budgets(&budgets_path);
+    let mut envelopes = Vec::new();
+    for area in budgets.areas() {
+        let path = dir.join(format!("BENCH_{area}.json"));
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match parse_envelope(&text) {
+                Ok(envelope) => envelopes.push(envelope),
+                Err(e) => die(&format!("cannot parse {}: {e}", path.display())),
+            },
+            // Let check() report the missing artifact as a violation.
+            Err(_) => eprintln!("fcr-bench: missing {}", path.display()),
+        }
+    }
+    let violations = check(&budgets, &envelopes);
+    if violations.is_empty() {
+        println!(
+            "fcr-bench: check PASS — {} budgets across {} areas, {} artifacts within bounds",
+            budgets.budgets.len(),
+            budgets.areas().len(),
+            envelopes.len()
+        );
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!(
+            "fcr-bench: check FAIL — {} violation(s) against {}",
+            violations.len(),
+            budgets_path.display()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn load_budgets(path: &Path) -> BudgetFile {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read budgets {}: {e}", path.display())));
+    BudgetFile::parse(&text)
+        .unwrap_or_else(|e| die(&format!("cannot parse budgets {}: {e}", path.display())))
+}

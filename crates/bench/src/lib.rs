@@ -1,6 +1,22 @@
-//! Shared fixtures for the Criterion benchmarks.
+//! `fcr-bench` — the benchmark subsystem: the standing `fcr-bench`
+//! runner, the shared `BENCH_<area>.json` artifact machinery, the
+//! perf-budget gate, plus shared fixtures for the Criterion benches.
 //!
-//! The benches live in `benches/`:
+//! # The standing harness
+//!
+//! The `fcr-bench` binary runs named [`areas`] (`solver`, `runtime`,
+//! `serve`), each emitting one `BENCH_<area>.json` on the shared
+//! [`fcr_telemetry::BenchEnvelope`] schema; `fcr-bench check` diffs
+//! fresh artifacts against the in-tree thresholds
+//! ([`budgets`], `bench/budgets.json`) and exits nonzero on any
+//! regression — the CI `bench-smoke` job is exactly `run --all
+//! --scale smoke` followed by `check`. Artifacts are parsed back with
+//! the std-only reader in [`json`] (the container is offline; no
+//! serde).
+//!
+//! # Criterion benches
+//!
+//! The human-facing micro benches live in `benches/`:
 //!
 //! * `figures` — times the full pipeline behind each paper figure at a
 //!   reduced scale (the full-scale tables are printed by the
@@ -13,6 +29,14 @@
 //!   posterior, greedy vs. round-robin vs. exhaustive channel split.
 
 #![forbid(unsafe_code)]
+
+pub mod areas;
+pub mod budgets;
+pub mod json;
+
+pub use areas::{run_area, Scale, ALL_AREAS};
+pub use budgets::{check, Budget, BudgetFile, Violation};
+pub use json::{parse_envelope, Json};
 
 use fcr_core::interfering::InterferingProblem;
 use fcr_core::problem::{SlotProblem, UserState};

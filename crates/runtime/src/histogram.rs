@@ -135,12 +135,53 @@ impl HistogramSnapshot {
     /// Estimates the `q`-quantile (`q ∈ [0, 1]`) in microseconds from
     /// the bucket counts, or `None` when the histogram is empty.
     ///
-    /// The estimate is the exclusive upper bound of the bucket the
-    /// quantile rank falls in, clamped to the observed `max_micros` —
-    /// i.e. a conservative (never under-reporting) figure with
-    /// power-of-two resolution, which is what the benchmark emitter
-    /// wants for p50/p99 latency lines.
+    /// The quantile rank's bucket is located exactly, then the
+    /// estimate interpolates linearly *within* the bucket (samples are
+    /// assumed uniform over `[lower, upper)`), so reported p50/p99
+    /// values carry real precision instead of snapping to power-of-two
+    /// bucket edges. The result is clamped to the observed
+    /// `[min_micros, max_micros]` range; the open-ended last bucket
+    /// interpolates toward `max_micros`. For the conservative
+    /// never-under-reporting figure (the raw exclusive bucket upper
+    /// bound) use [`HistogramSnapshot::percentile_micros_upper`].
     pub fn percentile_micros(&self, q: f64) -> Option<u64> {
+        let (index, rank, seen_before, in_bucket) = self.percentile_bucket(q)?;
+        // Inclusive lower bound of bucket i: 0 for bucket 0, else
+        // 2^(i-1) (see `AtomicHistogram::bucket_index`).
+        let lower = if index == 0 { 0 } else { 1u64 << (index - 1) };
+        let upper_excl = self.buckets[index].0;
+        // The open-ended last bucket has no finite width; interpolate
+        // toward the observed maximum instead.
+        let upper = if upper_excl == u64::MAX {
+            self.max_micros.saturating_add(1)
+        } else {
+            upper_excl.min(self.max_micros.saturating_add(1))
+        };
+        let frac = (rank - seen_before) as f64 / in_bucket as f64;
+        let est = lower as f64 + frac * upper.saturating_sub(lower) as f64;
+        let est = if est >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            est.round() as u64
+        };
+        Some(est.clamp(self.min_micros.unwrap_or(0), self.max_micros))
+    }
+
+    /// The conservative `q`-quantile estimate: the exclusive upper
+    /// bound of the bucket the quantile rank falls in, clamped to the
+    /// observed `max_micros`. Never under-reports (the true quantile
+    /// is certain to be at or below it), at power-of-two resolution —
+    /// the figure to use when an ordering or bound must be guaranteed
+    /// rather than estimated.
+    pub fn percentile_micros_upper(&self, q: f64) -> Option<u64> {
+        let (index, ..) = self.percentile_bucket(q)?;
+        Some(self.buckets[index].0.min(self.max_micros))
+    }
+
+    /// Locates the bucket holding the `q`-quantile rank: returns
+    /// `(bucket index, 1-based rank, samples before the bucket,
+    /// samples in the bucket)`, or `None` when empty.
+    fn percentile_bucket(&self, q: f64) -> Option<(usize, u64, u64, u64)> {
         if self.count == 0 {
             return None;
         }
@@ -148,13 +189,22 @@ impl HistogramSnapshot {
         // Rank of the target sample, 1-based: ceil(q * count), at least 1.
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
-        for (upper, c) in &self.buckets {
-            seen += c;
-            if seen >= rank {
-                return Some((*upper).min(self.max_micros));
+        for (i, (_, c)) in self.buckets.iter().enumerate() {
+            if *c > 0 && seen + c >= rank {
+                return Some((i, rank, seen, *c));
             }
+            seen += c;
         }
-        Some(self.max_micros)
+        // All samples seen without reaching the rank (possible only
+        // under a racing concurrent snapshot): fall back to the last
+        // occupied bucket.
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|(_, c)| *c > 0)
+            .unwrap_or(self.buckets.len() - 1);
+        let c = self.buckets[last].1.max(1);
+        Some((last, c, 0, c))
     }
 
     /// Folds `other` into `self`: counts and sums add, min/max widen,
@@ -281,9 +331,9 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_conservative_and_ordered() {
+    fn upper_bound_percentiles_are_conservative_and_ordered() {
         let h = AtomicHistogram::new();
-        assert_eq!(h.snapshot().percentile_micros(0.5), None);
+        assert_eq!(h.snapshot().percentile_micros_upper(0.5), None);
         // 90 fast samples, 10 slow ones.
         for _ in 0..90 {
             h.record(Duration::from_micros(3)); // bucket 2, upper 4
@@ -292,19 +342,72 @@ mod tests {
             h.record(Duration::from_micros(900)); // bucket 10, upper 1024
         }
         let s = h.snapshot();
-        let p50 = s.percentile_micros(0.50).unwrap();
-        let p99 = s.percentile_micros(0.99).unwrap();
+        let p50 = s.percentile_micros_upper(0.50).unwrap();
+        let p99 = s.percentile_micros_upper(0.99).unwrap();
         // p50 lands in the fast bucket, p99 in the slow one; the upper
         // bound never under-reports and is clamped to the observed max.
         assert_eq!(p50, 4);
         assert_eq!(p99, 900);
         assert!(p50 <= p99);
-        assert_eq!(s.percentile_micros(0.0).unwrap(), 4);
-        assert_eq!(s.percentile_micros(1.0).unwrap(), 900);
+        assert_eq!(s.percentile_micros_upper(0.0).unwrap(), 4);
+        assert_eq!(s.percentile_micros_upper(1.0).unwrap(), 900);
         // A single sample: every quantile is (clamped to) that sample.
         let one = AtomicHistogram::new();
         one.record(Duration::from_micros(7));
+        assert_eq!(one.snapshot().percentile_micros_upper(0.99), Some(7));
+    }
+
+    #[test]
+    fn interpolated_percentiles_carry_within_bucket_precision() {
+        let h = AtomicHistogram::new();
+        assert_eq!(h.snapshot().percentile_micros(0.5), None);
+        // 90 fast samples, 10 slow ones (same shape as the upper-bound
+        // test, so the two estimators are directly comparable).
+        for _ in 0..90 {
+            h.record(Duration::from_micros(3)); // bucket 2: [2, 4)
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(900)); // bucket 10: [512, 1024)
+        }
+        let s = h.snapshot();
+        // p50: rank 50 of 90 in [2, 4) → 2 + (50/90)·2 ≈ 3.1 → 3,
+        // strictly inside the bucket instead of snapping to 4.
+        assert_eq!(s.percentile_micros(0.50), Some(3));
+        // p99: rank 99, 9th of 10 in [512, 901) → 512 + 0.9·389 ≈ 862.
+        let p99 = s.percentile_micros(0.99).unwrap();
+        assert!((513..900).contains(&p99), "p99 = {p99}");
+        // Interpolation never exceeds the conservative upper bound and
+        // never leaves the observed range.
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let est = s.percentile_micros(q).unwrap();
+            let upper = s.percentile_micros_upper(q).unwrap();
+            assert!(est <= upper, "q={q}: {est} > upper {upper}");
+            assert!((3..=900).contains(&est), "q={q}: {est} out of range");
+        }
+        // Quantiles stay monotone in q.
+        let ladder: Vec<u64> = [0.1, 0.5, 0.9, 0.95, 0.99, 1.0]
+            .iter()
+            .map(|q| s.percentile_micros(*q).unwrap())
+            .collect();
+        assert!(ladder.windows(2).all(|w| w[0] <= w[1]), "{ladder:?}");
+        // A single sample: every quantile is exactly that sample (the
+        // clamp to [min, max] pins it).
+        let one = AtomicHistogram::new();
+        one.record(Duration::from_micros(7));
+        assert_eq!(one.snapshot().percentile_micros(0.5), Some(7));
         assert_eq!(one.snapshot().percentile_micros(0.99), Some(7));
+        // Identical samples on a power-of-two edge: clamped exactly.
+        let edge = AtomicHistogram::new();
+        for _ in 0..4 {
+            edge.record(Duration::from_micros(32_768));
+        }
+        assert_eq!(edge.snapshot().percentile_micros(0.5), Some(32_768));
+        // Open-ended last bucket interpolates toward the observed max
+        // instead of u64::MAX.
+        let huge = AtomicHistogram::new();
+        huge.record(Duration::from_secs(100_000));
+        let hs = huge.snapshot();
+        assert_eq!(hs.percentile_micros(0.99), Some(100_000_000_000));
     }
 
     #[test]

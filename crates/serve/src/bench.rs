@@ -1,0 +1,134 @@
+//! The `serve` benchmark envelope: maps a finished steady-state run
+//! onto the shared [`BenchEnvelope`] schema.
+//!
+//! Both emitters of `BENCH_serve.json` — the `serve` daemon binary's
+//! `--bench-out` and the `fcr-bench` runner's `serve` area — build
+//! their artifact here, so the file always has one shape regardless of
+//! which path produced it, and the CI budget gate can hold both to the
+//! same thresholds.
+
+use crate::snapshot::ServiceSnapshot;
+use fcr_runtime::MetricsSnapshot;
+use fcr_telemetry::{peak_rss_kb, BenchEnvelope};
+
+/// What the steady-state driver (daemon or bench runner) measured
+/// outside the service's own counters: the workload shape and the
+/// driver-side observations.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchRun {
+    /// Master seed the session specs derived from.
+    pub seed: u64,
+    /// Measured steady-state wall seconds.
+    pub wall_seconds: f64,
+    /// Target concurrent session population.
+    pub target_sessions: usize,
+    /// Slot pacing in milliseconds (0 = unpaced, step as fast as
+    /// possible — the bench runner's mode).
+    pub slot_ms: u64,
+    /// Highest concurrent session count observed.
+    pub peak_concurrent: usize,
+    /// Simulation slots executed during the run (pool counter delta).
+    pub slots_simulated: u64,
+}
+
+/// Builds the `BENCH_serve.json` envelope from a drained service's
+/// snapshot, the pool's metrics, and the driver's measurements.
+pub fn bench_envelope(
+    run: &ServeBenchRun,
+    snap: &ServiceSnapshot,
+    pool: &MetricsSnapshot,
+) -> BenchEnvelope {
+    let per_sec = |v: u64| {
+        if run.wall_seconds > 0.0 {
+            v as f64 / run.wall_seconds
+        } else {
+            0.0
+        }
+    };
+    BenchEnvelope::new("serve", run.seed)
+        .wall_seconds(run.wall_seconds)
+        .workload("target_sessions", run.target_sessions)
+        .workload("slot_ms", run.slot_ms)
+        .metric("peak_concurrent", run.peak_concurrent)
+        .metric("steps", snap.steps)
+        .metric("sessions_admitted", snap.admitted)
+        .metric("sessions_completed", snap.completed)
+        .metric("sessions_retired", snap.retired)
+        .metric("sessions_shed", snap.shed)
+        .metric("sessions_per_sec", per_sec(snap.completed))
+        .metric("slots_per_sec", per_sec(run.slots_simulated))
+        .metric("windows_completed", snap.windows_completed)
+        .metric("windows_retried", snap.windows_retried)
+        .metric("deferrals", snap.deferrals)
+        .metric("deferrals_per_step", snap.deferrals_per_step)
+        .metric("enhancement_runs_shed", snap.enhancement_runs_shed)
+        .metric("accounting_holds", snap.accounting_holds())
+        .metric("step_p50_us", snap.step_p50_us)
+        .metric("step_p99_us", snap.step_p99_us)
+        .metric("job_p50_us", pool.job_wall_time.percentile_micros(0.50))
+        .metric("job_p99_us", pool.job_wall_time.percentile_micros(0.99))
+        .metric("peak_rss_kb", peak_rss_kb())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+    use crate::service::Service;
+    use fcr_runtime::{Runtime, RuntimeConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn envelope_carries_the_serve_shape() {
+        let runtime = Arc::new(Runtime::with_config(RuntimeConfig {
+            workers: 1,
+            ..RuntimeConfig::default()
+        }));
+        let service = Service::new(ServeConfig::default(), Arc::clone(&runtime));
+        for _ in 0..3 {
+            service.step();
+        }
+        let snap = service.snapshot();
+        let run = ServeBenchRun {
+            seed: 42,
+            wall_seconds: 2.0,
+            target_sessions: 10,
+            slot_ms: 0,
+            peak_concurrent: 0,
+            slots_simulated: 100,
+        };
+        let env = bench_envelope(&run, &snap, &runtime.snapshot());
+        assert_eq!(env.area, "serve");
+        assert_eq!(env.seed, 42);
+        assert_eq!(env.file_name(), "BENCH_serve.json");
+        assert_eq!(env.metric_value("steps"), Some(3.0));
+        assert_eq!(env.metric_value("slots_per_sec"), Some(50.0));
+        assert_eq!(env.metric_value("sessions_admitted"), Some(0.0));
+        assert_eq!(env.metric_value("deferrals_per_step"), Some(0.0));
+        let json = env.to_json();
+        assert!(json.contains("\"accounting_holds\": true"), "{json}");
+        assert!(json.contains("\"target_sessions\": 10"), "{json}");
+        // No steps measured wall time? 3 steps ran, so percentiles exist.
+        assert!(env.metric_value("step_p99_us").is_some(), "{json}");
+    }
+
+    #[test]
+    fn zero_wall_seconds_reports_zero_rates_not_nan() {
+        let runtime = Arc::new(Runtime::with_config(RuntimeConfig {
+            workers: 1,
+            ..RuntimeConfig::default()
+        }));
+        let service = Service::new(ServeConfig::default(), Arc::clone(&runtime));
+        let run = ServeBenchRun {
+            seed: 0,
+            wall_seconds: 0.0,
+            target_sessions: 1,
+            slot_ms: 0,
+            peak_concurrent: 0,
+            slots_simulated: 10,
+        };
+        let env = bench_envelope(&run, &service.snapshot(), &runtime.snapshot());
+        assert_eq!(env.metric_value("slots_per_sec"), Some(0.0));
+        assert_eq!(env.metric_value("sessions_per_sec"), Some(0.0));
+    }
+}

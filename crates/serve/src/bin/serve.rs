@@ -17,7 +17,9 @@
 //!     [--bench-out PATH] [--telemetry-stream PATH]
 //! ```
 
-use fcr_serve::{AdmitOutcome, MetricsServer, ServeConfig, Service, SessionSpec};
+use fcr_serve::{
+    bench_envelope, AdmitOutcome, MetricsServer, ServeBenchRun, ServeConfig, Service, SessionSpec,
+};
 use fcr_sim::config::SimConfig;
 use fcr_sim::Scenario;
 use std::sync::Arc;
@@ -91,20 +93,6 @@ fn parse<T: std::str::FromStr>(v: &str, name: &str) -> T {
 fn die(msg: &str) -> ! {
     eprintln!("serve: {msg}");
     std::process::exit(2)
-}
-
-/// Peak resident set (VmHWM) in kB from /proc, or 0 where unavailable.
-fn peak_rss_kb() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
-                l.split_whitespace()
-                    .nth(1)
-                    .and_then(|v| v.parse::<u64>().ok())
-            })
-        })
-        .unwrap_or(0)
 }
 
 /// Splitmix-style seed scrambler for per-session master seeds.
@@ -204,12 +192,10 @@ fn main() {
     let mut peak_concurrent = ramped.active;
     let mut retired_by_churn = 0u64;
     let mut last_report = Instant::now();
-    let mut steps = 0u64;
     let slot = Duration::from_millis(args.slot_ms);
     while steady_start.elapsed() < budget {
         let slot_started = Instant::now();
         let report = service.step();
-        steps += 1;
         peak_concurrent = peak_concurrent.max(report.active);
 
         // Forced churn: retire a trickle of the oldest sessions on
@@ -312,38 +298,22 @@ fn main() {
         "session lost: admitted != completed + retired + shed"
     );
 
-    // --- Benchmark artifact. ---
+    // --- Benchmark artifact: the shared BENCH_serve.json envelope. ---
     let pool = pool_runtime.snapshot();
     let slots_after = pool.counter(fcr_sim::pool::SLOTS_COUNTER).unwrap_or(0);
-    let opt = |v: Option<u64>| v.map_or("null".to_string(), |v| v.to_string());
-    let bench = format!(
-        "{{\n  \"benchmark\": \"fcr-serve steady state\",\n  \"seconds\": {:.3},\n  \
-         \"target_sessions\": {},\n  \"peak_concurrent\": {},\n  \"steps\": {},\n  \
-         \"sessions_admitted\": {},\n  \"sessions_completed\": {},\n  \
-         \"sessions_retired\": {},\n  \"sessions_shed\": {},\n  \
-         \"sessions_per_sec\": {:.1},\n  \"slots_per_sec\": {:.1},\n  \
-         \"windows_retried\": {},\n  \"deferrals\": {},\n  \
-         \"enhancement_runs_shed\": {},\n  \"step_p50_us\": {},\n  \"step_p99_us\": {},\n  \
-         \"job_p50_us\": {},\n  \"job_p99_us\": {},\n  \"peak_rss_kb\": {}\n}}\n",
-        elapsed,
-        args.sessions,
-        peak_concurrent,
-        steps,
-        snap.admitted,
-        snap.completed,
-        snap.retired,
-        snap.shed,
-        snap.completed as f64 / elapsed,
-        (slots_after - slots_before) as f64 / elapsed,
-        snap.windows_retried,
-        snap.deferrals,
-        snap.enhancement_runs_shed,
-        opt(snap.step_p50_us),
-        opt(snap.step_p99_us),
-        opt(pool.job_wall_time.percentile_micros(0.50)),
-        opt(pool.job_wall_time.percentile_micros(0.99)),
-        peak_rss_kb(),
-    );
+    let bench = bench_envelope(
+        &ServeBenchRun {
+            seed: args.seed,
+            wall_seconds: elapsed,
+            target_sessions: args.sessions,
+            slot_ms: args.slot_ms,
+            peak_concurrent,
+            slots_simulated: slots_after.saturating_sub(slots_before),
+        },
+        &snap,
+        &pool,
+    )
+    .to_json();
     if let Some(path) = &args.bench_out {
         std::fs::write(path, &bench).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
     }

@@ -2,9 +2,11 @@
 //! answers every request with the service's metrics body.
 //!
 //! Deliberately minimal (the vendored-deps constraint rules out an
-//! HTTP stack): requests are read best-effort and ignored, and every
-//! connection gets an `HTTP/1.0 200` with `text/plain` JSONL —
-//! curl-able, `nc`-able, and parseable line by line.
+//! HTTP stack): the request line is read best-effort for one piece of
+//! negotiation — a `format=prom` query selects the Prometheus text
+//! exposition; anything else gets the JSONL body — and every
+//! connection gets an `HTTP/1.0 200` with `text/plain`, curl-able,
+//! `nc`-able, and parseable line by line.
 
 use crate::service::Service;
 use std::io::{Read, Write};
@@ -77,21 +79,48 @@ impl Drop for MetricsServer {
     }
 }
 
-/// Answers one connection: drain whatever request line arrived (we
-/// serve the same body regardless), then write the response. All I/O
-/// errors are ignored — a dropped scrape must not disturb the service.
+/// Answers one connection: read the request line best-effort, pick the
+/// body format from it (`format=prom` → Prometheus text exposition,
+/// anything else → JSONL), then write the response. All I/O errors are
+/// ignored — a dropped scrape must not disturb the service.
 fn serve_one(mut stream: TcpStream, service: &Service) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let mut buf = [0u8; 1024];
-    let _ = stream.read(&mut buf);
-    let body = service.metrics_text();
+    let n = stream.read(&mut buf).unwrap_or(0);
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let (body, content_type) = if wants_prometheus(&request) {
+        (
+            service.metrics_prometheus(),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+    } else {
+        (service.metrics_text(), "text/plain; charset=utf-8")
+    };
     let response = format!(
-        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.0 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        content_type,
         body.len(),
         body
     );
     let _ = stream.write_all(response.as_bytes());
     let _ = stream.flush();
+}
+
+/// `true` when the request line's query string asks for the Prometheus
+/// format (`GET /metrics?format=prom` — `prometheus` is accepted too).
+fn wants_prometheus(request: &str) -> bool {
+    let Some(line) = request.lines().next() else {
+        return false;
+    };
+    let Some(target) = line.split_whitespace().nth(1) else {
+        return false;
+    };
+    let Some((_, query)) = target.split_once('?') else {
+        return false;
+    };
+    query
+        .split('&')
+        .any(|pair| matches!(pair, "format=prom" | "format=prometheus"))
 }
 
 #[cfg(test)]
@@ -130,6 +159,39 @@ mod tests {
         let mut second = String::new();
         conn.read_to_string(&mut second).expect("second response");
         assert!(second.contains("\"type\":\"serve\""));
+
+        // format=prom negotiates the Prometheus exposition instead.
+        let mut conn = TcpStream::connect(addr).expect("prom connect");
+        conn.write_all(b"GET /metrics?format=prom HTTP/1.0\r\n\r\n")
+            .expect("request");
+        let mut prom = String::new();
+        conn.read_to_string(&mut prom).expect("prom response");
+        assert!(
+            prom.contains("Content-Type: text/plain; version=0.0.4"),
+            "{prom}"
+        );
+        let prom_body = prom.split("\r\n\r\n").nth(1).expect("prom body");
+        assert!(
+            prom_body.starts_with("# TYPE fcr_serve_slot counter"),
+            "{prom_body}"
+        );
+        assert!(
+            prom_body.contains("fcr_serve_sessions_active 0"),
+            "{prom_body}"
+        );
+        assert!(!prom_body.contains("\"type\":"), "{prom_body}");
         server.shutdown();
+    }
+
+    #[test]
+    fn format_negotiation_parses_the_query_string() {
+        assert!(wants_prometheus("GET /metrics?format=prom HTTP/1.0\r\n"));
+        assert!(wants_prometheus(
+            "GET /metrics?x=1&format=prometheus HTTP/1.1\r\n"
+        ));
+        assert!(!wants_prometheus("GET /metrics HTTP/1.0\r\n"));
+        assert!(!wants_prometheus("GET /metrics?format=json HTTP/1.0\r\n"));
+        assert!(!wants_prometheus("GET /metrics?format=promx HTTP/1.0\r\n"));
+        assert!(!wants_prometheus(""));
     }
 }

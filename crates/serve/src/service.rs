@@ -715,6 +715,21 @@ impl Service {
         out
     }
 
+    /// The same metrics surface as [`Service::metrics_text`] rendered
+    /// as Prometheus text exposition (format 0.0.4): the service
+    /// snapshot (`fcr_serve_*`), then the telemetry + pool export
+    /// (`fcr_*`). Served by the endpoint for `/metrics?format=prom`;
+    /// percentile samples come from the same histograms as the JSONL
+    /// body, so the two formats always agree.
+    pub fn metrics_prometheus(&self) -> String {
+        let mut out = self.snapshot().to_prometheus();
+        out.push_str(&fcr_telemetry::to_prometheus(
+            &fcr_telemetry::global().snapshot(),
+            Some(&self.runtime.snapshot()),
+        ));
+        out
+    }
+
     fn lock(&self) -> MutexGuard<'_, State> {
         self.state
             .lock()

@@ -36,8 +36,21 @@ pub struct ServiceSnapshot {
     /// Window jobs lost to worker panics and resubmitted.
     pub windows_retried: u64,
     /// Window submissions deferred by pool backpressure (ladder
-    /// stage 1).
+    /// stage 1). **Raw counter semantics:** a deferral is counted every
+    /// time a due window fails `try_spawn_with` in a step, and the same
+    /// window is re-checked (and re-counted) every following step until
+    /// it submits or is shed — so under sustained backpressure this
+    /// grows as `backlogged windows × steps`, not per unique event. Use
+    /// [`ServiceSnapshot::deferrals_per_step`] for an interpretable
+    /// pressure gauge.
     pub deferrals: u64,
+    /// `deferrals / steps`: mean window submissions deferred per slot
+    /// step — the interpretable form of the raw [`deferrals`] counter
+    /// (≈ how many windows were backlogged on an average step). 0.0
+    /// before the first step.
+    ///
+    /// [`deferrals`]: ServiceSnapshot::deferrals
+    pub deferrals_per_step: f64,
     /// Enhancement runs shed under overload (ladder stage 2).
     pub enhancement_runs_shed: u64,
     /// Sessions that completed degraded (some enhancement shed).
@@ -86,6 +99,11 @@ impl ServiceSnapshot {
             windows_completed: counts.windows_completed,
             windows_retried: counts.windows_retried,
             deferrals: counts.deferrals,
+            deferrals_per_step: if counts.steps == 0 {
+                0.0
+            } else {
+                counts.deferrals as f64 / counts.steps as f64
+            },
             enhancement_runs_shed: counts.enhancement_runs_shed,
             degraded_sessions: counts.degraded_sessions,
             completed_dropped: counts.completed_dropped,
@@ -111,7 +129,8 @@ impl ServiceSnapshot {
             "{{\"type\":\"serve\",\"slot\":{},\"steps\":{},\"admitted\":{},\"active\":{},\
              \"draining\":{},\"completed\":{},\"retired\":{},\"shed\":{},\
              \"rejected_capacity\":{},\"rejected_budget\":{},\"windows_completed\":{},\
-             \"windows_retried\":{},\"deferrals\":{},\"enhancement_runs_shed\":{},\
+             \"windows_retried\":{},\"deferrals\":{},\"deferrals_per_step\":{},\
+             \"enhancement_runs_shed\":{},\
              \"degraded_sessions\":{},\"completed_dropped\":{},\"mbs_in_use\":{},\
              \"mbs_budget\":{},\"pending\":{},\"completed_buffered\":{},\
              \"step_p50_us\":{},\"step_p99_us\":{},\"accounting_holds\":{}}}",
@@ -128,6 +147,7 @@ impl ServiceSnapshot {
             self.windows_completed,
             self.windows_retried,
             self.deferrals,
+            json_num(self.deferrals_per_step),
             self.enhancement_runs_shed,
             self.degraded_sessions,
             self.completed_dropped,
@@ -139,6 +159,64 @@ impl ServiceSnapshot {
             opt(self.step_p99_us),
             self.accounting_holds(),
         )
+    }
+
+    /// Renders the snapshot as Prometheus text exposition (format
+    /// 0.0.4) — the same numbers as [`ServiceSnapshot::to_json_line`]
+    /// under `fcr_serve_*` metric names. Missing percentiles (no steps
+    /// yet) emit no quantile sample, matching the JSONL `null`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help_value: u64| {
+            out.push_str(&format!(
+                "# TYPE fcr_serve_{name} counter\nfcr_serve_{name} {help_value}\n"
+            ));
+        };
+        counter("slot", self.slot);
+        counter("steps_total", self.steps);
+        counter("sessions_admitted_total", self.admitted);
+        counter("sessions_completed_total", self.completed);
+        counter("sessions_retired_total", self.retired);
+        counter("sessions_shed_total", self.shed);
+        counter("rejected_capacity_total", self.rejected_capacity);
+        counter("rejected_budget_total", self.rejected_budget);
+        counter("windows_completed_total", self.windows_completed);
+        counter("windows_retried_total", self.windows_retried);
+        counter("deferrals_total", self.deferrals);
+        counter("enhancement_runs_shed_total", self.enhancement_runs_shed);
+        counter("degraded_sessions_total", self.degraded_sessions);
+        counter("completed_dropped_total", self.completed_dropped);
+        let mut gauge = |name: &str, value: f64| {
+            if value.is_finite() {
+                out.push_str(&format!(
+                    "# TYPE fcr_serve_{name} gauge\nfcr_serve_{name} {value}\n"
+                ));
+            }
+        };
+        gauge("sessions_active", self.active as f64);
+        gauge("sessions_draining", self.draining as f64);
+        gauge("deferrals_per_step", self.deferrals_per_step);
+        gauge("mbs_in_use", self.mbs_in_use);
+        gauge("mbs_budget", self.mbs_budget);
+        gauge("jobs_pending", self.pending as f64);
+        gauge("completed_buffered", self.completed_buffered as f64);
+        gauge(
+            "accounting_holds",
+            if self.accounting_holds() { 1.0 } else { 0.0 },
+        );
+        out.push_str("# TYPE fcr_serve_step_wall_us summary\n");
+        if let Some(p50) = self.step_p50_us {
+            out.push_str(&format!(
+                "fcr_serve_step_wall_us{{quantile=\"0.5\"}} {p50}\n"
+            ));
+        }
+        if let Some(p99) = self.step_p99_us {
+            out.push_str(&format!(
+                "fcr_serve_step_wall_us{{quantile=\"0.99\"}} {p99}\n"
+            ));
+        }
+        out.push_str(&format!("fcr_serve_step_wall_us_count {}\n", self.steps));
+        out
     }
 }
 
@@ -170,6 +248,7 @@ mod tests {
             windows_completed: 40,
             windows_retried: 2,
             deferrals: 7,
+            deferrals_per_step: 0.7,
             enhancement_runs_shed: 1,
             degraded_sessions: 1,
             completed_dropped: 0,
@@ -189,6 +268,7 @@ mod tests {
         assert!(line.ends_with('}'), "{line}");
         assert!(line.contains("\"accounting_holds\":true"));
         assert!(line.contains("\"mbs_in_use\":0.25"));
+        assert!(line.contains("\"deferrals_per_step\":0.7"));
         assert!(line.contains("\"step_p99_us\":90"));
         let braces: i64 = line
             .chars()
@@ -218,5 +298,52 @@ mod tests {
         let line = snap.to_json_line();
         assert!(line.contains("\"step_p50_us\":null"));
         assert!(line.contains("\"step_p99_us\":null"));
+    }
+
+    #[test]
+    fn prometheus_rendering_matches_the_json_numbers() {
+        let snap = sample();
+        let out = snap.to_prometheus();
+        assert!(
+            out.contains("fcr_serve_sessions_admitted_total 5\n"),
+            "{out}"
+        );
+        assert!(out.contains("fcr_serve_sessions_active 1\n"), "{out}");
+        assert!(out.contains("fcr_serve_deferrals_total 7\n"), "{out}");
+        assert!(out.contains("fcr_serve_deferrals_per_step 0.7\n"), "{out}");
+        assert!(out.contains("fcr_serve_mbs_in_use 0.25\n"), "{out}");
+        assert!(out.contains("fcr_serve_accounting_holds 1\n"), "{out}");
+        assert!(
+            out.contains("fcr_serve_step_wall_us{quantile=\"0.5\"} 12\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("fcr_serve_step_wall_us{quantile=\"0.99\"} 90\n"),
+            "{out}"
+        );
+        assert!(out.contains("fcr_serve_step_wall_us_count 10\n"), "{out}");
+        // Every sample line has a TYPE header for its metric family
+        // (summary _count/_sum samples belong to the base name).
+        for line in out.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().unwrap();
+            let family = name
+                .strip_suffix("_count")
+                .or_else(|| name.strip_suffix("_sum"))
+                .unwrap_or(name);
+            assert!(
+                out.contains(&format!("# TYPE {family} ")),
+                "missing TYPE for {family}: {out}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_omits_quantiles_without_steps() {
+        let mut snap = sample();
+        snap.step_p50_us = None;
+        snap.step_p99_us = None;
+        let out = snap.to_prometheus();
+        assert!(!out.contains("quantile"), "{out}");
+        assert!(out.contains("fcr_serve_step_wall_us_count 10\n"), "{out}");
     }
 }

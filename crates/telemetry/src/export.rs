@@ -184,6 +184,156 @@ pub fn to_jsonl(snapshot: &TelemetrySnapshot, runtime: Option<&MetricsSnapshot>)
     out
 }
 
+/// Renders `snapshot` in the Prometheus text exposition format
+/// (version 0.0.4): `# TYPE` headers, one sample per line, labels in
+/// `{name="value"}` form. The same numbers as [`to_jsonl`], shaped for
+/// a scraper instead of a log tail:
+///
+/// - per-phase span timing as a `summary` — `quantile="0.5"` /
+///   `quantile="0.99"` samples (interpolated percentiles from the
+///   wall-time histograms, in microseconds) plus `_sum`/`_count`;
+/// - named domain counters under one metric with a `name` label;
+/// - when `runtime` is given, pool job counters, the job wall-time
+///   summary, and per-worker utilization gauges.
+///
+/// Non-finite values and empty-histogram quantiles are omitted (the
+/// exposition format has no `null`).
+pub fn to_prometheus(snapshot: &TelemetrySnapshot, runtime: Option<&MetricsSnapshot>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# TYPE fcr_telemetry_records_dropped_total counter\nfcr_telemetry_records_dropped_total {}",
+        snapshot.records_dropped()
+    );
+
+    out.push_str("# TYPE fcr_phase_spans_total counter\n");
+    for (phase, p) in &snapshot.phases {
+        let _ = writeln!(
+            out,
+            "fcr_phase_spans_total{{phase=\"{}\"}} {}",
+            phase.name(),
+            p.count
+        );
+    }
+    out.push_str("# TYPE fcr_phase_wall_us summary\n");
+    for (phase, p) in &snapshot.phases {
+        let label = format!("phase=\"{}\"", phase.name());
+        prom_summary(&mut out, "fcr_phase_wall_us", &label, &p.wall);
+    }
+
+    if !snapshot.counters.is_empty() {
+        out.push_str("# TYPE fcr_domain_counter_total counter\n");
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(
+                out,
+                "fcr_domain_counter_total{{name=\"{}\"}} {value}",
+                prom_label_escape(name)
+            );
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "# TYPE fcr_pool_resizes_total counter\nfcr_pool_resizes_total {}",
+        snapshot.resizes.len()
+    );
+
+    if let Some(rt) = runtime {
+        let _ = writeln!(
+            out,
+            "# TYPE fcr_pool_workers gauge\nfcr_pool_workers {}",
+            rt.workers
+        );
+        for (name, value) in [
+            ("submitted", rt.jobs_submitted),
+            ("completed", rt.jobs_completed),
+            ("failed", rt.jobs_failed),
+            ("stolen", rt.jobs_stolen),
+            ("rejected", rt.jobs_rejected),
+        ] {
+            let _ = writeln!(
+                out,
+                "# TYPE fcr_pool_jobs_{name}_total counter\nfcr_pool_jobs_{name}_total {value}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# TYPE fcr_pool_queue_depth gauge\nfcr_pool_queue_depth {}",
+            rt.queue_depth
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE fcr_pool_jobs_in_flight gauge\nfcr_pool_jobs_in_flight {}",
+            rt.jobs_in_flight
+        );
+        out.push_str("# TYPE fcr_job_wall_us summary\n");
+        prom_summary(&mut out, "fcr_job_wall_us", "", &rt.job_wall_time);
+        out.push_str("# TYPE fcr_worker_utilization gauge\n");
+        for w in &rt.per_worker {
+            if w.utilization().is_finite() {
+                let _ = writeln!(
+                    out,
+                    "fcr_worker_utilization{{worker=\"{}\"}} {}",
+                    w.index,
+                    w.utilization()
+                );
+            }
+        }
+        out.push_str("# TYPE fcr_worker_jobs_total counter\n");
+        for w in &rt.per_worker {
+            let _ = writeln!(
+                out,
+                "fcr_worker_jobs_total{{worker=\"{}\"}} {}",
+                w.index, w.jobs_executed
+            );
+        }
+    }
+    out
+}
+
+/// Appends the samples of one Prometheus `summary` metric: p50/p99
+/// quantiles (interpolated, µs) when the histogram is non-empty, then
+/// the mandatory `_sum`/`_count` pair. `labels` is either empty or a
+/// ready `k="v"` list without braces.
+pub(crate) fn prom_summary(
+    out: &mut String,
+    metric: &str,
+    labels: &str,
+    hist: &fcr_runtime::HistogramSnapshot,
+) {
+    for (q, qs) in [(0.50, "0.5"), (0.99, "0.99")] {
+        if let Some(v) = hist.percentile_micros(q) {
+            if labels.is_empty() {
+                let _ = writeln!(out, "{metric}{{quantile=\"{qs}\"}} {v}");
+            } else {
+                let _ = writeln!(out, "{metric}{{{labels},quantile=\"{qs}\"}} {v}");
+            }
+        }
+    }
+    let braces = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let _ = writeln!(out, "{metric}_sum{braces} {}", hist.sum_micros);
+    let _ = writeln!(out, "{metric}_count{braces} {}", hist.count);
+}
+
+/// Escapes a Prometheus label value: backslash, double quote, and
+/// newline must be escaped per the exposition format.
+pub(crate) fn prom_label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// A JSON number for `v`: plain decimal for finite values, `null`
 /// otherwise (JSON has no NaN/∞).
 fn num(v: f64) -> String {
@@ -192,6 +342,12 @@ fn num(v: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+/// Crate-shared JSON number rendering (see [`num`]); the bench
+/// envelope uses the same finite-or-`null` convention.
+pub(crate) fn render_f64(v: f64) -> String {
+    num(v)
 }
 
 fn push_f64_array(out: &mut String, values: &[f64]) {
@@ -204,7 +360,7 @@ fn push_f64_array(out: &mut String, values: &[f64]) {
 }
 
 /// Appends `s` as a JSON string literal with the mandatory escapes.
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -404,6 +560,104 @@ mod tests {
         assert!(out.contains("\"type\":\"span\""), "{out}");
         assert!(out.contains("\"parent\":null"), "{out}");
         assert!(out.contains("\"parent\":1"), "{out}");
+    }
+
+    #[test]
+    fn prometheus_body_is_parseable_exposition_text() {
+        let rt = fcr_runtime::Runtime::with_config(fcr_runtime::RuntimeConfig {
+            workers: 2,
+            queue_capacity: 4,
+            ..fcr_runtime::RuntimeConfig::default()
+        });
+        let outcomes = rt.run_batch((0u64..8).map(|i| move || i));
+        assert!(outcomes.iter().all(Result::is_ok));
+        let out = to_prometheus(&populated_snapshot(), Some(&rt.snapshot()));
+
+        // Every non-comment line is `name{labels} value` with a finite
+        // number; every metric has a TYPE header.
+        let mut samples = 0;
+        for line in out.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE fcr_"), "{line}");
+                continue;
+            }
+            samples += 1;
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(name.starts_with("fcr_"), "{line}");
+            let v: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value: {line}"));
+            assert!(v.is_finite(), "{line}");
+            if let Some(open) = name.find('{') {
+                assert!(name.ends_with('}'), "{line}");
+                let labels = &name[open + 1..name.len() - 1];
+                for pair in labels.split(',') {
+                    let (k, v) = pair.split_once('=').expect("k=v");
+                    assert!(
+                        !k.is_empty() && v.starts_with('"') && v.ends_with('"'),
+                        "{line}"
+                    );
+                }
+            }
+        }
+        assert!(samples > 20, "{out}");
+
+        // The numbers match the JSONL export's sources.
+        for phase in Phase::ALL {
+            assert!(
+                out.contains(&format!(
+                    "fcr_phase_spans_total{{phase=\"{}\"}} 1",
+                    phase.name()
+                )),
+                "{out}"
+            );
+        }
+        assert!(out.contains("fcr_domain_counter_total{name=\"greedy.inner_solves\"} 9"));
+        assert!(out.contains("fcr_pool_resizes_total 1"));
+        assert!(out.contains("fcr_pool_jobs_completed_total 8"));
+        assert!(out.contains("fcr_job_wall_us{quantile=\"0.5\"}"));
+        assert!(out.contains("fcr_job_wall_us_count 8"));
+        assert_eq!(out.matches("fcr_worker_jobs_total{worker=").count(), 2);
+    }
+
+    #[test]
+    fn prometheus_quantiles_match_the_interpolated_percentiles() {
+        let sink = TelemetrySink::new();
+        for us in [10u64, 20, 30, 40, 5000] {
+            sink.record_span(Phase::Solver, Duration::from_micros(us));
+        }
+        let snap = sink.snapshot();
+        let wall = &snap.phase(Phase::Solver).wall;
+        let p50 = wall.percentile_micros(0.50).unwrap();
+        let p99 = wall.percentile_micros(0.99).unwrap();
+        let out = to_prometheus(&snap, None);
+        assert!(
+            out.contains(&format!(
+                "fcr_phase_wall_us{{phase=\"solver\",quantile=\"0.5\"}} {p50}"
+            )),
+            "{out}"
+        );
+        assert!(
+            out.contains(&format!(
+                "fcr_phase_wall_us{{phase=\"solver\",quantile=\"0.99\"}} {p99}"
+            )),
+            "{out}"
+        );
+        // Empty phases emit no quantile samples but keep _sum/_count.
+        assert!(
+            !out.contains("fcr_phase_wall_us{phase=\"sensing\",quantile"),
+            "{out}"
+        );
+        assert!(
+            out.contains("fcr_phase_wall_us_count{phase=\"sensing\"} 0"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        assert_eq!(prom_label_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(prom_label_escape("x\ny"), "x\\ny");
     }
 
     #[test]

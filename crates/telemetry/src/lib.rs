@@ -53,13 +53,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod bench;
 mod export;
 mod phase;
 mod record;
 mod sink;
 mod span;
 
-pub use export::to_jsonl;
+pub use bench::{peak_rss_kb, BenchEnvelope, BenchValue, BENCH_SCHEMA_VERSION};
+pub use export::{to_jsonl, to_prometheus};
 pub use fcr_runtime::{ResizeEvent, ResizeTrigger};
 pub use phase::Phase;
 pub use record::{GreedyRecord, ShardRecord, SolveRecord, SpanRecord};
