@@ -14,8 +14,9 @@ use fcr_core::dual::{DualConfig, DualSolver};
 use fcr_core::greedy::GreedyAllocator;
 use fcr_core::waterfill::WaterfillingSolver;
 use fcr_experiments::ExperimentOpts;
+use fcr_sim::massive::{generate_problem, perturb_problem, MassiveConfig, MassiveDriver};
 use fcr_telemetry::{peak_rss_kb, BenchEnvelope};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use super::Scale;
 
@@ -37,6 +38,13 @@ pub struct SolverParams {
     /// magnitude heavier than fig-3/4a, so only the `full` preset
     /// includes it).
     pub sweep_pipeline: bool,
+    /// FBS count of the massive-N slot workload (the ROADMAP's
+    /// N=1000 target at every scale — the per-slot cost is what the
+    /// budget bounds, so smoke must measure the same N).
+    pub massive_fbss: usize,
+    /// Consecutive slots driven through one warm-start lineage (slot 0
+    /// solves cold; later slots are perturbed and solve warm).
+    pub massive_slots: u64,
 }
 
 impl SolverParams {
@@ -50,6 +58,8 @@ impl SolverParams {
                 runs: 2,
                 gops: 2,
                 sweep_pipeline: false,
+                massive_fbss: 1000,
+                massive_slots: 4,
             },
             Scale::Full => SolverParams {
                 scale,
@@ -58,6 +68,8 @@ impl SolverParams {
                 runs: 10,
                 gops: 20,
                 sweep_pipeline: true,
+                massive_fbss: 1000,
+                massive_slots: 16,
             },
         }
     }
@@ -92,6 +104,44 @@ pub fn run(params: &SolverParams) -> BenchEnvelope {
         std::hint::black_box(greedy.allocate(std::hint::black_box(&interfering)));
     }
     let greedy_secs = t.elapsed().as_secs_f64();
+
+    // --- Massive-N slot driver: partitioned parallel greedy plus the
+    // warm-started global dual (DESIGN §15). Slot 0 is the cold
+    // anchor; each later slot perturbs the channel state by 0.1% and
+    // solves warm, with a cold re-solve of the same slot problem
+    // (timed separately) as the iteration-count reference.
+    let massive_cfg = MassiveConfig {
+        num_fbss: params.massive_fbss,
+        ..MassiveConfig::default()
+    };
+    let mut driver = MassiveDriver::new(massive_cfg);
+    let runtime = fcr_sim::pool::shared();
+    let mut problem = generate_problem(&massive_cfg, params.seed);
+    let mut massive_secs = Duration::ZERO;
+    let mut warm_iterations = 0u64;
+    let mut cold_iterations = 0u64;
+    let mut massive_clusters = 0u64;
+    for slot in 0..params.massive_slots {
+        let t = Instant::now();
+        let outcome = driver.solve_slot(runtime, &problem);
+        massive_secs += t.elapsed();
+        massive_clusters = outcome.num_clusters as u64;
+        if slot > 0 {
+            warm_iterations += outcome.solution.iterations() as u64;
+            let cold = DualSolver::new(massive_cfg.dual_for(params.massive_fbss))
+                .solve(&problem.problem_for(&outcome.assignment));
+            cold_iterations += cold.iterations() as u64;
+        }
+        problem = perturb_problem(&problem, params.seed.wrapping_add(slot + 1), 1e-3);
+    }
+    let warm_slots = params.massive_slots.saturating_sub(1).max(1);
+    let warm_iterations_mean = warm_iterations as f64 / warm_slots as f64;
+    let cold_iterations_mean = cold_iterations as f64 / warm_slots as f64;
+    let warm_iteration_ratio = if cold_iterations > 0 {
+        warm_iterations as f64 / cold_iterations as f64
+    } else {
+        0.0
+    };
 
     // --- Figure pipelines on the shared simulation pool. ---
     let opts = ExperimentOpts {
@@ -143,6 +193,8 @@ pub fn run(params: &SolverParams) -> BenchEnvelope {
         .workload("runs", params.runs)
         .workload("gops", u64::from(params.gops))
         .workload("sweep_pipeline", params.sweep_pipeline)
+        .workload("massive_fbss", params.massive_fbss as u64)
+        .workload("massive_slots", params.massive_slots)
         .metric(
             "waterfill_solves_per_sec",
             rate(params.kernel_reps, waterfill_secs),
@@ -162,6 +214,14 @@ pub fn run(params: &SolverParams) -> BenchEnvelope {
                 0.0
             },
         )
+        .metric(
+            "massive_slots_per_sec",
+            rate(params.massive_slots, massive_secs.as_secs_f64()),
+        )
+        .metric("massive_clusters", massive_clusters)
+        .metric("massive_warm_iterations_mean", warm_iterations_mean)
+        .metric("massive_cold_iterations_mean", cold_iterations_mean)
+        .metric("massive_warm_iteration_ratio", warm_iteration_ratio)
         .metric("solve_records", telemetry.solves.len())
         .metric("dual_iterations_mean", iterations_mean)
         .metric(
@@ -191,6 +251,8 @@ mod tests {
         params.kernel_reps = 3;
         params.runs = 1;
         params.gops = 2;
+        params.massive_fbss = 16;
+        params.massive_slots = 2;
         let env = run(&params);
         assert_eq!(env.area, "solver");
         assert_eq!(env.seed, 7);
@@ -208,5 +270,11 @@ mod tests {
                 >= env.metric_value("dual_iterations_mean").unwrap()
         );
         assert_eq!(env.metric_value("dual_converged_ratio"), Some(1.0));
+        // Massive-N workload: 16 FBSs in clusters of 4, one cold and
+        // one warm slot — and the warm solve must actually be cheaper.
+        assert!(env.metric_value("massive_slots_per_sec").unwrap() > 0.0);
+        assert_eq!(env.metric_value("massive_clusters"), Some(4.0));
+        let ratio = env.metric_value("massive_warm_iteration_ratio").unwrap();
+        assert!((0.0..1.0).contains(&ratio), "warm must beat cold: {ratio}");
     }
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! fcr-bench run  [--all | --area NAME ...] [--scale smoke|full]
 //!                [--seed N] [--out DIR]
-//! fcr-bench check [--dir DIR] [--budgets PATH]
+//! fcr-bench check [--dir DIR] [--budgets PATH] [--area NAME ...]
 //! fcr-bench list
 //! ```
 //!
@@ -25,7 +25,7 @@ fn die(msg: &str) -> ! {
 fn usage() -> ! {
     eprintln!(
         "usage: fcr-bench run [--all | --area NAME ...] [--scale smoke|full] [--seed N] [--out DIR]\n\
-         \x20      fcr-bench check [--dir DIR] [--budgets PATH]\n\
+         \x20      fcr-bench check [--dir DIR] [--budgets PATH] [--area NAME ...]\n\
          \x20      fcr-bench list"
     );
     std::process::exit(2)
@@ -96,6 +96,7 @@ fn cmd_run(args: Vec<String>) {
 fn cmd_check(args: Vec<String>) {
     let mut dir = PathBuf::from(".");
     let mut budgets_path = PathBuf::from("bench/budgets.json");
+    let mut only: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         let mut val = |name: &str| {
@@ -105,10 +106,22 @@ fn cmd_check(args: Vec<String>) {
         match arg.as_str() {
             "--dir" => dir = PathBuf::from(val("--dir")),
             "--budgets" => budgets_path = PathBuf::from(val("--budgets")),
+            "--area" => only.push(val("--area")),
             _ => usage(),
         }
     }
-    let budgets = load_budgets(&budgets_path);
+    let mut budgets = load_budgets(&budgets_path);
+    if !only.is_empty() {
+        for area in &only {
+            if !budgets.areas().contains(&area.as_str()) {
+                die(&format!(
+                    "no budgets for area {area:?} in {}",
+                    budgets_path.display()
+                ));
+            }
+        }
+        budgets.budgets.retain(|b| only.contains(&b.area));
+    }
     let mut envelopes = Vec::new();
     for area in budgets.areas() {
         let path = dir.join(format!("BENCH_{area}.json"));

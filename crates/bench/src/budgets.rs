@@ -139,7 +139,9 @@ pub fn check(budgets: &BudgetFile, envelopes: &[BenchEnvelope]) -> Vec<Violation
                 area: area.to_string(),
                 metric: String::new(),
                 message: format!(
-                    "schema_version {} != expected {BENCH_SCHEMA_VERSION}",
+                    "{}: schema_version {} != expected {BENCH_SCHEMA_VERSION} \
+                     (stale artifact — regenerate with `fcr-bench run --area {area}`)",
+                    envelope.file_name(),
                     envelope.schema_version
                 ),
             });
@@ -154,6 +156,17 @@ pub fn check(budgets: &BudgetFile, envelopes: &[BenchEnvelope]) -> Vec<Violation
                 });
                 continue;
             };
+            // NaN compares false against every bound, so `< min` /
+            // `> max` alone would wave a poisoned metric through the
+            // gate. Reject it outright.
+            if measured.is_nan() {
+                violations.push(Violation {
+                    area: area.to_string(),
+                    metric: budget.metric.clone(),
+                    message: "measured NaN violates every bound".to_string(),
+                });
+                continue;
+            }
             if let Some(min) = budget.min {
                 if measured < min {
                     violations.push(Violation {
@@ -251,6 +264,22 @@ mod tests {
             lines[2],
             "FAIL serve/windows_retried: measured 3 > budget max 0"
         );
+    }
+
+    #[test]
+    fn a_nan_metric_is_a_violation_not_a_pass() {
+        let file = BudgetFile::parse(SAMPLE).expect("parse");
+        let envelopes = [
+            BenchEnvelope::new("solver", 1)
+                .metric("waterfill_solves_per_sec", f64::NAN)
+                .metric("dual_iterations_max", f64::NAN),
+            BenchEnvelope::new("serve", 2).metric("windows_retried", 0u64),
+        ];
+        let violations = check(&file, &envelopes);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        for v in &violations {
+            assert!(v.to_string().contains("NaN"), "{v}");
+        }
     }
 
     #[test]

@@ -34,6 +34,11 @@ fn smoke_run_satisfies_schema_invariants_and_budget_gate() {
     let mut solver_params = solver::SolverParams::at(Scale::Smoke, 2011);
     solver_params.kernel_reps = 5;
     solver_params.runs = 1;
+    // Debug-build tests can't afford the preset's N=1000 slots; the
+    // budgets are throughput floors, so a smaller N only passes more
+    // easily while exercising the same code path.
+    solver_params.massive_fbss = 32;
+    solver_params.massive_slots = 2;
     let mut runtime_params = runtime::RuntimeParams::at(Scale::Smoke, 2011);
     runtime_params.batch_jobs = 50;
     runtime_params.batches = 2;
@@ -119,6 +124,29 @@ fn smoke_run_satisfies_schema_invariants_and_budget_gate() {
         line,
         "FAIL serve/windows_retried: measured 7 > budget max 0"
     );
+
+    // --- A NaN metric must breach, not sail through both bounds. ---
+    let mut poisoned = envelopes.to_vec();
+    for (name, value) in &mut poisoned[0].metrics {
+        if name == "massive_slots_per_sec" {
+            *value = BenchValue::F64(f64::NAN);
+        }
+    }
+    let violations = check(&budgets, &poisoned);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(
+        violations[0].to_string(),
+        "FAIL solver/massive_slots_per_sec: measured NaN violates every bound"
+    );
+
+    // --- A stale artifact is named by file, with the fix spelled out. ---
+    let mut stale = envelopes.to_vec();
+    stale[2].schema_version = BENCH_SCHEMA_VERSION + 1;
+    let violations = check(&budgets, &stale);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    let line = violations[0].to_string();
+    assert!(line.contains("BENCH_serve.json"), "{line}");
+    assert!(line.contains("fcr-bench run --area serve"), "{line}");
 }
 
 /// The budget file itself stays well-formed: every budgeted area is

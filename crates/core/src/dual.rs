@@ -24,6 +24,7 @@
 use crate::allocation::{Allocation, Mode};
 use crate::lagrangian;
 use crate::problem::SlotProblem;
+use crate::state::SolverState;
 use crate::waterfill::WaterfillingSolver;
 
 /// Step-size schedule for the subgradient updates.
@@ -94,6 +95,7 @@ pub struct DualSolution {
     allocation: Allocation,
     lambda: Vec<f64>,
     iterations: usize,
+    final_tau: usize,
     converged: bool,
     objective: f64,
     trace: Vec<Vec<f64>>,
@@ -110,9 +112,16 @@ impl DualSolution {
         &self.lambda
     }
 
-    /// Iterations executed.
+    /// Iterations executed (by this solve; a warm-started solve's
+    /// schedule position is [`Self::final_tau`]).
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// The step-schedule position after the last update: the resumed
+    /// start τ₀ plus [`Self::iterations`]. A cold solve has τ₀ = 0.
+    pub fn final_tau(&self) -> usize {
+        self.final_tau
     }
 
     /// `true` if the step-11 criterion fired before the cap.
@@ -173,9 +182,57 @@ impl DualSolver {
     /// FBSs, run [`crate::greedy`] first to fix the channel allocation,
     /// then this solver — Section IV-C.)
     pub fn solve(&self, problem: &SlotProblem) -> DualSolution {
+        let n_prices = problem.num_fbss() + 1;
+        self.solve_from(problem, &vec![self.config.initial_lambda; n_prices], 0)
+    }
+
+    /// Runs Tables I/II warm-started from `state`: when the state holds
+    /// prices of matching dimension the loop starts at them instead of
+    /// [`DualConfig::initial_lambda`] — *and* resumes the step schedule
+    /// at the persisted position τ instead of τ = 0. The final prices
+    /// and schedule position are absorbed back into the state either
+    /// way.
+    ///
+    /// Resuming τ matters as much as resuming λ. Near a mode-switch
+    /// kink the subgradient does not vanish at the optimum, so the
+    /// step-11 criterion `Σ(Δλ)² = s_τ²·Σg² ≤ φ` is met by the step
+    /// schedule shrinking, not by the iterate closing distance — a
+    /// warm λ restarted at the full initial step just gets kicked back
+    /// onto the same limit cycle and repays the whole schedule. The
+    /// resumed position is capped at [`DualConfig::max_iterations`] so
+    /// a long lineage can never shrink the step below the schedule's
+    /// value at the cap (the state must keep tracking slot-to-slot
+    /// drift).
+    ///
+    /// Warm starting only moves the starting point of a convex
+    /// subgradient iteration, so the solve converges to the same prices
+    /// and allocation as a cold start (within solver tolerance) — but
+    /// when consecutive slots' channel states barely differ, the
+    /// step-11 criterion fires after a handful of iterations instead of
+    /// the full Table I/II count.
+    pub fn solve_with_state(&self, problem: &SlotProblem, state: &mut SolverState) -> DualSolution {
+        let n_prices = problem.num_fbss() + 1;
+        let solution = match state.warm_start(n_prices) {
+            Some(warm) => {
+                let initial = warm.to_vec();
+                let tau0 = state.tau().min(self.config.max_iterations);
+                state.count_solve(true);
+                self.solve_from(problem, &initial, tau0)
+            }
+            None => {
+                state.count_solve(false);
+                self.solve_from(problem, &vec![self.config.initial_lambda; n_prices], 0)
+            }
+        };
+        state.absorb_solution(&solution);
+        solution
+    }
+
+    fn solve_from(&self, problem: &SlotProblem, initial: &[f64], tau0: usize) -> DualSolution {
         let _span = fcr_telemetry::Span::enter(fcr_telemetry::Phase::Solver);
         let n_prices = problem.num_fbss() + 1;
-        let mut lambda = vec![self.config.initial_lambda; n_prices];
+        debug_assert_eq!(initial.len(), n_prices);
+        let mut lambda = initial.to_vec();
         let mut trace = Vec::new();
         if self.config.record_trace {
             trace.push(lambda.clone());
@@ -186,8 +243,9 @@ impl DualSolver {
         let mut residual = f64::INFINITY;
         let mut modes = vec![Mode::Mbs; problem.num_users()];
 
-        for tau in 0..self.config.max_iterations {
-            iterations = tau + 1;
+        for it in 0..self.config.max_iterations {
+            let tau = tau0 + it;
+            iterations = it + 1;
             // Steps 3–8: every user best-responds locally.
             let mut loads = vec![0.0; n_prices];
             for (j, u) in problem.users().iter().enumerate() {
@@ -241,6 +299,7 @@ impl DualSolver {
             allocation,
             lambda,
             iterations,
+            final_tau: tau0 + iterations,
             converged,
             objective,
             trace,
@@ -374,6 +433,79 @@ mod tests {
         let sol = DualSolver::new(cfg).solve(&p);
         let wf = WaterfillingSolver::new().solve(&p);
         assert!((sol.objective() - p.objective(&wf)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn warm_start_collapses_iterations_on_an_unchanged_problem() {
+        let p = paper_problem();
+        let solver = DualSolver::new(DualConfig::default());
+        let mut state = SolverState::new();
+        let cold = solver.solve_with_state(&p, &mut state);
+        assert!(cold.converged());
+        let warm = solver.solve_with_state(&p, &mut state);
+        assert!(warm.converged());
+        assert!(
+            warm.iterations() * 10 <= cold.iterations(),
+            "warm {} vs cold {} iterations: no collapse",
+            warm.iterations(),
+            cold.iterations()
+        );
+        assert!((warm.objective() - cold.objective()).abs() < 1e-9);
+        assert_eq!((state.warm_solves(), state.cold_solves()), (1, 1));
+    }
+
+    #[test]
+    fn warm_start_matches_cold_start_on_a_perturbed_problem() {
+        let p = paper_problem();
+        let solver = DualSolver::new(DualConfig::default());
+        let mut state = SolverState::new();
+        solver.solve_with_state(&p, &mut state);
+
+        // Perturb the channel state a little (fresh utility weights).
+        let perturbed = SlotProblem::single_fbs(
+            vec![
+                UserState::new(30.5, FbsId(0), 0.72, 0.72, 0.9, 0.85).unwrap(),
+                UserState::new(27.3, FbsId(0), 0.63, 0.63, 0.8, 0.9).unwrap(),
+                UserState::new(29.1, FbsId(0), 0.675, 0.675, 0.85, 0.8).unwrap(),
+            ],
+            3.0,
+        )
+        .unwrap();
+        let warm = solver.solve_with_state(&perturbed, &mut state);
+        let cold = solver.solve(&perturbed);
+        assert!(warm.converged() && cold.converged());
+        assert!(
+            (warm.objective() - cold.objective()).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective(),
+            cold.objective()
+        );
+        assert!(warm.iterations() <= cold.iterations());
+    }
+
+    #[test]
+    fn dimension_mismatch_falls_back_to_cold() {
+        let solver = DualSolver::new(DualConfig::default());
+        let mut state = SolverState::new();
+        state.absorb(&[0.1, 0.2, 0.3, 0.4], 500); // wrong dimension for N=1
+        let p = paper_problem();
+        let via_state = solver.solve_with_state(&p, &mut state);
+        let cold = solver.solve(&p);
+        assert_eq!(via_state.iterations(), cold.iterations());
+        assert_eq!(via_state.lambda(), cold.lambda());
+        assert_eq!((state.warm_solves(), state.cold_solves()), (0, 1));
+        // The state now carries the right dimension for next time.
+        assert_eq!(state.lambda(), Some(cold.lambda()));
+    }
+
+    #[test]
+    fn solve_with_empty_state_is_bit_identical_to_solve() {
+        let p = paper_problem();
+        let solver = DualSolver::new(DualConfig::default());
+        let mut state = SolverState::new();
+        let via_state = solver.solve_with_state(&p, &mut state);
+        let plain = solver.solve(&p);
+        assert_eq!(via_state, plain, "cold path must not change results");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! Worst-case complexity is `O(N²M²)` inner solves, as stated in
 //! Section IV-C.2.
 
-use crate::allocation::Allocation;
+use crate::allocation::{Allocation, Mode};
 use crate::bounds;
 use crate::interfering::{ChannelAssignment, InterferingProblem};
 use crate::waterfill::WaterfillingSolver;
@@ -99,6 +99,7 @@ impl GreedyOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct GreedyAllocator {
     solver: WaterfillingSolver,
+    incremental: bool,
 }
 
 impl GreedyAllocator {
@@ -109,11 +110,43 @@ impl GreedyAllocator {
 
     /// Creates an allocator with a custom inner solver configuration.
     pub fn with_solver(solver: WaterfillingSolver) -> Self {
-        Self { solver }
+        Self {
+            solver,
+            ..Self::default()
+        }
+    }
+
+    /// Enables (or disables) the incremental `Q`-cache path: cached
+    /// per-candidate `Δ` evaluations are reused across commits instead
+    /// of re-solved, invalidated only along the supermodular MBS-budget
+    /// coupling of DESIGN §7 deviation 6 (a commit always invalidates
+    /// its own FBS's candidates; it invalidates everything when the
+    /// solved mode vector — the MBS-coupling signature — moves). Off by
+    /// default: the cold path is the paper-faithful reference whose
+    /// traces are golden, and the incremental path is allowed to
+    /// deviate from it within the deviation-6 slack the testkit bounds
+    /// (see `DESIGN.md` §15 for when the cache is unsound).
+    pub fn incremental(self, on: bool) -> Self {
+        Self {
+            incremental: on,
+            ..self
+        }
+    }
+
+    /// `true` when the incremental `Q`-cache path is enabled.
+    pub fn is_incremental(&self) -> bool {
+        self.incremental
     }
 
     /// Runs the greedy algorithm on `problem`.
     pub fn allocate(&self, problem: &InterferingProblem) -> GreedyOutcome {
+        if self.incremental {
+            return self.allocate_incremental(problem);
+        }
+        self.allocate_cold(problem)
+    }
+
+    fn allocate_cold(&self, problem: &InterferingProblem) -> GreedyOutcome {
         let _span = fcr_telemetry::Span::enter(fcr_telemetry::Phase::GreedyAlloc);
         let n = problem.num_fbss();
         let m = problem.num_channels();
@@ -159,6 +192,142 @@ impl GreedyAllocator {
             candidates.retain(|(f, ch)| !(*ch == channel && (*f == fbs || neighbors.contains(f))));
         }
 
+        self.finish(problem, assignment, steps, q_empty)
+    }
+
+    /// The incremental (lazy) variant: per-candidate `Δ` evaluations
+    /// are cached across commits and re-solved only when invalidated.
+    ///
+    /// A commit invalidates along the supermodular MBS-budget coupling
+    /// (DESIGN §7 deviation 6): its own FBS's candidates always (their
+    /// `G_i` moved), and *every* candidate when the solved mode vector
+    /// or MBS load changed — a user switching between common channel
+    /// and femtocell repartitions the shared MBS budget, which is
+    /// exactly the channel through which one FBS's channel grant moves
+    /// another's marginal value. Candidates whose cached `Δ` survives
+    /// are committed without re-solving (the cache hit the bench
+    /// counts); the candidate *choice* can therefore deviate from the
+    /// cold greedy's within the deviation-6 slack, but every recorded
+    /// step `Δ_l` is exact — the committed state is re-anchored with a
+    /// fresh solve (or the evaluation that chose it), so the gain
+    /// telescopes to `Q(π_L) − Q(∅)` exactly as in the cold path.
+    fn allocate_incremental(&self, problem: &InterferingProblem) -> GreedyOutcome {
+        let _span = fcr_telemetry::Span::enter(fcr_telemetry::Phase::GreedyAlloc);
+        let n = problem.num_fbss();
+        let m = problem.num_channels();
+        let (q_empty, empty_alloc) =
+            problem.q_solution(&ChannelAssignment::empty(n, m), &self.solver);
+
+        struct Candidate {
+            fbs: FbsId,
+            channel: usize,
+            delta: f64,
+            fresh: bool,
+        }
+        // Same candidate order as the cold path, so tie-breaks agree.
+        let mut candidates: Vec<Candidate> = (0..n)
+            .flat_map(|i| {
+                (0..m).map(move |ch| Candidate {
+                    fbs: FbsId(i),
+                    channel: ch,
+                    delta: f64::INFINITY,
+                    fresh: false,
+                })
+            })
+            .collect();
+
+        let signature_of = |alloc: &Allocation| -> (Vec<Mode>, f64) {
+            (
+                alloc.users().iter().map(|u| u.mode).collect(),
+                alloc.mbs_load(),
+            )
+        };
+
+        let mut assignment = ChannelAssignment::empty(n, m);
+        let mut q_current = q_empty;
+        let mut signature = signature_of(&empty_alloc);
+        let mut steps = Vec::new();
+        let mut cache_hits = 0u64;
+        let mut invalidations = 0u64;
+
+        while !candidates.is_empty() {
+            // Lazy selection: re-evaluate the stale top until a fresh
+            // candidate holds the maximum. `(index, q, signature)` of
+            // the last evaluation is kept so committing it costs no
+            // extra solve.
+            let mut last_eval: Option<(usize, f64, (Vec<Mode>, f64))> = None;
+            let top = loop {
+                let mut top = 0;
+                for k in 1..candidates.len() {
+                    if candidates[k].delta > candidates[top].delta {
+                        top = k;
+                    }
+                }
+                if candidates[top].fresh {
+                    break top;
+                }
+                let mut trial = assignment.clone();
+                trial.assign(candidates[top].fbs, candidates[top].channel);
+                let (q, alloc) = problem.q_solution(&trial, &self.solver);
+                candidates[top].delta = q - q_current;
+                candidates[top].fresh = true;
+                last_eval = Some((top, q, signature_of(&alloc)));
+            };
+            let (fbs, channel) = (candidates[top].fbs, candidates[top].channel);
+
+            // Commit. Re-anchor Q and the signature at the committed
+            // state: from the evaluation that chose the candidate when
+            // it is the one just evaluated, otherwise (a surviving
+            // cache entry won) with one fresh solve.
+            assignment.assign(fbs, channel);
+            let (q_new, sig_new) = match last_eval {
+                Some((idx, q, sig)) if idx == top => (q, sig),
+                _ => {
+                    cache_hits += 1;
+                    let (q, alloc) = problem.q_solution(&assignment, &self.solver);
+                    (q, signature_of(&alloc))
+                }
+            };
+            let delta = q_new - q_current;
+            q_current = q_new;
+            steps.push(GreedyStep {
+                fbs,
+                channel,
+                delta: delta.max(0.0),
+                degree: problem.graph().degree(fbs),
+            });
+
+            // Steps 5–6 of Table III, unchanged.
+            let neighbors = problem.graph().neighbors(fbs);
+            candidates.retain(|c| {
+                !(c.channel == channel && (c.fbs == fbs || neighbors.contains(&c.fbs)))
+            });
+
+            // Deviation-6 invalidation.
+            let moved = sig_new.0 != signature.0 || (sig_new.1 - signature.1).abs() > 1e-9;
+            for c in &mut candidates {
+                if moved || c.fbs == fbs {
+                    if c.fresh {
+                        invalidations += 1;
+                    }
+                    c.fresh = false;
+                }
+            }
+            signature = sig_new;
+        }
+
+        fcr_telemetry::incr("greedy.cache_hits", cache_hits);
+        fcr_telemetry::incr("greedy.cache_invalidations", invalidations);
+        self.finish(problem, assignment, steps, q_empty)
+    }
+
+    fn finish(
+        &self,
+        problem: &InterferingProblem,
+        assignment: ChannelAssignment,
+        steps: Vec<GreedyStep>,
+        q_empty: f64,
+    ) -> GreedyOutcome {
         debug_assert!(assignment.is_conflict_free(problem.graph()));
         let final_problem = problem.problem_for(&assignment);
         let allocation = self.solver.solve(&final_problem);
@@ -327,5 +496,71 @@ mod tests {
         let outcome = GreedyAllocator::new().allocate(&p);
         assert!(outcome.steps().len() <= p.num_fbss() * p.num_channels());
         assert_eq!(outcome.steps().len(), outcome.assignment().len());
+    }
+
+    #[test]
+    fn incremental_path_matches_the_cold_path_on_the_fig5_problem() {
+        let p = fig5_problem();
+        let cold = GreedyAllocator::new().allocate(&p);
+        let warm = GreedyAllocator::new().incremental(true).allocate(&p);
+        assert!(warm.assignment().is_conflict_free(p.graph()));
+        // The cache may reorder near-tie commits, but the achieved
+        // objective must agree to solver tolerance here (and stays
+        // bounded by the deviation-6 slack in the property suite).
+        assert!(
+            (warm.q_value() - cold.q_value()).abs() < 1e-6,
+            "incremental {} vs cold {}",
+            warm.q_value(),
+            cold.q_value()
+        );
+        assert_eq!(warm.steps().len(), warm.assignment().len());
+    }
+
+    #[test]
+    fn incremental_gain_telescopes_exactly() {
+        // Every recorded Δ_l is re-anchored with a fresh solve, so the
+        // telescoped gain matches Q(π_L) − Q(∅) as tightly as cold.
+        let p = fig5_problem();
+        let warm = GreedyAllocator::new().incremental(true).allocate(&p);
+        assert!(
+            (warm.gain() - (warm.q_value() - warm.q_empty())).abs() < 1e-6,
+            "ΣΔ = {} vs Q(π_L) − Q(∅) = {}",
+            warm.gain(),
+            warm.q_value() - warm.q_empty()
+        );
+        for s in warm.steps() {
+            assert!(s.delta >= 0.0);
+            assert_eq!(s.degree, p.graph().degree(s.fbs));
+        }
+        assert!(warm.upper_bound_gain() >= warm.gain() - 1e-9);
+    }
+
+    #[test]
+    fn incremental_every_channel_still_ends_up_maximally_assigned() {
+        let p = fig5_problem();
+        let outcome = GreedyAllocator::new().incremental(true).allocate(&p);
+        for ch in 0..p.num_channels() {
+            let holders = outcome.assignment().holders(ch);
+            assert!(!holders.is_empty(), "channel {ch} unassigned");
+            for i in 0..p.num_fbss() {
+                let f = FbsId(i);
+                if holders.contains(&f) {
+                    continue;
+                }
+                assert!(
+                    holders.iter().any(|h| p.graph().are_adjacent(*h, f)),
+                    "channel {ch}: {f} could still be added"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_flag_round_trips_and_default_is_cold() {
+        let a = GreedyAllocator::new();
+        assert!(!a.is_incremental());
+        assert!(a.incremental(true).is_incremental());
+        assert!(!a.incremental(true).incremental(false).is_incremental());
+        assert_eq!(GreedyAllocator::default(), GreedyAllocator::new());
     }
 }

@@ -247,13 +247,25 @@ impl InterferingProblem {
     /// `Q(c)`: the optimal objective of problem (17) under `assignment`,
     /// computed with the fast water-filling solver.
     pub fn q_value(&self, assignment: &ChannelAssignment, solver: &WaterfillingSolver) -> f64 {
+        self.q_solution(assignment, solver).0
+    }
+
+    /// As [`Self::q_value`], also returning the solved time-share
+    /// allocation — the incremental greedy reads its mode vector as the
+    /// MBS-coupling signature (DESIGN §7 deviation 6) that decides
+    /// which cached `Δ` evaluations a commit invalidates.
+    pub fn q_solution(
+        &self,
+        assignment: &ChannelAssignment,
+        solver: &WaterfillingSolver,
+    ) -> (f64, crate::allocation::Allocation) {
         // Each Q(c) evaluation is one inner time-share solve — the
         // O(N²M²) term of Table III. The counter makes the actual
         // inner-solve volume observable per run.
         fcr_telemetry::incr("greedy.inner_solves", 1);
         let problem = self.problem_for(assignment);
         let alloc = solver.solve(&problem);
-        problem.objective(&alloc)
+        (problem.objective(&alloc), alloc)
     }
 
     /// `Q(∅)`: the objective with no channels allocated (everyone can

@@ -67,7 +67,10 @@ pub mod interfering;
 pub mod kkt;
 pub mod lagrangian;
 pub mod multistage;
+pub mod partition;
 pub mod problem;
+pub mod soa;
+pub mod state;
 pub mod waterfill;
 
 mod error;
@@ -80,5 +83,7 @@ pub use exhaustive::ExhaustiveAllocator;
 pub use greedy::{GreedyAllocator, GreedyOutcome, GreedyStep};
 pub use heuristics::{equal_allocation, multiuser_diversity};
 pub use interfering::InterferingProblem;
+pub use partition::{ClusterProblem, Partition};
 pub use problem::{SlotProblem, UserState};
+pub use state::SolverState;
 pub use waterfill::WaterfillingSolver;

@@ -87,6 +87,13 @@ impl UserState {
     pub fn success_fbs(&self) -> f64 {
         self.success_fbs
     }
+
+    /// The same slot data re-homed to `fbs` — used by the partitioner
+    /// to re-index users into a cluster-local problem. No validation
+    /// needed: every field was checked at construction.
+    pub fn with_fbs(&self, fbs: FbsId) -> Self {
+        Self { fbs, ..*self }
+    }
 }
 
 /// One slot's allocation problem over `K` users and `N` FBSs.

@@ -24,7 +24,7 @@
 use crate::allocation::{Allocation, Mode, UserAllocation};
 use crate::lagrangian;
 use crate::problem::SlotProblem;
-use fcr_net::node::FbsId;
+use crate::soa::{FillScratch, SoaProblem};
 
 /// Water-filling solver configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +43,13 @@ pub struct WaterfillingSolver {
     /// none of their assertions hinge on the heuristic mode search
     /// (which carries no optimality guarantee).
     pub exhaustive_modes_up_to: usize,
+    /// [`Self::polish`] tries pairwise mode swaps only when
+    /// `num_users ≤ swap_users_up_to` — the swap neighborhood is
+    /// `O(n²)` exact fills, which is the difference between
+    /// microseconds at the paper's N ≤ 3 and hours at a massive-N
+    /// slot's thousands of users. Flip polishing (linear in users)
+    /// always runs.
+    pub swap_users_up_to: usize,
 }
 
 impl Default for WaterfillingSolver {
@@ -51,12 +58,10 @@ impl Default for WaterfillingSolver {
             max_rounds: 16,
             bisection_iters: 60,
             exhaustive_modes_up_to: 0,
+            swap_users_up_to: 256,
         }
     }
 }
-
-/// One budget constraint's users: `(user index, success, w, rate)`.
-type ConstraintUsers = Vec<(usize, f64, f64, f64)>;
 
 impl WaterfillingSolver {
     /// Creates a solver with default settings.
@@ -85,6 +90,12 @@ impl WaterfillingSolver {
         if problem.num_users() <= self.exhaustive_modes_up_to.min(20) {
             return self.solve_exact_modes(problem);
         }
+        // One SoA view and one scratch serve every fill of the solve —
+        // the gathers become contiguous sweeps and the bisection stops
+        // allocating (the hot-path win that makes massive-N Q(c)
+        // evaluations cheap).
+        let soa = SoaProblem::from_problem(problem);
+        let mut scratch = FillScratch::new();
         // Myopic initial modes: compare each branch's solo value.
         let mut modes: Vec<Mode> = problem
             .users()
@@ -102,11 +113,11 @@ impl WaterfillingSolver {
             })
             .collect();
 
-        let mut best = self.fill_given_modes(problem, &modes);
+        let mut best = self.fill_soa(&soa, &modes, &mut scratch).0;
         let mut best_value = problem.objective(&best);
 
         for _ in 0..self.max_rounds {
-            let (alloc, lambdas) = self.fill_with_prices(problem, &modes);
+            let (alloc, lambdas) = self.fill_soa(&soa, &modes, &mut scratch);
             let value = problem.objective(&alloc);
             if value > best_value {
                 best_value = value;
@@ -132,7 +143,7 @@ impl WaterfillingSolver {
             modes = new_modes;
         }
 
-        self.polish(problem, best)
+        self.polish_with(problem, &soa, &mut scratch, best)
     }
 
     /// Global optimum by enumeration: every `2^n` binary mode vector of
@@ -140,6 +151,8 @@ impl WaterfillingSolver {
     /// for `n ≤ min(exhaustive_modes_up_to, 20)`, so the loop is cheap.
     fn solve_exact_modes(&self, problem: &SlotProblem) -> Allocation {
         let n = problem.num_users();
+        let soa = SoaProblem::from_problem(problem);
+        let mut scratch = FillScratch::new();
         let mut best: Option<(f64, Allocation)> = None;
         for bits in 0..(1u32 << n) {
             let modes: Vec<Mode> = (0..n)
@@ -151,7 +164,7 @@ impl WaterfillingSolver {
                     }
                 })
                 .collect();
-            let candidate = self.fill_given_modes(problem, &modes);
+            let candidate = self.fill_soa(&soa, &modes, &mut scratch).0;
             let value = problem.objective(&candidate);
             if best.as_ref().is_none_or(|(b, _)| value > *b) {
                 best = Some((value, candidate));
@@ -173,6 +186,18 @@ impl WaterfillingSolver {
     /// Panics if `allocation` covers a different number of users than
     /// `problem`.
     pub fn polish(&self, problem: &SlotProblem, allocation: Allocation) -> Allocation {
+        let soa = SoaProblem::from_problem(problem);
+        let mut scratch = FillScratch::new();
+        self.polish_with(problem, &soa, &mut scratch, allocation)
+    }
+
+    fn polish_with(
+        &self,
+        problem: &SlotProblem,
+        soa: &SoaProblem,
+        scratch: &mut FillScratch,
+        allocation: Allocation,
+    ) -> Allocation {
         assert_eq!(
             allocation.len(),
             problem.num_users(),
@@ -193,7 +218,7 @@ impl WaterfillingSolver {
             for j in 0..problem.num_users() {
                 let flipped = flip(modes[j]);
                 let old = std::mem::replace(&mut modes[j], flipped);
-                let candidate = self.fill_given_modes(problem, &modes);
+                let candidate = self.fill_soa(soa, &modes, scratch).0;
                 let value = problem.objective(&candidate);
                 if value > best_value + 1e-12 {
                     best_value = value;
@@ -203,14 +228,14 @@ impl WaterfillingSolver {
                     modes[j] = old;
                 }
             }
-            if !improved {
+            if !improved && problem.num_users() <= self.swap_users_up_to {
                 'swaps: for j in 0..problem.num_users() {
                     for k in (j + 1)..problem.num_users() {
                         if modes[j] == modes[k] {
                             continue;
                         }
                         modes.swap(j, k);
-                        let candidate = self.fill_given_modes(problem, &modes);
+                        let candidate = self.fill_soa(soa, &modes, scratch).0;
                         let value = problem.objective(&candidate);
                         if value > best_value + 1e-12 {
                             best_value = value;
@@ -243,99 +268,113 @@ impl WaterfillingSolver {
         problem: &SlotProblem,
         modes: &[Mode],
     ) -> (Allocation, Vec<f64>) {
-        assert_eq!(
-            modes.len(),
-            problem.num_users(),
-            "mode vector size mismatch"
-        );
-        let n = problem.num_fbss();
-        let mut allocations = vec![UserAllocation::idle(); problem.num_users()];
+        let soa = SoaProblem::from_problem(problem);
+        let mut scratch = FillScratch::new();
+        self.fill_soa(&soa, modes, &mut scratch)
+    }
+
+    /// As [`Self::fill_with_prices`], but through a prebuilt
+    /// [`SoaProblem`] view and a reusable [`FillScratch`] — the zero-
+    /// allocation hot path the greedy allocator's `Q(c)` evaluations
+    /// run on. Bit-identical to the one-shot entry points (it *is*
+    /// their implementation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modes.len()` differs from the problem's user count.
+    pub fn fill_soa(
+        &self,
+        soa: &SoaProblem,
+        modes: &[Mode],
+        scratch: &mut FillScratch,
+    ) -> (Allocation, Vec<f64>) {
+        assert_eq!(modes.len(), soa.num_users(), "mode vector size mismatch");
+        let n = soa.num_fbss();
+        let mut allocations = vec![UserAllocation::idle(); soa.num_users()];
         let mut lambdas = vec![0.0; n + 1];
 
-        // Constraint 0: the MBS budget.
-        let mbs_users: ConstraintUsers = problem
-            .users()
-            .iter()
-            .enumerate()
-            .filter(|(j, _)| modes[*j] == Mode::Mbs)
-            .map(|(j, u)| (j, u.success_mbs(), u.w(), u.r_mbs()))
-            .collect();
-        let (lambda0, shares0) = self.fill_constraint(&mbs_users);
-        lambdas[0] = lambda0;
-        for ((j, ..), rho) in mbs_users.iter().zip(shares0) {
-            allocations[*j] = UserAllocation::mbs(rho);
+        // Constraint 0: the MBS budget. Members gathered in ascending
+        // user order, exactly as the array-of-structs filter visited
+        // them.
+        scratch.clear();
+        for (j, mode) in modes.iter().enumerate() {
+            if *mode == Mode::Mbs {
+                scratch.push(j, soa.s_mbs(j), soa.w(j), soa.r_mbs(j));
+            }
+        }
+        lambdas[0] = self.fill_constraint(scratch);
+        for (k, j) in scratch.idx.iter().enumerate() {
+            allocations[*j] = UserAllocation::mbs(scratch.shares[k]);
         }
 
-        // Constraints 1..=N: each FBS budget.
+        // Constraints 1..=N: each FBS budget, via the CSR groups (each
+        // group is ascending, so member order again matches the filter).
         for i in 0..n {
-            let fbs_users: ConstraintUsers = problem
-                .users()
-                .iter()
-                .enumerate()
-                .filter(|(j, u)| modes[*j] == Mode::Fbs && u.fbs() == FbsId(i))
-                .map(|(j, u)| (j, u.success_fbs(), u.w(), problem.fbs_rate(j)))
-                .collect();
-            let (lambda_i, shares_i) = self.fill_constraint(&fbs_users);
-            lambdas[1 + i] = lambda_i;
-            for ((j, ..), rho) in fbs_users.iter().zip(shares_i) {
-                allocations[*j] = UserAllocation::fbs(rho);
+            scratch.clear();
+            for &j in soa.users_of(i) {
+                if modes[j] == Mode::Fbs {
+                    scratch.push(j, soa.s_fbs(j), soa.w(j), soa.fbs_rate(j));
+                }
+            }
+            lambdas[1 + i] = self.fill_constraint(scratch);
+            for (k, j) in scratch.idx.iter().enumerate() {
+                allocations[*j] = UserAllocation::fbs(scratch.shares[k]);
             }
         }
         (Allocation::new(allocations), lambdas)
     }
 
-    /// Solves one budget: returns `(λ, shares)` with `Σ shares ≤ 1`.
-    fn fill_constraint(&self, users: &ConstraintUsers) -> (f64, Vec<f64>) {
-        // Users that cannot benefit (zero rate or success) always get 0.
-        let effective: Vec<bool> = users
-            .iter()
-            .map(|(_, s, _, c)| *s > 0.0 && *c > 0.0)
-            .collect();
-        let shares_at = |lambda: f64| -> Vec<f64> {
-            users
-                .iter()
-                .zip(&effective)
-                .map(|((_, s, w, c), eff)| {
-                    if !eff {
-                        0.0
-                    } else {
-                        lagrangian::best_share(*s, lambda, *w, *c)
-                    }
-                })
-                .collect()
-        };
-        let total = |shares: &[f64]| shares.iter().sum::<f64>();
+    /// Solves one budget over the members gathered in `scratch`:
+    /// returns λ and leaves the shares (`Σ ≤ 1`) in `scratch.shares`.
+    fn fill_constraint(&self, scratch: &mut FillScratch) -> f64 {
+        // Users that cannot benefit (zero rate or success) always get 0
+        // — the `effective` mask was computed at push time.
+        fn shares_into(scratch: &mut FillScratch, lambda: f64) {
+            scratch.shares.clear();
+            for k in 0..scratch.idx.len() {
+                scratch.shares.push(if !scratch.effective[k] {
+                    0.0
+                } else {
+                    lagrangian::best_share(scratch.s[k], lambda, scratch.w[k], scratch.c[k])
+                });
+            }
+        }
 
-        let n_eff = effective.iter().filter(|e| **e).count();
+        let n_eff = scratch.effective.iter().filter(|e| **e).count();
         if n_eff == 0 {
-            return (0.0, vec![0.0; users.len()]);
+            scratch.shares.clear();
+            scratch.shares.resize(scratch.len(), 0.0);
+            return 0.0;
         }
         if n_eff == 1 {
             // A single beneficiary takes the whole budget (λ = 0 cap).
-            return (0.0, shares_at(0.0));
+            shares_into(scratch, 0.0);
+            return 0.0;
         }
         // λ_hi: every share hits zero.
-        let lambda_hi = users
-            .iter()
-            .zip(&effective)
-            .filter(|(_, eff)| **eff)
-            .map(|((_, s, w, c), _)| s * c / w)
-            .fold(f64::MIN_POSITIVE, f64::max)
-            * (1.0 + 1e-9);
+        let mut lambda_hi = f64::MIN_POSITIVE;
+        for k in 0..scratch.len() {
+            if scratch.effective[k] {
+                lambda_hi = lambda_hi.max(scratch.s[k] * scratch.c[k] / scratch.w[k]);
+            }
+        }
+        let lambda_hi = lambda_hi * (1.0 + 1e-9);
         // At λ→0 all effective shares are 1, so the sum is n_eff ≥ 2 > 1:
         // the budget binds and bisection is well-posed.
         let mut lo = 0.0;
         let mut hi = lambda_hi;
         for _ in 0..self.bisection_iters {
             let mid = 0.5 * (lo + hi);
-            if total(&shares_at(mid)) > 1.0 {
+            shares_into(scratch, mid);
+            if scratch.shares.iter().sum::<f64>() > 1.0 {
                 lo = mid;
             } else {
                 hi = mid;
             }
         }
         // `hi` is on the feasible side (Σ ≤ 1).
-        (hi, shares_at(hi))
+        shares_into(scratch, hi);
+        hi
     }
 }
 
@@ -343,6 +382,7 @@ impl WaterfillingSolver {
 mod tests {
     use super::*;
     use crate::problem::UserState;
+    use fcr_net::node::FbsId;
     use proptest::prelude::*;
 
     fn user(w: f64, s0: f64, s1: f64) -> UserState {
@@ -501,6 +541,39 @@ mod tests {
         let a = WaterfillingSolver::exact_up_to(2).solve(&p);
         let b = WaterfillingSolver::new().solve(&p);
         assert_eq!(p.objective(&a).to_bits(), p.objective(&b).to_bits());
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_scratch() {
+        // One scratch threaded across many fills (the solve/greedy hot
+        // path) must leave no residue between constraints: every fill
+        // matches a fill through a brand-new scratch bit for bit.
+        let users = vec![
+            UserState::new(30.0, FbsId(1), 0.72, 0.70, 0.3, 0.9).unwrap(),
+            UserState::new(29.0, FbsId(0), 0.71, 0.69, 0.4, 0.8).unwrap(),
+            UserState::new(28.0, FbsId(1), 0.70, 0.68, 0.5, 0.7).unwrap(),
+            UserState::new(27.0, FbsId(0), 0.69, 0.67, 0.6, 0.6).unwrap(),
+        ];
+        let p = SlotProblem::new(users, vec![3.0, 2.0]).unwrap();
+        let soa = SoaProblem::from_problem(&p);
+        let solver = WaterfillingSolver::new();
+        let mut reused = FillScratch::new();
+        for bits in 0..16u32 {
+            let modes: Vec<Mode> = (0..4)
+                .map(|j| {
+                    if bits >> j & 1 == 1 {
+                        Mode::Fbs
+                    } else {
+                        Mode::Mbs
+                    }
+                })
+                .collect();
+            let a = solver.fill_soa(&soa, &modes, &mut reused);
+            let b = solver.fill_soa(&soa, &modes, &mut FillScratch::new());
+            assert_eq!(a, b, "residue at mode bits {bits:#06b}");
+            let c = solver.fill_with_prices(&p, &modes);
+            assert_eq!(a, c, "one-shot entry point diverged at {bits:#06b}");
+        }
     }
 
     proptest! {

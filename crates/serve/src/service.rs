@@ -195,7 +195,10 @@ impl RunState {
 /// One admitted session.
 struct SessionState {
     id: u64,
-    demand: f64,
+    /// The session's MBS demand on the fixed-point admission ledger —
+    /// quantized once at admission, so the retire/complete/shed free
+    /// subtracts exactly what admission charged.
+    demand_units: u64,
     admitted_slot: u64,
     deadline: u64,
     runs: Vec<RunState>,
@@ -231,7 +234,12 @@ pub(crate) struct Counts {
 struct State {
     slot: u64,
     next_id: u64,
-    mbs_in_use: f64,
+    /// Committed MBS demand in [`BUDGET_UNIT_SCALE`]-ths of a unit
+    /// time share. Integer, so repeated admit/free cycles are exactly
+    /// reversible — no float dust can accumulate against the eq.-(12)
+    /// budget and flip a boundary session between `Admitted` and
+    /// `Rejected` across churn.
+    mbs_in_use_units: u64,
     active: Vec<SessionState>,
     /// Retired sessions whose in-flight jobs are still draining
     /// (already counted retired; outputs are discarded on arrival).
@@ -302,7 +310,7 @@ impl Service {
             state: Mutex::new(State {
                 slot: 0,
                 next_id: 1,
-                mbs_in_use: 0.0,
+                mbs_in_use_units: 0,
                 active: Vec::new(),
                 draining: Vec::new(),
                 completed_buf: VecDeque::new(),
@@ -388,18 +396,27 @@ impl Service {
                 max: self.config.max_sessions,
             });
         }
-        let available = self.config.mbs_budget - st.mbs_in_use;
-        if demand > available + ADMIT_EPS {
+        // Decide on the integer ledger: both sides quantized to the
+        // same grid, so the outcome for a session exactly at budget is
+        // identical on a fresh service and after any number of
+        // admit/retire cycles.
+        let demand_units = to_budget_units(demand);
+        let available_units =
+            to_budget_units(self.config.mbs_budget).saturating_sub(st.mbs_in_use_units);
+        if demand_units > available_units.saturating_add(to_budget_units(ADMIT_EPS)) {
             st.counts.rejected_budget += 1;
-            return AdmitOutcome::Rejected(RejectReason::OverBudget { demand, available });
+            return AdmitOutcome::Rejected(RejectReason::OverBudget {
+                demand,
+                available: from_budget_units(available_units),
+            });
         }
         let id = st.next_id;
         st.next_id += 1;
-        st.mbs_in_use += demand;
+        st.mbs_in_use_units = st.mbs_in_use_units.saturating_add(demand_units);
         st.counts.admitted += 1;
         let session = SessionState {
             id,
-            demand,
+            demand_units,
             admitted_slot: st.slot,
             deadline: u64::from(spec.config.deadline),
             runs,
@@ -422,7 +439,7 @@ impl Service {
         };
         let mut session = st.active.swap_remove(pos);
         st.counts.retired += 1;
-        release_budget(&mut st, session.demand);
+        release_budget(&mut st, session.demand_units);
         for run in &mut session.runs {
             run.tasks.clear();
         }
@@ -614,7 +631,7 @@ impl Service {
             let mut session = st.active.swap_remove(idx);
             st.counts.shed += 1;
             report.shed.push(SessionId(session.id));
-            release_budget(&mut st, session.demand);
+            release_budget(&mut st, session.demand_units);
             for run in &mut session.runs {
                 run.tasks.clear();
             }
@@ -636,7 +653,7 @@ impl Service {
             let mut session = st.active.swap_remove(idx);
             st.counts.completed += 1;
             report.completed.push(SessionId(session.id));
-            release_budget(&mut st, session.demand);
+            release_budget(&mut st, session.demand_units);
             let completed = CompletedSession {
                 id: SessionId(session.id),
                 outputs: session.runs.iter_mut().map(|r| r.output.take()).collect(),
@@ -691,7 +708,7 @@ impl Service {
             st.slot,
             st.active.len(),
             st.draining.len(),
-            st.mbs_in_use,
+            from_budget_units(st.mbs_in_use_units),
             self.config.mbs_budget,
             pending_jobs(&st),
             st.completed_buf.len(),
@@ -737,12 +754,39 @@ impl Service {
     }
 }
 
-/// Frees `demand` of budget, snapping accumulated floating-point dust
-/// to exactly zero when nothing is left to account for.
-fn release_budget(st: &mut State, demand: f64) {
-    st.mbs_in_use = (st.mbs_in_use - demand).max(0.0);
+/// Fixed-point scale of the admission ledger: demands are tracked in
+/// `2⁻⁴⁰`-ths of a unit MBS time share. Resolution (~9·10⁻¹³) sits
+/// three orders of magnitude below [`ADMIT_EPS`], so quantization is
+/// invisible to every admission decision, while the worst case —
+/// `max_sessions = 16 384` sessions of a full unit each — tops out at
+/// `2⁵⁴` units, comfortably inside `u64`.
+const BUDGET_UNIT_SCALE: f64 = (1u64 << 40) as f64;
+
+/// Quantizes a demand (or budget) onto the ledger grid. Saturates on
+/// values too large for the grid (an effectively unbounded budget).
+fn to_budget_units(x: f64) -> u64 {
+    let scaled = x * BUDGET_UNIT_SCALE;
+    if scaled >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        scaled.round() as u64
+    }
+}
+
+/// The ledger value back in unit time shares (for snapshots and
+/// rejection reports).
+fn from_budget_units(units: u64) -> f64 {
+    units as f64 / BUDGET_UNIT_SCALE
+}
+
+/// Frees a session's charge. Exact by construction — the subtraction
+/// reverses the admission's integer add — with the saturation and the
+/// idle snap kept as defense in depth.
+fn release_budget(st: &mut State, demand_units: u64) {
+    st.mbs_in_use_units = st.mbs_in_use_units.saturating_sub(demand_units);
     if st.active.is_empty() {
-        st.mbs_in_use = 0.0;
+        debug_assert_eq!(st.mbs_in_use_units, 0, "ledger must drain to zero");
+        st.mbs_in_use_units = 0;
     }
 }
 

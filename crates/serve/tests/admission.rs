@@ -135,6 +135,44 @@ fn retirement_frees_budget_for_readmission() {
 }
 
 #[test]
+fn boundary_admission_survives_many_admit_retire_cycles() {
+    let cfg = tiny_cfg();
+    let scenario = Arc::new(Scenario::single_fbs(&cfg));
+    let demand = Service::estimate_demand(&spec(&scenario, cfg, 1));
+
+    // Budget for exactly two sessions; one stays pinned active so the
+    // ledger never drains to zero (the idle snap can't mask drift).
+    let service = service_with_budget(demand * 2.0);
+    let pinned = match service.admit(spec(&scenario, cfg, 1)) {
+        AdmitOutcome::Admitted(id) => id,
+        AdmitOutcome::Rejected(reason) => panic!("pinned session rejected: {reason}"),
+    };
+    let in_use_after_pin = service.snapshot().mbs_in_use;
+
+    // Churn the second, boundary-exact slot. Before the fixed-point
+    // ledger, each free re-added float dust to `mbs_in_use`; after
+    // enough cycles the drift crossed ADMIT_EPS and the boundary
+    // session flipped to Rejected.
+    for cycle in 0..200 {
+        let churned = match service.admit(spec(&scenario, cfg, 2)) {
+            AdmitOutcome::Admitted(id) => id,
+            AdmitOutcome::Rejected(reason) => {
+                panic!("boundary session rejected on cycle {cycle}: {reason}")
+            }
+        };
+        assert!(service.retire(churned));
+        let in_use = service.snapshot().mbs_in_use;
+        assert!(
+            in_use == in_use_after_pin,
+            "ledger drifted by cycle {cycle}: {in_use} != {in_use_after_pin}"
+        );
+    }
+
+    assert!(service.retire(pinned));
+    assert_eq!(service.snapshot().mbs_in_use, 0.0);
+}
+
+#[test]
 fn the_concurrency_watermark_rejects_independently_of_budget() {
     let cfg = tiny_cfg();
     let scenario = Arc::new(Scenario::single_fbs(&cfg));

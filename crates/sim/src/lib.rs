@@ -61,6 +61,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod massive;
 pub mod metrics;
 pub mod packet_engine;
 pub mod pool;

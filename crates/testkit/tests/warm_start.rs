@@ -1,0 +1,119 @@
+//! Warm-start and incremental-greedy properties (DESIGN §15).
+//!
+//! The massive-N path reuses work across slots two ways: the dual
+//! solve resumes the previous slot's prices λ and step-schedule
+//! position τ, and the greedy caches per-candidate `Q` evaluations
+//! across steps. Neither shortcut may change *what* is computed —
+//! warm solves must land where cold solves land on every perturbed
+//! channel state the generator emits, and the cached greedy must stay
+//! inside the same 2× deviation-6 slack the cold greedy is held to by
+//! `properties.rs`.
+
+use fcr_core::dual::DualSolver;
+use fcr_core::{bounds, ExhaustiveAllocator, GreedyAllocator, WaterfillingSolver};
+use fcr_sim::massive::{generate_problem, perturb_problem, MassiveConfig, MassiveDriver};
+use fcr_testkit::generators::arb_interfering_problem;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Warm-started and cold-started dual solves agree within dual
+    /// tolerance on perturbed channel states: after anchoring a
+    /// lineage on slot 0, the perturbed slot 1 solved warm must match
+    /// a from-scratch cold solve of the *same* slot problem — same
+    /// feasibility, same objective up to the `O(s)`-truncation slack
+    /// the polish pass leaves — while never iterating longer.
+    #[test]
+    fn warm_and_cold_dual_solves_agree_on_perturbed_states(
+        seed in 0u64..512,
+        num_fbss in 4usize..20,
+        magnitude in 1e-5f64..3e-3,
+    ) {
+        let cfg = MassiveConfig {
+            num_fbss,
+            cluster_size: 3,
+            ..MassiveConfig::default()
+        };
+        let slot0 = generate_problem(&cfg, seed);
+        let mut driver = MassiveDriver::new(cfg);
+        driver.solve_slot_serial(&slot0);
+
+        let slot1 = perturb_problem(&slot0, seed ^ 0x5eed, magnitude);
+        let warm = driver.solve_slot_serial(&slot1);
+        prop_assert_eq!(
+            (driver.state().cold_solves(), driver.state().warm_solves()),
+            (1, 1)
+        );
+
+        let slot_problem = slot1.problem_for(&warm.assignment);
+        let cold = DualSolver::new(cfg.dual_for(num_fbss)).solve(&slot_problem);
+
+        prop_assert!(slot_problem.is_feasible(warm.solution.allocation(), 1e-6));
+        let scale = cold.objective().abs().max(1.0);
+        prop_assert!(
+            (warm.solution.objective() - cold.objective()).abs() <= 1e-4 * scale,
+            "warm objective {} vs cold {} at N={} magnitude={}",
+            warm.solution.objective(),
+            cold.objective(),
+            num_fbss,
+            magnitude
+        );
+        prop_assert!(
+            warm.solution.iterations() <= cold.iterations(),
+            "warm start iterated longer ({} vs {}) than cold",
+            warm.solution.iterations(),
+            cold.iterations()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The incremental `Q` cache never violates the bounds the cold
+    /// greedy is held to: Theorem 2 and eq. (23) with the same 2×
+    /// re-optimization slack as `properties.rs`, optimality against
+    /// the exhaustive allocator, and agreement with the cold sweep
+    /// within that slack. A stale cache entry surviving a deviation-6
+    /// invalidation would surface here as a bound violation.
+    #[test]
+    fn incremental_greedy_stays_inside_the_deviation6_slack(
+        problem in arb_interfering_problem(),
+    ) {
+        let solver = WaterfillingSolver::exact_up_to(3);
+        let incremental = GreedyAllocator::with_solver(solver)
+            .incremental(true)
+            .allocate(&problem);
+        let cold = GreedyAllocator::with_solver(solver).allocate(&problem);
+        let opt = ExhaustiveAllocator::with_solver(solver).allocate(&problem);
+        let d_max = problem.graph().max_degree();
+
+        prop_assert!(incremental.q_value() <= opt.q_value() + 1e-9);
+
+        let slack = 0.15 * opt.gain().max(0.0);
+        prop_assert!(
+            bounds::satisfies_theorem2(incremental.gain(), opt.gain(), d_max, slack),
+            "incremental greedy broke Theorem 2 beyond the slack: {} vs optimal {} at D_max {}",
+            incremental.gain(),
+            opt.gain(),
+            d_max
+        );
+        prop_assert!(
+            incremental.upper_bound() >= opt.q_value() - 0.30 * opt.gain().max(0.0),
+            "incremental eq.-(23) bound {} below exhaustive optimum {}",
+            incremental.upper_bound(),
+            opt.q_value()
+        );
+        // The cache may at worst re-order near-tie picks; it must not
+        // cost more than the measured deviation-6 slack vs the cold
+        // sweep (they are byte-identical on almost every instance).
+        prop_assert!(
+            incremental.q_value() >= cold.q_value() - slack - 1e-9,
+            "incremental {} fell beyond the slack under the cold sweep {}",
+            incremental.q_value(),
+            cold.q_value()
+        );
+        prop_assert_eq!(incremental.assignment().num_channels(), cold.assignment().num_channels());
+    }
+}
