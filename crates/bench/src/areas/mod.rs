@@ -10,7 +10,10 @@
 //!   pool (no cross-area pollution), measured from `MetricsSnapshot`;
 //! - [`serve`] — the always-on service at steady state on its own
 //!   pool, emitting the same `BENCH_serve.json` shape as the `serve`
-//!   daemon's `--bench-out`.
+//!   daemon's `--bench-out`;
+//! - [`scenario`] — a declarative pack's full churn replay (mobility
+//!   walks, handovers, PU bursts) against a live service, so pack
+//!   edits show up in the perf trajectory without a code change.
 //!
 //! Every area takes a params struct with [`Scale`]-derived
 //! constructors: `smoke` is sized for CI (seconds, debug builds
@@ -20,6 +23,7 @@
 use fcr_telemetry::BenchEnvelope;
 
 pub mod runtime;
+pub mod scenario;
 pub mod serve;
 pub mod solver;
 
@@ -56,7 +60,7 @@ impl std::str::FromStr for Scale {
 }
 
 /// Every area name the runner knows, in `run --all` order.
-pub const ALL_AREAS: [&str; 3] = ["solver", "runtime", "serve"];
+pub const ALL_AREAS: [&str; 4] = ["solver", "runtime", "serve", "scenario"];
 
 /// Runs one named area at `scale` with `seed`. Unknown names error.
 pub fn run_area(name: &str, scale: Scale, seed: u64) -> Result<BenchEnvelope, String> {
@@ -64,6 +68,7 @@ pub fn run_area(name: &str, scale: Scale, seed: u64) -> Result<BenchEnvelope, St
         "solver" => Ok(solver::run(&solver::SolverParams::at(scale, seed))),
         "runtime" => Ok(runtime::run(&runtime::RuntimeParams::at(scale, seed))),
         "serve" => Ok(serve::run(&serve::ServeParams::at(scale, seed))),
+        "scenario" => Ok(scenario::run(&scenario::ScenarioParams::at(scale, seed))),
         other => Err(format!(
             "unknown area {other:?} (want one of {})",
             ALL_AREAS.join("|")

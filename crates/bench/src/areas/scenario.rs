@@ -1,0 +1,124 @@
+//! The `scenario` area: a declarative pack's full churn replay —
+//! mobility walks, handovers, PU-burst admissions — against a live
+//! service on a dedicated pool. This is the pack-driven counterpart of
+//! the `serve` area: same service machinery, but the workload comes
+//! from `scenarios/*.json` instead of hand-coded specs, so a pack edit
+//! shows up in the perf trajectory without a code change.
+
+use fcr_runtime::{Runtime, RuntimeConfig};
+use fcr_scenario::{ChurnDriver, ChurnSchedule, Pack};
+use fcr_serve::{ServeConfig, Service};
+use fcr_telemetry::{peak_rss_kb, BenchEnvelope};
+use std::sync::Arc;
+use std::time::Instant;
+
+use super::Scale;
+
+/// Workload knobs for the `scenario` area.
+#[derive(Debug, Clone)]
+pub struct ScenarioParams {
+    /// Sizing preset (recorded in the envelope workload).
+    pub scale: Scale,
+    /// Master seed; at full scale the shipped pack is re-seeded with
+    /// it so trajectory points vary the walk, not the shape.
+    pub seed: u64,
+    /// The pack to replay.
+    pub pack: Pack,
+    /// Worker threads on the dedicated pool.
+    pub workers: usize,
+}
+
+impl ScenarioParams {
+    /// The preset for `scale`: the shipped mobility/churn pack, at
+    /// smoke scale verbatim (so CI measures exactly what the goldens
+    /// pin), at full scale re-seeded for a fresh walk.
+    pub fn at(scale: Scale, seed: u64) -> Self {
+        let mut pack = fcr_scenario::shipped::mobility_churn();
+        if let Scale::Full = scale {
+            pack.seed = seed & ((1 << 53) - 1);
+            pack.name = format!("mobility_churn_{}", pack.seed);
+        }
+        ScenarioParams {
+            scale,
+            seed,
+            pack,
+            workers: 2,
+        }
+    }
+}
+
+/// Runs the scenario area and returns its envelope.
+///
+/// # Panics
+///
+/// Panics when the replay leaves the service's conservation identity
+/// violated — a broken replay must fail, not report a bogus point.
+pub fn run(params: &ScenarioParams) -> BenchEnvelope {
+    let churn = params
+        .pack
+        .churn
+        .expect("scenario area needs a pack with a churn section");
+    let service = Service::new(
+        ServeConfig {
+            mbs_budget: churn.mbs_budget,
+            max_sessions: churn.max_sessions as usize,
+            ..ServeConfig::default()
+        },
+        Arc::new(Runtime::with_config(RuntimeConfig {
+            workers: params.workers,
+            max_workers: params.workers,
+            ..RuntimeConfig::default()
+        })),
+    );
+    let schedule = ChurnSchedule::generate(&params.pack);
+
+    let started = Instant::now();
+    let report = ChurnDriver::run(&params.pack, &service);
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let snap = service.snapshot();
+    assert_eq!(
+        snap.admitted,
+        snap.completed + snap.retired + snap.shed,
+        "conservation violated after churn replay"
+    );
+    BenchEnvelope::new("scenario", params.seed)
+        .wall_seconds(wall_seconds)
+        .workload("pack", params.pack.name.as_str())
+        .workload("scale", params.scale.name())
+        .workload("slots", churn.slots)
+        .workload("scheduled_sessions", schedule.sessions)
+        .metric("arrivals", report.arrivals)
+        .metric("admitted", report.admitted)
+        .metric("rejected_admissions", report.rejected_admissions)
+        .metric("handovers_attempted", report.handovers_attempted)
+        .metric("handovers_completed", report.handovers_completed)
+        .metric("steps", snap.steps)
+        .metric(
+            "slots_per_sec",
+            if wall_seconds > 0.0 {
+                snap.steps as f64 / wall_seconds
+            } else {
+                0.0
+            },
+        )
+        .metric("peak_rss_kb", peak_rss_kb())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_area_replays_the_shipped_pack() {
+        let params = ScenarioParams::at(Scale::Smoke, 11);
+        let envelope = run(&params);
+        assert_eq!(envelope.file_name(), "BENCH_scenario.json");
+        assert!(envelope.metric_value("arrivals").unwrap_or(0.0) > 0.0);
+        let parsed = crate::json::parse_envelope(&envelope.to_json()).expect("round trip");
+        assert_eq!(
+            parsed.metric_value("admitted"),
+            envelope.metric_value("admitted")
+        );
+    }
+}

@@ -5,7 +5,7 @@
 //! # The standing harness
 //!
 //! The `fcr-bench` binary runs named [`areas`] (`solver`, `runtime`,
-//! `serve`), each emitting one `BENCH_<area>.json` on the shared
+//! `serve`, `scenario`), each emitting one `BENCH_<area>.json` on the shared
 //! [`fcr_telemetry::BenchEnvelope`] schema; `fcr-bench check` diffs
 //! fresh artifacts against the in-tree thresholds
 //! ([`budgets`], `bench/budgets.json`) and exits nonzero on any

@@ -7,7 +7,7 @@
 //! `bench/budgets.json` passes on a clean run and demonstrably fails
 //! on an injected regression.
 
-use fcr_bench::areas::{runtime, serve, solver, Scale};
+use fcr_bench::areas::{runtime, scenario, serve, solver, Scale};
 use fcr_bench::{check, parse_envelope, BudgetFile};
 use fcr_telemetry::{BenchEnvelope, BenchValue, BENCH_SCHEMA_VERSION};
 use std::path::PathBuf;
@@ -45,10 +45,13 @@ fn smoke_run_satisfies_schema_invariants_and_budget_gate() {
     let mut serve_params = serve::ServeParams::at(Scale::Smoke, 2011);
     serve_params.sessions = 10;
 
+    let scenario_params = scenario::ScenarioParams::at(Scale::Smoke, 2011);
+
     let envelopes = [
         solver::run(&solver_params),
         runtime::run(&runtime_params),
         serve::run(&serve_params),
+        scenario::run(&scenario_params),
     ];
 
     // --- One schema version across every artifact. ---

@@ -523,6 +523,141 @@ fn utilization_sweep(opts: &ExperimentOpts, interfering: bool) -> Vec<Series> {
     opts.sweep(&points, schemes)
 }
 
+/// Scenario-pack driver: runs every `(scheme, run)` of a declarative
+/// pack in batch and prints the per-scheme summary, then (for churn
+/// packs) the deterministic churn schedule digest. Everything printed
+/// is a pure function of the pack — suitable for archiving.
+pub fn scenario_report(pack: &fcr_scenario::Pack) -> String {
+    use fcr_scenario::ChurnEventKind;
+
+    let mut out = String::new();
+    let topology = pack.topology();
+    let _ = writeln!(out, "Scenario pack `{}` (seed {})", pack.name, pack.seed);
+    let _ = writeln!(out, "  {}", pack.description);
+    let _ = writeln!(
+        out,
+        "  topology: {} FBSs, {} CR users; traffic: {:?} x{} run(s)",
+        topology.num_fbss(),
+        topology.num_users(),
+        pack.traffic.sequences,
+        pack.runs,
+    );
+
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12} {:>8} {:>12}",
+        "Scheme", "mean Y-PSNR", "Jain", "collisions"
+    );
+    for scheme in &pack.schemes {
+        let result = pack.session().run(*scheme);
+        let results = result.results();
+        let psnr = results.iter().map(|r| r.mean_psnr()).sum::<f64>() / results.len().max(1) as f64;
+        let jain = results.iter().filter_map(|r| r.jain_index()).sum::<f64>()
+            / results.len().max(1) as f64;
+        let coll =
+            results.iter().map(|r| r.collision_rate).sum::<f64>() / results.len().max(1) as f64;
+        let _ = writeln!(
+            out,
+            "{:<18} {:>12.2} {:>8.4} {:>12.4}",
+            scheme.name(),
+            psnr,
+            jain,
+            coll
+        );
+    }
+
+    if pack.churn.is_some() {
+        let schedule = fcr_scenario::ChurnSchedule::generate(pack);
+        let mut arrive = 0u64;
+        let mut retire = 0u64;
+        let mut ho = [0u64; 3];
+        for event in &schedule.events {
+            match event.kind {
+                ChurnEventKind::Arrive { .. } => arrive += 1,
+                ChurnEventKind::Retire => retire += 1,
+                ChurnEventKind::Handover { kind, .. } => {
+                    ho[match kind {
+                        fcr_serve::HandoverKind::FbsToFbs => 0,
+                        fcr_serve::HandoverKind::FbsToMbs => 1,
+                        fcr_serve::HandoverKind::MbsToFbs => 2,
+                    }] += 1
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "churn schedule: {} sessions; {arrive} arrivals, {retire} retires, \
+             handovers fbs->fbs {} fbs->mbs {} mbs->fbs {}",
+            schedule.sessions, ho[0], ho[1], ho[2]
+        );
+        if !schedule.pu_windows.windows().is_empty() {
+            let _ = writeln!(
+                out,
+                "pu bursts: {:?} (utilization boost {})",
+                schedule.pu_windows.windows(),
+                pack.churn
+                    .and_then(|c| c.pu_bursts.map(|b| b.utilization_boost))
+                    .unwrap_or(0.0)
+            );
+        }
+    }
+    out
+}
+
+/// Live churn replay of a pack against a real [`fcr_serve::Service`]
+/// on a private two-worker pool. The conservation aggregates printed
+/// here are exact; the completed/retired *split* depends on pool
+/// timing, so only their sum is shown.
+pub fn scenario_churn_report(pack: &fcr_scenario::Pack) -> String {
+    use fcr_runtime::{Runtime, RuntimeConfig};
+    use fcr_serve::{ServeConfig, Service};
+    use std::sync::Arc;
+
+    let mut out = String::new();
+    let Some(churn) = pack.churn else {
+        let _ = writeln!(out, "pack `{}` has no churn section", pack.name);
+        return out;
+    };
+    let service = Service::new(
+        ServeConfig {
+            mbs_budget: churn.mbs_budget,
+            max_sessions: churn.max_sessions as usize,
+            ..ServeConfig::default()
+        },
+        Arc::new(Runtime::with_config(RuntimeConfig {
+            workers: 2,
+            ..RuntimeConfig::default()
+        })),
+    );
+    let report = fcr_scenario::ChurnDriver::run(pack, &service);
+    let snapshot = service.snapshot();
+    let _ = writeln!(
+        out,
+        "live churn replay: {} arrivals = {} admitted + {} rejected",
+        report.arrivals, report.admitted, report.rejected_admissions
+    );
+    let _ = writeln!(
+        out,
+        "  handovers: {} attempted = {} completed + {} rejected ({} on inactive sessions)",
+        report.handovers_attempted,
+        report.handovers_completed,
+        report.handovers_rejected,
+        report.handovers_inactive
+    );
+    let _ = writeln!(
+        out,
+        "  terminal: {} = completed + retired + shed; ledger {} (identity held on every step)",
+        snapshot.completed + snapshot.retired + snapshot.shed,
+        snapshot.mbs_in_use
+    );
+    assert_eq!(
+        snapshot.admitted,
+        snapshot.completed + snapshot.retired + snapshot.shed,
+        "conservation violated"
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -616,5 +751,20 @@ mod tests {
         let out = fig6c(&tiny());
         assert!(out.contains("Upper bound"));
         assert!(out.contains("Proposed scheme"));
+    }
+
+    #[test]
+    fn scenario_report_covers_schemes_and_churn() {
+        let pack = fcr_scenario::shipped::mobility_churn();
+        let out = scenario_report(&pack);
+        for needle in ["mobility_churn", "Scheme", "churn schedule", "handovers"] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+        // Pure function of the pack: two renders agree byte-for-byte.
+        assert_eq!(out, scenario_report(&pack));
+
+        let live = scenario_churn_report(&pack);
+        assert!(live.contains("live churn replay"), "got:\n{live}");
+        assert!(live.contains("identity held"), "got:\n{live}");
     }
 }

@@ -2,6 +2,11 @@
 //!
 //! Usage: `experiments <fig3|fig4a|fig4b|fig4c|fig6a|fig6b|fig6c|all> [--runs N] [--gops N]`
 //!
+//! `experiments scenario <pack.json>` runs a declarative scenario pack
+//! instead (see docs/scenario_format.md); `--generate <seed>` builds a
+//! random valid pack, `--trace` emits its golden JSONL trace, and
+//! `--churn` replays its session churn against a live service.
+//!
 //! Each subcommand prints the same rows/series the paper plots; see
 //! EXPERIMENTS.md for paper-vs-measured commentary. `--pool-stats`
 //! appends a live snapshot of the shared simulation worker pool
@@ -16,16 +21,126 @@
 //! bit-identical with it on or off.
 
 use fcr_experiments::{
-    ablation, fig3, fig4a, fig4b, fig4c, fig6a, fig6b, fig6c, packet, scale, ExperimentOpts,
+    ablation, fig3, fig4a, fig4b, fig4c, fig6a, fig6b, fig6c, packet, scale, scenario_churn_report,
+    scenario_report, ExperimentOpts,
 };
 use std::process::ExitCode;
+
+/// `experiments scenario <pack.json> [--churn] [--trace]`
+/// `experiments scenario --generate <seed> [--out PATH]`
+///
+/// Loads (or generates) a declarative scenario pack and runs it: the
+/// deterministic batch summary always prints; `--churn` adds a live
+/// replay against a real service; `--trace` prints the canonical JSONL
+/// trace (the same bytes the pack goldens pin). `--generate` writes
+/// the canonical JSON of `fcr_scenario::Pack::generate(seed)` and
+/// echoes the seed to stderr so a CI failure is replayable verbatim.
+fn run_scenario(args: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut generate: Option<u64> = None;
+    let mut out_path: Option<&str> = None;
+    let mut churn = false;
+    let mut trace = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--churn" => {
+                churn = true;
+                i += 1;
+            }
+            "--trace" => {
+                trace = true;
+                i += 1;
+            }
+            "--generate" => {
+                let Some(seed) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--generate needs an integer seed");
+                    return ExitCode::FAILURE;
+                };
+                generate = Some(seed);
+                i += 2;
+            }
+            "--out" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                out_path = Some(p);
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown scenario option {flag}");
+                return ExitCode::FAILURE;
+            }
+            positional => {
+                path = Some(positional);
+                i += 1;
+            }
+        }
+    }
+
+    let pack = match (path, generate) {
+        (None, Some(seed)) => {
+            let pack = fcr_scenario::Pack::generate(seed);
+            eprintln!("generated pack `{}` from seed {seed}", pack.name);
+            if let Some(out) = out_path {
+                if let Err(e) = std::fs::write(out, pack.to_json()) {
+                    eprintln!("failed to write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {out}");
+            }
+            pack
+        }
+        (Some(p), None) => {
+            let text = match std::fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("failed to read {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match fcr_scenario::Pack::from_json(&text) {
+                Ok(pack) => pack,
+                Err(e) => {
+                    eprintln!("{p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: experiments scenario <pack.json> [--churn] [--trace]\n\
+                 \u{20}      experiments scenario --generate <seed> [--out PATH]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if trace {
+        print!(
+            "{}",
+            fcr_scenario::render_trace(&pack, fcr_runtime::ShardPolicy::WholeRun)
+        );
+    } else {
+        print!("{}", scenario_report(&pack));
+    }
+    if churn {
+        print!("{}", scenario_churn_report(&pack));
+    }
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(which) = args.first() else {
-        eprintln!("usage: experiments <fig3|fig4a|fig4b|fig4c|fig6a|fig6b|fig6c|ablation|scale|packet|all> [--runs N] [--gops N] [--seed N] [--csv] [--pool-stats] [--telemetry[=PATH]]");
+        eprintln!("usage: experiments <fig3|fig4a|fig4b|fig4c|fig6a|fig6b|fig6c|ablation|scale|packet|scenario|all> [--runs N] [--gops N] [--seed N] [--csv] [--pool-stats] [--telemetry[=PATH]]");
         return ExitCode::FAILURE;
     };
+
+    if which == "scenario" {
+        return run_scenario(&args[1..]);
+    }
 
     let mut opts = ExperimentOpts::default();
     let mut pool_stats = false;

@@ -1,0 +1,198 @@
+//! Arrival processes and correlated primary-user bursts.
+//!
+//! Everything here is a pure function of the pack seed: the arrival
+//! counts draw from the stream `("arrivals", 0)`, burst placement from
+//! `("pu_burst", 0)`. The rate *curves* themselves are deterministic
+//! closed forms — only the per-slot counts are sampled.
+
+use crate::pack::{ArrivalSpec, PuBurstSpec};
+use fcr_stats::rng::SeedSequence;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt};
+
+/// The mean arrival rate at `slot` for the given process.
+pub fn rate_at(spec: &ArrivalSpec, slot: u64) -> f64 {
+    match *spec {
+        ArrivalSpec::Poisson { rate_per_slot } => rate_per_slot,
+        ArrivalSpec::Diurnal {
+            base_rate,
+            peak_rate,
+            period_slots,
+        } => {
+            // Sinusoid from base (slot 0) up to peak at half period.
+            let phase = std::f64::consts::TAU * (slot % period_slots) as f64 / period_slots as f64;
+            base_rate + (peak_rate - base_rate) * 0.5 * (1.0 - phase.cos())
+        }
+        ArrivalSpec::FlashCrowd {
+            base_rate,
+            burst_rate,
+            burst_start,
+            burst_slots,
+        } => {
+            if slot >= burst_start && slot < burst_start.saturating_add(burst_slots) {
+                burst_rate
+            } else {
+                base_rate
+            }
+        }
+    }
+}
+
+/// One Poisson(λ) draw via Knuth's product method — fine for the
+/// smoke-scale per-slot rates packs use (λ well under ~30).
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut count = 0u64;
+    let mut product: f64 = 1.0;
+    loop {
+        product *= rng.random::<f64>();
+        if product <= limit {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+/// The seeded burst windows of a pack's primary-user process:
+/// half-open `[start, end)` slot ranges during which the licensed
+/// channels run at boosted utilization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PuBurstWindows {
+    windows: Vec<(u64, u64)>,
+    boost: f64,
+}
+
+impl PuBurstWindows {
+    /// No bursts: utilization never boosted.
+    pub fn none() -> Self {
+        PuBurstWindows {
+            windows: Vec::new(),
+            boost: 0.0,
+        }
+    }
+
+    /// Places `spec.bursts` windows over `[0, slots)` from the pack
+    /// seed: starts uniform, durations geometric with the configured
+    /// mean (at least one slot). Windows may overlap — utilization is
+    /// boosted while *any* window covers the slot.
+    pub fn generate(spec: &PuBurstSpec, slots: u64, seed: u64) -> Self {
+        let mut rng: StdRng = SeedSequence::new(seed).stream("pu_burst", 0);
+        let mut windows: Vec<(u64, u64)> = (0..spec.bursts)
+            .map(|_| {
+                let start = rng.random_range(0..slots.max(1));
+                let duration = sample_geometric(&mut rng, spec.mean_duration_slots);
+                (start, start.saturating_add(duration).min(slots))
+            })
+            .collect();
+        windows.sort_unstable();
+        PuBurstWindows {
+            windows,
+            boost: spec.utilization_boost,
+        }
+    }
+
+    /// Is any burst active at `slot`?
+    pub fn active(&self, slot: u64) -> bool {
+        self.windows.iter().any(|&(s, e)| slot >= s && slot < e)
+    }
+
+    /// The utilization boost at `slot`: the configured `Δη` inside a
+    /// burst, zero outside.
+    pub fn boost_at(&self, slot: u64) -> f64 {
+        if self.active(slot) {
+            self.boost
+        } else {
+            0.0
+        }
+    }
+
+    /// The burst windows, sorted by start slot.
+    pub fn windows(&self) -> &[(u64, u64)] {
+        &self.windows
+    }
+}
+
+/// A geometric draw with the given mean, floored at 1 slot.
+fn sample_geometric<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    let p = (1.0 / mean.max(1.0)).clamp(1e-9, 1.0);
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_curves_have_the_declared_shape() {
+        let poisson = ArrivalSpec::Poisson { rate_per_slot: 0.4 };
+        assert_eq!(rate_at(&poisson, 0), 0.4);
+        assert_eq!(rate_at(&poisson, 999), 0.4);
+
+        let diurnal = ArrivalSpec::Diurnal {
+            base_rate: 0.2,
+            peak_rate: 1.0,
+            period_slots: 48,
+        };
+        assert!(
+            (rate_at(&diurnal, 0) - 0.2).abs() < 1e-12,
+            "trough at slot 0"
+        );
+        assert!(
+            (rate_at(&diurnal, 24) - 1.0).abs() < 1e-12,
+            "peak at half period"
+        );
+        assert!(
+            (rate_at(&diurnal, 48) - rate_at(&diurnal, 0)).abs() < 1e-12,
+            "periodic"
+        );
+
+        let flash = ArrivalSpec::FlashCrowd {
+            base_rate: 0.1,
+            burst_rate: 2.0,
+            burst_start: 10,
+            burst_slots: 5,
+        };
+        assert_eq!(rate_at(&flash, 9), 0.1);
+        assert_eq!(rate_at(&flash, 10), 2.0);
+        assert_eq!(rate_at(&flash, 14), 2.0);
+        assert_eq!(rate_at(&flash, 15), 0.1);
+    }
+
+    #[test]
+    fn poisson_sampling_is_seeded_and_roughly_calibrated() {
+        let seq = SeedSequence::new(9);
+        let mut a: StdRng = seq.stream("arrivals", 0);
+        let mut b: StdRng = seq.stream("arrivals", 0);
+        let draws_a: Vec<u64> = (0..100).map(|_| sample_poisson(&mut a, 1.5)).collect();
+        let draws_b: Vec<u64> = (0..100).map(|_| sample_poisson(&mut b, 1.5)).collect();
+        assert_eq!(draws_a, draws_b, "same stream, same draws");
+        let mean = draws_a.iter().sum::<u64>() as f64 / draws_a.len() as f64;
+        assert!((0.8..2.2).contains(&mean), "mean {mean} wildly off λ=1.5");
+        assert_eq!(sample_poisson(&mut a, 0.0), 0, "zero rate, zero arrivals");
+    }
+
+    #[test]
+    fn burst_windows_are_seeded_bounded_and_boost_only_inside() {
+        let spec = PuBurstSpec {
+            bursts: 3,
+            mean_duration_slots: 6.0,
+            utilization_boost: 0.25,
+        };
+        let w = PuBurstWindows::generate(&spec, 50, 123);
+        assert_eq!(w, PuBurstWindows::generate(&spec, 50, 123));
+        assert_ne!(w, PuBurstWindows::generate(&spec, 50, 124));
+        assert_eq!(w.windows().len(), 3);
+        for &(s, e) in w.windows() {
+            assert!(s < 50 && e <= 50 && e > s, "window ({s}, {e}) out of range");
+        }
+        for slot in 0..50 {
+            let expect = if w.active(slot) { 0.25 } else { 0.0 };
+            assert_eq!(w.boost_at(slot), expect);
+        }
+        assert!(!PuBurstWindows::none().active(0));
+    }
+}

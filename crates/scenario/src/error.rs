@@ -1,0 +1,39 @@
+//! Pointed pack errors: every failure names the field path it occurred
+//! at (`channel.p01`, `topology.fbss[2].radius`, …), so a malformed
+//! pack is a one-line fix, not a parser archaeology session.
+
+/// An error raised while parsing or validating a scenario pack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackError {
+    /// Dotted path of the offending field (`""` for whole-document
+    /// errors such as JSON syntax failures).
+    pub path: String,
+    /// What went wrong there.
+    pub message: String,
+}
+
+impl PackError {
+    /// An error at `path`.
+    pub fn at(path: impl Into<String>, message: impl Into<String>) -> Self {
+        PackError {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "scenario pack error: {}", self.message)
+        } else {
+            write!(
+                f,
+                "scenario pack error at `{}`: {}",
+                self.path, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for PackError {}

@@ -1,0 +1,252 @@
+//! The mobility/handover model: users walk a seeded random path over
+//! the pack topology; serving-cell changes become handover events.
+//!
+//! Every walker is a pure function of `(pack seed, ordinal)` — the
+//! walk direction stream is `SeedSequence::stream("walk", ordinal)` —
+//! so a mobility trace replays exactly across runs, machines, and
+//! shard policies. Cell selection uses hysteresis: a femto-served
+//! walker keeps its cell until it leaves the coverage disk *plus* the
+//! margin, and a macro-served walker returns to femto service only
+//! once firmly inside a disk (radius *minus* the margin). That
+//! asymmetry is the standard ping-pong suppression.
+
+use crate::pack::MobilitySpec;
+use fcr_net::node::FbsId;
+use fcr_net::{Point, Topology};
+use fcr_stats::rng::SeedSequence;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// One serving-cell change observed while stepping a walker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handover {
+    /// Previous serving femtocell (`None` = MBS-served).
+    pub from: Option<FbsId>,
+    /// New serving femtocell (`None` = MBS-served).
+    pub to: Option<FbsId>,
+}
+
+impl Handover {
+    /// The serve-side kind of this transition.
+    pub fn kind(&self) -> fcr_serve::HandoverKind {
+        match (self.from, self.to) {
+            (Some(_), Some(_)) => fcr_serve::HandoverKind::FbsToFbs,
+            (Some(_), None) => fcr_serve::HandoverKind::FbsToMbs,
+            (None, Some(_)) => fcr_serve::HandoverKind::MbsToFbs,
+            (None, None) => unreachable!("MBS→MBS is not a transition"),
+        }
+    }
+}
+
+/// One mobile user: a position, a serving cell, and a private
+/// direction stream.
+#[derive(Debug)]
+pub struct Walker {
+    /// The walker's ordinal (its identity across the churn horizon).
+    pub ordinal: u64,
+    pos: Point,
+    serving: Option<FbsId>,
+    rng: StdRng,
+}
+
+impl Walker {
+    /// Current position in meters.
+    pub fn position(&self) -> Point {
+        self.pos
+    }
+
+    /// Current serving femtocell (`None` = MBS-served).
+    pub fn serving(&self) -> Option<FbsId> {
+        self.serving
+    }
+}
+
+/// The pack's mobility model: the topology walked on plus the walk
+/// step and hysteresis margin.
+#[derive(Debug, Clone)]
+pub struct MobilityModel {
+    topology: Topology,
+    spec: MobilitySpec,
+}
+
+impl MobilityModel {
+    /// A model over `topology` with the pack's mobility parameters.
+    pub fn new(topology: Topology, spec: MobilitySpec) -> Self {
+        assert!(topology.num_users() > 0, "topology needs at least one user");
+        MobilityModel { topology, spec }
+    }
+
+    /// The topology being walked on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Spawns walker `ordinal` for a pack seeded with `seed`: it
+    /// starts at user position `ordinal % num_users` and draws
+    /// directions from the stream `("walk", ordinal)`. Same inputs,
+    /// same walk — always.
+    pub fn spawn(&self, seed: u64, ordinal: u64) -> Walker {
+        let start = self
+            .topology
+            .user(fcr_net::node::UserId(
+                (ordinal % self.topology.num_users() as u64) as usize,
+            ))
+            .position();
+        Walker {
+            ordinal,
+            pos: start,
+            serving: self.covering_cell(start, 0.0),
+            rng: SeedSequence::new(seed).stream("walk", ordinal),
+        }
+    }
+
+    /// The closest femtocell whose coverage disk (shrunk by `margin`)
+    /// contains `pos`.
+    fn covering_cell(&self, pos: Point, margin: f64) -> Option<FbsId> {
+        (0..self.topology.num_fbss())
+            .map(FbsId)
+            .filter_map(|id| {
+                let fbs = self.topology.fbs(id);
+                let d = fbs.position().distance(pos);
+                (d <= fbs.coverage_radius() - margin).then_some((id, d))
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are not NaN"))
+            .map(|(id, _)| id)
+    }
+
+    /// Advances the walker one slot: one step of `step_m` meters in a
+    /// seeded uniform direction, then the hysteresis serving-cell
+    /// rule. Returns the handover this step triggered, if any.
+    pub fn step(&self, w: &mut Walker) -> Option<Handover> {
+        let theta = w.rng.random_range(0.0..std::f64::consts::TAU);
+        w.pos = Point::new(
+            w.pos.x + self.spec.step_m * theta.cos(),
+            w.pos.y + self.spec.step_m * theta.sin(),
+        );
+        let next = match w.serving {
+            Some(f) => {
+                let fbs = self.topology.fbs(f);
+                if fbs.position().distance(w.pos) <= fbs.coverage_radius() + self.spec.hysteresis_m
+                {
+                    Some(f) // still inside the stretched disk: stay.
+                } else {
+                    // Out of reach: best covering cell, else the MBS.
+                    self.covering_cell(w.pos, 0.0)
+                }
+            }
+            None => self.covering_cell(w.pos, self.spec.hysteresis_m),
+        };
+        let event = (next != w.serving).then_some(Handover {
+            from: w.serving,
+            to: next,
+        });
+        w.serving = next;
+        event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcr_net::node::{CrUser, Fbs};
+
+    fn two_cell_model(step_m: f64, hysteresis_m: f64) -> MobilityModel {
+        let topo = Topology::new(
+            Point::new(0.0, 200.0),
+            vec![
+                Fbs::new(Point::new(-20.0, 0.0), 25.0),
+                Fbs::new(Point::new(20.0, 0.0), 25.0),
+            ],
+            vec![
+                CrUser::new(Point::new(-20.0, 0.0)),
+                CrUser::new(Point::new(20.0, 0.0)),
+            ],
+        );
+        MobilityModel::new(
+            topo,
+            MobilitySpec {
+                step_m,
+                hysteresis_m,
+            },
+        )
+    }
+
+    #[test]
+    fn walks_replay_exactly_from_the_seed() {
+        let model = two_cell_model(5.0, 2.0);
+        let mut a = model.spawn(42, 3);
+        let mut b = model.spawn(42, 3);
+        for _ in 0..200 {
+            let ea = model.step(&mut a);
+            let eb = model.step(&mut b);
+            assert_eq!(ea, eb);
+            assert_eq!(a.position(), b.position());
+        }
+        // A different ordinal walks a different path.
+        let mut c = model.spawn(42, 4);
+        model.step(&mut c);
+        assert_ne!(c.position(), {
+            let mut a2 = model.spawn(42, 3);
+            model.step(&mut a2);
+            a2.position()
+        });
+    }
+
+    #[test]
+    fn handover_events_exactly_track_serving_transitions() {
+        let model = two_cell_model(8.0, 1.0);
+        let mut w = model.spawn(7, 0);
+        let mut serving = w.serving();
+        let mut saw_handover = false;
+        for _ in 0..500 {
+            let event = model.step(&mut w);
+            match event {
+                Some(h) => {
+                    saw_handover = true;
+                    assert_eq!(h.from, serving, "from echoes the previous cell");
+                    assert_eq!(h.to, w.serving(), "to echoes the new cell");
+                    assert_ne!(h.from, h.to, "a handover changes the cell");
+                }
+                None => assert_eq!(w.serving(), serving, "no event, no change"),
+            }
+            serving = w.serving();
+        }
+        assert!(saw_handover, "an 8 m step in 25 m cells must hand over");
+    }
+
+    #[test]
+    fn a_walker_deep_inside_a_cell_never_hands_over() {
+        // 0.1 m steps inside a 25 m disk: 100 slots move at most 10 m.
+        let model = two_cell_model(0.1, 2.0);
+        let mut w = model.spawn(1, 0);
+        assert_eq!(w.serving(), Some(FbsId(0)));
+        for _ in 0..100 {
+            assert_eq!(model.step(&mut w), None);
+        }
+    }
+
+    #[test]
+    fn hysteresis_blocks_reentry_at_the_cell_edge() {
+        // One isolated 25 m cell so no neighbor can catch the walker.
+        let topo = Topology::new(
+            Point::new(0.0, 200.0),
+            vec![Fbs::new(Point::new(0.0, 0.0), 25.0)],
+            vec![CrUser::new(Point::new(0.0, 0.0))],
+        );
+        let model = MobilityModel::new(
+            topo,
+            MobilitySpec {
+                step_m: 1.0,
+                hysteresis_m: 10.0,
+            },
+        );
+        // An MBS-served walker exactly on the cell edge is NOT handed
+        // back in: re-entry needs radius − hysteresis.
+        let edge = Point::new(25.0, 0.0);
+        assert_eq!(model.covering_cell(edge, 10.0), None);
+        assert_eq!(model.covering_cell(edge, 0.0), Some(FbsId(0)));
+        // Firmly inside (closer than radius − hysteresis) it re-enters.
+        let inside = Point::new(10.0, 0.0);
+        assert_eq!(model.covering_cell(inside, 10.0), Some(FbsId(0)));
+    }
+}

@@ -1,0 +1,150 @@
+//! Canonical pack traces: the JSONL document a pack's golden-trace
+//! conformance pins down.
+//!
+//! A pack trace has three parts, every one a deterministic function of
+//! the pack alone:
+//!
+//! 1. a header echoing the pack identity,
+//! 2. one line per `(scheme, run)` of batch results — bit-identical
+//!    under every [`ShardPolicy`], which the conformance suite asserts
+//!    by rendering under `WholeRun` and `Windows(3)` and comparing
+//!    bytes,
+//! 3. the churn schedule (arrivals, handovers, retires, PU-burst
+//!    windows), which is a pure function of the pack seed.
+//!
+//! Live serve outcomes (admission decisions, handover completions) are
+//! deliberately *not* in the trace: they depend on pool timing, and
+//! goldens must never flake. The live path is covered by the
+//! timing-robust property suites instead.
+
+use crate::churn::{ChurnEventKind, ChurnSchedule};
+use crate::pack::{Pack, PACK_SCHEMA_VERSION};
+use fcr_runtime::ShardPolicy;
+use fcr_serve::HandoverKind;
+
+/// Shortest round-trip float rendering (Rust's `Display`), matching
+/// the golden-trace convention used across the workspace.
+fn f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn f_list(vs: &[f64]) -> String {
+    let parts: Vec<String> = vs.iter().map(|v| f(*v)).collect();
+    format!("[{}]", parts.join(","))
+}
+
+fn opt_f(v: Option<f64>) -> String {
+    v.map(f).unwrap_or_else(|| "null".to_string())
+}
+
+/// Renders the canonical JSONL trace of `pack` under `shard`.
+///
+/// The output is byte-stable across renders, processes, and shard
+/// policies; golden conformance pins it per shipped pack.
+pub fn render_trace(pack: &Pack, shard: ShardPolicy) -> String {
+    let mut out = String::new();
+    let schedule = ChurnSchedule::generate(pack);
+    out.push_str(&format!(
+        "{{\"pack\":\"{}\",\"schema_version\":{},\"seed\":{},\"runs\":{},\"sessions\":{}}}\n",
+        pack.name, PACK_SCHEMA_VERSION, pack.seed, pack.runs, schedule.sessions
+    ));
+    let session = pack.session().shards(shard);
+    for scheme in &pack.schemes {
+        let result = session.run(*scheme);
+        for (run, r) in result.results().iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"scheme\":\"{}\",\"run\":{},\"mean_psnr\":{},\"per_user_psnr\":{},\"collision_rate\":{},\"mean_expected_available\":{},\"mean_greedy_objective\":{},\"mean_eq23_bound\":{}}}\n",
+                scheme.name(),
+                run,
+                f(r.mean_psnr()),
+                f_list(&r.per_user_psnr),
+                f(r.collision_rate),
+                f(r.mean_expected_available),
+                opt_f(r.mean_greedy_objective),
+                opt_f(r.mean_eq23_bound),
+            ));
+        }
+    }
+    for &(start, end) in schedule.pu_windows.windows() {
+        out.push_str(&format!(
+            "{{\"pu_burst\":{{\"start\":{start},\"end\":{end}}}}}\n"
+        ));
+    }
+    for e in &schedule.events {
+        let body = match e.kind {
+            ChurnEventKind::Arrive { during_pu_burst } => {
+                format!("\"kind\":\"arrive\",\"during_pu_burst\":{during_pu_burst}")
+            }
+            ChurnEventKind::Retire => "\"kind\":\"retire\"".to_string(),
+            ChurnEventKind::Handover {
+                kind,
+                from,
+                to,
+                demand_factor,
+            } => {
+                let kind_name = match kind {
+                    HandoverKind::FbsToFbs => "fbs_to_fbs",
+                    HandoverKind::FbsToMbs => "fbs_to_mbs",
+                    HandoverKind::MbsToFbs => "mbs_to_fbs",
+                };
+                let cell = |c: Option<fcr_net::node::FbsId>| {
+                    c.map(|id| id.0.to_string())
+                        .unwrap_or_else(|| "null".to_string())
+                };
+                format!(
+                    "\"kind\":\"handover\",\"handover\":\"{kind_name}\",\"from\":{},\"to\":{},\"demand_factor\":{}",
+                    cell(from),
+                    cell(to),
+                    f(demand_factor)
+                )
+            }
+        };
+        out.push_str(&format!(
+            "{{\"slot\":{},\"session\":{},{body}}}\n",
+            e.slot, e.ordinal
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_byte_stable_and_shard_invariant() {
+        let mut pack = Pack::generate(11);
+        // Keep the smoke run tiny and force a churn section so the
+        // schedule part of the trace is exercised.
+        pack.channel.gops = Some(1);
+        pack.channel.deadline = Some(2);
+        pack.channel.num_channels = Some(2);
+        pack.runs = 1;
+        pack.schemes = vec![fcr_sim::Scheme::Proposed];
+        if pack.churn.is_none() {
+            pack.churn = Some(crate::pack::ChurnSpec {
+                slots: 10,
+                arrivals: crate::pack::ArrivalSpec::Poisson { rate_per_slot: 0.5 },
+                mean_hold_slots: 4.0,
+                mbs_budget: 3.0,
+                max_sessions: 8,
+                pu_bursts: None,
+            });
+        }
+        pack.validate().expect("still valid");
+        let a = render_trace(&pack, ShardPolicy::WholeRun);
+        let b = render_trace(&pack, ShardPolicy::WholeRun);
+        assert_eq!(a, b, "consecutive renders must be byte-identical");
+        let sharded = render_trace(&pack, ShardPolicy::Windows(3));
+        assert_eq!(a, sharded, "trace must not depend on the shard policy");
+        assert!(
+            a.lines().count() > 1,
+            "header plus at least one result line"
+        );
+        assert!(a.starts_with(&format!("{{\"pack\":\"{}\"", pack.name)));
+    }
+}

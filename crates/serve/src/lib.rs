@@ -64,7 +64,8 @@ pub use bench::{bench_envelope, ServeBenchRun};
 pub use config::{ServeConfig, ADMIT_EPS};
 pub use http::MetricsServer;
 pub use service::{
-    AdmitOutcome, CompletedSession, RejectReason, Service, SessionId, SessionSpec, StepReport,
+    AdmitOutcome, CompletedSession, HandoverKind, HandoverOutcome, HandoverReject, RejectReason,
+    Service, SessionId, SessionSpec, StepReport,
 };
 pub use snapshot::ServiceSnapshot;
 

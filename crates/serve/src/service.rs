@@ -137,6 +137,79 @@ impl AdmitOutcome {
     }
 }
 
+/// Which cell boundary a session crosses in [`Service::handover`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandoverKind {
+    /// The user walked into another femtocell's coverage: the session
+    /// stays on femto service, its MBS demand claim is re-estimated
+    /// for the new cell.
+    FbsToFbs,
+    /// The user left femto coverage entirely: the session falls back
+    /// to macro service, typically *raising* its MBS demand claim
+    /// (the macro link is the weak one).
+    FbsToMbs,
+    /// The user walked back into femto coverage from macro service.
+    MbsToFbs,
+}
+
+/// Why [`Service::handover`] refused to move a session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HandoverReject {
+    /// The demand increase does not fit the remaining eq.-(12) budget;
+    /// the session keeps its old claim and serving cell untouched.
+    OverBudget {
+        /// The re-estimated demand on the target cell.
+        demand: f64,
+        /// Budget currently uncommitted (excluding this session's own
+        /// existing claim, which the swap would recycle).
+        available: f64,
+    },
+    /// The requested kind does not match the session's current serving
+    /// side (e.g. `MbsToFbs` for a session already on femto service).
+    WrongCell {
+        /// `true` when the session is currently macro-served.
+        on_mbs: bool,
+    },
+}
+
+impl std::fmt::Display for HandoverReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandoverReject::OverBudget { demand, available } => write!(
+                f,
+                "handover over MBS budget (demand {demand:.6}, available {available:.6})"
+            ),
+            HandoverReject::WrongCell { on_mbs } => {
+                write!(f, "handover kind mismatch (session on_mbs={on_mbs})")
+            }
+        }
+    }
+}
+
+/// The outcome of a [`Service::handover`] attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HandoverOutcome {
+    /// The session moved; its ledger claim was swapped atomically.
+    Completed {
+        /// The demand claim the session held before the handover.
+        old_demand: f64,
+        /// The claim it holds now (the quantized `new_demand`).
+        new_demand: f64,
+    },
+    /// The session stayed where it was; nothing changed.
+    Rejected(HandoverReject),
+    /// `id` is not an active session (completed, shed, retired, or
+    /// never admitted); nothing changed.
+    NotActive,
+}
+
+impl HandoverOutcome {
+    /// `true` when the session moved.
+    pub fn completed(&self) -> bool {
+        matches!(self, HandoverOutcome::Completed { .. })
+    }
+}
+
 /// A finished session handed back by [`Service::take_completed`]: the
 /// per-run outputs, bit-identical to what the batch path would have
 /// produced for the same spec and seed.
@@ -203,6 +276,10 @@ struct SessionState {
     deadline: u64,
     runs: Vec<RunState>,
     degraded: bool,
+    /// `true` while the session is macro-served (after an FBS→MBS
+    /// handover and before a return MBS→FBS one). Sessions are always
+    /// admitted on femto service.
+    on_mbs: bool,
 }
 
 impl SessionState {
@@ -229,6 +306,10 @@ pub(crate) struct Counts {
     pub degraded_sessions: u64,
     pub completed_dropped: u64,
     pub steps: u64,
+    pub handovers_fbs_fbs: u64,
+    pub handovers_fbs_mbs: u64,
+    pub handovers_mbs_fbs: u64,
+    pub handovers_rejected: u64,
 }
 
 struct State {
@@ -421,9 +502,103 @@ impl Service {
             deadline: u64::from(spec.config.deadline),
             runs,
             degraded: false,
+            on_mbs: false,
         };
         st.active.push(session);
+        assert_accounting(&st);
         AdmitOutcome::Admitted(SessionId(id))
+    }
+
+    /// Hands an active session over to another cell: its eq.-(12)
+    /// ledger claim is swapped from the old demand to `new_demand`
+    /// **atomically** (the old claim is recycled into the availability
+    /// the new claim is checked against, so a demand decrease always
+    /// fits), and the session's serving side is updated per `kind`.
+    ///
+    /// The session's committed simulation work is untouched — runs keep
+    /// streaming from the seeds admission derived, so serve output
+    /// stays bit-identical to the batch path. A handover moves the
+    /// session's *budget claim*, which is exactly what the eq.-(12)
+    /// admission controller governs: FBS→MBS fallback typically raises
+    /// the claim (macro service carries the whole stream), the return
+    /// MBS→FBS handover releases it again.
+    ///
+    /// `new_demand` is the re-estimate against the target cell —
+    /// usually [`Service::estimate_demand`] of the session's spec
+    /// rebuilt on the new serving cell's geometry.
+    ///
+    /// On `Rejected`/`NotActive` nothing changes: the session keeps its
+    /// old claim and serving side (for an over-budget FBS→MBS fallback
+    /// the caller decides between retrying later and retiring the
+    /// session — a femto network that cannot absorb the macro fallback
+    /// is *supposed* to drop the call, loudly).
+    pub fn handover(&self, id: SessionId, new_demand: f64, kind: HandoverKind) -> HandoverOutcome {
+        let mut st = self.lock();
+        let Some(pos) = st.active.iter().position(|s| s.id == id.0) else {
+            return HandoverOutcome::NotActive;
+        };
+        let on_mbs = st.active[pos].on_mbs;
+        let kind_fits = match kind {
+            HandoverKind::FbsToFbs | HandoverKind::FbsToMbs => !on_mbs,
+            HandoverKind::MbsToFbs => on_mbs,
+        };
+        if !kind_fits {
+            st.counts.handovers_rejected += 1;
+            return HandoverOutcome::Rejected(HandoverReject::WrongCell { on_mbs });
+        }
+        let old_units = st.active[pos].demand_units;
+        let new_units = to_budget_units(new_demand);
+        // Check only the *increase* against the free budget: the swap
+        // recycles the session's own claim, and both sides live on the
+        // integer ledger so the decision is exact.
+        let free_units = to_budget_units(self.config.mbs_budget)
+            .saturating_sub(st.mbs_in_use_units)
+            .saturating_add(old_units);
+        if new_units > free_units.saturating_add(to_budget_units(ADMIT_EPS)) {
+            st.counts.handovers_rejected += 1;
+            return HandoverOutcome::Rejected(HandoverReject::OverBudget {
+                demand: new_demand,
+                available: from_budget_units(free_units.saturating_sub(old_units)),
+            });
+        }
+        st.mbs_in_use_units = st
+            .mbs_in_use_units
+            .saturating_sub(old_units)
+            .saturating_add(new_units);
+        st.active[pos].demand_units = new_units;
+        match kind {
+            HandoverKind::FbsToFbs => st.counts.handovers_fbs_fbs += 1,
+            HandoverKind::FbsToMbs => {
+                st.active[pos].on_mbs = true;
+                st.counts.handovers_fbs_mbs += 1;
+            }
+            HandoverKind::MbsToFbs => {
+                st.active[pos].on_mbs = false;
+                st.counts.handovers_mbs_fbs += 1;
+            }
+        }
+        assert_accounting(&st);
+        HandoverOutcome::Completed {
+            old_demand: from_budget_units(old_units),
+            new_demand: from_budget_units(new_units),
+        }
+    }
+
+    /// The ledger claim an active session currently holds (in unit MBS
+    /// time shares, quantized), or `None` when `id` is not active.
+    pub fn session_demand(&self, id: SessionId) -> Option<f64> {
+        let st = self.lock();
+        st.active
+            .iter()
+            .find(|s| s.id == id.0)
+            .map(|s| from_budget_units(s.demand_units))
+    }
+
+    /// `true` when `id` is active and currently macro-served, `false`
+    /// when femto-served, `None` when not active.
+    pub fn session_on_mbs(&self, id: SessionId) -> Option<bool> {
+        let st = self.lock();
+        st.active.iter().find(|s| s.id == id.0).map(|s| s.on_mbs)
     }
 
     /// Retires an active session: its budget is freed immediately (a
@@ -446,6 +621,7 @@ impl Service {
         if session.runs.iter().any(|r| !r.inflight.is_empty()) {
             st.draining.push(session);
         }
+        assert_accounting(&st);
         true
     }
 
@@ -707,6 +883,7 @@ impl Service {
             &st.counts,
             st.slot,
             st.active.len(),
+            st.active.iter().filter(|s| s.on_mbs).count(),
             st.draining.len(),
             from_budget_units(st.mbs_in_use_units),
             self.config.mbs_budget,
@@ -795,9 +972,18 @@ fn pending_jobs(st: &State) -> u64 {
         + st.draining.iter().map(SessionState::pending).sum::<u64>()
 }
 
-/// The accounting identity: every admitted session is exactly one of
-/// active, completed, retired, or shed. Draining sessions were already
-/// counted retired or shed when they left the active set.
+/// The accounting identity, asserted on every serve transition
+/// (admit, retire, handover, and each step):
+///
+/// 1. Every admitted session is exactly one of active, completed,
+///    retired, or shed (draining sessions were already counted retired
+///    or shed when they left the active set).
+/// 2. The MBS ledger equals the sum of active sessions' claims,
+///    **exactly** — the handed-over term included, since a handover
+///    swaps a session's claim on the same integer ledger its admission
+///    charged and its departure will free.
+/// 3. Serving sides partition the active set: every active session is
+///    on exactly one of femto or macro service.
 fn assert_accounting(st: &State) {
     let c = &st.counts;
     assert_eq!(
@@ -809,5 +995,18 @@ fn assert_accounting(st: &State) {
         c.completed,
         c.retired,
         c.shed,
+    );
+    let claimed: u64 = st.active.iter().map(|s| s.demand_units).sum();
+    assert_eq!(
+        st.mbs_in_use_units, claimed,
+        "ledger identity violated: in-use {} units != sum of active claims {} units",
+        st.mbs_in_use_units, claimed,
+    );
+    let on_mbs = st.active.iter().filter(|s| s.on_mbs).count();
+    let on_fbs = st.active.iter().filter(|s| !s.on_mbs).count();
+    assert_eq!(
+        on_fbs + on_mbs,
+        st.active.len(),
+        "serving-side partition violated",
     );
 }

@@ -51,6 +51,20 @@ pub struct ServiceSnapshot {
     ///
     /// [`deferrals`]: ServiceSnapshot::deferrals
     pub deferrals_per_step: f64,
+    /// FBS→FBS handovers completed (session stayed femto-served).
+    pub handovers_fbs_fbs: u64,
+    /// FBS→MBS handovers completed (session fell back to macro
+    /// service, acquiring its macro-side budget claim).
+    pub handovers_fbs_mbs: u64,
+    /// MBS→FBS handovers completed (session returned to femto service,
+    /// freeing its macro-side claim).
+    pub handovers_mbs_fbs: u64,
+    /// Handovers rejected (over budget or wrong serving side); the
+    /// session kept its previous cell and claim.
+    pub handovers_rejected: u64,
+    /// Active sessions currently macro-served (after FBS→MBS, before a
+    /// return handover). `active - active_on_mbs` are femto-served.
+    pub active_on_mbs: usize,
     /// Enhancement runs shed under overload (ladder stage 2).
     pub enhancement_runs_shed: u64,
     /// Sessions that completed degraded (some enhancement shed).
@@ -78,6 +92,7 @@ impl ServiceSnapshot {
         counts: &Counts,
         slot: u64,
         active: usize,
+        active_on_mbs: usize,
         draining: usize,
         mbs_in_use: f64,
         mbs_budget: f64,
@@ -104,6 +119,11 @@ impl ServiceSnapshot {
             } else {
                 counts.deferrals as f64 / counts.steps as f64
             },
+            handovers_fbs_fbs: counts.handovers_fbs_fbs,
+            handovers_fbs_mbs: counts.handovers_fbs_mbs,
+            handovers_mbs_fbs: counts.handovers_mbs_fbs,
+            handovers_rejected: counts.handovers_rejected,
+            active_on_mbs,
             enhancement_runs_shed: counts.enhancement_runs_shed,
             degraded_sessions: counts.degraded_sessions,
             completed_dropped: counts.completed_dropped,
@@ -130,6 +150,8 @@ impl ServiceSnapshot {
              \"draining\":{},\"completed\":{},\"retired\":{},\"shed\":{},\
              \"rejected_capacity\":{},\"rejected_budget\":{},\"windows_completed\":{},\
              \"windows_retried\":{},\"deferrals\":{},\"deferrals_per_step\":{},\
+             \"handovers_fbs_fbs\":{},\"handovers_fbs_mbs\":{},\"handovers_mbs_fbs\":{},\
+             \"handovers_rejected\":{},\"active_on_mbs\":{},\
              \"enhancement_runs_shed\":{},\
              \"degraded_sessions\":{},\"completed_dropped\":{},\"mbs_in_use\":{},\
              \"mbs_budget\":{},\"pending\":{},\"completed_buffered\":{},\
@@ -148,6 +170,11 @@ impl ServiceSnapshot {
             self.windows_retried,
             self.deferrals,
             json_num(self.deferrals_per_step),
+            self.handovers_fbs_fbs,
+            self.handovers_fbs_mbs,
+            self.handovers_mbs_fbs,
+            self.handovers_rejected,
+            self.active_on_mbs,
             self.enhancement_runs_shed,
             self.degraded_sessions,
             self.completed_dropped,
@@ -183,6 +210,10 @@ impl ServiceSnapshot {
         counter("windows_completed_total", self.windows_completed);
         counter("windows_retried_total", self.windows_retried);
         counter("deferrals_total", self.deferrals);
+        counter("handovers_fbs_fbs_total", self.handovers_fbs_fbs);
+        counter("handovers_fbs_mbs_total", self.handovers_fbs_mbs);
+        counter("handovers_mbs_fbs_total", self.handovers_mbs_fbs);
+        counter("handovers_rejected_total", self.handovers_rejected);
         counter("enhancement_runs_shed_total", self.enhancement_runs_shed);
         counter("degraded_sessions_total", self.degraded_sessions);
         counter("completed_dropped_total", self.completed_dropped);
@@ -194,6 +225,7 @@ impl ServiceSnapshot {
             }
         };
         gauge("sessions_active", self.active as f64);
+        gauge("sessions_active_on_mbs", self.active_on_mbs as f64);
         gauge("sessions_draining", self.draining as f64);
         gauge("deferrals_per_step", self.deferrals_per_step);
         gauge("mbs_in_use", self.mbs_in_use);
@@ -249,6 +281,11 @@ mod tests {
             windows_retried: 2,
             deferrals: 7,
             deferrals_per_step: 0.7,
+            handovers_fbs_fbs: 4,
+            handovers_fbs_mbs: 2,
+            handovers_mbs_fbs: 1,
+            handovers_rejected: 1,
+            active_on_mbs: 1,
             enhancement_runs_shed: 1,
             degraded_sessions: 1,
             completed_dropped: 0,
@@ -268,6 +305,8 @@ mod tests {
         assert!(line.ends_with('}'), "{line}");
         assert!(line.contains("\"accounting_holds\":true"));
         assert!(line.contains("\"mbs_in_use\":0.25"));
+        assert!(line.contains("\"handovers_fbs_mbs\":2"));
+        assert!(line.contains("\"active_on_mbs\":1"));
         assert!(line.contains("\"deferrals_per_step\":0.7"));
         assert!(line.contains("\"step_p99_us\":90"));
         let braces: i64 = line
@@ -310,6 +349,14 @@ mod tests {
         );
         assert!(out.contains("fcr_serve_sessions_active 1\n"), "{out}");
         assert!(out.contains("fcr_serve_deferrals_total 7\n"), "{out}");
+        assert!(
+            out.contains("fcr_serve_handovers_fbs_mbs_total 2\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("fcr_serve_sessions_active_on_mbs 1\n"),
+            "{out}"
+        );
         assert!(out.contains("fcr_serve_deferrals_per_step 0.7\n"), "{out}");
         assert!(out.contains("fcr_serve_mbs_in_use 0.25\n"), "{out}");
         assert!(out.contains("fcr_serve_accounting_holds 1\n"), "{out}");

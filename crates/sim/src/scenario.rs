@@ -69,20 +69,51 @@ impl Scenario {
 
     /// Single FBS with an arbitrary set of streams.
     pub fn single_fbs_with_users(cfg: &SimConfig, sequences: &[Sequence]) -> Self {
-        let users = sequences
-            .iter()
-            .enumerate()
-            .map(|(j, seq)| UserSpec {
-                sequence: *seq,
-                fbs: FbsId(0),
-                mbs_link: link(cfg.mean_sinr_mbs, cfg, j),
-                fbs_link: link(cfg.mean_sinr_fbs, cfg, j),
-            })
-            .collect();
-        Self {
-            graph: InterferenceGraph::edgeless(1),
-            users,
+        Self::uniform(
+            InterferenceGraph::edgeless(1),
+            sequences.len(),
+            sequences,
+            cfg,
+        )
+    }
+
+    /// The general hand-set-SINR scenario every paper figure is a
+    /// special case of: `users_per_fbs` users on each vertex of
+    /// `graph`, sequences cycled per FBS in `sequences` order, and the
+    /// per-user SINR spread keyed by the *global* user index (so the
+    /// strong/weak/edge mix differs across cells). With
+    /// `users_per_fbs == 3` and [`Sequence::PAPER_TRIO`] this
+    /// reproduces [`Scenario::fig1`] / [`Scenario::interfering_fig5`]
+    /// bit for bit — which is what lets scenario packs express those
+    /// figures declaratively and stay golden-trace-identical to the
+    /// Rust constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` has no vertices, `users_per_fbs` is zero, or
+    /// `sequences` is empty.
+    pub fn uniform(
+        graph: InterferenceGraph,
+        users_per_fbs: usize,
+        sequences: &[Sequence],
+        cfg: &SimConfig,
+    ) -> Self {
+        assert!(graph.num_vertices() > 0, "need at least one FBS");
+        assert!(users_per_fbs > 0, "need at least one user per FBS");
+        assert!(!sequences.is_empty(), "need at least one sequence");
+        let mut users = Vec::with_capacity(graph.num_vertices() * users_per_fbs);
+        for i in 0..graph.num_vertices() {
+            for k in 0..users_per_fbs {
+                let j = i * users_per_fbs + k;
+                users.push(UserSpec {
+                    sequence: sequences[k % sequences.len()],
+                    fbs: FbsId(i),
+                    mbs_link: link(cfg.mean_sinr_mbs, cfg, j),
+                    fbs_link: link(cfg.mean_sinr_fbs, cfg, j),
+                });
+            }
         }
+        Self { graph, users }
     }
 
     /// The paper's illustrative Fig. 1 network: four FBSs where only
@@ -90,40 +121,24 @@ impl Scenario {
     /// graph with `D_max = 1`, for which Theorem 2 guarantees the
     /// greedy reaches at least half the optimal gain.
     pub fn fig1(cfg: &SimConfig) -> Self {
-        let graph = InterferenceGraph::new(4, &[(FbsId(2), FbsId(3))]);
-        let mut users = Vec::new();
-        for i in 0..4 {
-            for (k, seq) in Sequence::PAPER_TRIO.iter().enumerate() {
-                let j = i * 3 + k;
-                users.push(UserSpec {
-                    sequence: *seq,
-                    fbs: FbsId(i),
-                    mbs_link: link(cfg.mean_sinr_mbs, cfg, j),
-                    fbs_link: link(cfg.mean_sinr_fbs, cfg, j),
-                });
-            }
-        }
-        Self { graph, users }
+        Self::uniform(
+            InterferenceGraph::new(4, &[(FbsId(2), FbsId(3))]),
+            3,
+            &Sequence::PAPER_TRIO,
+            cfg,
+        )
     }
 
     /// Scenario B (Section V-B / Fig. 5): three FBSs in a path
     /// interference graph (1–2 and 2–3 overlap), three users per FBS,
     /// each FBS streaming the paper's three sequences.
     pub fn interfering_fig5(cfg: &SimConfig) -> Self {
-        let graph = InterferenceGraph::new(3, &[(FbsId(0), FbsId(1)), (FbsId(1), FbsId(2))]);
-        let mut users = Vec::new();
-        for i in 0..3 {
-            for (k, seq) in Sequence::PAPER_TRIO.iter().enumerate() {
-                let j = i * 3 + k;
-                users.push(UserSpec {
-                    sequence: *seq,
-                    fbs: FbsId(i),
-                    mbs_link: link(cfg.mean_sinr_mbs, cfg, j),
-                    fbs_link: link(cfg.mean_sinr_fbs, cfg, j),
-                });
-            }
-        }
-        Self { graph, users }
+        Self::uniform(
+            InterferenceGraph::new(3, &[(FbsId(0), FbsId(1)), (FbsId(1), FbsId(2))]),
+            3,
+            &Sequence::PAPER_TRIO,
+            cfg,
+        )
     }
 
     /// Builds a scenario from a geometric [`Topology`]: per-user mean
@@ -365,6 +380,50 @@ mod tests {
         let cfg = SimConfig::default();
         let topo = fcr_net::scenarios::single_fbs(2);
         let _ = Scenario::from_topology(&topo, &[], &RadioParams::default(), &cfg);
+    }
+
+    #[test]
+    fn uniform_reproduces_the_paper_constructors_exactly() {
+        let cfg = SimConfig::default();
+        assert_eq!(
+            Scenario::uniform(
+                InterferenceGraph::new(4, &[(FbsId(2), FbsId(3))]),
+                3,
+                &Sequence::PAPER_TRIO,
+                &cfg
+            ),
+            Scenario::fig1(&cfg)
+        );
+        assert_eq!(
+            Scenario::uniform(
+                InterferenceGraph::edgeless(1),
+                3,
+                &Sequence::PAPER_TRIO,
+                &cfg
+            ),
+            Scenario::single_fbs(&cfg)
+        );
+    }
+
+    #[test]
+    fn uniform_cycles_sequences_per_fbs_and_spreads_sinr_globally() {
+        let cfg = SimConfig::default();
+        let s = Scenario::uniform(
+            InterferenceGraph::edgeless(2),
+            4,
+            &[Sequence::Foreman, Sequence::News],
+            &cfg,
+        );
+        assert_eq!(s.num_users(), 8);
+        // Sequences restart at each FBS...
+        assert_eq!(s.users[4].sequence, Sequence::Foreman);
+        assert_eq!(s.users[5].sequence, Sequence::News);
+        // ...but the SINR spread is keyed by the global index, so the
+        // second cell's first user is NOT a copy of the first cell's.
+        assert_ne!(
+            s.users[0].fbs_link.mean_sinr(),
+            s.users[4].fbs_link.mean_sinr()
+        );
     }
 
     #[test]

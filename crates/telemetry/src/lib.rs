@@ -55,6 +55,7 @@
 
 mod bench;
 mod export;
+pub mod json;
 mod phase;
 mod record;
 mod sink;

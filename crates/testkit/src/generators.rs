@@ -162,6 +162,14 @@ pub fn arb_slot_problem() -> impl Strategy<Value = SlotProblem> {
         })
 }
 
+/// Random **valid** scenario packs, driven through
+/// [`fcr_scenario::Pack::generate`] so every case is identified by the
+/// single `u64` seed proptest prints on failure — replay with
+/// `Pack::generate(seed)` or `fcr-experiments scenario --generate <seed>`.
+pub fn arb_scenario_pack() -> impl Strategy<Value = fcr_scenario::Pack> {
+    (0u64..u64::from(u32::MAX)).prop_map(fcr_scenario::Pack::generate)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -59,3 +59,17 @@ fn fig4_sensing_grid_is_conformant() {
 fn fig6_interfering_scenario_is_conformant() {
     assert_conformant("fig6", fig6_golden);
 }
+
+/// Every shipped scenario pack gets the same treatment as the paper
+/// figures: its canonical trace (batch results + churn schedule) must
+/// be byte-stable across consecutive renders and across WholeRun vs
+/// Windows(3) sharding, and must match the stored
+/// `goldens/pack_<name>.jsonl`.
+#[test]
+fn every_shipped_pack_trace_is_conformant() {
+    for pack in fcr_scenario::shipped::shipped() {
+        assert_conformant(&format!("pack_{}", pack.name), |shards| {
+            fcr_scenario::render_trace(&pack, shards)
+        });
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`telemetry`] | span tracing, solver convergence capture, JSONL export |
 //! | [`sim`] | the slot-level simulator and sharded simulation sessions |
 //! | [`serve`] | the always-on streaming service: admission control, churn, live metrics |
+//! | [`scenario`] | declarative JSON scenario packs, mobility/handover walks, churn schedules |
 //!
 //! # Quick start
 //!
@@ -54,6 +55,7 @@
 pub use fcr_core as core;
 pub use fcr_net as net;
 pub use fcr_runtime as runtime;
+pub use fcr_scenario as scenario;
 pub use fcr_serve as serve;
 pub use fcr_sim as sim;
 pub use fcr_spectrum as spectrum;
@@ -75,9 +77,12 @@ pub mod prelude {
         AutoscaleConfig, JobError, JobOutcome, MetricsSnapshot, Priority, PriorityClass,
         ResizeEvent, ResizeTrigger, Runtime, RuntimeConfig, ShardPolicy,
     };
+    pub use fcr_scenario::{
+        ChurnDriver, ChurnSchedule, MobilityModel, Pack, PackError, PACK_SCHEMA_VERSION,
+    };
     pub use fcr_serve::{
-        AdmitOutcome, CompletedSession, MetricsServer, RejectReason, ServeConfig, Service,
-        ServiceSnapshot, SessionId, SessionSpec,
+        AdmitOutcome, CompletedSession, HandoverKind, HandoverOutcome, HandoverReject,
+        MetricsServer, RejectReason, ServeConfig, Service, ServiceSnapshot, SessionId, SessionSpec,
     };
     pub use fcr_sim::config::SimConfig;
     pub use fcr_sim::engine::{RunOutput, TraceMode};
